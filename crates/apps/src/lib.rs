@@ -1,0 +1,28 @@
+//! # pier-apps — the applications the PIER demo runs
+//!
+//! The SIGMOD 2004 demo lists the applications PIER was being used for:
+//! network monitoring (the demo's focus), keyword-based filesharing search,
+//! and network-topology analysis with recursive queries.  PlanetLab supplied
+//! the real data; this crate supplies deterministic synthetic equivalents that
+//! exercise exactly the same query pipelines:
+//!
+//! * [`netmon`] — per-node traffic-rate readings feeding the paper's Figure 1
+//!   continuous `SUM(out_rate)` query;
+//! * [`snort`] — per-node Snort-style intrusion-detection reports feeding the
+//!   paper's Table 1 network-wide top-ten-rules query;
+//! * [`filesharing`] — a synthetic file corpus plus an inverted keyword index
+//!   for distributed keyword-search joins;
+//! * [`topology`] — overlay link tables (extracted from the live DHT) queried
+//!   recursively for reachability, the paper's "network topology mapping".
+
+#![warn(missing_docs)]
+
+pub mod filesharing;
+pub mod netmon;
+pub mod snort;
+pub mod topology;
+
+pub use filesharing::FileCorpus;
+pub use netmon::NetworkMonitor;
+pub use snort::{SnortSimulator, SNORT_RULES};
+pub use topology::TopologyMapper;

@@ -1,0 +1,170 @@
+//! Network monitoring workload (the demo's focus, Figure 1).
+//!
+//! On PlanetLab every node reported the data rates of its own network
+//! interfaces.  Here each simulated node periodically publishes a `netstats`
+//! tuple with its current outbound and inbound rates.  Rates are heavy-tailed
+//! across nodes (a few busy nodes dominate, as on the real testbed) with slow
+//! multiplicative drift over time, so the network-wide `SUM(out_rate)` moves
+//! visibly between epochs of the continuous query.
+
+use pier_core::prelude::*;
+use pier_simnet::DetRng;
+
+/// The `netstats` relation: `(host STRING, out_rate FLOAT, in_rate FLOAT)`.
+pub fn netstats_table() -> TableDef {
+    TableDef::new(
+        "netstats",
+        Schema::of(&[
+            ("host", DataType::Str),
+            ("out_rate", DataType::Float),
+            ("in_rate", DataType::Float),
+        ]),
+        "host",
+        Duration::from_secs(30),
+    )
+}
+
+/// Generates per-node traffic readings.
+pub struct NetworkMonitor {
+    rng: DetRng,
+    /// Baseline outbound rate per node (KB/s).
+    base_out: Vec<f64>,
+    /// Baseline inbound rate per node (KB/s).
+    base_in: Vec<f64>,
+    /// Current multiplicative drift per node.
+    drift: Vec<f64>,
+}
+
+impl NetworkMonitor {
+    /// Create a monitor for `nodes` hosts.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        let mut rng = DetRng::new(seed).stream(0x4E4D);
+        let base_out: Vec<f64> =
+            (0..nodes).map(|_| rng.heavy_tail(20.0, 1.3, 5_000.0)).collect();
+        let base_in: Vec<f64> = (0..nodes).map(|_| rng.heavy_tail(10.0, 1.3, 3_000.0)).collect();
+        NetworkMonitor { rng, drift: vec![1.0; nodes], base_out, base_in }
+    }
+
+    /// Number of monitored hosts.
+    pub fn nodes(&self) -> usize {
+        self.base_out.len()
+    }
+
+    /// The canonical host name of a node.
+    pub fn host_name(node: usize) -> String {
+        format!("planetlab-{node:03}")
+    }
+
+    /// Produce the current reading for one node and advance its drift.
+    pub fn sample(&mut self, node: usize) -> Tuple {
+        // Multiplicative random walk bounded to [0.25, 4.0] of the baseline.
+        let step = 1.0 + (self.rng.unit() - 0.5) * 0.2;
+        self.drift[node] = (self.drift[node] * step).clamp(0.25, 4.0);
+        let out_rate = self.base_out[node] * self.drift[node];
+        let in_rate = self.base_in[node] * self.drift[node] * (0.8 + 0.4 * self.rng.unit());
+        Tuple::new(vec![
+            Value::str(Self::host_name(node)),
+            Value::Float((out_rate * 10.0).round() / 10.0),
+            Value::Float((in_rate * 10.0).round() / 10.0),
+        ])
+    }
+
+    /// The sum of the *current* outbound rates over a set of nodes (ground
+    /// truth for tests; uses the baselines and drifts without advancing them).
+    pub fn current_total_out(&self, nodes: &[usize]) -> f64 {
+        nodes.iter().map(|&n| self.base_out[n] * self.drift[n]).sum()
+    }
+
+    /// Publish one round of readings: every *alive* node stores its own
+    /// reading locally (monitoring data about a node lives at that node).
+    pub fn publish_round(&mut self, bed: &mut PierTestbed) {
+        for addr in bed.alive_nodes() {
+            let node = addr.0 as usize;
+            if node >= self.nodes() {
+                continue;
+            }
+            let tuple = self.sample(node);
+            bed.publish_local(addr, "netstats", tuple);
+        }
+    }
+
+    /// The paper's Figure 1 query.
+    pub fn figure1_sql(period_secs: u64, window_secs: u64) -> String {
+        format!(
+            "SELECT SUM(out_rate) AS total_out FROM netstats \
+             CONTINUOUS EVERY {period_secs} SECONDS WINDOW {window_secs} SECONDS"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_definition() {
+        let def = netstats_table();
+        assert_eq!(def.name, "netstats");
+        assert_eq!(def.schema.arity(), 3);
+        assert_eq!(def.partition_column, 0);
+    }
+
+    #[test]
+    fn samples_are_positive_and_heavy_tailed() {
+        let mut mon = NetworkMonitor::new(200, 7);
+        assert_eq!(mon.nodes(), 200);
+        let mut rates = Vec::new();
+        for n in 0..200 {
+            let t = mon.sample(n);
+            assert_eq!(t.arity(), 3);
+            let rate = t.get(1).as_f64().unwrap();
+            assert!(rate > 0.0);
+            rates.push(rate);
+        }
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Heavy tail: the biggest node is much busier than the median.
+        assert!(rates[199] > rates[100] * 3.0);
+    }
+
+    #[test]
+    fn drift_moves_but_stays_bounded() {
+        let mut mon = NetworkMonitor::new(1, 9);
+        let first = mon.sample(0).get(1).as_f64().unwrap();
+        let mut last = first;
+        for _ in 0..200 {
+            last = mon.sample(0).get(1).as_f64().unwrap();
+            assert!(last > 0.0);
+        }
+        // After many steps the rate has moved, but stays within the clamp.
+        assert!(last >= first * 0.2 && last <= first * 5.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = NetworkMonitor::new(10, 5);
+        let mut b = NetworkMonitor::new(10, 5);
+        for n in 0..10 {
+            assert_eq!(a.sample(n), b.sample(n));
+        }
+    }
+
+    #[test]
+    fn host_names_and_query_text() {
+        assert_eq!(NetworkMonitor::host_name(7), "planetlab-007");
+        let sql = NetworkMonitor::figure1_sql(5, 10);
+        assert!(sql.contains("SUM(out_rate)"));
+        assert!(sql.contains("EVERY 5 SECONDS"));
+        assert!(sql.contains("WINDOW 10 SECONDS"));
+    }
+
+    #[test]
+    fn ground_truth_total_matches_drift_state() {
+        let mut mon = NetworkMonitor::new(5, 3);
+        for n in 0..5 {
+            mon.sample(n);
+        }
+        let total = mon.current_total_out(&[0, 1, 2, 3, 4]);
+        assert!(total > 0.0);
+        assert!(mon.current_total_out(&[0]) < total);
+    }
+}

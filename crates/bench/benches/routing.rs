@@ -1,0 +1,60 @@
+//! Ablation A1 — DHT routing scalability.
+//!
+//! PIER's claim to "Internet scale" rests on its multi-hop overlay: lookups
+//! and routed operations must take O(log n) hops, not O(n).  This bench builds
+//! rings of increasing size, routes a fixed batch of puts across each, and
+//! reports average hops and delivery latency per ring size.
+//!
+//! Run with: `cargo bench -p pier-bench --bench routing`
+
+use pier_dht::{DhtConfig, ResourceKey, StandaloneDht};
+use pier_simnet::{Duration, LatencyModel, NodeAddr, SimConfig, Simulation};
+
+fn ring(n: usize, seed: u64) -> Simulation<StandaloneDht<u64>> {
+    let mut sim = Simulation::new(
+        SimConfig {
+            seed,
+            latency: LatencyModel::Uniform {
+                min: Duration::from_millis(10),
+                max: Duration::from_millis(100),
+            },
+            ..Default::default()
+        },
+        |addr| {
+            let bootstrap = if addr.0 == 0 { None } else { Some(NodeAddr(0)) };
+            StandaloneDht::new(addr, DhtConfig::fast_test(), bootstrap)
+        },
+    );
+    sim.add_nodes(n);
+    sim.run_for(Duration::from_secs(60));
+    sim
+}
+
+fn main() {
+    println!("A1: routing hops and latency vs ring size (multi-hop O(log n) routing)");
+    println!("{:>8} {:>12} {:>14} {:>16}", "nodes", "avg hops", "p99 delay ms", "msgs/operation");
+    let ops = 200u64;
+    for &n in &[32usize, 64, 128, 256] {
+        let mut sim = ring(n, 7 + n as u64);
+        let before = sim.metrics().snapshot();
+        for i in 0..ops {
+            let origin = NodeAddr((i % n as u64) as u32);
+            sim.invoke(origin, |node, ctx| {
+                node.dht.put(ctx, ResourceKey::new("bench", format!("k{i}"), i), i, None);
+            });
+        }
+        sim.run_for(Duration::from_secs(10));
+        let after = sim.metrics().snapshot();
+        let (mut deliveries, mut hops) = (0u64, 0u64);
+        for addr in sim.alive_nodes() {
+            let s = sim.node(addr).unwrap().dht.stats();
+            deliveries += s.deliveries;
+            hops += s.delivery_hops;
+        }
+        let avg_hops = hops as f64 / deliveries.max(1) as f64;
+        let p99 = sim.metrics().delivery_latency().map(|h| h.quantile(0.99) / 1000).unwrap_or(0);
+        let msgs = (after.messages_sent - before.messages_sent) as f64 / ops as f64;
+        println!("{n:>8} {avg_hops:>12.2} {p99:>14} {msgs:>16.1}");
+    }
+    println!("\nexpected shape: hops grow ~logarithmically with n (not linearly).");
+}

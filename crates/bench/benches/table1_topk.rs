@@ -1,0 +1,43 @@
+//! Table 1 (bench-sized) — network-wide top ten intrusion-detection rules on a
+//! smaller deployment so `cargo bench` stays quick.  The full 300-node
+//! reproduction is the `table1_top10_rules` binary.
+//!
+//! Run with: `cargo bench -p pier-bench --bench table1_topk`
+
+use pier_apps::snort::{intrusions_table, SnortSimulator};
+use pier_core::prelude::*;
+
+fn main() {
+    let nodes = 60;
+    let mut bed = PierTestbed::new(TestbedConfig { nodes, seed: 2, ..Default::default() });
+    bed.create_table_everywhere(&intrusions_table());
+    let mut snort = SnortSimulator::new(nodes, 710_000, 2);
+    snort.publish_round(&mut bed);
+    bed.run_for(Duration::from_secs(5));
+
+    let origin = bed.nodes()[0];
+    let q = bed.submit_sql(origin, SnortSimulator::table1_sql()).unwrap();
+    bed.run_for(Duration::from_secs(20));
+
+    let rows = bed.results(origin, q, 0);
+    println!("Table 1 (bench): top ten intrusion rules, {nodes} nodes");
+    println!("{:<6} {:<42} {:>12}", "Rule", "Description", "Hits");
+    for row in &rows {
+        println!("{:<6} {:<42} {:>12}", row.get(0).to_string(), row.get(1).to_string(), row.get(2).to_string());
+    }
+    let got: Vec<i64> = rows.iter().filter_map(|r| r.get(0).as_i64()).collect();
+    let expected = SnortSimulator::expected_top10();
+    let mut gs = got.clone();
+    gs.sort_unstable();
+    let mut es = expected.clone();
+    es.sort_unstable();
+    let verdict = if got == expected {
+        "MATCH (exact order)"
+    } else if gs == es && got[..5] == expected[..5] {
+        "MATCH (same ten rules; a near-tie pair swapped)"
+    } else {
+        "MISMATCH"
+    };
+    println!("\nranking vs paper: {verdict}");
+    println!("responding nodes: {}", bed.contributors(origin, q, 0));
+}

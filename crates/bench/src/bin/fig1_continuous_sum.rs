@@ -1,0 +1,82 @@
+//! Regenerates **Figure 1** of the paper: "Continuous sum of outbound data
+//! rates over responding nodes running PIER on PlanetLab."
+//!
+//! 300 simulated nodes publish fresh `netstats` readings every 5 seconds while
+//! the continuous query `SELECT SUM(out_rate) FROM netstats CONTINUOUS EVERY 5
+//! SECONDS WINDOW 10 SECONDS` runs.  Partway through, a slice of the network
+//! fails and later recovers, so both series of the figure — the network-wide
+//! sum and the number of responding nodes — dip and recover.
+//!
+//! Output: one row per epoch, `epoch  time  sum_kbps  responding_nodes`
+//! (a CSV copy is written to stdout after the table for plotting).
+//!
+//! Run with: `cargo run --release -p pier-bench --bin fig1_continuous_sum`
+
+use pier_apps::netmon::NetworkMonitor;
+use pier_bench::{experiment_config, fmt_thousands, monitoring_testbed};
+use pier_core::prelude::*;
+use pier_simnet::ChurnSchedule;
+
+fn main() {
+    let nodes: usize = std::env::var("PIER_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(300);
+    let seed: u64 = std::env::var("PIER_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let epochs: usize = std::env::var("PIER_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(24);
+
+    eprintln!("[fig1] booting {nodes} PIER nodes …");
+    let mut bed = monitoring_testbed(nodes, seed, experiment_config());
+    let mut monitor = NetworkMonitor::new(nodes, seed);
+
+    let origin = bed.nodes()[0];
+    let sql = NetworkMonitor::figure1_sql(5, 10);
+    eprintln!("[fig1] submitting: {sql}");
+    let query = bed.submit_sql(origin, &sql).expect("continuous query must plan");
+
+    // Churn: 60 nodes fail a third of the way through and recover later —
+    // the "responding nodes" series of the figure dips accordingly.
+    let victims: Vec<NodeAddr> = (0..60).map(|i| NodeAddr(100 + i)).collect();
+    let fail_at = bed.now() + Duration::from_secs((epochs as u64 * 5) / 3);
+    let recover_at = bed.now() + Duration::from_secs((epochs as u64 * 5) * 2 / 3);
+    bed.apply_churn(&ChurnSchedule::mass_failure(&victims, fail_at, Some(recover_at)));
+
+    // Drive the workload: publish fresh readings every 5 s for the whole run,
+    // then read back the complete epoch series.
+    for _ in 0..epochs {
+        monitor.publish_round(&mut bed);
+        bed.run_for(Duration::from_secs(5));
+    }
+    bed.run_for(Duration::from_secs(10));
+
+    println!();
+    println!("Figure 1: continuous SUM(out_rate) over responding nodes");
+    println!();
+    println!("{:>5} {:>10} {:>18} {:>18}", "epoch", "time(s)", "SUM(out_rate) KB/s", "responding nodes");
+    println!("{:->5} {:->10} {:->18} {:->18}", "", "", "", "");
+
+    let mut series = Vec::new();
+    for epoch in bed.epochs(origin, query) {
+        let rows = bed.results(origin, query, epoch);
+        let sum = rows.first().and_then(|r| r.get(0).as_f64()).unwrap_or(0.0);
+        let responding = bed.contributors(origin, query, epoch);
+        let t = epoch * 5;
+        series.push((epoch, t, sum, responding));
+        println!("{epoch:>5} {t:>10} {:>18} {responding:>18}", fmt_thousands(sum));
+    }
+
+    println!();
+    println!("csv:epoch,time_s,sum_kbps,responding_nodes");
+    for (e, t, s, r) in &series {
+        println!("csv:{e},{t},{s:.1},{r}");
+    }
+
+    let peak = series.iter().map(|x| x.3).max().unwrap_or(0);
+    let dip = series.iter().map(|x| x.3).min().unwrap_or(0);
+    println!();
+    println!("epochs observed    : {}", series.len());
+    println!("responding nodes   : peak {peak}, dip {dip} (churn window)");
+    println!(
+        "network cost       : {} messages, {} KB delivered, {} drops to failed nodes",
+        bed.metrics().messages_delivered(),
+        bed.metrics().bytes_delivered() / 1024,
+        bed.metrics().messages_dropped_dead()
+    );
+}

@@ -1,0 +1,78 @@
+//! Regenerates **Table 1** of the paper: "The network-wide top ten intrusion
+//! detection rules reported by open-source Snort intrusion detection tools
+//! running locally at each node."
+//!
+//! 300 simulated PlanetLab nodes each publish their local Snort rule-hit
+//! counts; a single distributed GROUP BY / ORDER BY / LIMIT 10 query ranks
+//! them network-wide via PIER's in-network aggregation.  The absolute hit
+//! counts are synthetic (scaled to the paper's totals); the *ranking* is the
+//! reproduced artifact.
+//!
+//! Run with: `cargo run --release -p pier-bench --bin table1_top10_rules`
+
+use pier_apps::snort::{SnortSimulator, SNORT_RULES};
+use pier_bench::{experiment_config, fmt_thousands, monitoring_testbed};
+use pier_core::prelude::*;
+
+fn main() {
+    let nodes: usize = std::env::var("PIER_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(300);
+    let seed: u64 = std::env::var("PIER_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2004);
+    // Network-wide hit volume matching the paper's table (~700k across rules).
+    let total_hits: u64 = 710_000;
+
+    eprintln!("[table1] booting {nodes} PIER nodes …");
+    let mut bed = monitoring_testbed(nodes, seed, experiment_config());
+
+    eprintln!("[table1] publishing per-node Snort reports …");
+    let mut snort = SnortSimulator::new(nodes, total_hits, seed);
+    snort.publish_round(&mut bed);
+    bed.run_for(Duration::from_secs(5));
+
+    let origin = bed.nodes()[0];
+    eprintln!("[table1] submitting: {}", SnortSimulator::table1_sql());
+    let query = bed.submit_sql(origin, SnortSimulator::table1_sql()).expect("query must plan");
+    bed.run_for(Duration::from_secs(25));
+
+    let rows = bed.results(origin, query, 0);
+    println!();
+    println!("Table 1: The network-wide top ten intrusion detection rules");
+    println!("(paper column 'Hits' shown for shape comparison)");
+    println!();
+    println!("{:<6} {:<42} {:>12} {:>14}", "Rule", "Rule Description", "Hits(meas.)", "Hits(paper)");
+    println!("{:-<6} {:-<42} {:-<12} {:-<14}", "", "", "", "");
+    for (i, row) in rows.iter().enumerate() {
+        let paper = SNORT_RULES.get(i).map(|r| fmt_thousands(r.2 as f64)).unwrap_or_default();
+        println!(
+            "{:<6} {:<42} {:>12} {:>14}",
+            row.get(0).to_string(),
+            row.get(1).to_string(),
+            fmt_thousands(row.get(2).as_f64().unwrap_or(0.0)),
+            paper,
+        );
+    }
+
+    let got: Vec<i64> = rows.iter().filter_map(|r| r.get(0).as_i64()).collect();
+    let expected = SnortSimulator::expected_top10();
+    let mut got_set = got.clone();
+    got_set.sort_unstable();
+    let mut expected_set = expected.clone();
+    expected_set.sort_unstable();
+    let verdict = if got == expected {
+        "MATCH (exact order)"
+    } else if got_set == expected_set && got[..5] == expected[..5] {
+        // Ranks 7 and 8 of the paper (rules 1321 and 1852) differ by only
+        // 0.2%; generator noise can swap such near-ties between runs.
+        "MATCH (same ten rules; a near-tie pair swapped)"
+    } else {
+        "MISMATCH"
+    };
+    println!();
+    println!("rows returned      : {}", rows.len());
+    println!("responding nodes   : {}", bed.contributors(origin, query, 0));
+    println!("ranking vs paper   : {verdict}");
+    println!(
+        "network cost       : {} messages, {} KB delivered",
+        bed.metrics().messages_delivered(),
+        bed.metrics().bytes_delivered() / 1024
+    );
+}

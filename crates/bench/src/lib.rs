@@ -1,0 +1,66 @@
+//! # pier-bench — experiment harness
+//!
+//! Binaries and benches that regenerate the evaluation artifacts of the
+//! SIGMOD 2004 demo paper (Figure 1 and Table 1) plus ablation benchmarks for
+//! the design choices DESIGN.md calls out (routing scalability, in-network vs
+//! direct aggregation, join strategies, churn robustness, recursive queries).
+//!
+//! Shared helpers live here so the binaries and Criterion benches stay small.
+
+use pier_apps::netmon::netstats_table;
+use pier_apps::snort::intrusions_table;
+use pier_core::prelude::*;
+
+/// Engine configuration used for the PlanetLab-scale (300 node) experiment
+/// runs: fast overlay maintenance so a 300-node ring converges quickly, with
+/// aggregation timers generous enough for the deeper combining trees.
+pub fn experiment_config() -> PierConfig {
+    let mut pier = PierConfig::fast_test();
+    pier.dht.stabilize_interval = Duration::from_millis(250);
+    pier.dht.fix_finger_interval = Duration::from_millis(100);
+    pier.dht.ping_interval = Duration::from_millis(1_000);
+    pier.dht.failure_timeout = Duration::from_millis(3_000);
+    pier.dht.finger_count = 64;
+    pier.dht.successor_list_len = 8;
+    pier.holddown = Duration::from_millis(200);
+    pier.collect_delay = Duration::from_millis(4_000);
+    pier
+}
+
+/// Build a monitoring deployment: `nodes` PIER nodes with the `netstats` and
+/// `intrusions` tables registered everywhere.  The overlay is given a long
+/// warm-up so rings of hundreds of nodes are fully converged before
+/// measurements start.
+pub fn monitoring_testbed(nodes: usize, seed: u64, pier: PierConfig) -> PierTestbed {
+    let warmup = Duration::from_secs(if nodes > 100 { 120 } else { 40 });
+    let mut bed =
+        PierTestbed::new(TestbedConfig { nodes, seed, pier, warmup, ..Default::default() });
+    bed.create_table_everywhere(&netstats_table());
+    bed.create_table_everywhere(&intrusions_table());
+    bed
+}
+
+/// Format a floating point number with thousands separators (table output).
+pub fn fmt_thousands(v: f64) -> String {
+    let int = v.round() as i64;
+    let mut s = int.abs().to_string();
+    let mut out = String::new();
+    while s.len() > 3 {
+        let rest = s.split_off(s.len() - 3);
+        out = format!(",{rest}{out}");
+    }
+    format!("{}{}{}", if int < 0 { "-" } else { "" }, s, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(fmt_thousands(465770.0), "465,770");
+        assert_eq!(fmt_thousands(999.4), "999");
+        assert_eq!(fmt_thousands(-12345.0), "-12,345");
+        assert_eq!(fmt_thousands(0.0), "0");
+    }
+}

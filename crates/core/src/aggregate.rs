@@ -1,0 +1,387 @@
+//! Aggregate functions and their mergeable partial states.
+//!
+//! In-network aggregation only works if partial results can be **merged
+//! associatively and commutatively**: every node computes a partial state over
+//! its local tuples, states are combined pairwise as they flow up the
+//! aggregation tree, and the root finalizes the value.  [`AggState`] is that
+//! mergeable state; the property tests assert the merge laws hold.
+
+use crate::value::Value;
+use pier_simnet::WireSize;
+use std::fmt;
+
+/// The aggregate functions PIER supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)` — number of non-null inputs (or rows).
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// Parse a function name (case-insensitive).
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "avg" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+
+    /// The SQL name of the function.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Fresh (empty) partial state for this function.
+    pub fn init(&self) -> AggState {
+        match self {
+            AggFunc::Count => AggState::Count { count: 0 },
+            AggFunc::Sum => AggState::Sum { sum: 0.0, any: false, integral: true },
+            AggFunc::Min => AggState::Min { min: None },
+            AggFunc::Max => AggState::Max { max: None },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Mergeable partial aggregation state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggState {
+    /// Partial state of `COUNT`.
+    Count {
+        /// Rows (or non-null values) seen.
+        count: u64,
+    },
+    /// Partial state of `SUM`.
+    Sum {
+        /// Running sum (as f64; exact for the integer ranges we use).
+        sum: f64,
+        /// Whether any non-null input has been seen (SUM of nothing is NULL).
+        any: bool,
+        /// Whether every input so far was an integer.
+        integral: bool,
+    },
+    /// Partial state of `MIN`.
+    Min {
+        /// Smallest value seen.
+        min: Option<Value>,
+    },
+    /// Partial state of `MAX`.
+    Max {
+        /// Largest value seen.
+        max: Option<Value>,
+    },
+    /// Partial state of `AVG`.
+    Avg {
+        /// Running sum.
+        sum: f64,
+        /// Number of non-null inputs.
+        count: u64,
+    },
+}
+
+impl AggState {
+    /// Fold one input value into the state.
+    pub fn update(&mut self, value: &Value) {
+        match self {
+            AggState::Count { count } => {
+                if !value.is_null() {
+                    *count += 1;
+                }
+            }
+            AggState::Sum { sum, any, integral } => {
+                if let Some(x) = value.as_f64() {
+                    *sum += x;
+                    *any = true;
+                    if !matches!(value, Value::Int(_)) {
+                        *integral = false;
+                    }
+                }
+            }
+            AggState::Min { min } => {
+                if value.is_null() {
+                    return;
+                }
+                let better = match min {
+                    None => true,
+                    Some(current) => {
+                        value.total_cmp(current) == std::cmp::Ordering::Less
+                    }
+                };
+                if better {
+                    *min = Some(value.clone());
+                }
+            }
+            AggState::Max { max } => {
+                if value.is_null() {
+                    return;
+                }
+                let better = match max {
+                    None => true,
+                    Some(current) => value.total_cmp(current) == std::cmp::Ordering::Greater,
+                };
+                if better {
+                    *max = Some(value.clone());
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(x) = value.as_f64() {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+        }
+    }
+
+    /// Merge another partial state of the same function into this one.
+    /// Merging states of different functions is a programming error and panics
+    /// in debug builds; in release the other state is ignored.
+    pub fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count { count: a }, AggState::Count { count: b }) => *a += b,
+            (
+                AggState::Sum { sum: a, any: aa, integral: ai },
+                AggState::Sum { sum: b, any: ba, integral: bi },
+            ) => {
+                *a += b;
+                *aa |= ba;
+                *ai &= bi;
+            }
+            (AggState::Min { min: a }, AggState::Min { min: b }) => {
+                if let Some(bv) = b {
+                    let better = match a {
+                        None => true,
+                        Some(av) => bv.total_cmp(av) == std::cmp::Ordering::Less,
+                    };
+                    if better {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Max { max: a }, AggState::Max { max: b }) => {
+                if let Some(bv) = b {
+                    let better = match a {
+                        None => true,
+                        Some(av) => bv.total_cmp(av) == std::cmp::Ordering::Greater,
+                    };
+                    if better {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Avg { sum: a, count: ac }, AggState::Avg { sum: b, count: bc }) => {
+                *a += b;
+                *ac += bc;
+            }
+            (mine, other) => {
+                debug_assert!(false, "merging mismatched aggregate states {mine:?} / {other:?}");
+            }
+        }
+    }
+
+    /// Produce the final SQL value.
+    pub fn finalize(&self) -> Value {
+        match self {
+            AggState::Count { count } => Value::Int(*count as i64),
+            AggState::Sum { sum, any, integral } => {
+                if !any {
+                    Value::Null
+                } else if *integral && sum.abs() < 9.0e15 {
+                    Value::Int(*sum as i64)
+                } else {
+                    Value::Float(*sum)
+                }
+            }
+            AggState::Min { min } => min.clone().unwrap_or(Value::Null),
+            AggState::Max { max } => max.clone().unwrap_or(Value::Null),
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *count as f64)
+                }
+            }
+        }
+    }
+
+    /// Number of underlying input rows this state has absorbed, where that is
+    /// meaningful (used by benchmarks to reason about fan-in).
+    pub fn input_count(&self) -> Option<u64> {
+        match self {
+            AggState::Count { count } => Some(*count),
+            AggState::Avg { count, .. } => Some(*count),
+            _ => None,
+        }
+    }
+}
+
+impl WireSize for AggState {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            AggState::Count { .. } => 8,
+            AggState::Sum { .. } => 10,
+            AggState::Min { min: v } | AggState::Max { max: v } => {
+                1 + v.as_ref().map(|v| v.wire_size()).unwrap_or(0)
+            }
+            AggState::Avg { .. } => 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, values: &[Value]) -> Value {
+        let mut state = func.init();
+        for v in values {
+            state.update(v);
+        }
+        state.finalize()
+    }
+
+    #[test]
+    fn from_name_round_trips() {
+        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            assert_eq!(AggFunc::from_name(f.name()), Some(f));
+            assert_eq!(AggFunc::from_name(&f.name().to_lowercase()), Some(f));
+        }
+        assert_eq!(AggFunc::from_name("median"), None);
+        assert_eq!(format!("{}", AggFunc::Sum), "SUM");
+    }
+
+    #[test]
+    fn count_ignores_nulls() {
+        let vals = vec![Value::Int(1), Value::Null, Value::Int(3)];
+        assert_eq!(run(AggFunc::Count, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::Count, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn sum_int_and_float() {
+        assert_eq!(run(AggFunc::Sum, &[Value::Int(1), Value::Int(2)]), Value::Int(3));
+        assert_eq!(
+            run(AggFunc::Sum, &[Value::Int(1), Value::Float(0.5)]),
+            Value::Float(1.5)
+        );
+        assert_eq!(run(AggFunc::Sum, &[Value::Null]), Value::Null);
+        assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max() {
+        let vals = vec![Value::Int(5), Value::Int(-2), Value::Null, Value::Int(9)];
+        assert_eq!(run(AggFunc::Min, &vals), Value::Int(-2));
+        assert_eq!(run(AggFunc::Max, &vals), Value::Int(9));
+        assert_eq!(run(AggFunc::Min, &[Value::Null]), Value::Null);
+        let strs = vec![Value::str("pear"), Value::str("apple")];
+        assert_eq!(run(AggFunc::Min, &strs), Value::str("apple"));
+        assert_eq!(run(AggFunc::Max, &strs), Value::str("pear"));
+    }
+
+    #[test]
+    fn avg() {
+        let vals = vec![Value::Int(2), Value::Int(4), Value::Null];
+        assert_eq!(run(AggFunc::Avg, &vals), Value::Float(3.0));
+        assert_eq!(run(AggFunc::Avg, &[]), Value::Null);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        // Split the input arbitrarily, aggregate the pieces, merge: the result
+        // must equal aggregating everything in one pass.
+        let values: Vec<Value> = (0..100).map(|i| Value::Int(i * 3 - 50)).collect();
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let whole = run(func, &values);
+            for split in [1usize, 7, 33, 99] {
+                let (left, right) = values.split_at(split);
+                let mut a = func.init();
+                for v in left {
+                    a.update(v);
+                }
+                let mut b = func.init();
+                for v in right {
+                    b.update(v);
+                }
+                a.merge(&b);
+                assert_eq!(a.finalize(), whole, "{func} split at {split}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let mut a = func.init();
+            let mut b = func.init();
+            for i in 0..10 {
+                a.update(&Value::Int(i));
+            }
+            for i in 100..120 {
+                b.update(&Value::Int(i));
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab.finalize(), ba.finalize(), "{func}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let mut a = func.init();
+            for i in 0..5 {
+                a.update(&Value::Int(i));
+            }
+            let before = a.finalize();
+            a.merge(&func.init());
+            assert_eq!(a.finalize(), before, "{func}");
+        }
+    }
+
+    #[test]
+    fn input_count() {
+        let mut c = AggFunc::Count.init();
+        c.update(&Value::Int(1));
+        assert_eq!(c.input_count(), Some(1));
+        let mut a = AggFunc::Avg.init();
+        a.update(&Value::Int(1));
+        a.update(&Value::Int(2));
+        assert_eq!(a.input_count(), Some(2));
+        assert_eq!(AggFunc::Sum.init().input_count(), None);
+    }
+
+    #[test]
+    fn wire_size_positive() {
+        for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+            let mut s = func.init();
+            s.update(&Value::Int(5));
+            assert!(s.wire_size() > 0);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Table catalog.
+//!
+//! PIER has no central authority; a "table" is just an agreed-upon namespace
+//! in the DHT plus a schema.  The catalog records that agreement locally on
+//! each node: which namespaces exist, their schemas, which column partitions
+//! the relation across the ring (the DHT resource id), and the soft-state TTL
+//! its tuples are published with.
+
+use crate::tuple::{Schema, Tuple};
+use crate::value::Value;
+use pier_simnet::Duration;
+use std::collections::BTreeMap;
+
+/// Definition of one relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableDef {
+    /// Relation name; doubles as the DHT namespace.
+    pub name: String,
+    /// Column names and types.
+    pub schema: Schema,
+    /// Index of the column whose value partitions tuples across the DHT
+    /// (PIER's "resource id").
+    pub partition_column: usize,
+    /// TTL tuples of this table are published with (soft state).
+    pub ttl: Duration,
+}
+
+impl TableDef {
+    /// Create a table definition.  `partition_column` defaults to column 0
+    /// when the named column cannot be found.
+    pub fn new(name: impl Into<String>, schema: Schema, partition_by: &str, ttl: Duration) -> Self {
+        let partition_column = schema.index_of(partition_by).unwrap_or(0);
+        TableDef { name: name.into().to_ascii_lowercase(), schema, partition_column, ttl }
+    }
+
+    /// The partitioning value ("resource id") of a tuple of this table.
+    pub fn partition_value(&self, tuple: &Tuple) -> Value {
+        tuple.get(self.partition_column).clone()
+    }
+
+    /// The DHT resource string for a tuple of this table.
+    pub fn resource_of(&self, tuple: &Tuple) -> String {
+        self.partition_value(tuple).partition_string()
+    }
+}
+
+/// A per-node collection of table definitions.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table definition.
+    pub fn register(&mut self, def: TableDef) {
+        self.tables.insert(def.name.clone(), def);
+    }
+
+    /// Remove a table definition.  Returns true if it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// Look up a table by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Option<&TableDef> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Does the table exist?
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn netstats() -> TableDef {
+        TableDef::new(
+            "NetStats",
+            Schema::of(&[
+                ("host", DataType::Str),
+                ("out_rate", DataType::Float),
+                ("in_rate", DataType::Float),
+            ]),
+            "host",
+            Duration::from_secs(60),
+        )
+    }
+
+    #[test]
+    fn table_def_partitioning() {
+        let def = netstats();
+        assert_eq!(def.name, "netstats");
+        assert_eq!(def.partition_column, 0);
+        let t = Tuple::new(vec![Value::str("host-7"), Value::Float(10.0), Value::Float(2.0)]);
+        assert_eq!(def.partition_value(&t), Value::str("host-7"));
+        assert_eq!(def.resource_of(&t), "s:host-7");
+    }
+
+    #[test]
+    fn unknown_partition_column_falls_back_to_zero() {
+        let def = TableDef::new(
+            "t",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+            "zzz",
+            Duration::from_secs(1),
+        );
+        assert_eq!(def.partition_column, 0);
+    }
+
+    #[test]
+    fn catalog_register_lookup_drop() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.register(netstats());
+        assert_eq!(cat.len(), 1);
+        assert!(cat.contains("netstats"));
+        assert!(cat.contains("NETSTATS"));
+        assert!(cat.get("netstats").is_some());
+        assert_eq!(cat.table_names(), vec!["netstats"]);
+        // Re-registering replaces.
+        let mut replacement = netstats();
+        replacement.ttl = Duration::from_secs(5);
+        cat.register(replacement);
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get("netstats").unwrap().ttl, Duration::from_secs(5));
+        assert!(cat.drop_table("netstats"));
+        assert!(!cat.drop_table("netstats"));
+        assert!(cat.is_empty());
+    }
+}

@@ -1,0 +1,451 @@
+//! The "boxes and arrows" dataflow graph.
+//!
+//! Besides SQL, PIER exposes an algebraic interface: queries are graphs of
+//! operators (boxes) connected by dataflow edges (arrows).  The graph may be a
+//! tree, a DAG (an operator feeding two consumers), or **cyclic** — a feedback
+//! edge turns the graph into a recursive query evaluated to a fixpoint, which
+//! is how PIER expresses network-topology analyses.
+//!
+//! The executor is push-based: tuples travel along edges through a worklist.
+//! A duplicate-eliminating box on every cycle guarantees termination (the
+//! classic semi-naïve guarantee); a configurable delivery budget acts as a
+//! final safety net.
+
+use crate::dataflow::ops::GroupAggregator;
+use crate::expr::Expr;
+use crate::plan::AggExpr;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A dataflow operator ("box").
+pub trait DataflowOp {
+    /// Handle one input tuple arriving on `port`; emit output tuples into `out`.
+    fn on_tuple(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>);
+
+    /// Called once after all input has been delivered (blocking operators such
+    /// as aggregation emit their results here).
+    fn on_flush(&mut self, out: &mut Vec<Tuple>) {
+        let _ = out;
+    }
+
+    /// Operator name for diagnostics.
+    fn name(&self) -> &'static str {
+        "op"
+    }
+}
+
+/// Identifier of a box within a graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpId(pub usize);
+
+/// A graph of operators and dataflow edges.
+#[derive(Default)]
+pub struct OpGraph {
+    ops: Vec<Box<dyn DataflowOp>>,
+    /// Outgoing edges: `(source op) -> [(destination op, destination port)]`.
+    edges: HashMap<usize, Vec<(usize, usize)>>,
+    /// Ops whose emitted tuples are collected as the graph's output.
+    outputs: HashSet<usize>,
+    /// Maximum number of tuple deliveries before the executor gives up
+    /// (protects against non-terminating cycles).
+    pub delivery_budget: usize,
+}
+
+impl OpGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        OpGraph { delivery_budget: 1_000_000, ..Default::default() }
+    }
+
+    /// Add an operator; returns its id.
+    pub fn add(&mut self, op: Box<dyn DataflowOp>) -> OpId {
+        self.ops.push(op);
+        OpId(self.ops.len() - 1)
+    }
+
+    /// Connect `from`'s output to port `port` of `to`.  Cycles are allowed.
+    pub fn connect(&mut self, from: OpId, to: OpId, port: usize) {
+        self.edges.entry(from.0).or_default().push((to.0, port));
+    }
+
+    /// Mark an operator's output as a graph output.
+    pub fn mark_output(&mut self, op: OpId) {
+        self.outputs.insert(op.0);
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the graph empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Execute: inject each `(op, port, tuples)` binding, run to quiescence,
+    /// flush every operator (propagating what the flushes emit), and return
+    /// the tuples produced by output-marked operators.
+    pub fn run(&mut self, injections: Vec<(OpId, usize, Vec<Tuple>)>) -> Vec<Tuple> {
+        let mut results = Vec::new();
+        let mut worklist: VecDeque<(usize, usize, Tuple)> = VecDeque::new();
+        for (op, port, tuples) in injections {
+            for t in tuples {
+                worklist.push_back((op.0, port, t));
+            }
+        }
+
+        let mut deliveries = 0usize;
+        let mut emitted = Vec::new();
+        loop {
+            while let Some((op_idx, port, tuple)) = worklist.pop_front() {
+                if deliveries >= self.delivery_budget {
+                    return results;
+                }
+                deliveries += 1;
+                emitted.clear();
+                self.ops[op_idx].on_tuple(port, tuple, &mut emitted);
+                self.route(op_idx, &mut emitted, &mut worklist, &mut results);
+            }
+            // Flush every operator once per quiescent point; if flushing
+            // produces new work, keep going.
+            let mut any_new = false;
+            for op_idx in 0..self.ops.len() {
+                emitted.clear();
+                self.ops[op_idx].on_flush(&mut emitted);
+                if !emitted.is_empty() {
+                    any_new = true;
+                    self.route(op_idx, &mut emitted, &mut worklist, &mut results);
+                }
+            }
+            if !any_new && worklist.is_empty() {
+                break;
+            }
+        }
+        results
+    }
+
+    fn route(
+        &self,
+        from: usize,
+        emitted: &mut Vec<Tuple>,
+        worklist: &mut VecDeque<(usize, usize, Tuple)>,
+        results: &mut Vec<Tuple>,
+    ) {
+        if emitted.is_empty() {
+            return;
+        }
+        let is_output = self.outputs.contains(&from);
+        let targets = self.edges.get(&from);
+        for tuple in emitted.drain(..) {
+            if is_output {
+                results.push(tuple.clone());
+            }
+            if let Some(targets) = targets {
+                for (dst, port) in targets {
+                    worklist.push_back((*dst, *port, tuple.clone()));
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Built-in boxes
+// ----------------------------------------------------------------------
+
+/// Selection box.
+pub struct FilterBox {
+    predicate: Expr,
+}
+
+impl FilterBox {
+    /// Construct.
+    pub fn new(predicate: Expr) -> Self {
+        FilterBox { predicate }
+    }
+}
+
+impl DataflowOp for FilterBox {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        if self.predicate.matches(&tuple) {
+            out.push(tuple);
+        }
+    }
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+}
+
+/// Projection box.
+pub struct ProjectBox {
+    exprs: Vec<Expr>,
+}
+
+impl ProjectBox {
+    /// Construct.
+    pub fn new(exprs: Vec<Expr>) -> Self {
+        ProjectBox { exprs }
+    }
+}
+
+impl DataflowOp for ProjectBox {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        out.push(Tuple::new(self.exprs.iter().map(|e| e.eval(&tuple)).collect()));
+    }
+    fn name(&self) -> &'static str {
+        "project"
+    }
+}
+
+/// Pass-through union box (any number of input ports).
+pub struct UnionBox;
+
+impl DataflowOp for UnionBox {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        out.push(tuple);
+    }
+    fn name(&self) -> &'static str {
+        "union"
+    }
+}
+
+/// Duplicate-elimination box; required on every cycle for termination.
+#[derive(Default)]
+pub struct DedupBox {
+    seen: HashSet<Tuple>,
+}
+
+impl DedupBox {
+    /// Construct.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DataflowOp for DedupBox {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        if self.seen.insert(tuple.clone()) {
+            out.push(tuple);
+        }
+    }
+    fn name(&self) -> &'static str {
+        "dedup"
+    }
+}
+
+/// Symmetric (pipelined) hash join box: port 0 is the left input, port 1 the
+/// right input; output is the concatenation left ++ right.
+pub struct HashJoinBox {
+    left_key: Expr,
+    right_key: Expr,
+    left: HashMap<Value, Vec<Tuple>>,
+    right: HashMap<Value, Vec<Tuple>>,
+}
+
+impl HashJoinBox {
+    /// Construct with key expressions over each side's schema.
+    pub fn new(left_key: Expr, right_key: Expr) -> Self {
+        HashJoinBox { left_key, right_key, left: HashMap::new(), right: HashMap::new() }
+    }
+}
+
+impl DataflowOp for HashJoinBox {
+    fn on_tuple(&mut self, port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        if port == 0 {
+            let key = self.left_key.eval(&tuple);
+            if key.is_null() {
+                return;
+            }
+            if let Some(matches) = self.right.get(&key) {
+                for m in matches {
+                    out.push(tuple.concat(m));
+                }
+            }
+            self.left.entry(key).or_default().push(tuple);
+        } else {
+            let key = self.right_key.eval(&tuple);
+            if key.is_null() {
+                return;
+            }
+            if let Some(matches) = self.left.get(&key) {
+                for m in matches {
+                    out.push(m.concat(&tuple));
+                }
+            }
+            self.right.entry(key).or_default().push(tuple);
+        }
+    }
+    fn name(&self) -> &'static str {
+        "hash-join"
+    }
+}
+
+/// Blocking grouped-aggregation box: absorbs everything, emits on flush.
+pub struct AggregateBox {
+    agg: GroupAggregator,
+    emitted: bool,
+}
+
+impl AggregateBox {
+    /// Construct.
+    pub fn new(group_exprs: Vec<Expr>, aggs: Vec<AggExpr>) -> Self {
+        AggregateBox { agg: GroupAggregator::new(group_exprs, aggs), emitted: false }
+    }
+}
+
+impl DataflowOp for AggregateBox {
+    fn on_tuple(&mut self, _port: usize, tuple: Tuple, out: &mut Vec<Tuple>) {
+        let _ = out;
+        self.agg.update(&tuple);
+        self.emitted = false;
+    }
+    fn on_flush(&mut self, out: &mut Vec<Tuple>) {
+        if !self.emitted {
+            out.extend(self.agg.finalize());
+            self.emitted = true;
+        }
+    }
+    fn name(&self) -> &'static str {
+        "aggregate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use crate::expr::BinaryOp;
+
+    fn row(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn linear_pipeline_tree() {
+        // filter(col0 > 1) -> project(col1)
+        let mut g = OpGraph::new();
+        let filter = g.add(Box::new(FilterBox::new(Expr::col(0).gt(Expr::lit(1i64)))));
+        let project = g.add(Box::new(ProjectBox::new(vec![Expr::col(1)])));
+        g.connect(filter, project, 0);
+        g.mark_output(project);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+
+        let data = vec![row(&[1, 10]), row(&[2, 20]), row(&[3, 30])];
+        let out = g.run(vec![(filter, 0, data)]);
+        assert_eq!(out, vec![row(&[20]), row(&[30])]);
+    }
+
+    #[test]
+    fn dag_one_source_two_consumers() {
+        // source -> filter_a (col0 = 1), source -> filter_b (col0 = 2), both outputs.
+        let mut g = OpGraph::new();
+        let union = g.add(Box::new(UnionBox));
+        let fa = g.add(Box::new(FilterBox::new(Expr::col(0).eq(Expr::lit(1i64)))));
+        let fb = g.add(Box::new(FilterBox::new(Expr::col(0).eq(Expr::lit(2i64)))));
+        g.connect(union, fa, 0);
+        g.connect(union, fb, 0);
+        g.mark_output(fa);
+        g.mark_output(fb);
+        let out = g.run(vec![(union, 0, vec![row(&[1]), row(&[2]), row(&[3])])]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn hash_join_box_joins_both_orders() {
+        let mut g = OpGraph::new();
+        let join = g.add(Box::new(HashJoinBox::new(Expr::col(0), Expr::col(0))));
+        g.mark_output(join);
+        let left = vec![row(&[1, 100]), row(&[2, 200])];
+        let right = vec![row(&[2, 999]), row(&[1, 888]), row(&[3, 777])];
+        let mut out = g.run(vec![(join, 0, left), (join, 1, right)]);
+        out.sort_by(|a, b| a.get(0).total_cmp(b.get(0)));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], row(&[1, 100, 1, 888]));
+        assert_eq!(out[1], row(&[2, 200, 2, 999]));
+    }
+
+    #[test]
+    fn aggregate_box_emits_on_flush() {
+        let mut g = OpGraph::new();
+        let agg = g.add(Box::new(AggregateBox::new(
+            vec![Expr::col(0)],
+            vec![AggExpr { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() }],
+        )));
+        g.mark_output(agg);
+        let data = vec![row(&[1, 10]), row(&[1, 5]), row(&[2, 3])];
+        let mut out = g.run(vec![(agg, 0, data)]);
+        out.sort_by(|a, b| a.get(0).total_cmp(b.get(0)));
+        assert_eq!(out, vec![row(&[1, 15]), row(&[2, 3])]);
+    }
+
+    #[test]
+    fn cyclic_graph_computes_transitive_closure() {
+        // Recursive reachability from vertex 0 over an edge table, expressed as
+        // a cyclic dataflow:  frontier --(join with edges)--> dedup --> frontier.
+        let edges = vec![row(&[0, 1]), row(&[1, 2]), row(&[2, 3]), row(&[3, 1]), row(&[4, 5])];
+
+        let mut g = OpGraph::new();
+        // Join port 0: frontier tuples (vertex); port 1: edge tuples (src, dst).
+        let join = g.add(Box::new(HashJoinBox::new(Expr::col(0), Expr::col(0))));
+        // Project the destination vertex of the matched edge.
+        let project = g.add(Box::new(ProjectBox::new(vec![Expr::col(2)])));
+        let dedup = g.add(Box::new(DedupBox::new()));
+        g.connect(join, project, 0);
+        g.connect(project, dedup, 0);
+        // Feedback edge: newly reached vertices re-enter the join as frontier.
+        g.connect(dedup, join, 0);
+        g.mark_output(dedup);
+
+        let out = g.run(vec![
+            (join, 1, edges),
+            (join, 0, vec![row(&[0])]),
+            // Seed the dedup so the start vertex is not re-reported.
+            (dedup, 0, vec![row(&[0])]),
+        ]);
+        let mut reached: Vec<i64> =
+            out.iter().filter_map(|t| t.get(0).as_i64()).collect();
+        reached.sort_unstable();
+        reached.dedup();
+        // 0 reaches 1, 2, 3 (via the cycle 1->2->3->1) but not 4 or 5.
+        assert_eq!(reached, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn delivery_budget_stops_runaway_cycles() {
+        // A cycle without dedup would loop forever; the budget bounds it.
+        let mut g = OpGraph::new();
+        let a = g.add(Box::new(UnionBox));
+        let b = g.add(Box::new(UnionBox));
+        g.connect(a, b, 0);
+        g.connect(b, a, 0);
+        g.mark_output(b);
+        g.delivery_budget = 1000;
+        let out = g.run(vec![(a, 0, vec![row(&[1])])]);
+        assert!(out.len() <= 1000);
+    }
+
+    #[test]
+    fn filter_with_complex_predicate() {
+        let mut g = OpGraph::new();
+        let pred = Expr::col(0)
+            .gt(Expr::lit(0i64))
+            .and(Expr::col(1).binary(BinaryOp::Lt, Expr::lit(100i64)));
+        let f = g.add(Box::new(FilterBox::new(pred)));
+        g.mark_output(f);
+        let out = g.run(vec![(f, 0, vec![row(&[1, 50]), row(&[-1, 50]), row(&[1, 200])])]);
+        assert_eq!(out, vec![row(&[1, 50])]);
+    }
+
+    #[test]
+    fn op_names() {
+        assert_eq!(FilterBox::new(Expr::lit(true)).name(), "filter");
+        assert_eq!(ProjectBox::new(vec![]).name(), "project");
+        assert_eq!(DedupBox::new().name(), "dedup");
+        assert_eq!(UnionBox.name(), "union");
+        assert_eq!(HashJoinBox::new(Expr::col(0), Expr::col(0)).name(), "hash-join");
+        assert_eq!(AggregateBox::new(vec![], vec![]).name(), "aggregate");
+    }
+}

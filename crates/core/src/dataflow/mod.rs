@@ -1,0 +1,13 @@
+//! PIER's dataflow layer: local relational operators and the generic
+//! "boxes and arrows" graph executor (trees, DAGs, and cyclic/recursive
+//! graphs).
+
+pub mod graph;
+pub mod ops;
+
+pub use graph::{
+    AggregateBox, DataflowOp, DedupBox, FilterBox, HashJoinBox, OpGraph, OpId, ProjectBox, UnionBox,
+};
+pub use ops::{
+    compare_on, sort_tuples, Distinct, FilterOp, GroupAggregator, GroupKey, Limit, ProjectOp, TopK,
+};

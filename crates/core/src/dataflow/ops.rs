@@ -1,0 +1,441 @@
+//! Local relational operators.
+//!
+//! These are the building blocks each PIER node runs over its local data:
+//! selection, projection, grouped aggregation (producing *mergeable partial
+//! state*, see [`crate::aggregate`]), duplicate elimination, limits, and a
+//! top-k collector used at the query origin for `ORDER BY … LIMIT` queries
+//! like the paper's Table 1.
+
+use crate::aggregate::AggState;
+use crate::expr::Expr;
+use crate::plan::{AggExpr, SortKey};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Apply a filter predicate to a stream of tuples.
+#[derive(Clone, Debug)]
+pub struct FilterOp {
+    /// The predicate.
+    pub predicate: Expr,
+}
+
+impl FilterOp {
+    /// Construct.
+    pub fn new(predicate: Expr) -> Self {
+        FilterOp { predicate }
+    }
+
+    /// Does a tuple pass?
+    pub fn accepts(&self, tuple: &Tuple) -> bool {
+        self.predicate.matches(tuple)
+    }
+
+    /// Filter a vector of tuples.
+    pub fn apply(&self, tuples: Vec<Tuple>) -> Vec<Tuple> {
+        tuples.into_iter().filter(|t| self.accepts(t)).collect()
+    }
+}
+
+/// Compute projections over a stream of tuples.
+#[derive(Clone, Debug)]
+pub struct ProjectOp {
+    /// Expressions producing the output columns.
+    pub exprs: Vec<Expr>,
+}
+
+impl ProjectOp {
+    /// Construct.
+    pub fn new(exprs: Vec<Expr>) -> Self {
+        ProjectOp { exprs }
+    }
+
+    /// Project one tuple.
+    pub fn apply_one(&self, tuple: &Tuple) -> Tuple {
+        Tuple::new(self.exprs.iter().map(|e| e.eval(tuple)).collect())
+    }
+
+    /// Project a vector of tuples.
+    pub fn apply(&self, tuples: &[Tuple]) -> Vec<Tuple> {
+        tuples.iter().map(|t| self.apply_one(t)).collect()
+    }
+}
+
+/// The key identifying a group (the evaluated GROUP BY expressions).
+pub type GroupKey = Vec<Value>;
+
+/// Grouped aggregation producing mergeable partial states.
+///
+/// The same structure is used in three places: at leaf nodes (absorbing local
+/// tuples), at interior nodes of the aggregation tree (merging partial states
+/// from children), and at the query origin (final merge before finalization).
+#[derive(Clone, Debug)]
+pub struct GroupAggregator {
+    group_exprs: Vec<Expr>,
+    aggs: Vec<AggExpr>,
+    groups: HashMap<GroupKey, Vec<AggState>>,
+}
+
+impl GroupAggregator {
+    /// Construct for the given grouping and aggregate expressions.
+    pub fn new(group_exprs: Vec<Expr>, aggs: Vec<AggExpr>) -> Self {
+        GroupAggregator { group_exprs, aggs, groups: HashMap::new() }
+    }
+
+    /// Absorb one input tuple.
+    pub fn update(&mut self, tuple: &Tuple) {
+        let key: GroupKey = self.group_exprs.iter().map(|e| e.eval(tuple)).collect();
+        let aggs = &self.aggs;
+        let states =
+            self.groups.entry(key).or_insert_with(|| aggs.iter().map(|a| a.func.init()).collect());
+        for (state, spec) in states.iter_mut().zip(aggs) {
+            let value = match &spec.arg {
+                Some(e) => e.eval(tuple),
+                None => Value::Int(1), // COUNT(*)
+            };
+            state.update(&value);
+        }
+    }
+
+    /// Merge a partial state (from another node) for one group.
+    pub fn merge_group(&mut self, key: GroupKey, states: &[AggState]) {
+        let aggs = &self.aggs;
+        let mine =
+            self.groups.entry(key).or_insert_with(|| aggs.iter().map(|a| a.func.init()).collect());
+        for (m, s) in mine.iter_mut().zip(states) {
+            m.merge(s);
+        }
+    }
+
+    /// Merge every group of another aggregator.
+    pub fn merge(&mut self, other: &GroupAggregator) {
+        for (key, states) in &other.groups {
+            self.merge_group(key.clone(), states);
+        }
+    }
+
+    /// Number of groups currently held.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Is there any state at all?
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Drain into `(group key, partial states)` pairs — what gets shipped up
+    /// the aggregation tree.
+    pub fn take_partials(&mut self) -> Vec<(GroupKey, Vec<AggState>)> {
+        self.groups.drain().collect()
+    }
+
+    /// Snapshot of the partial states without draining.
+    pub fn partials(&self) -> Vec<(GroupKey, Vec<AggState>)> {
+        self.groups.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Finalize every group into output tuples: group columns then aggregates.
+    /// For a global aggregate (no GROUP BY) with no input, a single row of
+    /// "empty" aggregates is produced, matching SQL semantics.
+    pub fn finalize(&self) -> Vec<Tuple> {
+        if self.groups.is_empty() && self.group_exprs.is_empty() {
+            let values: Vec<Value> = self.aggs.iter().map(|a| a.func.init().finalize()).collect();
+            return vec![Tuple::new(values)];
+        }
+        self.groups
+            .iter()
+            .map(|(key, states)| {
+                let mut values = key.clone();
+                values.extend(states.iter().map(|s| s.finalize()));
+                Tuple::new(values)
+            })
+            .collect()
+    }
+}
+
+/// Compare two tuples on a list of sort keys.
+pub fn compare_on(a: &Tuple, b: &Tuple, keys: &[SortKey]) -> Ordering {
+    for key in keys {
+        let ord = a.get(key.column).total_cmp(b.get(key.column));
+        let ord = if key.desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sort tuples on a list of keys (stable).
+pub fn sort_tuples(tuples: &mut [Tuple], keys: &[SortKey]) {
+    tuples.sort_by(|a, b| compare_on(a, b, keys));
+}
+
+/// An `ORDER BY … LIMIT k` collector: keeps only the best `k` rows seen.
+#[derive(Clone, Debug)]
+pub struct TopK {
+    keys: Vec<SortKey>,
+    limit: usize,
+    rows: Vec<Tuple>,
+}
+
+impl TopK {
+    /// Construct with sort keys and a limit (`usize::MAX` for "sort only").
+    pub fn new(keys: Vec<SortKey>, limit: usize) -> Self {
+        TopK { keys, limit, rows: Vec::new() }
+    }
+
+    /// Offer a row.
+    pub fn push(&mut self, tuple: Tuple) {
+        self.rows.push(tuple);
+        if self.rows.len() > self.limit.saturating_mul(4).max(64) {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        sort_tuples(&mut self.rows, &self.keys);
+        self.rows.truncate(self.limit);
+    }
+
+    /// Number of rows currently buffered.
+    pub fn len(&self) -> usize {
+        self.rows.len().min(self.limit)
+    }
+
+    /// Is the collector empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The final, sorted, limited rows.
+    pub fn finish(mut self) -> Vec<Tuple> {
+        self.compact();
+        self.rows
+    }
+
+    /// Sorted, limited rows without consuming the collector.
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        let mut rows = self.rows.clone();
+        sort_tuples(&mut rows, &self.keys);
+        rows.truncate(self.limit);
+        rows
+    }
+}
+
+/// Duplicate elimination.
+#[derive(Clone, Debug, Default)]
+pub struct Distinct {
+    seen: std::collections::HashSet<Tuple>,
+}
+
+impl Distinct {
+    /// Construct.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` the first time a tuple is seen.
+    pub fn insert(&mut self, tuple: &Tuple) -> bool {
+        self.seen.insert(tuple.clone())
+    }
+
+    /// Number of distinct tuples seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Nothing seen yet?
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+/// Row-count limiter.
+#[derive(Clone, Debug)]
+pub struct Limit {
+    remaining: usize,
+}
+
+impl Limit {
+    /// Allow at most `n` rows through.
+    pub fn new(n: usize) -> Self {
+        Limit { remaining: n }
+    }
+
+    /// Returns `true` while the limit has not been exhausted.
+    pub fn admit(&mut self) -> bool {
+        if self.remaining == 0 {
+            false
+        } else {
+            self.remaining -= 1;
+            true
+        }
+    }
+
+    /// Rows still admissible.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+
+    fn row(a: i64, b: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(a), Value::Int(b)])
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let rows = vec![row(1, 10), row(2, 20), row(3, 30)];
+        let f = FilterOp::new(Expr::col(0).gt(Expr::lit(1i64)));
+        let kept = f.apply(rows.clone());
+        assert_eq!(kept.len(), 2);
+        let p = ProjectOp::new(vec![Expr::col(1), Expr::col(0)]);
+        let projected = p.apply(&kept);
+        assert_eq!(projected[0], row(20, 2));
+        assert_eq!(p.apply_one(&row(5, 50)), row(50, 5));
+    }
+
+    #[test]
+    fn group_aggregator_counts_and_sums() {
+        let mut agg = GroupAggregator::new(
+            vec![Expr::col(0)],
+            vec![
+                AggExpr { func: AggFunc::Count, arg: None, name: "c".into() },
+                AggExpr { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() },
+            ],
+        );
+        agg.update(&row(1, 10));
+        agg.update(&row(1, 5));
+        agg.update(&row(2, 7));
+        assert_eq!(agg.group_count(), 2);
+        let mut out = agg.finalize();
+        out.sort_by(|a, b| a.get(0).total_cmp(b.get(0)));
+        assert_eq!(out[0], Tuple::new(vec![Value::Int(1), Value::Int(2), Value::Int(15)]));
+        assert_eq!(out[1], Tuple::new(vec![Value::Int(2), Value::Int(1), Value::Int(7)]));
+    }
+
+    #[test]
+    fn group_aggregator_merge_matches_single_pass() {
+        let specs = vec![
+            AggExpr { func: AggFunc::Sum, arg: Some(Expr::col(1)), name: "s".into() },
+            AggExpr { func: AggFunc::Max, arg: Some(Expr::col(1)), name: "m".into() },
+        ];
+        let rows: Vec<Tuple> = (0..50).map(|i| row(i % 5, i)).collect();
+
+        let mut whole = GroupAggregator::new(vec![Expr::col(0)], specs.clone());
+        for r in &rows {
+            whole.update(r);
+        }
+
+        let mut left = GroupAggregator::new(vec![Expr::col(0)], specs.clone());
+        let mut right = GroupAggregator::new(vec![Expr::col(0)], specs.clone());
+        for (i, r) in rows.iter().enumerate() {
+            if i % 2 == 0 {
+                left.update(r);
+            } else {
+                right.update(r);
+            }
+        }
+        left.merge(&right);
+
+        let mut a = whole.finalize();
+        let mut b = left.finalize();
+        let keys = vec![SortKey { column: 0, desc: false }];
+        sort_tuples(&mut a, &keys);
+        sort_tuples(&mut b, &keys);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_aggregate_with_no_rows_yields_one_row() {
+        let agg = GroupAggregator::new(
+            vec![],
+            vec![
+                AggExpr { func: AggFunc::Count, arg: None, name: "c".into() },
+                AggExpr { func: AggFunc::Sum, arg: Some(Expr::col(0)), name: "s".into() },
+            ],
+        );
+        let out = agg.finalize();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], Tuple::new(vec![Value::Int(0), Value::Null]));
+        // But a grouped aggregate with no rows yields no rows.
+        let grouped = GroupAggregator::new(vec![Expr::col(0)], vec![]);
+        assert!(grouped.finalize().is_empty());
+        assert!(grouped.is_empty());
+    }
+
+    #[test]
+    fn take_partials_drains() {
+        let mut agg = GroupAggregator::new(
+            vec![Expr::col(0)],
+            vec![AggExpr { func: AggFunc::Count, arg: None, name: "c".into() }],
+        );
+        agg.update(&row(1, 1));
+        let partials = agg.take_partials();
+        assert_eq!(partials.len(), 1);
+        assert!(agg.is_empty());
+        assert_eq!(agg.partials().len(), 0);
+    }
+
+    #[test]
+    fn topk_keeps_best_rows() {
+        let keys = vec![SortKey { column: 1, desc: true }];
+        let mut topk = TopK::new(keys, 3);
+        for i in 0..100 {
+            topk.push(row(i, (i * 37) % 101));
+        }
+        let out = topk.finish();
+        assert_eq!(out.len(), 3);
+        // Rows must be in descending order of column 1 and be the 3 largest.
+        assert!(out[0].get(1).total_cmp(out[1].get(1)) != Ordering::Less);
+        assert!(out[1].get(1).total_cmp(out[2].get(1)) != Ordering::Less);
+        assert_eq!(out[0].get(1), &Value::Int(100));
+    }
+
+    #[test]
+    fn topk_snapshot_and_ties() {
+        let keys = vec![SortKey { column: 0, desc: false }, SortKey { column: 1, desc: true }];
+        let mut topk = TopK::new(keys, 2);
+        topk.push(row(1, 5));
+        topk.push(row(1, 9));
+        topk.push(row(0, 1));
+        let snap = topk.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], row(0, 1));
+        assert_eq!(snap[1], row(1, 9));
+        assert_eq!(topk.len(), 2);
+        assert!(!topk.is_empty());
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let mut d = Distinct::new();
+        assert!(d.is_empty());
+        assert!(d.insert(&row(1, 1)));
+        assert!(!d.insert(&row(1, 1)));
+        assert!(d.insert(&row(1, 2)));
+        assert_eq!(d.len(), 2);
+
+        let mut l = Limit::new(2);
+        assert!(l.admit());
+        assert!(l.admit());
+        assert!(!l.admit());
+        assert_eq!(l.remaining(), 0);
+    }
+
+    #[test]
+    fn sort_tuples_multiple_keys() {
+        let mut rows = vec![row(2, 1), row(1, 2), row(1, 1), row(2, 2)];
+        sort_tuples(
+            &mut rows,
+            &[SortKey { column: 0, desc: false }, SortKey { column: 1, desc: true }],
+        );
+        assert_eq!(rows, vec![row(1, 2), row(1, 1), row(2, 2), row(2, 1)]);
+    }
+}

@@ -1,0 +1,1216 @@
+//! The PIER node: a relational query engine layered on the DHT.
+//!
+//! Every simulated host runs one [`PierNode`].  It owns a [`DhtNode`] (the
+//! communication substrate and temporary tuple store) and the query-execution
+//! state for every active query.  The engine implements the paper's
+//! "multihop, in-network" operators:
+//!
+//! * **Query dissemination** — plans are broadcast over the DHT's recursive
+//!   dissemination tree; each node instantiates the plan locally.
+//! * **Hierarchical aggregation** — each node folds its local tuples into
+//!   mergeable partial states and forwards them hop-by-hop toward the node
+//!   responsible for the query's aggregation key, combining at every hop
+//!   after a short hold-down (the classic in-network aggregation of
+//!   PIER/TAG).  The root finalizes each epoch and streams result rows to the
+//!   query origin.
+//! * **Distributed joins** — symmetric rehash joins (both relations rehashed
+//!   on the join key into a query-scoped namespace), Fetch-Matches joins
+//!   (DHT `get` probes against the inner relation), and Bloom-filter
+//!   semi-joins.
+//! * **Recursive queries** — expansion requests chase edges through the
+//!   partitioned edge relation, with per-vertex duplicate suppression
+//!   (distributed semi-naïve evaluation).
+//! * **Continuous queries** — the same plan re-evaluated every epoch over a
+//!   sliding window of recently stored tuples (the paper's Figure 1 query).
+
+use crate::bloom::BloomFilter;
+use crate::catalog::{Catalog, TableDef};
+use crate::dataflow::ops::{sort_tuples, FilterOp, GroupAggregator, GroupKey, ProjectOp, TopK};
+use crate::payload::PierPayload;
+use crate::planner::Planner;
+use crate::query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind, QuerySpec, ResultRow};
+use crate::sql::{parse, Statement};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use pier_dht::{timers as dht_timers, DhtConfig, DhtMsg, DhtNode, ResourceKey, Upcall};
+use pier_simnet::{Context, Duration, Node, NodeAddr, SimTime};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// The wire message type PIER nodes exchange (DHT messages carrying
+/// [`PierPayload`]s).
+pub type PierMsg = DhtMsg<PierPayload>;
+
+type Ctx<'a> = Context<'a, PierMsg>;
+
+/// Errors surfaced by the engine's client API.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PierError {
+    /// Description.
+    pub message: String,
+}
+
+impl PierError {
+    fn new(message: impl Into<String>) -> Self {
+        PierError { message: message.into() }
+    }
+}
+
+impl fmt::Display for PierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PIER error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PierError {}
+
+/// How partial aggregates travel to the point of finalization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggregationMode {
+    /// In-network: partials climb the DHT routing path toward the node
+    /// responsible for the query's aggregation key, combining at every hop.
+    Hierarchical,
+    /// Baseline: every node ships its partial state directly to the query
+    /// origin, which performs the entire merge (no in-network combining).
+    Direct,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct PierConfig {
+    /// DHT / overlay parameters.
+    pub dht: DhtConfig,
+    /// Hold-down delay before a node forwards combined partial aggregates.
+    pub holddown: Duration,
+    /// How long the aggregation root waits after an epoch starts before
+    /// finalizing (must exceed typical tree depth × hold-down + latency).
+    pub collect_delay: Duration,
+    /// How long the origin collects per-node Bloom filters before
+    /// broadcasting the combined filter.
+    pub bloom_collect_delay: Duration,
+    /// Bits in each Bloom filter.
+    pub bloom_bits: usize,
+    /// Aggregation routing mode.
+    pub aggregation: AggregationMode,
+}
+
+impl Default for PierConfig {
+    fn default() -> Self {
+        // Base tables are queried with local scans; storing DHT-level replicas
+        // would make replicated tuples show up twice in scans, so the engine
+        // runs the DHT without item replication and relies on soft-state
+        // renewal (publishers re-publish every TTL) for durability, as PIER does.
+        let mut dht = DhtConfig::default();
+        dht.replication_factor = 0;
+        PierConfig {
+            dht,
+            holddown: Duration::from_millis(250),
+            collect_delay: Duration::from_millis(4_000),
+            bloom_collect_delay: Duration::from_millis(1_500),
+            bloom_bits: 4096,
+            aggregation: AggregationMode::Hierarchical,
+        }
+    }
+}
+
+impl PierConfig {
+    /// Fast timers for small test networks.
+    pub fn fast_test() -> Self {
+        let mut dht = DhtConfig::fast_test();
+        dht.replication_factor = 0;
+        PierConfig {
+            dht,
+            holddown: Duration::from_millis(100),
+            collect_delay: Duration::from_millis(3_000),
+            bloom_collect_delay: Duration::from_millis(800),
+            bloom_bits: 2048,
+            aggregation: AggregationMode::Hierarchical,
+        }
+    }
+
+    /// Parameters matching the PlanetLab-scale experiments.
+    pub fn planetlab() -> Self {
+        let mut dht = DhtConfig::planetlab();
+        dht.replication_factor = 0;
+        PierConfig {
+            dht,
+            holddown: Duration::from_millis(300),
+            collect_delay: Duration::from_millis(5_000),
+            bloom_collect_delay: Duration::from_millis(2_000),
+            bloom_bits: 8192,
+            aggregation: AggregationMode::Hierarchical,
+        }
+    }
+}
+
+/// Per-node counters describing the engine's own activity (read by benches).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Tuples published into the DHT from this node.
+    pub tuples_published: u64,
+    /// Tuples read by local scans.
+    pub tuples_scanned: u64,
+    /// Result rows sent toward query origins.
+    pub results_sent: u64,
+    /// Partial-aggregate messages sent.
+    pub partials_sent: u64,
+    /// Partial-aggregate messages merged locally (in-network combining).
+    pub partials_merged: u64,
+    /// Tuples rehashed to join sites.
+    pub join_tuples_sent: u64,
+    /// Join output rows produced at this node.
+    pub join_matches: u64,
+    /// Recursive expansion messages sent.
+    pub expands_sent: u64,
+    /// Epoch evaluations performed.
+    pub epochs_run: u64,
+}
+
+/// What an engine timer is for.
+#[derive(Clone, Debug)]
+enum TimerPurpose {
+    /// Start the next epoch of a continuous query.
+    Epoch(QueryId),
+    /// Forward combined partials for (query, epoch).
+    Holddown(QueryId, u64),
+    /// Finalize (query, epoch) at the aggregation root.
+    RootFinalize(QueryId, u64),
+    /// Combine and broadcast Bloom filters for (query, epoch).
+    BloomPhase2(QueryId, u64),
+}
+
+/// Execution state of one query at one node.
+struct RunningQuery {
+    spec: QuerySpec,
+    epoch: u64,
+    epoch_started_at: SimTime,
+    /// Partials waiting for the hold-down timer, per epoch.
+    pending: HashMap<u64, GroupAggregator>,
+    pending_contrib: HashMap<u64, u64>,
+    holddown_armed: HashSet<u64>,
+    /// Root-side accumulation, per epoch.
+    root_acc: HashMap<u64, GroupAggregator>,
+    root_contrib: HashMap<u64, u64>,
+    finalize_armed: HashSet<u64>,
+    /// Epochs this node has already finalized as the aggregation root; late
+    /// partials for them are discarded rather than double-reported.
+    finalized: HashSet<u64>,
+    /// Last time a partial arrived at the root, per epoch (quiescence check).
+    root_last_update: HashMap<u64, SimTime>,
+    /// How many times finalization has been postponed, per epoch.
+    root_extensions: HashMap<u64, u32>,
+    /// Join site hash tables: (epoch, key) -> tuples.
+    join_left: HashMap<(u64, Value), Vec<Tuple>>,
+    join_right: HashMap<(u64, Value), Vec<Tuple>>,
+    /// Origin-side Bloom collection per epoch.
+    blooms: HashMap<u64, BloomFilter>,
+    bloom_armed: HashSet<u64>,
+    /// Combined filter received (Bloom join phase 2).
+    combined_bloom: HashMap<u64, BloomFilter>,
+    /// Recursive queries: vertices already expanded at this node.
+    visited: HashSet<String>,
+}
+
+impl RunningQuery {
+    fn new(spec: QuerySpec, now: SimTime) -> Self {
+        RunningQuery {
+            spec,
+            epoch: 0,
+            epoch_started_at: now,
+            pending: HashMap::new(),
+            pending_contrib: HashMap::new(),
+            holddown_armed: HashSet::new(),
+            root_acc: HashMap::new(),
+            root_contrib: HashMap::new(),
+            finalize_armed: HashSet::new(),
+            finalized: HashSet::new(),
+            root_last_update: HashMap::new(),
+            root_extensions: HashMap::new(),
+            join_left: HashMap::new(),
+            join_right: HashMap::new(),
+            blooms: HashMap::new(),
+            bloom_armed: HashSet::new(),
+            combined_bloom: HashMap::new(),
+            visited: HashSet::new(),
+        }
+    }
+}
+
+/// Results collected at the query origin.
+#[derive(Clone, Debug)]
+pub struct QueryResults {
+    /// The query these results belong to.
+    pub spec: QuerySpec,
+    rows: BTreeMap<u64, Vec<Tuple>>,
+    contributors: BTreeMap<u64, u64>,
+}
+
+impl QueryResults {
+    fn new(spec: QuerySpec) -> Self {
+        QueryResults { spec, rows: BTreeMap::new(), contributors: BTreeMap::new() }
+    }
+
+    /// Epochs for which at least one row or an epoch summary arrived.
+    pub fn epochs(&self) -> Vec<u64> {
+        let mut e: Vec<u64> =
+            self.rows.keys().chain(self.contributors.keys()).copied().collect();
+        e.sort_unstable();
+        e.dedup();
+        e
+    }
+
+    /// Raw rows received for an epoch, in arrival order.
+    pub fn raw_rows(&self, epoch: u64) -> &[Tuple] {
+        self.rows.get(&epoch).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Rows for an epoch with the query's ORDER BY / LIMIT applied (for
+    /// streaming SELECT/JOIN queries the origin performs the final top-k).
+    pub fn rows(&self, epoch: u64) -> Vec<Tuple> {
+        let mut rows = self.raw_rows(epoch).to_vec();
+        let (order_by, limit) = match &self.spec.kind {
+            QueryKind::Select { order_by, limit, .. }
+            | QueryKind::Join { order_by, limit, .. } => (order_by.clone(), *limit),
+            // Aggregates are ordered/limited at the root before shipping, but
+            // individual result rows arrive over the network in arbitrary
+            // order, so the origin re-applies the ordering.  The root's
+            // ORDER BY columns refer to the pre-projection schema; after the
+            // final projection the sort keys map to the select-list order.
+            QueryKind::Aggregate { order_by, limit, final_project, .. } => {
+                let remapped: Vec<crate::plan::SortKey> = order_by
+                    .iter()
+                    .filter_map(|k| {
+                        final_project
+                            .iter()
+                            .position(|&p| p == k.column)
+                            .map(|column| crate::plan::SortKey { column, desc: k.desc })
+                    })
+                    .collect();
+                (remapped, *limit)
+            }
+            _ => (Vec::new(), None),
+        };
+        if !order_by.is_empty() {
+            sort_tuples(&mut rows, &order_by);
+        }
+        if let Some(n) = limit {
+            rows.truncate(n);
+        }
+        rows
+    }
+
+    /// Rows across every epoch (useful for one-shot queries).
+    pub fn all_rows(&self) -> Vec<Tuple> {
+        self.rows.values().flatten().cloned().collect()
+    }
+
+    /// The most recent epoch with data, and its rows.
+    pub fn latest(&self) -> Option<(u64, Vec<Tuple>)> {
+        self.epochs().last().map(|&e| (e, self.rows(e)))
+    }
+
+    /// Number of nodes whose data contributed to an epoch ("responding
+    /// nodes"); only reported for aggregation queries.
+    pub fn contributors(&self, epoch: u64) -> u64 {
+        self.contributors.get(&epoch).copied().unwrap_or(0)
+    }
+}
+
+/// A PIER node: DHT + catalog + query engine, hosted on one simulated host.
+pub struct PierNode {
+    addr: NodeAddr,
+    config: PierConfig,
+    /// The DHT substrate.
+    pub dht: DhtNode<PierPayload>,
+    catalog: Catalog,
+    queries: HashMap<QueryId, RunningQuery>,
+    results: HashMap<QueryId, QueryResults>,
+    /// Pending Fetch-Matches probes: DHT get request id -> (query, epoch, left tuple).
+    pending_fetch: HashMap<u64, (QueryId, u64, Tuple)>,
+    /// Operator input (rehashed join tuples, recursive expansions) that
+    /// arrived before this node received the query plan.  PIER stores such
+    /// tuples as soft state in the DHT; we buffer them and replay them when
+    /// the plan arrives.
+    early_arrivals: HashMap<QueryId, Vec<PierPayload>>,
+    timer_purposes: HashMap<u64, TimerPurpose>,
+    next_token: u64,
+    next_query_seq: u32,
+    publish_seq: u64,
+    stats: EngineStats,
+}
+
+impl PierNode {
+    /// Create a PIER node.  `bootstrap` is any existing node of the overlay
+    /// (or `None` for the first node).
+    pub fn new(addr: NodeAddr, config: PierConfig, bootstrap: Option<NodeAddr>) -> Self {
+        let dht = DhtNode::new(addr, config.dht.clone(), bootstrap);
+        PierNode {
+            addr,
+            config,
+            dht,
+            catalog: Catalog::new(),
+            queries: HashMap::new(),
+            results: HashMap::new(),
+            pending_fetch: HashMap::new(),
+            early_arrivals: HashMap::new(),
+            timer_purposes: HashMap::new(),
+            next_token: 1_000,
+            next_query_seq: 1,
+            publish_seq: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// This node's network address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The local catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Engine activity counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of queries currently installed at this node.
+    pub fn active_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Register a table definition in the local catalog.  Every node that
+    /// publishes into or queries a table must agree on its definition; the
+    /// test/benchmark harness installs definitions on all nodes.
+    pub fn create_table(&mut self, def: TableDef) {
+        self.catalog.register(def);
+    }
+
+    /// Results collected at this node for a query it originated.
+    pub fn results(&self, id: QueryId) -> Option<&QueryResults> {
+        self.results.get(&id)
+    }
+
+    /// Ids of the queries this node originated.
+    pub fn originated_queries(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self.results.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    // ------------------------------------------------------------------
+    // Publishing
+    // ------------------------------------------------------------------
+
+    /// Publish a tuple into the DHT under its table's partitioning key.
+    pub fn publish(&mut self, ctx: &mut Ctx<'_>, table: &str, tuple: Tuple) -> Result<(), PierError> {
+        let def = self
+            .catalog
+            .get(table)
+            .ok_or_else(|| PierError::new(format!("unknown table '{table}'")))?
+            .clone();
+        self.publish_seq += 1;
+        let instance = ((self.addr.0 as u64) << 32) | (self.publish_seq & 0xFFFF_FFFF);
+        let key = ResourceKey::new(def.name.clone(), def.resource_of(&tuple), instance);
+        self.dht.put(ctx, key, PierPayload::Tuple(tuple), Some(def.ttl));
+        self.stats.tuples_published += 1;
+        self.process_upcalls(ctx);
+        Ok(())
+    }
+
+    /// Store a tuple locally (no routing).  Monitoring data *about this node*
+    /// is published this way: scans still see it, and it expires like any
+    /// other soft state, but no network traffic is spent placing it.
+    pub fn publish_local(
+        &mut self,
+        now: SimTime,
+        table: &str,
+        tuple: Tuple,
+    ) -> Result<(), PierError> {
+        let def = self
+            .catalog
+            .get(table)
+            .ok_or_else(|| PierError::new(format!("unknown table '{table}'")))?
+            .clone();
+        self.publish_seq += 1;
+        let instance = ((self.addr.0 as u64) << 32) | (self.publish_seq & 0xFFFF_FFFF);
+        let key = ResourceKey::new(def.name.clone(), def.resource_of(&tuple), instance);
+        self.dht.local_put(now, key, PierPayload::Tuple(tuple), Some(def.ttl));
+        self.stats.tuples_published += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Query submission (client API)
+    // ------------------------------------------------------------------
+
+    /// Parse, plan, and submit a SQL `SELECT`.  `CREATE TABLE` statements are
+    /// applied to the local catalog only and return an error mentioning it.
+    pub fn submit_sql(&mut self, ctx: &mut Ctx<'_>, sql: &str) -> Result<QueryId, PierError> {
+        let stmt = parse(sql).map_err(|e| PierError::new(e.to_string()))?;
+        match stmt {
+            Statement::Select(sel) => {
+                let planner = Planner::new(&self.catalog);
+                let planned =
+                    planner.plan_select(&sel).map_err(|e| PierError::new(e.to_string()))?;
+                self.submit(ctx, planned.kind, planned.output_names, planned.continuous)
+            }
+            Statement::CreateTable(_) | Statement::Insert(_) => Err(PierError::new(
+                "only SELECT can be submitted as a distributed query; use create_table/publish",
+            )),
+        }
+    }
+
+    /// Submit a query built through the algebraic interface.
+    pub fn submit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        kind: QueryKind,
+        output_names: Vec<String>,
+        continuous: Option<ContinuousSpec>,
+    ) -> Result<QueryId, PierError> {
+        let id = QueryId::new(self.addr, self.next_query_seq);
+        self.next_query_seq += 1;
+        let spec = QuerySpec { id, kind, output_names, continuous };
+        self.results.insert(id, QueryResults::new(spec.clone()));
+        // Disseminate to every node (including ourselves, which installs it).
+        self.dht.broadcast(ctx, PierPayload::Query(spec));
+        self.process_upcalls(ctx);
+        Ok(id)
+    }
+
+    /// Stop a continuous query everywhere.
+    pub fn stop_query(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
+        self.dht.broadcast(ctx, PierPayload::StopQuery(id));
+        self.process_upcalls(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Timer plumbing
+    // ------------------------------------------------------------------
+
+    fn arm_timer(&mut self, ctx: &mut Ctx<'_>, delay: Duration, purpose: TimerPurpose) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timer_purposes.insert(token, purpose);
+        ctx.set_timer(delay, token);
+    }
+
+    // ------------------------------------------------------------------
+    // Upcall processing
+    // ------------------------------------------------------------------
+
+    fn process_upcalls(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let upcalls = self.dht.take_upcalls();
+            if upcalls.is_empty() {
+                break;
+            }
+            for up in upcalls {
+                match up {
+                    Upcall::Broadcast { payload } => self.on_broadcast(ctx, payload),
+                    Upcall::Delivered { payload, .. } => self.on_delivered(ctx, payload),
+                    Upcall::Direct { payload, .. } => self.on_direct(ctx, payload),
+                    Upcall::GetResult { req_id, items, .. } => {
+                        self.on_get_result(ctx, req_id, items)
+                    }
+                    Upcall::NewItem { .. } | Upcall::Joined | Upcall::LookupResult { .. } => {}
+                }
+            }
+        }
+    }
+
+    fn on_broadcast(&mut self, ctx: &mut Ctx<'_>, payload: PierPayload) {
+        match payload {
+            PierPayload::Query(spec) => self.install_query(ctx, spec),
+            PierPayload::StopQuery(id) => {
+                self.queries.remove(&id);
+            }
+            PierPayload::Bloom { query, epoch, bits, k, combined: true } => {
+                let filter = BloomFilter::from_words(bits, k);
+                if let Some(q) = self.queries.get_mut(&query) {
+                    q.combined_bloom.insert(epoch, filter);
+                }
+                self.run_bloom_phase2(ctx, query, epoch);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_delivered(&mut self, ctx: &mut Ctx<'_>, payload: PierPayload) {
+        // Operator input can race ahead of query dissemination (a rehashed
+        // tuple may reach the join site before the site hears about the
+        // query).  Buffer it; install_query replays it.
+        let query_of = match &payload {
+            PierPayload::JoinTuple { query, .. } | PierPayload::Expand { query, .. } => {
+                Some(*query)
+            }
+            _ => None,
+        };
+        if let Some(id) = query_of {
+            if !self.queries.contains_key(&id) {
+                let buf = self.early_arrivals.entry(id).or_default();
+                if buf.len() < 100_000 {
+                    buf.push(payload);
+                }
+                return;
+            }
+        }
+        match payload {
+            PierPayload::JoinTuple { query, epoch, side, key, tuple } => {
+                self.on_join_tuple(ctx, query, epoch, side, key, tuple)
+            }
+            PierPayload::Expand { query, vertex, depth } => {
+                self.on_expand(ctx, query, vertex, depth)
+            }
+            _ => {}
+        }
+    }
+
+    fn on_direct(&mut self, ctx: &mut Ctx<'_>, payload: PierPayload) {
+        match payload {
+            PierPayload::Partial { query, epoch, groups, contributors } => {
+                self.absorb_partials(ctx, query, epoch, groups, contributors, true);
+            }
+            PierPayload::Result(row) => {
+                if let Some(res) = self.results.get_mut(&row.query) {
+                    res.rows.entry(row.epoch).or_default().push(row.tuple);
+                }
+            }
+            PierPayload::EpochDone { query, epoch, contributors } => {
+                if let Some(res) = self.results.get_mut(&query) {
+                    let e = res.contributors.entry(epoch).or_insert(0);
+                    *e = (*e).max(contributors);
+                    res.rows.entry(epoch).or_default();
+                }
+            }
+            PierPayload::Bloom { query, epoch, bits, k, combined: false } => {
+                self.on_bloom_summary(ctx, query, epoch, bits, k);
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query installation & epochs
+    // ------------------------------------------------------------------
+
+    fn install_query(&mut self, ctx: &mut Ctx<'_>, spec: QuerySpec) {
+        let id = spec.id;
+        if self.queries.contains_key(&id) {
+            return;
+        }
+        let continuous = spec.continuous;
+        let is_recursive_origin =
+            matches!(spec.kind, QueryKind::Recursive { .. }) && spec.origin() == self.addr;
+        self.queries.insert(id, RunningQuery::new(spec, ctx.now()));
+
+        // Replay operator input that arrived before the plan did.
+        if let Some(buffered) = self.early_arrivals.remove(&id) {
+            for payload in buffered {
+                self.on_delivered(ctx, payload);
+            }
+        }
+
+        // Recursive queries are seeded from the origin only.
+        if is_recursive_origin {
+            self.seed_recursive(ctx, id);
+        }
+
+        self.run_epoch(ctx, id);
+        if let Some(c) = continuous {
+            let delay = epoch_align_delay(ctx.now(), &c);
+            self.arm_timer(ctx, delay, TimerPurpose::Epoch(id));
+        }
+    }
+
+    /// Execute the local portion of one epoch of a query.
+    fn run_epoch(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
+        let Some(q) = self.queries.get(&id) else { return };
+        let spec = q.spec.clone();
+        let epoch = match &spec.continuous {
+            Some(c) => continuous_epoch(ctx.now(), c),
+            None => 0,
+        };
+        self.stats.epochs_run += 1;
+
+        let now = ctx.now();
+        let since = match spec.continuous {
+            Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
+            None => SimTime::ZERO,
+        };
+
+        match &spec.kind {
+            QueryKind::Select { table, filter, project, .. } => {
+                let rows = self.scan(table, now, since);
+                let filter_op = filter.clone().map(FilterOp::new);
+                let project_op = ProjectOp::new(project.clone());
+                for row in rows {
+                    if filter_op.as_ref().map(|f| f.accepts(&row)).unwrap_or(true) {
+                        let out = project_op.apply_one(&row);
+                        self.send_result(ctx, &spec, epoch, out);
+                    }
+                }
+            }
+            QueryKind::Aggregate { table, filter, group_exprs, aggs, .. } => {
+                let rows = self.scan(table, now, since);
+                let filter_op = filter.clone().map(FilterOp::new);
+                let mut agg = GroupAggregator::new(group_exprs.clone(), aggs.clone());
+                for row in rows {
+                    if filter_op.as_ref().map(|f| f.accepts(&row)).unwrap_or(true) {
+                        agg.update(&row);
+                    }
+                }
+                let partials = agg.take_partials();
+                self.absorb_partials(ctx, id, epoch, partials, 1, false);
+            }
+            QueryKind::Join {
+                left_table,
+                right_table,
+                left_key,
+                right_key,
+                strategy,
+                ..
+            } => match strategy {
+                JoinStrategy::SymmetricHash => {
+                    let left_rows = self.scan(left_table, now, since);
+                    self.rehash_side(ctx, &spec, epoch, 0, left_key, left_rows);
+                    let right_rows = self.scan(right_table, now, since);
+                    self.rehash_side(ctx, &spec, epoch, 1, right_key, right_rows);
+                }
+                JoinStrategy::FetchMatches => {
+                    let left_rows = self.scan(left_table, now, since);
+                    let right_table = right_table.clone();
+                    let left_key = left_key.clone();
+                    for row in left_rows {
+                        let key = left_key.eval(&row);
+                        if key.is_null() {
+                            continue;
+                        }
+                        let req = self.dht.get(
+                            ctx,
+                            ResourceKey::singleton(right_table.clone(), key.partition_string()),
+                        );
+                        self.pending_fetch.insert(req, (id, epoch, row));
+                    }
+                }
+                JoinStrategy::BloomFilter => {
+                    // Phase 1: summarize and rehash the left relation; the right
+                    // relation waits for the combined filter.
+                    let left_rows = self.scan(left_table, now, since);
+                    let mut bloom = BloomFilter::new(self.config.bloom_bits, 4);
+                    for row in &left_rows {
+                        let key = left_key.eval(row);
+                        if !key.is_null() {
+                            bloom.insert(&key);
+                        }
+                    }
+                    self.rehash_side(ctx, &spec, epoch, 0, left_key, left_rows);
+                    let (bits, k) = bloom.to_words();
+                    self.dht.send_direct(
+                        ctx,
+                        spec.origin(),
+                        PierPayload::Bloom { query: id, epoch, bits, k, combined: false },
+                    );
+                }
+            },
+            QueryKind::Recursive { .. } => {
+                // Recursive queries are driven by Expand messages, not scans.
+            }
+        }
+        self.process_upcalls(ctx);
+    }
+
+    fn scan(&mut self, table: &str, now: SimTime, since: SimTime) -> Vec<Tuple> {
+        let items = self.dht.lscan_since(table, now, since);
+        let rows: Vec<Tuple> = items
+            .into_iter()
+            .filter_map(|(_, payload)| payload.as_tuple().cloned())
+            .collect();
+        self.stats.tuples_scanned += rows.len() as u64;
+        rows
+    }
+
+    fn send_result(&mut self, ctx: &mut Ctx<'_>, spec: &QuerySpec, epoch: u64, tuple: Tuple) {
+        self.stats.results_sent += 1;
+        let row = ResultRow { query: spec.id, epoch, tuple };
+        self.dht.send_direct(ctx, spec.origin(), PierPayload::Result(row));
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregation (hierarchical, in-network)
+    // ------------------------------------------------------------------
+
+    fn agg_root_id(query: QueryId) -> pier_dht::Id {
+        ResourceKey::singleton("pier:agg", format!("{query}")).routing_id()
+    }
+
+    /// Fold partial states into this node's role for the query: root
+    /// accumulator if we are the aggregation root, otherwise the pending
+    /// buffer that the hold-down timer will forward.
+    fn absorb_partials(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: QueryId,
+        epoch: u64,
+        groups: Vec<(GroupKey, Vec<AggStateVec>)>,
+        contributors: u64,
+        from_network: bool,
+    ) {
+        if self.queries.get(&id).is_none() {
+            // This node never received the query plan (e.g. it joined after
+            // dissemination).  It cannot combine — it lacks the aggregate
+            // specs — but it can still relay the partials toward the root so
+            // the data is not lost.
+            if from_network {
+                if let Some(next) = self.dht.route_next_hop(&Self::agg_root_id(id)) {
+                    self.stats.partials_sent += 1;
+                    self.dht.send_direct(
+                        ctx,
+                        next.addr,
+                        PierPayload::Partial { query: id, epoch, groups, contributors },
+                    );
+                }
+            }
+            return;
+        }
+        if from_network {
+            self.stats.partials_merged += 1;
+        }
+        let is_root = match self.config.aggregation {
+            AggregationMode::Direct => {
+                let origin = self.queries[&id].spec.origin();
+                origin == self.addr
+            }
+            AggregationMode::Hierarchical => {
+                self.dht.route_next_hop(&Self::agg_root_id(id)).is_none()
+            }
+        };
+
+        let (group_exprs, aggs) = match &self.queries[&id].spec.kind {
+            QueryKind::Aggregate { group_exprs, aggs, .. } => (group_exprs.clone(), aggs.clone()),
+            _ => return,
+        };
+
+        let mode = self.config.aggregation;
+        let mut arm_finalize = false;
+        let mut arm_holddown = false;
+        let mut forward_now = false;
+        {
+            let q = self.queries.get_mut(&id).expect("query checked above");
+            if is_root && q.finalized.contains(&epoch) {
+                // The epoch was already finalized and reported; late partials
+                // are dropped (best-effort soft state, as in PIER).
+                return;
+            }
+            if is_root {
+                let acc = q
+                    .root_acc
+                    .entry(epoch)
+                    .or_insert_with(|| GroupAggregator::new(group_exprs, aggs));
+                for (key, states) in groups {
+                    acc.merge_group(key, &states);
+                }
+                *q.root_contrib.entry(epoch).or_insert(0) += contributors;
+                q.root_last_update.insert(epoch, ctx.now());
+                arm_finalize = q.finalize_armed.insert(epoch);
+            } else {
+                let buf = q
+                    .pending
+                    .entry(epoch)
+                    .or_insert_with(|| GroupAggregator::new(group_exprs, aggs));
+                for (key, states) in groups {
+                    buf.merge_group(key, &states);
+                }
+                *q.pending_contrib.entry(epoch).or_insert(0) += contributors;
+                match mode {
+                    // In direct mode there is no hold-down: forward immediately.
+                    AggregationMode::Direct => forward_now = true,
+                    AggregationMode::Hierarchical => {
+                        arm_holddown = q.holddown_armed.insert(epoch);
+                    }
+                }
+            }
+        }
+        if arm_finalize {
+            let delay = self.config.collect_delay;
+            self.arm_timer(ctx, delay, TimerPurpose::RootFinalize(id, epoch));
+        }
+        if arm_holddown {
+            let delay = self.config.holddown;
+            self.arm_timer(ctx, delay, TimerPurpose::Holddown(id, epoch));
+        }
+        if forward_now {
+            self.forward_partials(ctx, id, epoch);
+        }
+    }
+
+    /// Ship the buffered partials for (query, epoch) one hop closer to the root.
+    fn forward_partials(&mut self, ctx: &mut Ctx<'_>, id: QueryId, epoch: u64) {
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        q.holddown_armed.remove(&epoch);
+        let Some(mut buf) = q.pending.remove(&epoch) else { return };
+        let contributors = q.pending_contrib.remove(&epoch).unwrap_or(0);
+        let groups = buf.take_partials();
+        if groups.is_empty() && contributors == 0 {
+            return;
+        }
+        let origin = q.spec.origin();
+        let target = match self.config.aggregation {
+            AggregationMode::Direct => Some(origin),
+            AggregationMode::Hierarchical => {
+                self.dht.route_next_hop(&Self::agg_root_id(id)).map(|p| p.addr)
+            }
+        };
+        match target {
+            Some(next) if next != self.addr => {
+                self.stats.partials_sent += 1;
+                self.dht.send_direct(
+                    ctx,
+                    next,
+                    PierPayload::Partial { query: id, epoch, groups, contributors },
+                );
+            }
+            _ => {
+                // We became the root in the meantime: absorb locally.
+                self.absorb_partials(ctx, id, epoch, groups, contributors, false);
+            }
+        }
+    }
+
+    /// Finalize an epoch at the aggregation root and ship the result rows.
+    fn finalize_epoch(&mut self, ctx: &mut Ctx<'_>, id: QueryId, epoch: u64) {
+        // Quiescence check: if partials are still trickling in, postpone the
+        // finalization a few times so slow subtrees are not cut off.
+        let postpone = {
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            let recently = q
+                .root_last_update
+                .get(&epoch)
+                .map(|&t| ctx.now().saturating_since(t) < self.config.holddown.saturating_mul(3))
+                .unwrap_or(false);
+            let extensions = q.root_extensions.entry(epoch).or_insert(0);
+            if recently && *extensions < 4 {
+                *extensions += 1;
+                true
+            } else {
+                false
+            }
+        };
+        if postpone {
+            let delay = self.config.holddown.saturating_mul(3);
+            self.arm_timer(ctx, delay, TimerPurpose::RootFinalize(id, epoch));
+            return;
+        }
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        q.finalize_armed.remove(&epoch);
+        q.finalized.insert(epoch);
+        let Some(acc) = q.root_acc.remove(&epoch) else { return };
+        let contributors = q.root_contrib.remove(&epoch).unwrap_or(0);
+        let spec = q.spec.clone();
+
+        let QueryKind::Aggregate { having, order_by, limit, final_project, .. } = &spec.kind
+        else {
+            return;
+        };
+
+        let mut rows = acc.finalize();
+        if let Some(h) = having {
+            rows.retain(|r| h.matches(r));
+        }
+        if !order_by.is_empty() || limit.is_some() {
+            let mut topk = TopK::new(order_by.clone(), limit.unwrap_or(usize::MAX));
+            for r in rows {
+                topk.push(r);
+            }
+            rows = topk.finish();
+        }
+        let project = ProjectOp::new(final_project.iter().map(|&i| crate::expr::Expr::col(i)).collect());
+        for row in rows {
+            let out = project.apply_one(&row);
+            self.send_result(ctx, &spec, epoch, out);
+        }
+        self.dht.send_direct(
+            ctx,
+            spec.origin(),
+            PierPayload::EpochDone { query: id, epoch, contributors },
+        );
+        self.process_upcalls(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Joins
+    // ------------------------------------------------------------------
+
+    fn rehash_side(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        spec: &QuerySpec,
+        epoch: u64,
+        side: u8,
+        key_expr: &crate::expr::Expr,
+        rows: Vec<Tuple>,
+    ) {
+        let namespace = format!("pier:join:{}", spec.id);
+        for row in rows {
+            let key = key_expr.eval(&row);
+            if key.is_null() {
+                continue;
+            }
+            self.stats.join_tuples_sent += 1;
+            self.dht.send_to_key(
+                ctx,
+                ResourceKey::singleton(namespace.clone(), key.partition_string()),
+                PierPayload::JoinTuple { query: spec.id, epoch, side, key: key.clone(), tuple: row },
+            );
+        }
+    }
+
+    fn on_join_tuple(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: QueryId,
+        epoch: u64,
+        side: u8,
+        key: Value,
+        tuple: Tuple,
+    ) {
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        let spec = q.spec.clone();
+        let QueryKind::Join { post_filter, project, .. } = &spec.kind else { return };
+
+        // Store and probe symmetrically.
+        let matches: Vec<Tuple> = if side == 0 {
+            q.join_left.entry((epoch, key.clone())).or_default().push(tuple.clone());
+            q.join_right.get(&(epoch, key)).cloned().unwrap_or_default()
+        } else {
+            q.join_right.entry((epoch, key.clone())).or_default().push(tuple.clone());
+            q.join_left.get(&(epoch, key)).cloned().unwrap_or_default()
+        };
+
+        let filter_op = post_filter.clone().map(FilterOp::new);
+        let project_op = ProjectOp::new(project.clone());
+        let mut outputs = Vec::new();
+        for m in matches {
+            let joined = if side == 0 { tuple.concat(&m) } else { m.concat(&tuple) };
+            if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
+                outputs.push(project_op.apply_one(&joined));
+            }
+        }
+        self.stats.join_matches += outputs.len() as u64;
+        for out in outputs {
+            self.send_result(ctx, &spec, epoch, out);
+        }
+        self.process_upcalls(ctx);
+    }
+
+    fn on_get_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        req_id: u64,
+        items: Vec<(ResourceKey, PierPayload)>,
+    ) {
+        let Some((id, epoch, left_tuple)) = self.pending_fetch.remove(&req_id) else { return };
+        let Some(q) = self.queries.get(&id) else { return };
+        let spec = q.spec.clone();
+        let QueryKind::Join { right_key, post_filter, project, left_key, .. } = &spec.kind else {
+            return;
+        };
+        let probe_key = left_key.eval(&left_tuple);
+        let filter_op = post_filter.clone().map(FilterOp::new);
+        let project_op = ProjectOp::new(project.clone());
+        let mut outputs = Vec::new();
+        for (_, payload) in items {
+            let Some(right_tuple) = payload.as_tuple() else { continue };
+            if !right_key.eval(right_tuple).sql_eq(&probe_key) {
+                continue;
+            }
+            let joined = left_tuple.concat(right_tuple);
+            if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
+                outputs.push(project_op.apply_one(&joined));
+            }
+        }
+        self.stats.join_matches += outputs.len() as u64;
+        for out in outputs {
+            self.send_result(ctx, &spec, epoch, out);
+        }
+        self.process_upcalls(ctx);
+    }
+
+    fn on_bloom_summary(&mut self, ctx: &mut Ctx<'_>, id: QueryId, epoch: u64, bits: Vec<u64>, k: u8) {
+        let arm = {
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            let incoming = BloomFilter::from_words(bits, k);
+            q.blooms.entry(epoch).and_modify(|b| b.union(&incoming)).or_insert(incoming);
+            q.bloom_armed.insert(epoch)
+        };
+        if arm {
+            let delay = self.config.bloom_collect_delay;
+            self.arm_timer(ctx, delay, TimerPurpose::BloomPhase2(id, epoch));
+        }
+    }
+
+    fn broadcast_combined_bloom(&mut self, ctx: &mut Ctx<'_>, id: QueryId, epoch: u64) {
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        q.bloom_armed.remove(&epoch);
+        let Some(filter) = q.blooms.remove(&epoch) else { return };
+        let (bits, k) = filter.to_words();
+        self.dht.broadcast(
+            ctx,
+            PierPayload::Bloom { query: id, epoch, bits, k, combined: true },
+        );
+        self.process_upcalls(ctx);
+    }
+
+    fn run_bloom_phase2(&mut self, ctx: &mut Ctx<'_>, id: QueryId, epoch: u64) {
+        let Some(q) = self.queries.get(&id) else { return };
+        let spec = q.spec.clone();
+        let QueryKind::Join { right_table, right_key, strategy: JoinStrategy::BloomFilter, .. } =
+            &spec.kind
+        else {
+            return;
+        };
+        let Some(filter) = self.queries[&id].combined_bloom.get(&epoch).cloned() else { return };
+        let now = ctx.now();
+        let since = match spec.continuous {
+            Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
+            None => SimTime::ZERO,
+        };
+        let rows = self.scan(right_table, now, since);
+        let survivors: Vec<Tuple> = rows
+            .into_iter()
+            .filter(|r| {
+                let k = right_key.eval(r);
+                !k.is_null() && filter.may_contain(&k)
+            })
+            .collect();
+        let right_key = right_key.clone();
+        self.rehash_side(ctx, &spec, epoch, 1, &right_key, survivors);
+        self.process_upcalls(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Recursive queries
+    // ------------------------------------------------------------------
+
+    fn seed_recursive(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
+        let Some(q) = self.queries.get(&id) else { return };
+        let QueryKind::Recursive { edges_table, source, .. } = &q.spec.kind else { return };
+        let edges_table = edges_table.clone();
+        let source = source.clone();
+        self.stats.expands_sent += 1;
+        self.dht.send_to_key(
+            ctx,
+            ResourceKey::singleton(edges_table, source.partition_string()),
+            PierPayload::Expand { query: id, vertex: source, depth: 0 },
+        );
+        self.process_upcalls(ctx);
+    }
+
+    fn on_expand(&mut self, ctx: &mut Ctx<'_>, id: QueryId, vertex: Value, depth: u32) {
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        let spec = q.spec.clone();
+        let QueryKind::Recursive { edges_table, src_col, dst_col, max_depth, .. } = &spec.kind
+        else {
+            return;
+        };
+        if !q.visited.insert(vertex.partition_string()) {
+            return;
+        }
+        let now = ctx.now();
+        let edges = self.scan(edges_table, now, SimTime::ZERO);
+        let epoch = 0;
+        let mut to_expand = Vec::new();
+        for edge in edges {
+            if !edge.get(*src_col).sql_eq(&vertex) {
+                continue;
+            }
+            let dst = edge.get(*dst_col).clone();
+            let row = Tuple::new(vec![vertex.clone(), dst.clone(), Value::Int(depth as i64 + 1)]);
+            self.send_result(ctx, &spec, epoch, row);
+            if depth + 1 < *max_depth {
+                to_expand.push(dst);
+            }
+        }
+        let edges_table = edges_table.clone();
+        for dst in to_expand {
+            self.stats.expands_sent += 1;
+            self.dht.send_to_key(
+                ctx,
+                ResourceKey::singleton(edges_table.clone(), dst.partition_string()),
+                PierPayload::Expand { query: id, vertex: dst, depth: depth + 1 },
+            );
+        }
+        self.process_upcalls(ctx);
+    }
+}
+
+/// Alias to keep `absorb_partials`'s signature readable.
+type AggStateVec = crate::aggregate::AggState;
+
+/// The epoch a continuous query is in at virtual time `now`.  Epochs are
+/// derived from absolute virtual time (not a per-node counter) so every node —
+/// including ones that joined after the query was disseminated — labels its
+/// contributions consistently.
+fn continuous_epoch(now: SimTime, c: &ContinuousSpec) -> u64 {
+    now.as_micros() / c.period.as_micros().max(1)
+}
+
+/// Delay until shortly after the next epoch boundary.
+fn epoch_align_delay(now: SimTime, c: &ContinuousSpec) -> Duration {
+    let period = c.period.as_micros().max(1);
+    Duration::from_micros(period - (now.as_micros() % period) + 1_000)
+}
+
+impl Node for PierNode {
+    type Msg = PierMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+        self.dht.start(ctx);
+        self.process_upcalls(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<Self::Msg>, from: NodeAddr, msg: Self::Msg) {
+        self.dht.handle_message(ctx, from, msg);
+        self.process_upcalls(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<Self::Msg>, token: u64) {
+        if (dht_timers::TOKEN_BASE..dht_timers::TOKEN_LIMIT).contains(&token) {
+            self.dht.handle_timer(ctx, token);
+            self.process_upcalls(ctx);
+            return;
+        }
+        let Some(purpose) = self.timer_purposes.remove(&token) else { return };
+        match purpose {
+            TimerPurpose::Epoch(id) => {
+                let continuous = self.queries.get(&id).and_then(|q| q.spec.continuous);
+                if let Some(c) = continuous {
+                    let (evaluations, spec) = {
+                        let q = self.queries.get_mut(&id).expect("query exists");
+                        q.epoch += 1;
+                        q.epoch_started_at = ctx.now();
+                        (q.epoch, q.spec.clone())
+                    };
+                    // Continuous queries are soft state: the origin re-disseminates
+                    // the plan every few epochs so nodes that joined (or rejoined
+                    // after a failure) start participating.
+                    if spec.origin() == self.addr && evaluations % 3 == 0 {
+                        self.dht.broadcast(ctx, PierPayload::Query(spec));
+                    }
+                    self.run_epoch(ctx, id);
+                    let delay = epoch_align_delay(ctx.now(), &c);
+                    self.arm_timer(ctx, delay, TimerPurpose::Epoch(id));
+                }
+            }
+            TimerPurpose::Holddown(id, epoch) => {
+                self.forward_partials(ctx, id, epoch);
+                self.process_upcalls(ctx);
+            }
+            TimerPurpose::RootFinalize(id, epoch) => self.finalize_epoch(ctx, id, epoch),
+            TimerPurpose::BloomPhase2(id, epoch) => self.broadcast_combined_bloom(ctx, id, epoch),
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Scalar expressions.
+//!
+//! Expressions appear in selections (`WHERE`), projections (`SELECT`), join
+//! predicates and `HAVING` clauses.  By the time a query reaches execution its
+//! column references have been resolved to tuple positions, so evaluation is a
+//! simple recursive walk with no name lookups on the hot path.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use pier_simnet::WireSize;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (by zero yields NULL).
+    Div,
+    /// Modulo.
+    Mod,
+    /// Equality (SQL semantics: NULL ≠ anything).
+    Eq,
+    /// Inequality.
+    NotEq,
+    /// Less-than.
+    Lt,
+    /// Less-than-or-equal.
+    LtEq,
+    /// Greater-than.
+    Gt,
+    /// Greater-than-or-equal.
+    GtEq,
+    /// Logical AND (three-valued).
+    And,
+    /// Logical OR (three-valued).
+    Or,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// `IS NULL`.
+    IsNull,
+    /// `IS NOT NULL`.
+    IsNotNull,
+}
+
+/// Built-in scalar functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// Lower-case a string.
+    Lower,
+    /// Upper-case a string.
+    Upper,
+    /// String length / absolute value of a number.
+    Length,
+    /// Absolute value.
+    Abs,
+}
+
+/// A scalar expression with resolved column references.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Reference to a tuple position.
+    Column(usize),
+    /// A literal constant.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Scalar function call.
+    Func {
+        /// Which function.
+        func: ScalarFunc,
+        /// Argument.
+        arg: Box<Expr>,
+    },
+    /// `expr LIKE 'pattern'` with `%` and `_` wildcards.
+    Like {
+        /// The string expression.
+        expr: Box<Expr>,
+        /// The pattern.
+        pattern: String,
+    },
+}
+
+impl Expr {
+    /// A column reference.
+    pub fn col(idx: usize) -> Expr {
+        Expr::Column(idx)
+    }
+
+    /// A literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `self op other`.
+    pub fn binary(self, op: BinaryOp, other: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Equality comparison.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Eq, other)
+    }
+
+    /// Greater-than comparison.
+    pub fn gt(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::Gt, other)
+    }
+
+    /// Logical AND.
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::And, other)
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Value {
+        match self {
+            Expr::Column(i) => tuple.get(*i).clone(),
+            Expr::Literal(v) => v.clone(),
+            Expr::Binary { op, left, right } => {
+                let l = left.eval(tuple);
+                let r = right.eval(tuple);
+                eval_binary(*op, &l, &r)
+            }
+            Expr::Unary { op, expr } => {
+                let v = expr.eval(tuple);
+                match op {
+                    UnaryOp::Not => match v {
+                        Value::Bool(b) => Value::Bool(!b),
+                        Value::Null => Value::Null,
+                        _ => Value::Null,
+                    },
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Value::Int(-i),
+                        Value::Float(f) => Value::Float(-f),
+                        _ => Value::Null,
+                    },
+                    UnaryOp::IsNull => Value::Bool(v.is_null()),
+                    UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
+                }
+            }
+            Expr::Func { func, arg } => {
+                let v = arg.eval(tuple);
+                match func {
+                    ScalarFunc::Lower => match v {
+                        Value::Str(s) => Value::Str(s.to_ascii_lowercase()),
+                        _ => Value::Null,
+                    },
+                    ScalarFunc::Upper => match v {
+                        Value::Str(s) => Value::Str(s.to_ascii_uppercase()),
+                        _ => Value::Null,
+                    },
+                    ScalarFunc::Length => match v {
+                        Value::Str(s) => Value::Int(s.len() as i64),
+                        _ => Value::Null,
+                    },
+                    ScalarFunc::Abs => match v {
+                        Value::Int(i) => Value::Int(i.abs()),
+                        Value::Float(f) => Value::Float(f.abs()),
+                        _ => Value::Null,
+                    },
+                }
+            }
+            Expr::Like { expr, pattern } => {
+                let v = expr.eval(tuple);
+                match v {
+                    Value::Str(s) => Value::Bool(like_match(&s, pattern)),
+                    Value::Null => Value::Null,
+                    _ => Value::Bool(false),
+                }
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: true only if the result is boolean true.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.eval(tuple).is_truthy()
+    }
+
+    /// The highest column index referenced (used for sanity checks).
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            Expr::Column(i) => Some(*i),
+            Expr::Literal(_) => None,
+            Expr::Binary { left, right, .. } => match (left.max_column(), right.max_column()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            Expr::Unary { expr, .. } | Expr::Func { arg: expr, .. } | Expr::Like { expr, .. } => {
+                expr.max_column()
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Value {
+    use BinaryOp::*;
+    match op {
+        And => match (l, r) {
+            (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+            (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+            _ => Value::Null,
+        },
+        Or => match (l, r) {
+            (Value::Bool(true), _) | (_, Value::Bool(true)) => Value::Bool(true),
+            (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+            _ => Value::Null,
+        },
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            let Some(ord) = l.sql_cmp(r) else { return Value::Null };
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                NotEq => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Value::Bool(b)
+        }
+        Add | Sub | Mul | Div | Mod => {
+            if l.is_null() || r.is_null() {
+                return Value::Null;
+            }
+            // Integer arithmetic stays integral when both sides are integers.
+            if let (Value::Int(a), Value::Int(b)) = (l, r) {
+                return match op {
+                    Add => Value::Int(a.wrapping_add(*b)),
+                    Sub => Value::Int(a.wrapping_sub(*b)),
+                    Mul => Value::Int(a.wrapping_mul(*b)),
+                    Div => {
+                        if *b == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(a / b)
+                        }
+                    }
+                    Mod => {
+                        if *b == 0 {
+                            Value::Null
+                        } else {
+                            Value::Int(a % b)
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else { return Value::Null };
+            match op {
+                Add => Value::Float(a + b),
+                Sub => Value::Float(a - b),
+                Mul => Value::Float(a * b),
+                Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a / b)
+                    }
+                }
+                Mod => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Float(a % b)
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// SQL `LIKE` matching with `%` (any run) and `_` (any single char),
+/// case-insensitive (which is what the filesharing keyword search wants).
+fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                // Try to consume zero or more characters.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => {
+                !s.is_empty() && s[0].eq_ignore_ascii_case(&c) && rec(&s[1..], &p[1..])
+            }
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+impl WireSize for Expr {
+    fn wire_size(&self) -> usize {
+        match self {
+            Expr::Column(_) => 3,
+            Expr::Literal(v) => 1 + v.wire_size(),
+            Expr::Binary { left, right, .. } => 2 + left.wire_size() + right.wire_size(),
+            Expr::Unary { expr, .. } | Expr::Func { arg: expr, .. } => 2 + expr.wire_size(),
+            Expr::Like { expr, pattern } => 1 + expr.wire_size() + 4 + pattern.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup(vals: Vec<Value>) -> Tuple {
+        Tuple::new(vals)
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let t = tup(vec![Value::Int(5), Value::str("x")]);
+        assert_eq!(Expr::col(0).eval(&t), Value::Int(5));
+        assert_eq!(Expr::col(7).eval(&t), Value::Null);
+        assert_eq!(Expr::lit(9i64).eval(&t), Value::Int(9));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = tup(vec![Value::Int(10), Value::Float(2.5)]);
+        let add = Expr::col(0).binary(BinaryOp::Add, Expr::lit(5i64));
+        assert_eq!(add.eval(&t), Value::Int(15));
+        let mixed = Expr::col(0).binary(BinaryOp::Mul, Expr::col(1));
+        assert_eq!(mixed.eval(&t), Value::Float(25.0));
+        let div0 = Expr::col(0).binary(BinaryOp::Div, Expr::lit(0i64));
+        assert_eq!(div0.eval(&t), Value::Null);
+        let modulo = Expr::col(0).binary(BinaryOp::Mod, Expr::lit(3i64));
+        assert_eq!(modulo.eval(&t), Value::Int(1));
+        let with_null = Expr::col(0).binary(BinaryOp::Add, Expr::lit(Value::Null));
+        assert_eq!(with_null.eval(&t), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_and_predicates() {
+        let t = tup(vec![Value::Int(10), Value::str("abc"), Value::Null]);
+        assert!(Expr::col(0).gt(Expr::lit(5i64)).matches(&t));
+        assert!(!Expr::col(0).gt(Expr::lit(50i64)).matches(&t));
+        assert!(Expr::col(1).eq(Expr::lit("abc")).matches(&t));
+        // NULL comparisons are never true.
+        assert!(!Expr::col(2).eq(Expr::lit(1i64)).matches(&t));
+        assert!(!Expr::col(2).eq(Expr::col(2)).matches(&t));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = tup(vec![Value::Null, Value::Int(1)]);
+        let null_cmp = Expr::col(0).eq(Expr::lit(1i64)); // NULL
+        let true_cmp = Expr::col(1).eq(Expr::lit(1i64)); // TRUE
+        let false_cmp = Expr::col(1).eq(Expr::lit(2i64)); // FALSE
+        // NULL AND FALSE = FALSE ; NULL AND TRUE = NULL ; NULL OR TRUE = TRUE.
+        assert_eq!(null_cmp.clone().and(false_cmp.clone()).eval(&t), Value::Bool(false));
+        assert_eq!(null_cmp.clone().and(true_cmp.clone()).eval(&t), Value::Null);
+        assert_eq!(null_cmp.clone().binary(BinaryOp::Or, true_cmp).eval(&t), Value::Bool(true));
+        assert_eq!(null_cmp.binary(BinaryOp::Or, false_cmp).eval(&t), Value::Null);
+    }
+
+    #[test]
+    fn unary_ops() {
+        let t = tup(vec![Value::Int(-4), Value::Null, Value::Bool(true)]);
+        assert_eq!(
+            Expr::Unary { op: UnaryOp::Neg, expr: Box::new(Expr::col(0)) }.eval(&t),
+            Value::Int(4)
+        );
+        assert_eq!(
+            Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::col(2)) }.eval(&t),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Expr::Unary { op: UnaryOp::IsNull, expr: Box::new(Expr::col(1)) }.eval(&t),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Expr::Unary { op: UnaryOp::IsNotNull, expr: Box::new(Expr::col(1)) }.eval(&t),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let t = tup(vec![Value::str("MiXeD"), Value::Int(-9), Value::Float(-2.5)]);
+        let lower = Expr::Func { func: ScalarFunc::Lower, arg: Box::new(Expr::col(0)) };
+        let upper = Expr::Func { func: ScalarFunc::Upper, arg: Box::new(Expr::col(0)) };
+        let length = Expr::Func { func: ScalarFunc::Length, arg: Box::new(Expr::col(0)) };
+        let abs_i = Expr::Func { func: ScalarFunc::Abs, arg: Box::new(Expr::col(1)) };
+        let abs_f = Expr::Func { func: ScalarFunc::Abs, arg: Box::new(Expr::col(2)) };
+        assert_eq!(lower.eval(&t), Value::str("mixed"));
+        assert_eq!(upper.eval(&t), Value::str("MIXED"));
+        assert_eq!(length.eval(&t), Value::Int(5));
+        assert_eq!(abs_i.eval(&t), Value::Int(9));
+        assert_eq!(abs_f.eval(&t), Value::Float(2.5));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello.mp3", "%.mp3"));
+        assert!(like_match("hello.mp3", "hel%"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("HELLO", "hello"));
+        assert!(!like_match("hello.ogg", "%.mp3"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("abc", "%b%"));
+
+        let t = tup(vec![Value::str("snort rule"), Value::Int(3)]);
+        let e = Expr::Like { expr: Box::new(Expr::col(0)), pattern: "%rule".into() };
+        assert!(e.matches(&t));
+        let not_str = Expr::Like { expr: Box::new(Expr::col(1)), pattern: "%".into() };
+        assert_eq!(not_str.eval(&t), Value::Bool(false));
+    }
+
+    #[test]
+    fn max_column() {
+        let e = Expr::col(2).and(Expr::col(5).gt(Expr::lit(1i64)));
+        assert_eq!(e.max_column(), Some(5));
+        assert_eq!(Expr::lit(1i64).max_column(), None);
+    }
+
+    #[test]
+    fn wire_size_positive() {
+        let e = Expr::col(0).eq(Expr::lit("abc"));
+        assert!(e.wire_size() > 0);
+    }
+}

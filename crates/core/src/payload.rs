@@ -1,0 +1,142 @@
+//! The application payload PIER layers over the DHT.
+//!
+//! Everything PIER stores in or routes through the DHT is a [`PierPayload`]:
+//! base-table tuples, disseminated query plans, partial aggregates climbing
+//! the aggregation tree, rehashed join tuples, Bloom-filter summaries,
+//! recursive-expansion requests, and result rows streaming back to the query
+//! origin.
+
+use crate::aggregate::AggState;
+use crate::dataflow::ops::GroupKey;
+use crate::query::{QueryId, QuerySpec, ResultRow};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use pier_simnet::WireSize;
+
+/// Application-level message / stored value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PierPayload {
+    /// A base-table tuple stored in the DHT.
+    Tuple(Tuple),
+    /// A query plan being disseminated to all nodes.
+    Query(QuerySpec),
+    /// Tear down a (continuous) query everywhere.
+    StopQuery(QueryId),
+    /// Partial aggregation state flowing toward the aggregation root.
+    Partial {
+        /// Which query.
+        query: QueryId,
+        /// Which evaluation epoch.
+        epoch: u64,
+        /// Per-group mergeable states.
+        groups: Vec<(GroupKey, Vec<AggState>)>,
+        /// How many leaf nodes' data is reflected in these states.
+        contributors: u64,
+    },
+    /// One result row, streamed to the query origin.
+    Result(ResultRow),
+    /// Sent by the aggregation root to the origin when an epoch is finalized.
+    EpochDone {
+        /// Which query.
+        query: QueryId,
+        /// Which epoch.
+        epoch: u64,
+        /// Number of distinct nodes whose data contributed ("responding
+        /// nodes", the lower series of the paper's Figure 1).
+        contributors: u64,
+    },
+    /// A tuple rehashed to its join site (symmetric-hash and Bloom joins).
+    JoinTuple {
+        /// Which query.
+        query: QueryId,
+        /// Which epoch.
+        epoch: u64,
+        /// 0 = left relation, 1 = right relation.
+        side: u8,
+        /// The join-key value (also determines the site).
+        key: Value,
+        /// The tuple itself.
+        tuple: Tuple,
+    },
+    /// A Bloom-filter summary of one node's left-relation join keys (phase 1,
+    /// sent to the origin) or the combined filter (phase 2, broadcast).
+    Bloom {
+        /// Which query.
+        query: QueryId,
+        /// Which epoch.
+        epoch: u64,
+        /// Filter bit words.
+        bits: Vec<u64>,
+        /// Number of probe hashes.
+        k: u8,
+        /// `false` = node→origin summary, `true` = combined filter broadcast.
+        combined: bool,
+    },
+    /// Recursive-query expansion: "follow the edges out of `vertex`".
+    Expand {
+        /// Which query.
+        query: QueryId,
+        /// The vertex whose outgoing edges should be followed.
+        vertex: Value,
+        /// Depth of `vertex` from the source.
+        depth: u32,
+    },
+}
+
+impl WireSize for PierPayload {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            PierPayload::Tuple(t) => t.wire_size(),
+            PierPayload::Query(q) => q.wire_size(),
+            PierPayload::StopQuery(_) => 8,
+            PierPayload::Partial { groups, .. } => {
+                16 + 8
+                    + groups
+                        .iter()
+                        .map(|(k, s)| {
+                            k.iter().map(|v| v.wire_size()).sum::<usize>()
+                                + s.iter().map(|x| x.wire_size()).sum::<usize>()
+                        })
+                        .sum::<usize>()
+            }
+            PierPayload::Result(r) => r.wire_size(),
+            PierPayload::EpochDone { .. } => 24,
+            PierPayload::JoinTuple { key, tuple, .. } => 18 + key.wire_size() + tuple.wire_size(),
+            PierPayload::Bloom { bits, .. } => 18 + bits.len() * 8,
+            PierPayload::Expand { vertex, .. } => 20 + vertex.wire_size(),
+        }
+    }
+}
+
+impl PierPayload {
+    /// If this payload is a stored tuple, view it.
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            PierPayload::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_simnet::NodeAddr;
+
+    #[test]
+    fn as_tuple() {
+        let t = Tuple::new(vec![Value::Int(1)]);
+        assert_eq!(PierPayload::Tuple(t.clone()).as_tuple(), Some(&t));
+        assert_eq!(PierPayload::StopQuery(QueryId::new(NodeAddr(0), 1)).as_tuple(), None);
+    }
+
+    #[test]
+    fn wire_sizes_scale() {
+        let small = PierPayload::Tuple(Tuple::new(vec![Value::Int(1)]));
+        let big = PierPayload::Tuple(Tuple::new(vec![Value::str("x".repeat(100))]));
+        assert!(big.wire_size() > small.wire_size());
+        let bloom =
+            PierPayload::Bloom { query: QueryId::new(NodeAddr(0), 1), epoch: 0, bits: vec![0; 64], k: 4, combined: false };
+        assert!(bloom.wire_size() > 64 * 8);
+    }
+}

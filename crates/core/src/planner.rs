@@ -1,0 +1,875 @@
+//! Name resolution and planning: SQL AST → logical plan → distributed spec.
+
+use crate::aggregate::AggFunc;
+use crate::catalog::Catalog;
+use crate::expr::{Expr, ScalarFunc};
+use crate::plan::{AggExpr, LogicalPlan, SortKey};
+use crate::query::{ContinuousSpec, JoinStrategy, QueryKind};
+use crate::sql::{AstExpr, SelectItem, SelectStmt};
+use crate::tuple::{Field, Schema};
+use crate::value::DataType;
+use pier_simnet::Duration;
+use std::fmt;
+
+/// Planning errors (unknown tables/columns, unsupported shapes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl PlanError {
+    fn new(message: impl Into<String>) -> Self {
+        PlanError { message: message.into() }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "planning error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The result of planning: a centralized logical plan (for the reference
+/// evaluator) plus the distributed per-node work description.
+#[derive(Clone, Debug)]
+pub struct PlannedQuery {
+    /// Resolved logical plan.
+    pub logical: LogicalPlan,
+    /// Distributed execution description.
+    pub kind: QueryKind,
+    /// Client-visible output column names.
+    pub output_names: Vec<String>,
+    /// Continuous-query settings, if any.
+    pub continuous: Option<ContinuousSpec>,
+}
+
+/// Plans SQL statements against a catalog.
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+    /// Preferred strategy for distributed joins.
+    pub join_strategy: JoinStrategy,
+}
+
+impl<'a> Planner<'a> {
+    /// A planner over the given catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Planner { catalog, join_strategy: JoinStrategy::SymmetricHash }
+    }
+
+    /// A planner that uses a specific join strategy.
+    pub fn with_join_strategy(catalog: &'a Catalog, strategy: JoinStrategy) -> Self {
+        Planner { catalog, join_strategy: strategy }
+    }
+
+    /// Plan a parsed `SELECT`.
+    pub fn plan_select(&self, stmt: &SelectStmt) -> Result<PlannedQuery, PlanError> {
+        let continuous = stmt.continuous.map(|c| {
+            let period = Duration::from_secs_f64(c.every_secs.max(0.001));
+            let window = c.window_secs.map(Duration::from_secs_f64).unwrap_or(period);
+            ContinuousSpec { period, window }
+        });
+
+        if stmt.join.is_some() {
+            self.plan_join(stmt, continuous)
+        } else if stmt.is_aggregate() {
+            self.plan_aggregate(stmt, continuous)
+        } else {
+            self.plan_simple_select(stmt, continuous)
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn table_schema(&self, name: &str, qualifier: Option<&str>) -> Result<Schema, PlanError> {
+        let def = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| PlanError::new(format!("unknown table '{name}'")))?;
+        Ok(match qualifier {
+            Some(q) => def.schema.qualified(q),
+            None => def.schema.clone(),
+        })
+    }
+
+    fn plan_simple_select(
+        &self,
+        stmt: &SelectStmt,
+        continuous: Option<ContinuousSpec>,
+    ) -> Result<PlannedQuery, PlanError> {
+        let schema = self.table_schema(&stmt.from.name, None)?;
+        let scan = LogicalPlan::Scan { table: stmt.from.name.clone(), schema: schema.clone() };
+
+        let filter = match &stmt.where_clause {
+            Some(ast) => Some(resolve_expr(ast, &schema)?),
+            None => None,
+        };
+        let filtered = match &filter {
+            Some(predicate) => {
+                LogicalPlan::Filter { input: Box::new(scan), predicate: predicate.clone() }
+            }
+            None => scan,
+        };
+
+        // Projections.
+        let (exprs, names, out_schema) = self.resolve_projections(&stmt.projections, &schema)?;
+        let projected = LogicalPlan::Project {
+            input: Box::new(filtered),
+            exprs: exprs.clone(),
+            schema: out_schema.clone(),
+        };
+
+        let order_by = resolve_order_by(stmt, &out_schema, None)?;
+        let mut logical = projected;
+        if !order_by.is_empty() {
+            logical = LogicalPlan::Sort { input: Box::new(logical), keys: order_by.clone() };
+        }
+        if let Some(n) = stmt.limit {
+            logical = LogicalPlan::Limit { input: Box::new(logical), n };
+        }
+
+        Ok(PlannedQuery {
+            logical,
+            kind: QueryKind::Select {
+                table: stmt.from.name.clone(),
+                filter,
+                project: exprs,
+                order_by,
+                limit: stmt.limit,
+            },
+            output_names: names,
+            continuous,
+        })
+    }
+
+    fn plan_aggregate(
+        &self,
+        stmt: &SelectStmt,
+        continuous: Option<ContinuousSpec>,
+    ) -> Result<PlannedQuery, PlanError> {
+        let schema = self.table_schema(&stmt.from.name, None)?;
+        let scan = LogicalPlan::Scan { table: stmt.from.name.clone(), schema: schema.clone() };
+        let filter = match &stmt.where_clause {
+            Some(ast) => Some(resolve_expr(ast, &schema)?),
+            None => None,
+        };
+        let filtered = match &filter {
+            Some(predicate) => {
+                LogicalPlan::Filter { input: Box::new(scan), predicate: predicate.clone() }
+            }
+            None => scan,
+        };
+
+        // Group-by expressions.
+        let mut group_exprs = Vec::new();
+        let mut group_fields = Vec::new();
+        for name in &stmt.group_by {
+            let idx = schema
+                .index_of(name)
+                .ok_or_else(|| PlanError::new(format!("unknown GROUP BY column '{name}'")))?;
+            group_exprs.push(Expr::col(idx));
+            let f = schema.field(idx).expect("index_of returned valid index");
+            group_fields.push(Field::new(name.clone(), f.dtype));
+        }
+
+        // Select list: group columns and aggregates.  Track, for each select
+        // item, which aggregate-output column it maps to.
+        let mut aggs: Vec<AggExpr> = Vec::new();
+        let mut final_project = Vec::new();
+        let mut output_names = Vec::new();
+
+        for (i, item) in stmt.projections.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(PlanError::new("SELECT * cannot be combined with aggregation"))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    if let AstExpr::Agg { func, arg } = expr {
+                        let resolved_arg = match arg {
+                            Some(a) => Some(resolve_expr(a, &schema)?),
+                            None => None,
+                        };
+                        let name = alias.clone().unwrap_or_else(|| default_agg_name(*func, arg));
+                        let col = group_exprs.len()
+                            + push_agg(&mut aggs, *func, resolved_arg, name.clone());
+                        final_project.push(col);
+                        output_names.push(name);
+                    } else if expr.contains_aggregate() {
+                        return Err(PlanError::new(
+                            "expressions over aggregates in SELECT are not supported; \
+                             use the aggregate directly",
+                        ));
+                    } else {
+                        // Must be (equivalent to) a grouping column.
+                        let cols = expr.referenced_columns();
+                        let name = alias.clone().unwrap_or_else(|| {
+                            cols.first().cloned().unwrap_or_else(|| format!("col{i}"))
+                        });
+                        let resolved = resolve_expr(expr, &schema)?;
+                        let pos = group_exprs
+                            .iter()
+                            .position(|g| *g == resolved)
+                            .ok_or_else(|| {
+                                PlanError::new(format!(
+                                    "non-aggregate select item '{name}' must appear in GROUP BY"
+                                ))
+                            })?;
+                        final_project.push(pos);
+                        output_names.push(name);
+                    }
+                }
+            }
+        }
+
+        // HAVING and ORDER BY are resolved over the aggregate output
+        // (group columns ++ aggregate columns); aggregates they mention that
+        // are not already computed are appended as hidden columns.
+        let having = match &stmt.having {
+            Some(ast) => Some(resolve_agg_output_expr(
+                ast,
+                &schema,
+                &group_exprs,
+                &stmt.group_by,
+                &mut aggs,
+            )?),
+            None => None,
+        };
+
+        let mut order_by = Vec::new();
+        for item in &stmt.order_by {
+            let expr = resolve_agg_output_expr(
+                &item.expr,
+                &schema,
+                &group_exprs,
+                &stmt.group_by,
+                &mut aggs,
+            )?;
+            let column = match expr {
+                Expr::Column(c) => c,
+                _ => {
+                    return Err(PlanError::new(
+                        "ORDER BY in aggregate queries must be a group column or an aggregate",
+                    ))
+                }
+            };
+            order_by.push(SortKey { column, desc: item.desc });
+        }
+
+        // Output schema of the aggregate operator.
+        let mut agg_fields = group_fields.clone();
+        for a in &aggs {
+            let dtype = match a.func {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Avg => DataType::Float,
+                AggFunc::Sum => DataType::Float,
+                AggFunc::Min | AggFunc::Max => a
+                    .arg
+                    .as_ref()
+                    .and_then(|e| match e {
+                        Expr::Column(i) => schema.field(*i).map(|f| f.dtype),
+                        _ => None,
+                    })
+                    .unwrap_or(DataType::Float),
+            };
+            agg_fields.push(Field::new(a.name.clone(), dtype));
+        }
+        let agg_schema = Schema::new(agg_fields);
+
+        let mut logical = LogicalPlan::Aggregate {
+            input: Box::new(filtered),
+            group_exprs: group_exprs.clone(),
+            aggs: aggs.clone(),
+            schema: agg_schema.clone(),
+        };
+        if let Some(h) = &having {
+            logical = LogicalPlan::Filter { input: Box::new(logical), predicate: h.clone() };
+        }
+        if !order_by.is_empty() {
+            logical = LogicalPlan::Sort { input: Box::new(logical), keys: order_by.clone() };
+        }
+        if let Some(n) = stmt.limit {
+            logical = LogicalPlan::Limit { input: Box::new(logical), n };
+        }
+        // Final projection to the select-list order.
+        let proj_exprs: Vec<Expr> = final_project.iter().map(|&i| Expr::col(i)).collect();
+        let proj_fields: Vec<Field> = final_project
+            .iter()
+            .zip(&output_names)
+            .map(|(&i, name)| {
+                Field::new(name.clone(), agg_schema.field(i).map(|f| f.dtype).unwrap_or(DataType::Float))
+            })
+            .collect();
+        logical = LogicalPlan::Project {
+            input: Box::new(logical),
+            exprs: proj_exprs,
+            schema: Schema::new(proj_fields),
+        };
+
+        Ok(PlannedQuery {
+            logical,
+            kind: QueryKind::Aggregate {
+                table: stmt.from.name.clone(),
+                filter,
+                group_exprs,
+                aggs,
+                having,
+                order_by,
+                limit: stmt.limit,
+                final_project,
+            },
+            output_names,
+            continuous,
+        })
+    }
+
+    fn plan_join(
+        &self,
+        stmt: &SelectStmt,
+        continuous: Option<ContinuousSpec>,
+    ) -> Result<PlannedQuery, PlanError> {
+        if stmt.is_aggregate() {
+            return Err(PlanError::new("aggregation over joins is not supported"));
+        }
+        let join = stmt.join.as_ref().expect("plan_join requires a join clause");
+        let left_qualifier = stmt.from.qualifier().to_string();
+        let right_qualifier = join.table.qualifier().to_string();
+        let left_schema = self.table_schema(&stmt.from.name, Some(&left_qualifier))?;
+        let right_schema = self.table_schema(&join.table.name, Some(&right_qualifier))?;
+
+        // Resolve the equi-join keys; accept them written in either order.
+        let (left_key, right_key) = match (
+            left_schema.index_of(&join.left_column),
+            right_schema.index_of(&join.right_column),
+        ) {
+            (Some(l), Some(r)) => (Expr::col(l), Expr::col(r)),
+            _ => match (
+                left_schema.index_of(&join.right_column),
+                right_schema.index_of(&join.left_column),
+            ) {
+                (Some(l), Some(r)) => (Expr::col(l), Expr::col(r)),
+                _ => {
+                    return Err(PlanError::new(format!(
+                        "cannot resolve join columns '{}' / '{}'",
+                        join.left_column, join.right_column
+                    )))
+                }
+            },
+        };
+
+        let joined_schema = left_schema.concat(&right_schema);
+        let post_filter = match &stmt.where_clause {
+            Some(ast) => Some(resolve_expr(ast, &joined_schema)?),
+            None => None,
+        };
+        let (project, names, out_schema) =
+            self.resolve_projections(&stmt.projections, &joined_schema)?;
+        let order_by = resolve_order_by(stmt, &out_schema, None)?;
+
+        let left_scan =
+            LogicalPlan::Scan { table: stmt.from.name.clone(), schema: left_schema.clone() };
+        let right_scan =
+            LogicalPlan::Scan { table: join.table.name.clone(), schema: right_schema.clone() };
+        let mut logical = LogicalPlan::Join {
+            left: Box::new(left_scan),
+            right: Box::new(right_scan),
+            left_key: left_key.clone(),
+            right_key: right_key.clone(),
+        };
+        if let Some(f) = &post_filter {
+            logical = LogicalPlan::Filter { input: Box::new(logical), predicate: f.clone() };
+        }
+        logical = LogicalPlan::Project {
+            input: Box::new(logical),
+            exprs: project.clone(),
+            schema: out_schema,
+        };
+        if !order_by.is_empty() {
+            logical = LogicalPlan::Sort { input: Box::new(logical), keys: order_by.clone() };
+        }
+        if let Some(n) = stmt.limit {
+            logical = LogicalPlan::Limit { input: Box::new(logical), n };
+        }
+
+        Ok(PlannedQuery {
+            logical,
+            kind: QueryKind::Join {
+                left_table: stmt.from.name.clone(),
+                right_table: join.table.name.clone(),
+                left_key,
+                right_key,
+                post_filter,
+                project,
+                strategy: self.join_strategy,
+                order_by,
+                limit: stmt.limit,
+            },
+            output_names: names,
+            continuous,
+        })
+    }
+
+    /// Resolve a select list against an input schema (non-aggregate case).
+    fn resolve_projections(
+        &self,
+        items: &[SelectItem],
+        schema: &Schema,
+    ) -> Result<(Vec<Expr>, Vec<String>, Schema), PlanError> {
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        let mut fields = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    for (idx, field) in schema.fields().iter().enumerate() {
+                        exprs.push(Expr::col(idx));
+                        names.push(field.name.clone());
+                        fields.push(field.clone());
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    if expr.contains_aggregate() {
+                        return Err(PlanError::new(
+                            "aggregate expressions require GROUP BY planning",
+                        ));
+                    }
+                    let resolved = resolve_expr(expr, schema)?;
+                    let name = alias.clone().unwrap_or_else(|| match expr {
+                        AstExpr::Column(c) => c.clone(),
+                        _ => format!("col{i}"),
+                    });
+                    let dtype = match &resolved {
+                        Expr::Column(idx) => {
+                            schema.field(*idx).map(|f| f.dtype).unwrap_or(DataType::Float)
+                        }
+                        Expr::Literal(v) => v.data_type(),
+                        _ => DataType::Float,
+                    };
+                    fields.push(Field::new(name.clone(), dtype));
+                    names.push(name);
+                    exprs.push(resolved);
+                }
+            }
+        }
+        Ok((exprs, names, Schema::new(fields)))
+    }
+}
+
+/// Append an aggregate (deduplicating identical ones); returns its index.
+fn push_agg(aggs: &mut Vec<AggExpr>, func: AggFunc, arg: Option<Expr>, name: String) -> usize {
+    if let Some(pos) = aggs.iter().position(|a| a.func == func && a.arg == arg) {
+        return pos;
+    }
+    aggs.push(AggExpr { func, arg, name });
+    aggs.len() - 1
+}
+
+fn default_agg_name(func: AggFunc, arg: &Option<Box<AstExpr>>) -> String {
+    match arg {
+        Some(a) => match a.as_ref() {
+            AstExpr::Column(c) => {
+                format!("{}_{}", func.name().to_ascii_lowercase(), c.replace('.', "_"))
+            }
+            _ => func.name().to_ascii_lowercase(),
+        },
+        None => "count".to_string(),
+    }
+}
+
+/// Resolve an expression against a schema (no aggregates allowed).
+pub fn resolve_expr(ast: &AstExpr, schema: &Schema) -> Result<Expr, PlanError> {
+    match ast {
+        AstExpr::Column(name) => schema
+            .index_of(name)
+            .map(Expr::Column)
+            .ok_or_else(|| PlanError::new(format!("unknown column '{name}'"))),
+        AstExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        AstExpr::Binary { op, left, right } => Ok(Expr::Binary {
+            op: *op,
+            left: Box::new(resolve_expr(left, schema)?),
+            right: Box::new(resolve_expr(right, schema)?),
+        }),
+        AstExpr::Unary { op, expr } => {
+            Ok(Expr::Unary { op: *op, expr: Box::new(resolve_expr(expr, schema)?) })
+        }
+        AstExpr::Like { expr, pattern } => Ok(Expr::Like {
+            expr: Box::new(resolve_expr(expr, schema)?),
+            pattern: pattern.clone(),
+        }),
+        AstExpr::Func { name, args } => {
+            let func = match name.as_str() {
+                "lower" => ScalarFunc::Lower,
+                "upper" => ScalarFunc::Upper,
+                "length" => ScalarFunc::Length,
+                "abs" => ScalarFunc::Abs,
+                other => return Err(PlanError::new(format!("unknown function '{other}'"))),
+            };
+            if args.len() != 1 {
+                return Err(PlanError::new(format!("{name} takes exactly one argument")));
+            }
+            Ok(Expr::Func { func, arg: Box::new(resolve_expr(&args[0], schema)?) })
+        }
+        AstExpr::Agg { .. } => {
+            Err(PlanError::new("aggregate calls are not allowed in this context"))
+        }
+    }
+}
+
+/// Resolve an expression over an *aggregate output* schema: group columns may
+/// be referenced by name, aggregate calls map to (possibly newly appended)
+/// aggregate columns.
+fn resolve_agg_output_expr(
+    ast: &AstExpr,
+    input_schema: &Schema,
+    group_exprs: &[Expr],
+    group_names: &[String],
+    aggs: &mut Vec<AggExpr>,
+) -> Result<Expr, PlanError> {
+    match ast {
+        AstExpr::Agg { func, arg } => {
+            let resolved_arg = match arg {
+                Some(a) => Some(resolve_expr(a, input_schema)?),
+                None => None,
+            };
+            let name = default_agg_name(*func, arg);
+            let idx = group_exprs.len() + push_agg(aggs, *func, resolved_arg, name);
+            Ok(Expr::Column(idx))
+        }
+        AstExpr::Column(name) => {
+            // A group-by column referenced by name.
+            if let Some(pos) = group_names.iter().position(|g| {
+                g.eq_ignore_ascii_case(name)
+                    || g.rsplit('.').next() == name.rsplit('.').next()
+            }) {
+                return Ok(Expr::Column(pos));
+            }
+            // An aggregate referenced by its alias.
+            if let Some(pos) = aggs.iter().position(|a| a.name.eq_ignore_ascii_case(name)) {
+                return Ok(Expr::Column(group_exprs.len() + pos));
+            }
+            Err(PlanError::new(format!(
+                "column '{name}' must be a GROUP BY column or an aggregate alias"
+            )))
+        }
+        AstExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        AstExpr::Binary { op, left, right } => Ok(Expr::Binary {
+            op: *op,
+            left: Box::new(resolve_agg_output_expr(left, input_schema, group_exprs, group_names, aggs)?),
+            right: Box::new(resolve_agg_output_expr(
+                right,
+                input_schema,
+                group_exprs,
+                group_names,
+                aggs,
+            )?),
+        }),
+        AstExpr::Unary { op, expr } => Ok(Expr::Unary {
+            op: *op,
+            expr: Box::new(resolve_agg_output_expr(expr, input_schema, group_exprs, group_names, aggs)?),
+        }),
+        AstExpr::Like { expr, pattern } => Ok(Expr::Like {
+            expr: Box::new(resolve_agg_output_expr(expr, input_schema, group_exprs, group_names, aggs)?),
+            pattern: pattern.clone(),
+        }),
+        AstExpr::Func { .. } => Err(PlanError::new(
+            "scalar functions over aggregate outputs are not supported",
+        )),
+    }
+}
+
+fn resolve_order_by(
+    stmt: &SelectStmt,
+    out_schema: &Schema,
+    _unused: Option<()>,
+) -> Result<Vec<SortKey>, PlanError> {
+    let mut keys = Vec::new();
+    for item in &stmt.order_by {
+        match &item.expr {
+            AstExpr::Column(name) => {
+                let idx = out_schema.index_of(name).ok_or_else(|| {
+                    PlanError::new(format!("ORDER BY column '{name}' is not in the output"))
+                })?;
+                keys.push(SortKey { column: idx, desc: item.desc });
+            }
+            other => {
+                return Err(PlanError::new(format!(
+                    "ORDER BY only supports output columns here, found {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableDef;
+    use crate::sql::parse_select;
+    use crate::value::{DataType, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(TableDef::new(
+            "netstats",
+            Schema::of(&[
+                ("host", DataType::Str),
+                ("out_rate", DataType::Float),
+                ("in_rate", DataType::Float),
+            ]),
+            "host",
+            Duration::from_secs(60),
+        ));
+        cat.register(TableDef::new(
+            "intrusions",
+            Schema::of(&[
+                ("host", DataType::Str),
+                ("rule_id", DataType::Int),
+                ("description", DataType::Str),
+                ("hits", DataType::Int),
+            ]),
+            "host",
+            Duration::from_secs(120),
+        ));
+        cat.register(TableDef::new(
+            "files",
+            Schema::of(&[("file_id", DataType::Int), ("name", DataType::Str), ("owner", DataType::Str)]),
+            "file_id",
+            Duration::from_secs(300),
+        ));
+        cat.register(TableDef::new(
+            "keywords",
+            Schema::of(&[("keyword", DataType::Str), ("file_id", DataType::Int)]),
+            "keyword",
+            Duration::from_secs(300),
+        ));
+        cat
+    }
+
+    fn plan(sql: &str) -> PlannedQuery {
+        let cat = catalog();
+        let stmt = parse_select(sql).unwrap();
+        Planner::new(&cat).plan_select(&stmt).unwrap()
+    }
+
+    fn plan_err(sql: &str) -> PlanError {
+        let cat = catalog();
+        let stmt = parse_select(sql).unwrap();
+        Planner::new(&cat).plan_select(&stmt).unwrap_err()
+    }
+
+    #[test]
+    fn simple_select_resolves_columns() {
+        let p = plan("SELECT host, out_rate FROM netstats WHERE out_rate > 100");
+        match &p.kind {
+            QueryKind::Select { table, filter, project, .. } => {
+                assert_eq!(table, "netstats");
+                assert!(filter.is_some());
+                assert_eq!(project, &vec![Expr::col(0), Expr::col(1)]);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(p.output_names, vec!["host", "out_rate"]);
+        assert!(p.logical.explain().contains("Scan netstats"));
+    }
+
+    #[test]
+    fn wildcard_expands_to_all_columns() {
+        let p = plan("SELECT * FROM netstats");
+        match &p.kind {
+            QueryKind::Select { project, .. } => assert_eq!(project.len(), 3),
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(p.output_names, vec!["host", "out_rate", "in_rate"]);
+    }
+
+    #[test]
+    fn figure1_continuous_sum_plan() {
+        let p = plan("SELECT SUM(out_rate) AS total FROM netstats CONTINUOUS EVERY 5 SECONDS");
+        let c = p.continuous.unwrap();
+        assert_eq!(c.period, Duration::from_secs(5));
+        assert_eq!(c.window, Duration::from_secs(5));
+        match &p.kind {
+            QueryKind::Aggregate { group_exprs, aggs, final_project, .. } => {
+                assert!(group_exprs.is_empty());
+                assert_eq!(aggs.len(), 1);
+                assert_eq!(aggs[0].func, AggFunc::Sum);
+                assert_eq!(aggs[0].arg, Some(Expr::col(1)));
+                assert_eq!(final_project, &vec![0]);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(p.output_names, vec!["total"]);
+    }
+
+    #[test]
+    fn table1_top10_plan() {
+        let p = plan(
+            "SELECT rule_id, description, SUM(hits) AS total FROM intrusions \
+             GROUP BY rule_id, description ORDER BY SUM(hits) DESC LIMIT 10",
+        );
+        match &p.kind {
+            QueryKind::Aggregate { group_exprs, aggs, order_by, limit, final_project, .. } => {
+                assert_eq!(group_exprs, &vec![Expr::col(1), Expr::col(2)]);
+                assert_eq!(aggs.len(), 1);
+                assert_eq!(aggs[0].func, AggFunc::Sum);
+                // ORDER BY SUM(hits) maps to the aggregate output column 2.
+                assert_eq!(order_by, &vec![SortKey { column: 2, desc: true }]);
+                assert_eq!(*limit, Some(10));
+                assert_eq!(final_project, &vec![0, 1, 2]);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(p.output_names, vec!["rule_id", "description", "total"]);
+    }
+
+    #[test]
+    fn order_by_alias_also_works() {
+        let p = plan(
+            "SELECT rule_id, SUM(hits) AS total FROM intrusions GROUP BY rule_id \
+             ORDER BY total DESC LIMIT 3",
+        );
+        match &p.kind {
+            QueryKind::Aggregate { order_by, .. } => {
+                assert_eq!(order_by, &vec![SortKey { column: 1, desc: true }]);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn having_appends_hidden_aggregate() {
+        let p = plan(
+            "SELECT host, COUNT(*) AS c FROM intrusions GROUP BY host HAVING SUM(hits) > 100",
+        );
+        match &p.kind {
+            QueryKind::Aggregate { aggs, having, .. } => {
+                assert_eq!(aggs.len(), 2, "COUNT(*) plus the hidden SUM(hits)");
+                let h = having.as_ref().unwrap();
+                // HAVING references the hidden aggregate at output column 2.
+                assert!(matches!(
+                    h,
+                    Expr::Binary { left, .. } if matches!(**left, Expr::Column(2))
+                ));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // Hidden aggregates do not change the client-visible output.
+        assert_eq!(p.output_names, vec!["host", "c"]);
+    }
+
+    #[test]
+    fn join_plan_resolves_keys_and_projection() {
+        let p = plan(
+            "SELECT f.name, k.keyword FROM files f JOIN keywords k ON f.file_id = k.file_id \
+             WHERE k.keyword = 'mp3'",
+        );
+        match &p.kind {
+            QueryKind::Join { left_table, right_table, left_key, right_key, post_filter, project, strategy, .. } => {
+                assert_eq!(left_table, "files");
+                assert_eq!(right_table, "keywords");
+                assert_eq!(left_key, &Expr::col(0));
+                assert_eq!(right_key, &Expr::col(1));
+                assert!(post_filter.is_some());
+                // f.name is column 1 of the left schema; k.keyword is column 0
+                // of the right schema = column 3 of the joined schema.
+                assert_eq!(project, &vec![Expr::col(1), Expr::col(3)]);
+                assert_eq!(*strategy, JoinStrategy::SymmetricHash);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(p.output_names, vec!["f.name", "k.keyword"]);
+    }
+
+    #[test]
+    fn join_keys_accept_reversed_order() {
+        let p = plan("SELECT f.name FROM files f JOIN keywords k ON k.file_id = f.file_id");
+        match &p.kind {
+            QueryKind::Join { left_key, right_key, .. } => {
+                assert_eq!(left_key, &Expr::col(0));
+                assert_eq!(right_key, &Expr::col(1));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_strategy_is_configurable() {
+        let cat = catalog();
+        let stmt = parse_select("SELECT f.name FROM files f JOIN keywords k ON f.file_id = k.file_id").unwrap();
+        let p = Planner::with_join_strategy(&cat, JoinStrategy::FetchMatches)
+            .plan_select(&stmt)
+            .unwrap();
+        match p.kind {
+            QueryKind::Join { strategy, .. } => assert_eq!(strategy, JoinStrategy::FetchMatches),
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(plan_err("SELECT * FROM missing").message.contains("unknown table"));
+        assert!(plan_err("SELECT nope FROM netstats").message.contains("unknown column"));
+        assert!(plan_err("SELECT host FROM intrusions GROUP BY rule_id")
+            .message
+            .contains("must appear in GROUP BY"));
+        assert!(plan_err("SELECT *, COUNT(*) FROM netstats GROUP BY host")
+            .message
+            .contains("SELECT *"));
+        assert!(plan_err("SELECT host FROM netstats ORDER BY missing").message.contains("ORDER BY"));
+        let e = plan_err("SELECT host, SUM(x) FROM netstats GROUP BY host");
+        assert!(e.message.contains("unknown column"), "{}", e.message);
+        assert!(format!("{e}").contains("planning error"));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let p = plan("SELECT COUNT(*), AVG(out_rate) FROM netstats WHERE out_rate > 0");
+        match &p.kind {
+            QueryKind::Aggregate { group_exprs, aggs, filter, .. } => {
+                assert!(group_exprs.is_empty());
+                assert_eq!(aggs.len(), 2);
+                assert!(filter.is_some());
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        assert_eq!(p.output_names, vec!["count", "avg_out_rate"]);
+    }
+
+    #[test]
+    fn literal_defaults_order_limit_select() {
+        let p = plan("SELECT host FROM netstats ORDER BY host LIMIT 5");
+        match &p.kind {
+            QueryKind::Select { order_by, limit, .. } => {
+                assert_eq!(order_by, &vec![SortKey { column: 0, desc: false }]);
+                assert_eq!(*limit, Some(5));
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_aggregates_are_shared() {
+        let p = plan(
+            "SELECT rule_id, SUM(hits) AS a FROM intrusions GROUP BY rule_id ORDER BY SUM(hits) DESC",
+        );
+        match &p.kind {
+            QueryKind::Aggregate { aggs, .. } => assert_eq!(aggs.len(), 1),
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursive_kind_is_constructible() {
+        // Not produced by SQL, but the algebraic interface builds it directly.
+        let kind = QueryKind::Recursive {
+            edges_table: "link".into(),
+            src_col: 0,
+            dst_col: 1,
+            source: Value::str("n0"),
+            max_depth: 4,
+        };
+        assert_eq!(kind.primary_table(), "link");
+    }
+}

@@ -1,0 +1,313 @@
+//! Distributed query specifications.
+//!
+//! A [`QuerySpec`] is what PIER disseminates to every node when a query is
+//! submitted: a self-contained description of the work each node performs
+//! against its local data and of how partial results flow back (directly to
+//! the origin, up an aggregation tree, or through rehash/fetch/Bloom join
+//! sites).  It is the "physical plan" of the system.
+
+use crate::expr::Expr;
+use crate::plan::{AggExpr, SortKey};
+use crate::value::Value;
+use pier_simnet::{Duration, NodeAddr, WireSize};
+use std::fmt;
+
+/// Globally unique query identifier: origin address in the high bits, a
+/// per-origin sequence number in the low bits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+impl QueryId {
+    /// Compose an id from the origin node and a local sequence number.
+    pub fn new(origin: NodeAddr, seq: u32) -> Self {
+        QueryId(((origin.0 as u64) << 32) | seq as u64)
+    }
+
+    /// The node that submitted the query.
+    pub fn origin(&self) -> NodeAddr {
+        NodeAddr((self.0 >> 32) as u32)
+    }
+
+    /// The per-origin sequence number.
+    pub fn seq(&self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Debug for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}.{}", self.origin().0, self.seq())
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}.{}", self.origin().0, self.seq())
+    }
+}
+
+/// How a continuous query is re-evaluated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContinuousSpec {
+    /// Time between successive evaluations (epochs).
+    pub period: Duration,
+    /// Only tuples stored within this window before the evaluation are
+    /// considered.
+    pub window: Duration,
+}
+
+impl ContinuousSpec {
+    /// A spec evaluating every `period` over a window of the same length.
+    pub fn every(period: Duration) -> Self {
+        ContinuousSpec { period, window: period }
+    }
+}
+
+/// Distributed join strategies PIER implements (the paper's "multihop,
+/// in-network versions of joins").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Symmetric rehash join: both relations are rehashed on the join key into
+    /// a query-scoped namespace; the responsible node for each key value
+    /// produces matches as tuples arrive from either side.
+    SymmetricHash,
+    /// Fetch-matches join: only the left relation is scanned; for each left
+    /// tuple the right relation (already partitioned on the join key) is
+    /// probed with a DHT `get`.
+    FetchMatches,
+    /// Bloom-filter semi-join: nodes first publish Bloom filters of their left
+    /// join keys; the origin ORs them and re-broadcasts the summary, and only
+    /// right tuples passing the filter are rehashed.
+    BloomFilter,
+}
+
+/// The per-node work of a query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryKind {
+    /// Scan + filter + project; qualifying rows stream to the origin, which
+    /// applies an optional sort/limit.
+    Select {
+        /// Table to scan.
+        table: String,
+        /// Predicate over the table schema.
+        filter: Option<Expr>,
+        /// Projection expressions over the table schema.
+        project: Vec<Expr>,
+        /// Sort keys over the projected output (applied at the origin).
+        order_by: Vec<SortKey>,
+        /// Row limit (applied at the origin).
+        limit: Option<usize>,
+    },
+    /// Grouped (or global) aggregation with hierarchical in-network combining.
+    Aggregate {
+        /// Table to scan.
+        table: String,
+        /// Predicate over the table schema.
+        filter: Option<Expr>,
+        /// Grouping expressions over the table schema.
+        group_exprs: Vec<Expr>,
+        /// Aggregates over the table schema.
+        aggs: Vec<AggExpr>,
+        /// `HAVING` predicate over the aggregate output (groups ++ aggs).
+        having: Option<Expr>,
+        /// Sort keys over the aggregate output (origin-side).
+        order_by: Vec<SortKey>,
+        /// Row limit (origin-side top-k).
+        limit: Option<usize>,
+        /// Final projection over the aggregate output, mapping to the client's
+        /// column order.
+        final_project: Vec<usize>,
+    },
+    /// Distributed equi-join of two tables.
+    Join {
+        /// Left (probe/outer) table.
+        left_table: String,
+        /// Right (build/inner) table.
+        right_table: String,
+        /// Join key over the left table schema.
+        left_key: Expr,
+        /// Join key over the right table schema.
+        right_key: Expr,
+        /// Residual predicate over the concatenated schema.
+        post_filter: Option<Expr>,
+        /// Projection over the concatenated schema.
+        project: Vec<Expr>,
+        /// Which join algorithm to run.
+        strategy: JoinStrategy,
+        /// Sort keys over the projected output (origin-side).
+        order_by: Vec<SortKey>,
+        /// Row limit (origin-side).
+        limit: Option<usize>,
+    },
+    /// Recursive reachability over an edge relation (the paper's "network
+    /// topology analysis and routing using recursive queries").  Starting from
+    /// `source`, repeatedly follows edges `src -> dst`, streaming each newly
+    /// reached vertex (with its depth) to the origin.
+    Recursive {
+        /// Edge table, partitioned by the source column.
+        edges_table: String,
+        /// Index of the source column in the edge schema.
+        src_col: usize,
+        /// Index of the destination column in the edge schema.
+        dst_col: usize,
+        /// The start vertex.
+        source: Value,
+        /// Maximum expansion depth (safety bound).
+        max_depth: u32,
+    },
+}
+
+impl QueryKind {
+    /// The table whose local scan seeds this query on every node.
+    pub fn primary_table(&self) -> &str {
+        match self {
+            QueryKind::Select { table, .. } | QueryKind::Aggregate { table, .. } => table,
+            QueryKind::Join { left_table, .. } => left_table,
+            QueryKind::Recursive { edges_table, .. } => edges_table,
+        }
+    }
+
+    /// Is this an aggregation query?
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, QueryKind::Aggregate { .. })
+    }
+}
+
+/// A complete distributed query: identity, work description, output naming,
+/// and continuous-execution settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuerySpec {
+    /// Unique id (also identifies the origin node).
+    pub id: QueryId,
+    /// Per-node work.
+    pub kind: QueryKind,
+    /// Client-visible output column names.
+    pub output_names: Vec<String>,
+    /// Continuous execution settings (`None` = one-shot snapshot query).
+    pub continuous: Option<ContinuousSpec>,
+}
+
+impl QuerySpec {
+    /// The node that submitted this query and receives its results.
+    pub fn origin(&self) -> NodeAddr {
+        self.id.origin()
+    }
+
+    /// Is this a continuous query?
+    pub fn is_continuous(&self) -> bool {
+        self.continuous.is_some()
+    }
+}
+
+impl WireSize for QuerySpec {
+    fn wire_size(&self) -> usize {
+        // Plans are small (tens to a couple hundred bytes); an estimate based
+        // on the expression count is plenty for bandwidth accounting.
+        let kind = match &self.kind {
+            QueryKind::Select { filter, project, .. } => {
+                filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
+                    + project.iter().map(|e| e.wire_size()).sum::<usize>()
+            }
+            QueryKind::Aggregate { filter, group_exprs, aggs, having, .. } => {
+                filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
+                    + group_exprs.iter().map(|e| e.wire_size()).sum::<usize>()
+                    + aggs
+                        .iter()
+                        .map(|a| a.arg.as_ref().map(|e| e.wire_size()).unwrap_or(1) + 8)
+                        .sum::<usize>()
+                    + having.as_ref().map(|f| f.wire_size()).unwrap_or(0)
+            }
+            QueryKind::Join { left_key, right_key, post_filter, project, .. } => {
+                left_key.wire_size()
+                    + right_key.wire_size()
+                    + post_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
+                    + project.iter().map(|e| e.wire_size()).sum::<usize>()
+            }
+            QueryKind::Recursive { source, .. } => 16 + source.wire_size(),
+        };
+        8 + 16
+            + self.output_names.iter().map(|n| n.len() + 2).sum::<usize>()
+            + kind
+            + if self.continuous.is_some() { 16 } else { 1 }
+    }
+}
+
+/// One output row delivered to the client.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultRow {
+    /// Which query produced it.
+    pub query: QueryId,
+    /// Which epoch of a continuous query (0 for one-shot queries).
+    pub epoch: u64,
+    /// The row.
+    pub tuple: crate::tuple::Tuple,
+}
+
+impl WireSize for ResultRow {
+    fn wire_size(&self) -> usize {
+        8 + 8 + self.tuple.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_id_round_trips() {
+        let id = QueryId::new(NodeAddr(42), 7);
+        assert_eq!(id.origin(), NodeAddr(42));
+        assert_eq!(id.seq(), 7);
+        assert_eq!(format!("{id}"), "q42.7");
+        assert_eq!(format!("{id:?}"), "q42.7");
+        let other = QueryId::new(NodeAddr(42), 8);
+        assert_ne!(id, other);
+    }
+
+    #[test]
+    fn continuous_spec_every() {
+        let c = ContinuousSpec::every(Duration::from_secs(5));
+        assert_eq!(c.period, Duration::from_secs(5));
+        assert_eq!(c.window, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn kind_helpers() {
+        let sel = QueryKind::Select {
+            table: "t".into(),
+            filter: None,
+            project: vec![Expr::col(0)],
+            order_by: vec![],
+            limit: None,
+        };
+        assert_eq!(sel.primary_table(), "t");
+        assert!(!sel.is_aggregate());
+        let rec = QueryKind::Recursive {
+            edges_table: "link".into(),
+            src_col: 0,
+            dst_col: 1,
+            source: Value::str("n0"),
+            max_depth: 8,
+        };
+        assert_eq!(rec.primary_table(), "link");
+    }
+
+    #[test]
+    fn spec_wire_size_and_accessors() {
+        let spec = QuerySpec {
+            id: QueryId::new(NodeAddr(3), 1),
+            kind: QueryKind::Select {
+                table: "t".into(),
+                filter: Some(Expr::col(0).gt(Expr::lit(1i64))),
+                project: vec![Expr::col(0), Expr::col(1)],
+                order_by: vec![],
+                limit: Some(5),
+            },
+            output_names: vec!["a".into(), "b".into()],
+            continuous: Some(ContinuousSpec::every(Duration::from_secs(10))),
+        };
+        assert_eq!(spec.origin(), NodeAddr(3));
+        assert!(spec.is_continuous());
+        assert!(spec.wire_size() > 20);
+    }
+}

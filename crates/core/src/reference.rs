@@ -1,0 +1,264 @@
+//! Centralized reference evaluator.
+//!
+//! Executes a [`LogicalPlan`] against in-memory tables on a single machine.
+//! The test suite uses it as ground truth: a distributed PIER run over the
+//! same data must produce the same answer (up to row order), which is exactly
+//! the paper's implicit correctness claim for in-network execution.
+
+use crate::dataflow::ops::{sort_tuples, GroupAggregator};
+use crate::plan::LogicalPlan;
+use crate::tuple::Tuple;
+use std::collections::HashMap;
+
+/// An in-memory database: table name → rows.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryDb {
+    tables: HashMap<String, Vec<Tuple>>,
+}
+
+impl MemoryDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append rows to a table (created on first use).
+    pub fn insert(&mut self, table: &str, rows: impl IntoIterator<Item = Tuple>) {
+        self.tables.entry(table.to_ascii_lowercase()).or_default().extend(rows);
+    }
+
+    /// Rows of a table (empty if absent).
+    pub fn rows(&self, table: &str) -> &[Tuple] {
+        self.tables.get(&table.to_ascii_lowercase()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of rows across all tables.
+    pub fn len(&self) -> usize {
+        self.tables.values().map(|v| v.len()).sum()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluate a logical plan.
+    pub fn execute(&self, plan: &LogicalPlan) -> Vec<Tuple> {
+        match plan {
+            LogicalPlan::Scan { table, .. } => self.rows(table).to_vec(),
+            LogicalPlan::Filter { input, predicate } => self
+                .execute(input)
+                .into_iter()
+                .filter(|t| predicate.matches(t))
+                .collect(),
+            LogicalPlan::Project { input, exprs, .. } => self
+                .execute(input)
+                .iter()
+                .map(|t| Tuple::new(exprs.iter().map(|e| e.eval(t)).collect()))
+                .collect(),
+            LogicalPlan::Join { left, right, left_key, right_key } => {
+                let left_rows = self.execute(left);
+                let right_rows = self.execute(right);
+                let mut index: HashMap<crate::value::Value, Vec<&Tuple>> = HashMap::new();
+                for r in &right_rows {
+                    let k = right_key.eval(r);
+                    if !k.is_null() {
+                        index.entry(k).or_default().push(r);
+                    }
+                }
+                let mut out = Vec::new();
+                for l in &left_rows {
+                    let k = left_key.eval(l);
+                    if k.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = index.get(&k) {
+                        for r in matches {
+                            out.push(l.concat(r));
+                        }
+                    }
+                }
+                out
+            }
+            LogicalPlan::Aggregate { input, group_exprs, aggs, .. } => {
+                let rows = self.execute(input);
+                let mut agg = GroupAggregator::new(group_exprs.clone(), aggs.clone());
+                for r in &rows {
+                    agg.update(r);
+                }
+                agg.finalize()
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let mut rows = self.execute(input);
+                sort_tuples(&mut rows, keys);
+                rows
+            }
+            LogicalPlan::Limit { input, n } => {
+                let mut rows = self.execute(input);
+                rows.truncate(*n);
+                rows
+            }
+        }
+    }
+}
+
+/// Compare two result sets ignoring row order (multiset equality).
+pub fn same_rows(a: &[Tuple], b: &[Tuple]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut counts: HashMap<String, i64> = HashMap::new();
+    for t in a {
+        *counts.entry(format!("{t}")).or_insert(0) += 1;
+    }
+    for t in b {
+        let e = counts.entry(format!("{t}")).or_insert(0);
+        *e -= 1;
+        if *e < 0 {
+            return false;
+        }
+    }
+    counts.values().all(|&c| c == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, TableDef};
+    use crate::planner::Planner;
+    use crate::sql::parse_select;
+    use crate::tuple::Schema;
+    use crate::value::{DataType, Value};
+    use pier_simnet::Duration;
+
+    fn db_and_catalog() -> (MemoryDb, Catalog) {
+        let mut cat = Catalog::new();
+        cat.register(TableDef::new(
+            "emp",
+            Schema::of(&[
+                ("name", DataType::Str),
+                ("dept", DataType::Str),
+                ("salary", DataType::Int),
+            ]),
+            "name",
+            Duration::from_secs(60),
+        ));
+        cat.register(TableDef::new(
+            "dept",
+            Schema::of(&[("dname", DataType::Str), ("building", DataType::Str)]),
+            "dname",
+            Duration::from_secs(60),
+        ));
+        let mut db = MemoryDb::new();
+        db.insert(
+            "emp",
+            vec![
+                Tuple::new(vec![Value::str("ann"), Value::str("db"), Value::Int(100)]),
+                Tuple::new(vec![Value::str("bob"), Value::str("db"), Value::Int(80)]),
+                Tuple::new(vec![Value::str("cat"), Value::str("os"), Value::Int(120)]),
+                Tuple::new(vec![Value::str("dan"), Value::str("os"), Value::Int(90)]),
+                Tuple::new(vec![Value::str("eve"), Value::str("net"), Value::Int(70)]),
+            ],
+        );
+        db.insert(
+            "dept",
+            vec![
+                Tuple::new(vec![Value::str("db"), Value::str("soda")]),
+                Tuple::new(vec![Value::str("os"), Value::str("cory")]),
+            ],
+        );
+        (db, cat)
+    }
+
+    fn run(sql: &str) -> Vec<Tuple> {
+        let (db, cat) = db_and_catalog();
+        let stmt = parse_select(sql).unwrap();
+        let planned = Planner::new(&cat).plan_select(&stmt).unwrap();
+        db.execute(&planned.logical)
+    }
+
+    #[test]
+    fn select_filter_project() {
+        let out = run("SELECT name FROM emp WHERE salary >= 90 ORDER BY name");
+        assert_eq!(
+            out,
+            vec![
+                Tuple::new(vec![Value::str("ann")]),
+                Tuple::new(vec![Value::str("cat")]),
+                Tuple::new(vec![Value::str("dan")]),
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_aggregate() {
+        let out = run(
+            "SELECT dept, COUNT(*) AS c, SUM(salary) AS s FROM emp GROUP BY dept ORDER BY dept",
+        );
+        assert_eq!(
+            out,
+            vec![
+                Tuple::new(vec![Value::str("db"), Value::Int(2), Value::Int(180)]),
+                Tuple::new(vec![Value::str("net"), Value::Int(1), Value::Int(70)]),
+                Tuple::new(vec![Value::str("os"), Value::Int(2), Value::Int(210)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn having_and_top_k() {
+        let out = run(
+            "SELECT dept, SUM(salary) AS total FROM emp GROUP BY dept \
+             HAVING COUNT(*) > 1 ORDER BY total DESC LIMIT 1",
+        );
+        assert_eq!(out, vec![Tuple::new(vec![Value::str("os"), Value::Int(210)])]);
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let out = run("SELECT COUNT(*), AVG(salary) FROM emp");
+        assert_eq!(out, vec![Tuple::new(vec![Value::Int(5), Value::Float(92.0)])]);
+    }
+
+    #[test]
+    fn join_query() {
+        let out = run(
+            "SELECT e.name, d.building FROM emp e JOIN dept d ON e.dept = d.dname \
+             WHERE e.salary > 85 ORDER BY e.name",
+        );
+        assert_eq!(
+            out,
+            vec![
+                Tuple::new(vec![Value::str("ann"), Value::str("soda")]),
+                Tuple::new(vec![Value::str("cat"), Value::str("cory")]),
+                Tuple::new(vec![Value::str("dan"), Value::str("cory")]),
+            ]
+        );
+    }
+
+    #[test]
+    fn limit_without_order() {
+        let out = run("SELECT name FROM emp LIMIT 2");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn same_rows_is_order_insensitive() {
+        let a = vec![Tuple::new(vec![Value::Int(1)]), Tuple::new(vec![Value::Int(2)])];
+        let b = vec![Tuple::new(vec![Value::Int(2)]), Tuple::new(vec![Value::Int(1)])];
+        let c = vec![Tuple::new(vec![Value::Int(2)]), Tuple::new(vec![Value::Int(2)])];
+        assert!(same_rows(&a, &b));
+        assert!(!same_rows(&a, &c));
+        assert!(!same_rows(&a, &a[..1].to_vec()));
+    }
+
+    #[test]
+    fn memory_db_helpers() {
+        let (db, _) = db_and_catalog();
+        assert_eq!(db.rows("emp").len(), 5);
+        assert_eq!(db.rows("missing").len(), 0);
+        assert_eq!(db.len(), 7);
+        assert!(!db.is_empty());
+        assert!(MemoryDb::new().is_empty());
+    }
+}

@@ -1,0 +1,295 @@
+//! Abstract syntax tree for PIER's SQL dialect.
+//!
+//! The dialect covers what the paper demonstrates: single-table selections and
+//! projections, two-way equi-joins, grouped aggregation with `HAVING`,
+//! `ORDER BY … LIMIT` (top-k), and **continuous queries** — the same `SELECT`
+//! re-evaluated every *period* seconds over the most recent *window* of data,
+//! which is how the Figure 1 monitoring query runs.  `CREATE TABLE` and
+//! `INSERT` are provided so examples can be driven entirely from SQL.
+
+use crate::aggregate::AggFunc;
+use crate::expr::{BinaryOp, UnaryOp};
+use crate::value::{DataType, Value};
+
+/// A complete SQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// A (possibly continuous) query.
+    Select(SelectStmt),
+    /// Table definition.
+    CreateTable(CreateTableStmt),
+    /// Single-row insert.
+    Insert(InsertStmt),
+}
+
+/// A reference to a table, with an optional alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    /// Table (namespace) name.
+    pub name: String,
+    /// Optional alias used to qualify columns.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name columns of this table are qualified with.
+    pub fn qualifier(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One item in the `SELECT` list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression (may contain aggregate calls).
+        expr: AstExpr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// An unresolved expression (column names not yet bound to positions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstExpr {
+    /// Column reference, possibly qualified (`table.column`).
+    Column(String),
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<AstExpr>,
+    },
+    /// Scalar function call by name (resolved by the planner).
+    Func {
+        /// Function name (lower case).
+        name: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+    },
+    /// Aggregate call.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Argument (`None` means `*`, valid only for `COUNT`).
+        arg: Option<Box<AstExpr>>,
+    },
+    /// `expr LIKE 'pattern'`.
+    Like {
+        /// The matched expression.
+        expr: Box<AstExpr>,
+        /// The pattern.
+        pattern: String,
+    },
+}
+
+impl AstExpr {
+    /// Does this expression contain an aggregate call anywhere?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            AstExpr::Agg { .. } => true,
+            AstExpr::Column(_) | AstExpr::Literal(_) => false,
+            AstExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            AstExpr::Unary { expr, .. } | AstExpr::Like { expr, .. } => expr.contains_aggregate(),
+            AstExpr::Func { args, .. } => args.iter().any(|a| a.contains_aggregate()),
+        }
+    }
+
+    /// Column names referenced by this expression (qualified names kept as-is).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            AstExpr::Column(name) => out.push(name.clone()),
+            AstExpr::Literal(_) => {}
+            AstExpr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            AstExpr::Unary { expr, .. } | AstExpr::Like { expr, .. } => expr.collect_columns(out),
+            AstExpr::Func { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            AstExpr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+/// `JOIN table ON left = right`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    /// The right-hand table.
+    pub table: TableRef,
+    /// Column of the left table in the equality predicate.
+    pub left_column: String,
+    /// Column of the right table in the equality predicate.
+    pub right_column: String,
+}
+
+/// One `ORDER BY` key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderItem {
+    /// The sort expression (often an aggregate or an output column name).
+    pub expr: AstExpr,
+    /// Descending order?
+    pub desc: bool,
+}
+
+/// Continuous-query clause: `CONTINUOUS EVERY n SECONDS [WINDOW m SECONDS]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ContinuousClause {
+    /// Re-evaluation period, seconds.
+    pub every_secs: f64,
+    /// Window of data considered in each evaluation, seconds (defaults to the
+    /// period if absent).
+    pub window_secs: Option<f64>,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStmt {
+    /// Items in the select list.
+    pub projections: Vec<SelectItem>,
+    /// The main (left) table.
+    pub from: TableRef,
+    /// Optional equi-join against a second table.
+    pub join: Option<JoinClause>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<AstExpr>,
+    /// `GROUP BY` column names.
+    pub group_by: Vec<String>,
+    /// `HAVING` predicate (over aggregate outputs).
+    pub having: Option<AstExpr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// Continuous-query clause.
+    pub continuous: Option<ContinuousClause>,
+}
+
+impl SelectStmt {
+    /// Does the statement compute any aggregate (grouped or global)?
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || self.projections.iter().any(|p| match p {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                SelectItem::Wildcard => false,
+            })
+    }
+}
+
+/// A parsed `CREATE TABLE`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CreateTableStmt {
+    /// Table name.
+    pub name: String,
+    /// Column names and types.
+    pub columns: Vec<(String, DataType)>,
+    /// `PARTITION BY column` (defaults to the first column).
+    pub partition_by: Option<String>,
+    /// `TTL n SECONDS` for published tuples.
+    pub ttl_secs: Option<u64>,
+}
+
+/// A parsed `INSERT INTO t VALUES (...)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InsertStmt {
+    /// Target table.
+    pub table: String,
+    /// Values, one per column.
+    pub values: Vec<Value>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_tree() {
+        let agg = AstExpr::Agg { func: AggFunc::Sum, arg: Some(Box::new(AstExpr::Column("x".into()))) };
+        let wrapped = AstExpr::Binary {
+            op: BinaryOp::Add,
+            left: Box::new(AstExpr::Literal(Value::Int(1))),
+            right: Box::new(agg.clone()),
+        };
+        assert!(agg.contains_aggregate());
+        assert!(wrapped.contains_aggregate());
+        assert!(!AstExpr::Column("x".into()).contains_aggregate());
+        let f = AstExpr::Func { name: "abs".into(), args: vec![wrapped] };
+        assert!(f.contains_aggregate());
+    }
+
+    #[test]
+    fn referenced_columns() {
+        let e = AstExpr::Binary {
+            op: BinaryOp::And,
+            left: Box::new(AstExpr::Column("a.x".into())),
+            right: Box::new(AstExpr::Like {
+                expr: Box::new(AstExpr::Column("y".into())),
+                pattern: "%".into(),
+            }),
+        };
+        assert_eq!(e.referenced_columns(), vec!["a.x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn table_ref_qualifier() {
+        let t = TableRef { name: "netstats".into(), alias: None };
+        assert_eq!(t.qualifier(), "netstats");
+        let t = TableRef { name: "netstats".into(), alias: Some("n".into()) };
+        assert_eq!(t.qualifier(), "n");
+    }
+
+    #[test]
+    fn select_is_aggregate() {
+        let base = SelectStmt {
+            projections: vec![SelectItem::Wildcard],
+            from: TableRef { name: "t".into(), alias: None },
+            join: None,
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+            continuous: None,
+        };
+        assert!(!base.is_aggregate());
+        let mut grouped = base.clone();
+        grouped.group_by = vec!["x".into()];
+        assert!(grouped.is_aggregate());
+        let mut global = base;
+        global.projections = vec![SelectItem::Expr {
+            expr: AstExpr::Agg { func: AggFunc::Count, arg: None },
+            alias: None,
+        }];
+        assert!(global.is_aggregate());
+    }
+}

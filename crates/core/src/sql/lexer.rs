@@ -1,0 +1,301 @@
+//! SQL lexer.
+//!
+//! Splits query text into tokens: identifiers/keywords, numeric and string
+//! literals, operators and punctuation.  Keywords are recognized
+//! case-insensitively; identifiers are lower-cased (PIER's namespaces are
+//! case-insensitive names).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation or operator, e.g. `","`, `"<="`, `"("`.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Is this token the given keyword (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Is this token the given symbol?
+    pub fn is_sym(&self, sym: &str) -> bool {
+        matches!(self, Token::Sym(s) if *s == sym)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Sym(s) => write!(f, "{s}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Lexing errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | '*' | '+' | '/' | '%' | ';' | '.' => {
+                let sym = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    '+' => "+",
+                    '/' => "/",
+                    '%' => "%",
+                    ';' => ";",
+                    _ => ".",
+                };
+                tokens.push(Token::Sym(sym));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Sym("-"));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Sym("="));
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Sym("<="));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Sym("<>"));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Sym(">="));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Sym(">"));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Sym("<>"));
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "unexpected '!'".into(), position: i });
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            position: i,
+                        });
+                    }
+                    if bytes[j] == b'\'' {
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            j += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[j] as char);
+                        j += 1;
+                    }
+                }
+                tokens.push(Token::Str(s));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| LexError {
+                        message: format!("bad float literal {text:?}: {e}"),
+                        position: start,
+                    })?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| LexError {
+                        message: format!("bad integer literal {text:?}: {e}"),
+                        position: start,
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    position: i,
+                });
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_and_identifiers_lowercase() {
+        let toks = tokenize("SELECT Host FROM NetStats").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("host".into()),
+                Token::Ident("from".into()),
+                Token::Ident("netstats".into()),
+                Token::Eof
+            ]
+        );
+        assert!(toks[0].is_kw("select"));
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(!toks[0].is_kw("from"));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 3.5 0.25 7").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(42), Token::Float(3.5), Token::Float(0.25), Token::Int(7), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = tokenize("'hello' 'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("hello".into()), Token::Str("it's".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a >= 1 AND b <> 2 OR c != 3 AND d <= e < f > g = h").unwrap();
+        let syms: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Sym(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec![">=", "<>", "<>", "<=", "<", ">", "="]);
+    }
+
+    #[test]
+    fn punctuation_and_arith() {
+        let toks = tokenize("f(x), (a+b)*c - d/e % 2; t.col").unwrap();
+        assert!(toks.iter().any(|t| t.is_sym("(")));
+        assert!(toks.iter().any(|t| t.is_sym(",")));
+        assert!(toks.iter().any(|t| t.is_sym("*")));
+        assert!(toks.iter().any(|t| t.is_sym("-")));
+        assert!(toks.iter().any(|t| t.is_sym("/")));
+        assert!(toks.iter().any(|t| t.is_sym("%")));
+        assert!(toks.iter().any(|t| t.is_sym(";")));
+        assert!(toks.iter().any(|t| t.is_sym(".")));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(toks.len(), 5); // select, 1, ',', 2, eof
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("@").is_err());
+        assert!(tokenize("!").is_err());
+        let err = tokenize("  #").unwrap_err();
+        assert_eq!(err.position, 2);
+        assert!(format!("{err}").contains("lex error"));
+    }
+
+    #[test]
+    fn display_tokens() {
+        assert_eq!(format!("{}", Token::Ident("x".into())), "x");
+        assert_eq!(format!("{}", Token::Str("s".into())), "'s'");
+        assert_eq!(format!("{}", Token::Sym(",")), ",");
+        assert_eq!(format!("{}", Token::Eof), "<eof>");
+        assert_eq!(format!("{}", Token::Int(3)), "3");
+        assert_eq!(format!("{}", Token::Float(1.5)), "1.5");
+    }
+}

@@ -1,0 +1,28 @@
+//! SQL frontend: lexer, AST, and parser for PIER's dialect.
+//!
+//! The dialect supports the statements the paper demonstrates:
+//!
+//! ```sql
+//! -- Figure 1: continuous network-wide sum of outbound data rates
+//! SELECT SUM(out_rate) FROM netstats CONTINUOUS EVERY 5 SECONDS WINDOW 10 SECONDS;
+//!
+//! -- Table 1: network-wide top ten intrusion detection rules
+//! SELECT rule_id, description, SUM(hits) AS total
+//! FROM intrusions GROUP BY rule_id, description
+//! ORDER BY SUM(hits) DESC LIMIT 10;
+//!
+//! -- Keyword filesharing search (two-way distributed equi-join)
+//! SELECT f.name, f.owner FROM files f JOIN keywords k ON f.file_id = k.file_id
+//! WHERE k.keyword = 'creative-commons';
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AstExpr, ContinuousClause, CreateTableStmt, InsertStmt, JoinClause, OrderItem, SelectItem,
+    SelectStmt, Statement, TableRef,
+};
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse, parse_select, ParseError};

@@ -1,0 +1,789 @@
+//! Recursive-descent parser for PIER's SQL dialect.
+
+use crate::aggregate::AggFunc;
+use crate::expr::{BinaryOp, UnaryOp};
+use crate::sql::ast::*;
+use crate::sql::lexer::{tokenize, LexError, Token};
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// Parse errors (covers lexing too).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::new(e.to_string())
+    }
+}
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    // Allow a trailing semicolon.
+    if p.peek().is_sym(";") {
+        p.advance();
+    }
+    if !matches!(p.peek(), Token::Eof) {
+        return Err(ParseError::new(format!("unexpected trailing token {}", p.peek())));
+    }
+    Ok(stmt)
+}
+
+/// Parse a `SELECT` statement (convenience wrapper used by the engine).
+pub fn parse_select(sql: &str) -> Result<SelectStmt, ParseError> {
+    match parse(sql)? {
+        Statement::Select(s) => Ok(s),
+        other => Err(ParseError::new(format!("expected SELECT statement, got {other:?}"))),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        self.tokens.get(self.pos).unwrap_or(&Token::Eof)
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected {kw}, found {}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek().is_sym(sym) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!("expected '{sym}', found {}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Token::Ident(s) => Ok(s),
+            other => Err(ParseError::new(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, ParseError> {
+        match self.advance() {
+            Token::Int(i) => Ok(i),
+            other => Err(ParseError::new(format!("expected integer, found {other}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        match self.advance() {
+            Token::Int(i) => Ok(i as f64),
+            Token::Float(f) => Ok(f),
+            other => Err(ParseError::new(format!("expected number, found {other}"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.peek().is_kw("select") {
+            Ok(Statement::Select(self.select()?))
+        } else if self.peek().is_kw("create") {
+            Ok(Statement::CreateTable(self.create_table()?))
+        } else if self.peek().is_kw("insert") {
+            Ok(Statement::Insert(self.insert()?))
+        } else {
+            Err(ParseError::new(format!("expected SELECT, CREATE or INSERT, found {}", self.peek())))
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_kw("select")?;
+        let projections = self.select_list()?;
+        self.expect_kw("from")?;
+        let from = self.table_ref()?;
+
+        let join = if self.eat_kw("join") {
+            let table = self.table_ref()?;
+            self.expect_kw("on")?;
+            let left_column = self.qualified_name()?;
+            self.expect_sym("=")?;
+            let right_column = self.qualified_name()?;
+            Some(JoinClause { table, left_column, right_column })
+        } else {
+            None
+        };
+
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.qualified_name()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("limit") { Some(self.integer()? as usize) } else { None };
+
+        let continuous = if self.eat_kw("continuous") {
+            let mut every_secs = 10.0;
+            let mut window_secs = None;
+            if self.eat_kw("every") {
+                every_secs = self.number()?;
+                self.eat_kw("seconds");
+                self.eat_kw("second");
+            }
+            if self.eat_kw("window") {
+                window_secs = Some(self.number()?);
+                self.eat_kw("seconds");
+                self.eat_kw("second");
+            }
+            Some(ContinuousClause { every_secs, window_secs })
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            projections,
+            from,
+            join,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+            continuous,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            if self.peek().is_sym("*") {
+                self.advance();
+                items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else if matches!(self.peek(), Token::Ident(s) if !is_clause_keyword(s)) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let name = self.ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else if matches!(self.peek(), Token::Ident(s) if !is_clause_keyword(s)) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    /// `ident` or `ident.ident`.
+    fn qualified_name(&mut self) -> Result<String, ParseError> {
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            let second = self.ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing).
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<AstExpr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr, ParseError> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            Ok(AstExpr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<AstExpr, ParseError> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.peek().is_kw("is") {
+            self.advance();
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            let op = if negated { UnaryOp::IsNotNull } else { UnaryOp::IsNull };
+            return Ok(AstExpr::Unary { op, expr: Box::new(left) });
+        }
+        // LIKE 'pattern'
+        if self.peek().is_kw("like") {
+            self.advance();
+            match self.advance() {
+                Token::Str(pattern) => {
+                    return Ok(AstExpr::Like { expr: Box::new(left), pattern });
+                }
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected string pattern after LIKE, found {other}"
+                    )))
+                }
+            }
+        }
+        let op = match self.peek() {
+            Token::Sym("=") => Some(BinaryOp::Eq),
+            Token::Sym("<>") => Some(BinaryOp::NotEq),
+            Token::Sym("<") => Some(BinaryOp::Lt),
+            Token::Sym("<=") => Some(BinaryOp::LtEq),
+            Token::Sym(">") => Some(BinaryOp::Gt),
+            Token::Sym(">=") => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.additive()?;
+            Ok(AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn additive(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Sym("+") => BinaryOp::Add,
+                Token::Sym("-") => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr, ParseError> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Sym("*") => BinaryOp::Mul,
+                Token::Sym("/") => BinaryOp::Div,
+                Token::Sym("%") => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.unary()?;
+            left = AstExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr, ParseError> {
+        if self.eat_sym("-") {
+            let inner = self.unary()?;
+            // Fold negation of literals so `-5` is a literal, not an expression.
+            if let AstExpr::Literal(Value::Int(i)) = inner {
+                return Ok(AstExpr::Literal(Value::Int(-i)));
+            }
+            if let AstExpr::Literal(Value::Float(f)) = inner {
+                return Ok(AstExpr::Literal(Value::Float(-f)));
+            }
+            return Ok(AstExpr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr, ParseError> {
+        match self.advance() {
+            Token::Int(i) => Ok(AstExpr::Literal(Value::Int(i))),
+            Token::Float(f) => Ok(AstExpr::Literal(Value::Float(f))),
+            Token::Str(s) => Ok(AstExpr::Literal(Value::Str(s))),
+            Token::Sym("(") => {
+                let inner = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(inner)
+            }
+            Token::Sym("*") => {
+                // Only valid inside COUNT(*); handled by the caller below.
+                Err(ParseError::new("unexpected '*' outside COUNT(*)"))
+            }
+            Token::Ident(name) => {
+                match name.as_str() {
+                    "true" => return Ok(AstExpr::Literal(Value::Bool(true))),
+                    "false" => return Ok(AstExpr::Literal(Value::Bool(false))),
+                    "null" => return Ok(AstExpr::Literal(Value::Null)),
+                    _ => {}
+                }
+                // Function or aggregate call?
+                if self.peek().is_sym("(") {
+                    self.advance();
+                    if let Some(func) = AggFunc::from_name(&name) {
+                        // COUNT(*) or AGG(expr)
+                        if self.peek().is_sym("*") {
+                            self.advance();
+                            self.expect_sym(")")?;
+                            if func != AggFunc::Count {
+                                return Err(ParseError::new(format!("{func}(*) is not valid")));
+                            }
+                            return Ok(AstExpr::Agg { func, arg: None });
+                        }
+                        let arg = self.expr()?;
+                        self.expect_sym(")")?;
+                        return Ok(AstExpr::Agg { func, arg: Some(Box::new(arg)) });
+                    }
+                    let mut args = Vec::new();
+                    if !self.peek().is_sym(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_sym(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    return Ok(AstExpr::Func { name, args });
+                }
+                // Qualified column?
+                if self.eat_sym(".") {
+                    let col = self.ident()?;
+                    return Ok(AstExpr::Column(format!("{name}.{col}")));
+                }
+                Ok(AstExpr::Column(name))
+            }
+            other => Err(ParseError::new(format!("unexpected token {other} in expression"))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn create_table(&mut self) -> Result<CreateTableStmt, ParseError> {
+        self.expect_kw("create")?;
+        self.expect_kw("table")?;
+        let name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty = self.data_type()?;
+            columns.push((col, ty));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        let mut partition_by = None;
+        let mut ttl_secs = None;
+        loop {
+            if self.eat_kw("partition") {
+                self.expect_kw("by")?;
+                partition_by = Some(self.ident()?);
+            } else if self.eat_kw("ttl") {
+                ttl_secs = Some(self.integer()? as u64);
+                self.eat_kw("seconds");
+                self.eat_kw("second");
+            } else {
+                break;
+            }
+        }
+        Ok(CreateTableStmt { name, columns, partition_by, ttl_secs })
+    }
+
+    fn data_type(&mut self) -> Result<DataType, ParseError> {
+        let name = self.ident()?;
+        match name.as_str() {
+            "int" | "integer" | "bigint" => Ok(DataType::Int),
+            "float" | "double" | "real" => Ok(DataType::Float),
+            "string" | "text" | "varchar" => {
+                // Optional length: VARCHAR(32).
+                if self.eat_sym("(") {
+                    self.integer()?;
+                    self.expect_sym(")")?;
+                }
+                Ok(DataType::Str)
+            }
+            "bool" | "boolean" => Ok(DataType::Bool),
+            other => Err(ParseError::new(format!("unknown type {other}"))),
+        }
+    }
+
+    fn insert(&mut self) -> Result<InsertStmt, ParseError> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident()?;
+        self.expect_kw("values")?;
+        self.expect_sym("(")?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.literal_value()?);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(InsertStmt { table, values })
+    }
+
+    fn literal_value(&mut self) -> Result<Value, ParseError> {
+        let negative = self.eat_sym("-");
+        match self.advance() {
+            Token::Int(i) => Ok(Value::Int(if negative { -i } else { i })),
+            Token::Float(f) => Ok(Value::Float(if negative { -f } else { f })),
+            Token::Str(s) if !negative => Ok(Value::Str(s)),
+            Token::Ident(s) if !negative && s == "true" => Ok(Value::Bool(true)),
+            Token::Ident(s) if !negative && s == "false" => Ok(Value::Bool(false)),
+            Token::Ident(s) if !negative && s == "null" => Ok(Value::Null),
+            other => Err(ParseError::new(format!("expected literal, found {other}"))),
+        }
+    }
+}
+
+/// Keywords that terminate an implicit alias in a select list or FROM clause.
+fn is_clause_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "from"
+            | "where"
+            | "group"
+            | "having"
+            | "order"
+            | "limit"
+            | "join"
+            | "on"
+            | "as"
+            | "continuous"
+            | "every"
+            | "window"
+            | "and"
+            | "or"
+            | "asc"
+            | "desc"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> SelectStmt {
+        parse_select(sql).unwrap()
+    }
+
+    #[test]
+    fn simple_select_star() {
+        let s = sel("SELECT * FROM netstats");
+        assert_eq!(s.projections, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from.name, "netstats");
+        assert!(s.where_clause.is_none());
+        assert!(!s.is_aggregate());
+    }
+
+    #[test]
+    fn projection_aliases() {
+        let s = sel("SELECT host AS h, out_rate rate FROM netstats");
+        assert_eq!(s.projections.len(), 2);
+        match &s.projections[0] {
+            SelectItem::Expr { expr: AstExpr::Column(c), alias: Some(a) } => {
+                assert_eq!(c, "host");
+                assert_eq!(a, "h");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s.projections[1] {
+            SelectItem::Expr { alias: Some(a), .. } => assert_eq!(a, "rate"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_clause_with_precedence() {
+        let s = sel("SELECT * FROM t WHERE a = 1 AND b > 2 OR c < 3");
+        // Must parse as (a=1 AND b>2) OR (c<3).
+        match s.where_clause.unwrap() {
+            AstExpr::Binary { op: BinaryOp::Or, left, .. } => match *left {
+                AstExpr::Binary { op: BinaryOp::And, .. } => {}
+                other => panic!("expected AND under OR, got {other:?}"),
+            },
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = sel("SELECT a + b * 2 FROM t");
+        match &s.projections[0] {
+            SelectItem::Expr { expr: AstExpr::Binary { op: BinaryOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, AstExpr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure1_continuous_sum() {
+        // The paper's Figure 1 query: continuous network-wide SUM of rates.
+        let s = sel(
+            "SELECT SUM(out_rate) FROM netstats CONTINUOUS EVERY 5 SECONDS WINDOW 10 SECONDS",
+        );
+        assert!(s.is_aggregate());
+        let cont = s.continuous.unwrap();
+        assert_eq!(cont.every_secs, 5.0);
+        assert_eq!(cont.window_secs, Some(10.0));
+        match &s.projections[0] {
+            SelectItem::Expr { expr: AstExpr::Agg { func: AggFunc::Sum, arg: Some(_) }, .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn table1_top_ten_rules() {
+        // The paper's Table 1 query: network-wide top ten intrusion rules.
+        let s = sel(
+            "SELECT rule_id, description, SUM(hits) AS total \
+             FROM intrusions GROUP BY rule_id, description \
+             ORDER BY SUM(hits) DESC LIMIT 10",
+        );
+        assert!(s.is_aggregate());
+        assert_eq!(s.group_by, vec!["rule_id".to_string(), "description".to_string()]);
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert!(s.order_by[0].expr.contains_aggregate());
+    }
+
+    #[test]
+    fn join_on_clause() {
+        let s = sel("SELECT f.name, k.keyword FROM files f JOIN keywords k ON f.file_id = k.file_id WHERE k.keyword = 'mp3'");
+        let j = s.join.unwrap();
+        assert_eq!(j.table.name, "keywords");
+        assert_eq!(j.table.alias.as_deref(), Some("k"));
+        assert_eq!(j.left_column, "f.file_id");
+        assert_eq!(j.right_column, "k.file_id");
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn group_by_having() {
+        let s = sel("SELECT host, COUNT(*) FROM events GROUP BY host HAVING COUNT(*) > 5");
+        assert_eq!(s.group_by, vec!["host".to_string()]);
+        assert!(s.having.unwrap().contains_aggregate());
+    }
+
+    #[test]
+    fn count_star_and_agg_variants() {
+        let s = sel("SELECT COUNT(*), AVG(rate), MIN(rate), MAX(rate) FROM t");
+        assert_eq!(s.projections.len(), 4);
+        assert!(s.is_aggregate());
+        assert!(parse_select("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn like_is_null_not() {
+        let s = sel("SELECT * FROM files WHERE name LIKE '%.mp3' AND size IS NOT NULL AND NOT hidden");
+        let w = s.where_clause.unwrap();
+        let cols = w.referenced_columns();
+        assert!(cols.contains(&"name".to_string()));
+        assert!(cols.contains(&"size".to_string()));
+        assert!(cols.contains(&"hidden".to_string()));
+    }
+
+    #[test]
+    fn negative_numbers_and_parens() {
+        let s = sel("SELECT * FROM t WHERE (a + -3) * 2 >= -1.5");
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn scalar_function_calls() {
+        let s = sel("SELECT lower(name), length(name) FROM files WHERE upper(kind) = 'AUDIO'");
+        match &s.projections[0] {
+            SelectItem::Expr { expr: AstExpr::Func { name, args }, .. } => {
+                assert_eq!(name, "lower");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_table_statement() {
+        let stmt = parse(
+            "CREATE TABLE netstats (host STRING, out_rate FLOAT, in_rate FLOAT) \
+             PARTITION BY host TTL 60 SECONDS",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(c) => {
+                assert_eq!(c.name, "netstats");
+                assert_eq!(c.columns.len(), 3);
+                assert_eq!(c.columns[1], ("out_rate".to_string(), DataType::Float));
+                assert_eq!(c.partition_by.as_deref(), Some("host"));
+                assert_eq!(c.ttl_secs, Some(60));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn create_table_varchar_length() {
+        let stmt = parse("CREATE TABLE t (name VARCHAR(32), n INTEGER, ok BOOLEAN)").unwrap();
+        match stmt {
+            Statement::CreateTable(c) => {
+                assert_eq!(c.columns[0].1, DataType::Str);
+                assert_eq!(c.columns[1].1, DataType::Int);
+                assert_eq!(c.columns[2].1, DataType::Bool);
+                assert!(c.partition_by.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_statement() {
+        let stmt = parse("INSERT INTO netstats VALUES ('host-1', 12.5, -3, true, null)").unwrap();
+        match stmt {
+            Statement::Insert(i) => {
+                assert_eq!(i.table, "netstats");
+                assert_eq!(
+                    i.values,
+                    vec![
+                        Value::str("host-1"),
+                        Value::Float(12.5),
+                        Value::Int(-3),
+                        Value::Bool(true),
+                        Value::Null
+                    ]
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_semicolon_ok_and_garbage_rejected() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+        assert!(parse("SELECT * FROM t garbage garbage").is_err());
+        assert!(parse("DELETE FROM t").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let err = parse("SELECT * FORM t").unwrap_err();
+        assert!(err.message.contains("expected from"), "{}", err.message);
+        let err = parse("SELECT * FROM t WHERE a LIKE 5").unwrap_err();
+        assert!(err.message.contains("LIKE"), "{}", err.message);
+        assert!(format!("{err}").contains("SQL parse error"));
+    }
+
+    #[test]
+    fn continuous_defaults() {
+        let s = sel("SELECT COUNT(*) FROM t CONTINUOUS");
+        let c = s.continuous.unwrap();
+        assert_eq!(c.every_secs, 10.0);
+        assert_eq!(c.window_secs, None);
+    }
+}

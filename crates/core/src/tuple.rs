@@ -1,0 +1,302 @@
+//! Tuples and schemas.
+//!
+//! A [`Tuple`] is an ordered list of [`Value`]s; a [`Schema`] names and types
+//! the positions.  Schemas travel with query plans (not with every tuple), so
+//! tuples stay compact on the wire.
+
+use crate::value::{DataType, Value};
+use pier_simnet::WireSize;
+use std::fmt;
+
+/// A relational tuple: an ordered list of values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// An empty tuple.
+    pub fn empty() -> Self {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Is the tuple empty?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Field at position `idx` (NULL if out of range, matching SQL's
+    /// forgiving treatment of missing attributes from heterogeneous sources).
+    pub fn get(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.values.get(idx).unwrap_or(&NULL)
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the underlying values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    /// Project the given positions into a new tuple.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.get(i).clone()).collect())
+    }
+
+    /// Concatenate two tuples (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple::new(values)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl WireSize for Tuple {
+    fn wire_size(&self) -> usize {
+        2 + self.values.iter().map(|v| v.wire_size()).sum::<usize>()
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// A named, typed field of a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (lower-cased by the catalog and parser).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into().to_ascii_lowercase(), dtype }
+    }
+}
+
+/// The schema of a relation or of an operator's output.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience: build from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Schema::new(cols.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// The fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at a position.
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Position of a column by (case-insensitive) name.
+    ///
+    /// Resolution rules, in order:
+    /// 1. exact match on the full (possibly qualified) name;
+    /// 2. an unqualified query name matches a qualified field whose suffix
+    ///    after the dot equals it (`rate` finds `n.rate`);
+    /// 3. a qualified query name matches an unqualified field with the same
+    ///    suffix (`n.rate` finds `rate`).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lname = name.to_ascii_lowercase();
+        let unqualified = lname.rsplit('.').next().unwrap_or(&lname).to_string();
+        if let Some(i) = self.fields.iter().position(|f| f.name == lname) {
+            return Some(i);
+        }
+        if let Some(i) = self
+            .fields
+            .iter()
+            .position(|f| f.name == unqualified || f.name.ends_with(&format!(".{unqualified}")))
+        {
+            return Some(i);
+        }
+        None
+    }
+
+    /// Column names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A schema whose column names are prefixed with `alias.` — used when a
+    /// relation appears under an alias in a join.
+    pub fn qualified(&self, alias: &str) -> Schema {
+        Schema::new(
+            self.fields
+                .iter()
+                .map(|f| Field::new(format!("{alias}.{}", f.name), f.dtype))
+                .collect(),
+        )
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.clone());
+        Schema::new(fields)
+    }
+
+    /// Does a tuple structurally conform to this schema?  (Arity matches and
+    /// every non-null value has the declared type.)
+    pub fn admits(&self, tuple: &Tuple) -> bool {
+        tuple.arity() == self.arity()
+            && tuple.values().iter().zip(&self.fields).all(|(v, f)| {
+                v.is_null() || v.data_type() == f.dtype || matches!(
+                    (v.data_type(), f.dtype),
+                    (DataType::Int, DataType::Float)
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn tuple_basics() {
+        let mut tup = t(&[1, 2, 3]);
+        assert_eq!(tup.arity(), 3);
+        assert!(!tup.is_empty());
+        assert_eq!(tup.get(1), &Value::Int(2));
+        assert_eq!(tup.get(99), &Value::Null);
+        tup.push(Value::str("x"));
+        assert_eq!(tup.arity(), 4);
+        assert_eq!(format!("{tup}"), "(1, 2, 3, x)");
+        assert!(Tuple::empty().is_empty());
+    }
+
+    #[test]
+    fn project_and_concat() {
+        let a = t(&[10, 20, 30]);
+        let b = Tuple::new(vec![Value::str("x")]);
+        assert_eq!(a.project(&[2, 0]), t(&[30, 10]));
+        let joined = a.concat(&b);
+        assert_eq!(joined.arity(), 4);
+        assert_eq!(joined.get(3), &Value::str("x"));
+        // Projection of an out-of-range index yields NULL.
+        assert_eq!(a.project(&[5]).get(0), &Value::Null);
+    }
+
+    #[test]
+    fn tuple_wire_size() {
+        assert_eq!(Tuple::empty().wire_size(), 2);
+        assert!(t(&[1, 2]).wire_size() > Tuple::empty().wire_size());
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::of(&[("host", DataType::Str), ("rate", DataType::Float)]);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("rate"), Some(1));
+        assert_eq!(s.index_of("RATE"), Some(1));
+        assert_eq!(s.index_of("netstats.rate"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.names(), vec!["host", "rate"]);
+        assert_eq!(s.field(0).unwrap().name, "host");
+        assert!(s.field(5).is_none());
+    }
+
+    #[test]
+    fn schema_qualified_and_concat() {
+        let r = Schema::of(&[("a", DataType::Int)]);
+        let s = Schema::of(&[("b", DataType::Int)]);
+        let q = r.qualified("r");
+        assert_eq!(q.index_of("r.a"), Some(0));
+        assert_eq!(q.index_of("a"), Some(0));
+        let joined = q.concat(&s.qualified("s"));
+        assert_eq!(joined.arity(), 2);
+        assert_eq!(joined.index_of("s.b"), Some(1));
+    }
+
+    #[test]
+    fn qualified_lookup_prefers_exact_match() {
+        let joined = Schema::of(&[("r.k", DataType::Int), ("s.k", DataType::Int)]);
+        assert_eq!(joined.index_of("s.k"), Some(1));
+        assert_eq!(joined.index_of("r.k"), Some(0));
+        // Unqualified name falls back to the first match.
+        assert_eq!(joined.index_of("k"), Some(0));
+    }
+
+    #[test]
+    fn schema_admits() {
+        let s = Schema::of(&[("host", DataType::Str), ("rate", DataType::Float)]);
+        assert!(s.admits(&Tuple::new(vec![Value::str("h"), Value::Float(1.0)])));
+        // Int widens to Float.
+        assert!(s.admits(&Tuple::new(vec![Value::str("h"), Value::Int(3)])));
+        // NULL is allowed anywhere.
+        assert!(s.admits(&Tuple::new(vec![Value::Null, Value::Null])));
+        // Wrong arity or wrong type is rejected.
+        assert!(!s.admits(&Tuple::new(vec![Value::str("h")])));
+        assert!(!s.admits(&Tuple::new(vec![Value::Int(1), Value::str("x")])));
+    }
+
+    #[test]
+    fn field_names_are_lowercased() {
+        assert_eq!(Field::new("HostName", DataType::Str).name, "hostname");
+    }
+}

@@ -1,0 +1,170 @@
+//! SHA-1, used to map names to 160-bit ring identifiers.
+//!
+//! Chord and PIER both hash node addresses and data keys with SHA-1 onto the
+//! 160-bit identifier circle.  Cryptographic strength is irrelevant here (the
+//! DHT only needs a uniform spread), but implementing the real algorithm keeps
+//! identifiers compatible with the published design and gives a stable,
+//! well-testable mapping.  The implementation is self-contained — no external
+//! crates.
+
+use crate::id::{Id, ID_BYTES};
+
+/// Compute the SHA-1 digest of `data`.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Pre-processing: append 0x80, pad with zeros, append 64-bit bit length.
+    let ml = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&ml.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for chunk in msg.chunks_exact(64) {
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                chunk[i * 4],
+                chunk[i * 4 + 1],
+                chunk[i * 4 + 2],
+                chunk[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Hash arbitrary bytes onto the identifier ring.
+pub fn hash_bytes(data: &[u8]) -> Id {
+    Id::from_bytes(sha1(data))
+}
+
+/// Hash a string onto the identifier ring.
+pub fn hash_str(s: &str) -> Id {
+    hash_bytes(s.as_bytes())
+}
+
+/// Hash a sequence of logical fields, unambiguously: each field is prefixed
+/// with its length so `("ab", "c")` and `("a", "bc")` map to different ids.
+pub fn hash_fields(fields: &[&str]) -> Id {
+    let mut buf = Vec::with_capacity(fields.iter().map(|f| f.len() + 4).sum());
+    for f in fields {
+        buf.extend_from_slice(&(f.len() as u32).to_be_bytes());
+        buf.extend_from_slice(f.as_bytes());
+    }
+    hash_bytes(&buf)
+}
+
+/// Hash a node's network address onto the ring (Chord hashes IP:port; we hash
+/// the simulator address).
+pub fn hash_node_addr(addr: u32) -> Id {
+    let mut buf = *b"node-addr:....";
+    buf[10..14].copy_from_slice(&addr.to_be_bytes());
+    hash_bytes(&buf)
+}
+
+const _: () = assert!(ID_BYTES == 20, "SHA-1 digests must fill an Id exactly");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Known-answer tests from FIPS 180-1 / RFC 3174.
+    #[test]
+    fn sha1_known_vectors() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(&sha1(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn sha1_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn sha1_block_boundaries() {
+        // Lengths around the 55/56/64 byte padding boundaries must not panic
+        // and must produce distinct digests.
+        let mut seen = std::collections::HashSet::new();
+        for len in 50..70 {
+            let data = vec![0x5Au8; len];
+            assert!(seen.insert(sha1(&data)), "collision at length {len}");
+        }
+    }
+
+    #[test]
+    fn hash_str_is_stable() {
+        let a = hash_str("netstats");
+        let b = hash_str("netstats");
+        assert_eq!(a, b);
+        assert_ne!(a, hash_str("netstats2"));
+    }
+
+    #[test]
+    fn hash_fields_is_unambiguous() {
+        assert_ne!(hash_fields(&["ab", "c"]), hash_fields(&["a", "bc"]));
+        assert_ne!(hash_fields(&["ab"]), hash_fields(&["ab", ""]));
+        assert_eq!(hash_fields(&["x", "y"]), hash_fields(&["x", "y"]));
+    }
+
+    #[test]
+    fn node_addr_hashes_spread() {
+        let ids: Vec<Id> = (0..100).map(hash_node_addr).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100, "node ids must be distinct");
+        // Rough uniformity: both halves of the ring are populated.
+        let top_half = ids.iter().filter(|id| id.0[0] >= 0x80).count();
+        assert!(top_half > 20 && top_half < 80, "top half {top_half}");
+    }
+}

@@ -1,0 +1,110 @@
+//! PIER's three-part naming scheme for DHT-resident data.
+//!
+//! PIER names every item with a `(namespace, resourceId, instanceId)` triple:
+//!
+//! * the **namespace** identifies the relation (e.g. `"netstats"`) or a
+//!   query-scoped temporary table (e.g. `"join:q42:probe"`);
+//! * the **resource id** is the value the relation is partitioned on — for a
+//!   base table usually the primary key, for a rehash join the join key;
+//! * the **instance id** distinguishes multiple items with the same
+//!   namespace/resource (e.g. successive readings from the same host).
+//!
+//! The DHT key an item is routed by is `hash(namespace, resourceId)`; the
+//! instance id only disambiguates storage locally.
+
+use crate::hash::hash_fields;
+use crate::id::Id;
+use pier_simnet::WireSize;
+use std::fmt;
+
+/// The `(namespace, resourceId, instanceId)` name of a DHT item.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceKey {
+    /// Relation / table / group name.
+    pub namespace: String,
+    /// Partitioning value within the namespace.
+    pub resource: String,
+    /// Disambiguator among items sharing `(namespace, resource)`.
+    pub instance: u64,
+}
+
+impl ResourceKey {
+    /// Create a key with an explicit instance id.
+    pub fn new(namespace: impl Into<String>, resource: impl Into<String>, instance: u64) -> Self {
+        ResourceKey { namespace: namespace.into(), resource: resource.into(), instance }
+    }
+
+    /// Create a key with instance id 0 (for singleton resources).
+    pub fn singleton(namespace: impl Into<String>, resource: impl Into<String>) -> Self {
+        Self::new(namespace, resource, 0)
+    }
+
+    /// The ring identifier this key routes to: `hash(namespace, resource)`.
+    pub fn routing_id(&self) -> Id {
+        hash_fields(&[&self.namespace, &self.resource])
+    }
+
+    /// The ring identifier of the namespace itself (used as the root of
+    /// namespace-wide operations such as broadcasts scoped to a table).
+    pub fn namespace_id(namespace: &str) -> Id {
+        hash_fields(&[namespace])
+    }
+}
+
+impl fmt::Debug for ResourceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}#{}", self.namespace, self.resource, self.instance)
+    }
+}
+
+impl fmt::Display for ResourceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}#{}", self.namespace, self.resource, self.instance)
+    }
+}
+
+impl WireSize for ResourceKey {
+    fn wire_size(&self) -> usize {
+        4 + self.namespace.len() + 4 + self.resource.len() + 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_id_ignores_instance() {
+        let a = ResourceKey::new("netstats", "host-3", 1);
+        let b = ResourceKey::new("netstats", "host-3", 99);
+        assert_eq!(a.routing_id(), b.routing_id());
+    }
+
+    #[test]
+    fn routing_id_depends_on_namespace_and_resource() {
+        let a = ResourceKey::singleton("netstats", "host-3");
+        let b = ResourceKey::singleton("netstats", "host-4");
+        let c = ResourceKey::singleton("intrusions", "host-3");
+        assert_ne!(a.routing_id(), b.routing_id());
+        assert_ne!(a.routing_id(), c.routing_id());
+    }
+
+    #[test]
+    fn namespace_id_is_stable() {
+        assert_eq!(ResourceKey::namespace_id("t"), ResourceKey::namespace_id("t"));
+        assert_ne!(ResourceKey::namespace_id("t"), ResourceKey::namespace_id("u"));
+    }
+
+    #[test]
+    fn display_and_wire_size() {
+        let k = ResourceKey::new("ns", "res", 7);
+        assert_eq!(format!("{k}"), "ns/res#7");
+        assert_eq!(format!("{k:?}"), "ns/res#7");
+        assert_eq!(k.wire_size(), 4 + 2 + 4 + 3 + 8);
+    }
+
+    #[test]
+    fn singleton_has_instance_zero() {
+        assert_eq!(ResourceKey::singleton("a", "b").instance, 0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Soft-state item storage.
+//!
+//! PIER stores temporary tuples *in* the DHT and relies on **soft state**: every
+//! item carries a time-to-live and is silently discarded when it expires unless
+//! its publisher renews it.  This is what lets the system tolerate node
+//! failures without any explicit invalidation protocol — stale state simply
+//! ages out.
+//!
+//! The local store indexes items by namespace, then by `(resource, instance)`.
+//! `lscan` (local scan) iterates everything a node holds for one namespace —
+//! the access method every PIER query begins with.
+
+use crate::key::ResourceKey;
+use pier_simnet::{Duration, SimTime};
+use std::collections::BTreeMap;
+
+/// One stored item: a key, an opaque value, and its expiry time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Item<V> {
+    /// Full three-part name of the item.
+    pub key: ResourceKey,
+    /// The application payload (a tuple, in PIER's case).
+    pub value: V,
+    /// Virtual time at which the item disappears unless renewed.
+    pub expires_at: SimTime,
+    /// Virtual time at which the item was (last) stored here.  Continuous
+    /// queries use this to restrict evaluation to a recent window of data.
+    pub stored_at: SimTime,
+}
+
+impl<V> Item<V> {
+    /// Has this item expired at time `now`?
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        self.expires_at <= now
+    }
+}
+
+/// Per-node soft-state store.
+#[derive(Clone, Debug)]
+pub struct SoftStateStore<V> {
+    namespaces: BTreeMap<String, BTreeMap<(String, u64), Item<V>>>,
+    item_count: usize,
+    /// Running counters for diagnostics.
+    total_puts: u64,
+    total_expired: u64,
+}
+
+impl<V> Default for SoftStateStore<V> {
+    fn default() -> Self {
+        SoftStateStore {
+            namespaces: BTreeMap::new(),
+            item_count: 0,
+            total_puts: 0,
+            total_expired: 0,
+        }
+    }
+}
+
+impl<V: Clone> SoftStateStore<V> {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or renew an item.  An existing item with the same
+    /// `(namespace, resource, instance)` is replaced (its TTL refreshed);
+    /// returns `true` if the item was new.
+    pub fn put(&mut self, key: ResourceKey, value: V, now: SimTime, ttl: Duration) -> bool {
+        let expires_at = now + ttl;
+        let ns = self.namespaces.entry(key.namespace.clone()).or_default();
+        let existed = ns
+            .insert(
+                (key.resource.clone(), key.instance),
+                Item { key, value, expires_at, stored_at: now },
+            )
+            .is_some();
+        if !existed {
+            self.item_count += 1;
+        }
+        self.total_puts += 1;
+        !existed
+    }
+
+    /// All live items for a `(namespace, resource)` pair (any instance).
+    pub fn get(&self, namespace: &str, resource: &str, now: SimTime) -> Vec<&Item<V>> {
+        self.namespaces
+            .get(namespace)
+            .map(|ns| {
+                ns.range((resource.to_string(), 0)..=(resource.to_string(), u64::MAX))
+                    .map(|(_, item)| item)
+                    .filter(|item| !item.is_expired(now))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Local scan: all live items in a namespace.
+    pub fn lscan(&self, namespace: &str, now: SimTime) -> Vec<&Item<V>> {
+        self.namespaces
+            .get(namespace)
+            .map(|ns| ns.values().filter(|item| !item.is_expired(now)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Local scan restricted to items stored at or after `since` (the window
+    /// of a continuous query).
+    pub fn lscan_since(&self, namespace: &str, now: SimTime, since: SimTime) -> Vec<&Item<V>> {
+        self.namespaces
+            .get(namespace)
+            .map(|ns| {
+                ns.values()
+                    .filter(|item| !item.is_expired(now) && item.stored_at >= since)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All live items across every namespace (used when handing data over to a
+    /// new ring neighbor).
+    pub fn all_items(&self, now: SimTime) -> Vec<&Item<V>> {
+        self.namespaces
+            .values()
+            .flat_map(|ns| ns.values())
+            .filter(|item| !item.is_expired(now))
+            .collect()
+    }
+
+    /// Remove a specific item.  Returns `true` if it was present.
+    pub fn remove(&mut self, key: &ResourceKey) -> bool {
+        if let Some(ns) = self.namespaces.get_mut(&key.namespace) {
+            if ns.remove(&(key.resource.clone(), key.instance)).is_some() {
+                self.item_count -= 1;
+                if ns.is_empty() {
+                    self.namespaces.remove(&key.namespace);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove every item in a namespace, returning how many were dropped.
+    pub fn clear_namespace(&mut self, namespace: &str) -> usize {
+        if let Some(ns) = self.namespaces.remove(namespace) {
+            self.item_count -= ns.len();
+            ns.len()
+        } else {
+            0
+        }
+    }
+
+    /// Drop all expired items; returns how many were removed.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let mut removed = 0;
+        self.namespaces.retain(|_, ns| {
+            let before = ns.len();
+            ns.retain(|_, item| !item.is_expired(now));
+            removed += before - ns.len();
+            !ns.is_empty()
+        });
+        self.item_count -= removed;
+        self.total_expired += removed as u64;
+        removed
+    }
+
+    /// Number of items currently held (including not-yet-swept expired items).
+    pub fn len(&self) -> usize {
+        self.item_count
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.item_count == 0
+    }
+
+    /// Namespaces currently present.
+    pub fn namespaces(&self) -> Vec<&str> {
+        self.namespaces.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Lifetime count of `put` operations.
+    pub fn total_puts(&self) -> u64 {
+        self.total_puts
+    }
+
+    /// Lifetime count of items removed by expiry sweeps.
+    pub fn total_expired(&self) -> u64 {
+        self.total_expired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ns: &str, res: &str, inst: u64) -> ResourceKey {
+        ResourceKey::new(ns, res, inst)
+    }
+
+    #[test]
+    fn put_get_lscan() {
+        let mut store: SoftStateStore<u64> = SoftStateStore::new();
+        let now = SimTime::ZERO;
+        let ttl = Duration::from_secs(60);
+        assert!(store.put(key("t", "a", 0), 1, now, ttl));
+        assert!(store.put(key("t", "a", 1), 2, now, ttl));
+        assert!(store.put(key("t", "b", 0), 3, now, ttl));
+        assert!(store.put(key("u", "a", 0), 4, now, ttl));
+        // Renewal of an existing item is not "new".
+        assert!(!store.put(key("t", "a", 0), 10, now, ttl));
+
+        assert_eq!(store.len(), 4);
+        let got = store.get("t", "a", now);
+        assert_eq!(got.len(), 2);
+        assert_eq!(store.lscan("t", now).len(), 3);
+        assert_eq!(store.lscan("u", now).len(), 1);
+        assert_eq!(store.lscan("missing", now).len(), 0);
+        assert_eq!(store.all_items(now).len(), 4);
+        assert_eq!(store.namespaces(), vec!["t", "u"]);
+        assert_eq!(store.total_puts(), 5);
+    }
+
+    #[test]
+    fn expiry_hides_and_sweep_removes() {
+        let mut store: SoftStateStore<&'static str> = SoftStateStore::new();
+        let t0 = SimTime::ZERO;
+        store.put(key("t", "x", 0), "short", t0, Duration::from_secs(10));
+        store.put(key("t", "y", 0), "long", t0, Duration::from_secs(100));
+
+        let t1 = SimTime::from_secs(11);
+        // Expired items are invisible to reads even before sweeping.
+        assert_eq!(store.lscan("t", t1).len(), 1);
+        assert_eq!(store.get("t", "x", t1).len(), 0);
+        assert_eq!(store.len(), 2);
+
+        let removed = store.sweep(t1);
+        assert_eq!(removed, 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_expired(), 1);
+
+        // Sweeping again removes nothing.
+        assert_eq!(store.sweep(t1), 0);
+    }
+
+    #[test]
+    fn renewal_extends_ttl() {
+        let mut store: SoftStateStore<u32> = SoftStateStore::new();
+        store.put(key("t", "x", 0), 1, SimTime::ZERO, Duration::from_secs(10));
+        // Renew at t=5 for another 10 s.
+        store.put(key("t", "x", 0), 1, SimTime::from_secs(5), Duration::from_secs(10));
+        assert_eq!(store.lscan("t", SimTime::from_secs(12)).len(), 1);
+        assert_eq!(store.lscan("t", SimTime::from_secs(16)).len(), 0);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut store: SoftStateStore<u32> = SoftStateStore::new();
+        let now = SimTime::ZERO;
+        let ttl = Duration::from_secs(60);
+        store.put(key("t", "a", 0), 1, now, ttl);
+        store.put(key("t", "b", 0), 2, now, ttl);
+        store.put(key("u", "c", 0), 3, now, ttl);
+
+        assert!(store.remove(&key("t", "a", 0)));
+        assert!(!store.remove(&key("t", "a", 0)));
+        assert_eq!(store.len(), 2);
+
+        assert_eq!(store.clear_namespace("t"), 1);
+        assert_eq!(store.clear_namespace("t"), 0);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        assert_eq!(store.clear_namespace("u"), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn get_does_not_leak_other_resources() {
+        let mut store: SoftStateStore<u32> = SoftStateStore::new();
+        let now = SimTime::ZERO;
+        let ttl = Duration::from_secs(60);
+        store.put(key("t", "a", 0), 1, now, ttl);
+        store.put(key("t", "ab", 0), 2, now, ttl);
+        store.put(key("t", "b", 0), 3, now, ttl);
+        let got = store.get("t", "a", now);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, 1);
+    }
+
+    #[test]
+    fn lscan_since_filters_by_storage_time() {
+        let mut store: SoftStateStore<u32> = SoftStateStore::new();
+        let ttl = Duration::from_secs(100);
+        store.put(key("t", "old", 0), 1, SimTime::from_secs(1), ttl);
+        store.put(key("t", "new", 0), 2, SimTime::from_secs(10), ttl);
+        let now = SimTime::from_secs(12);
+        assert_eq!(store.lscan_since("t", now, SimTime::ZERO).len(), 2);
+        assert_eq!(store.lscan_since("t", now, SimTime::from_secs(5)).len(), 1);
+        assert_eq!(store.lscan_since("t", now, SimTime::from_secs(11)).len(), 0);
+        // Renewal refreshes the stored_at timestamp.
+        store.put(key("t", "old", 0), 1, SimTime::from_secs(11), ttl);
+        assert_eq!(store.lscan_since("t", now, SimTime::from_secs(11)).len(), 1);
+    }
+
+    #[test]
+    fn item_is_expired() {
+        let item = Item {
+            key: key("t", "a", 0),
+            value: 0u8,
+            expires_at: SimTime::from_secs(5),
+            stored_at: SimTime::ZERO,
+        };
+        assert!(!item.is_expired(SimTime::from_secs(4)));
+        assert!(item.is_expired(SimTime::from_secs(5)));
+        assert!(item.is_expired(SimTime::from_secs(6)));
+    }
+}

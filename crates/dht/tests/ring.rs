@@ -1,0 +1,342 @@
+//! Integration tests: whole Chord rings under the discrete-event simulator.
+//!
+//! These exercise join, stabilization, routing consistency, storage placement,
+//! replication, churn recovery, and broadcast coverage on rings of dozens of
+//! nodes — the overlay behaviour PIER depends on.
+
+use pier_dht::{DhtConfig, Id, ResourceKey, StandaloneDht, Upcall};
+use pier_simnet::{
+    ChurnSchedule, Duration, LatencyModel, LossModel, NodeAddr, SimConfig, SimTime, Simulation,
+};
+
+type Ring = Simulation<StandaloneDht<u64>>;
+
+fn build_ring(n: usize, seed: u64, config: DhtConfig, loss: LossModel) -> Ring {
+    let mut sim = Simulation::new(
+        SimConfig {
+            seed,
+            latency: LatencyModel::Uniform {
+                min: Duration::from_millis(5),
+                max: Duration::from_millis(60),
+            },
+            loss,
+            ..Default::default()
+        },
+        move |addr| {
+            let bootstrap = if addr.0 == 0 { None } else { Some(NodeAddr(0)) };
+            StandaloneDht::new(addr, config.clone(), bootstrap)
+        },
+    );
+    sim.add_nodes(n);
+    sim
+}
+
+/// The ring is *consistent* when following successor pointers from node 0
+/// visits every live node exactly once and returns to node 0.
+fn ring_is_consistent(sim: &Ring) -> bool {
+    let alive = sim.alive_nodes();
+    if alive.is_empty() {
+        return true;
+    }
+    let start = alive[0];
+    let mut visited = std::collections::BTreeSet::new();
+    let mut current = start;
+    for _ in 0..=alive.len() {
+        if !visited.insert(current) {
+            break;
+        }
+        let succ = sim.node(current).unwrap().dht.successor().addr;
+        current = succ;
+        if current == start {
+            break;
+        }
+    }
+    visited.len() == alive.len() && current == start
+}
+
+#[test]
+fn ring_of_32_converges() {
+    let mut sim = build_ring(32, 1, DhtConfig::fast_test(), LossModel::None);
+    sim.run_for(Duration::from_secs(30));
+    assert!(ring_is_consistent(&sim), "successor ring did not converge");
+    for addr in sim.alive_nodes() {
+        let node = sim.node(addr).unwrap();
+        assert!(node.dht.is_joined());
+        assert!(node.dht.predecessor().is_some(), "{addr} has no predecessor");
+        assert!(node.dht.fingers_filled() > 0, "{addr} has no fingers");
+        assert!(node.dht.successor_list().len() > 1, "{addr} successor list too short");
+    }
+}
+
+#[test]
+fn lookups_agree_with_global_successor_computation() {
+    let mut sim = build_ring(24, 2, DhtConfig::fast_test(), LossModel::None);
+    sim.run_for(Duration::from_secs(30));
+    assert!(ring_is_consistent(&sim));
+
+    // Global view: sorted node ids.
+    let mut nodes: Vec<(Id, NodeAddr)> = sim
+        .alive_nodes()
+        .iter()
+        .map(|&a| (sim.node(a).unwrap().dht.id(), a))
+        .collect();
+    nodes.sort();
+    let expected_owner = |key: &Id| -> NodeAddr {
+        nodes
+            .iter()
+            .find(|(id, _)| key <= id)
+            .map(|(_, a)| *a)
+            .unwrap_or(nodes[0].1) // wraps to the smallest id
+    };
+
+    // Issue lookups for a spread of keys from several origins.
+    let keys: Vec<Id> = (0..40u64).map(|i| pier_dht::hash_str(&format!("probe-{i}"))).collect();
+    let mut expected = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let origin = NodeAddr((i % 24) as u32);
+        let req = sim.invoke(origin, |node, ctx| node.dht.find_successor(ctx, *key)).unwrap();
+        expected.push((origin, req, expected_owner(key)));
+    }
+    sim.run_for(Duration::from_secs(10));
+
+    let mut correct = 0;
+    for (origin, req, owner) in &expected {
+        let node = sim.node(*origin).unwrap();
+        let found = node.upcalls.iter().find_map(|u| match u {
+            Upcall::LookupResult { req_id, successor, .. } if req_id == req => Some(successor.addr),
+            _ => None,
+        });
+        if found == Some(*owner) {
+            correct += 1;
+        }
+    }
+    assert_eq!(correct, expected.len(), "only {correct}/{} lookups correct", expected.len());
+}
+
+#[test]
+fn put_places_items_at_responsible_nodes() {
+    let mut sim = build_ring(16, 3, DhtConfig::fast_test(), LossModel::None);
+    sim.run_for(Duration::from_secs(25));
+    assert!(ring_is_consistent(&sim));
+
+    let n_items = 80u64;
+    for i in 0..n_items {
+        let origin = NodeAddr((i % 16) as u32);
+        sim.invoke(origin, |node, ctx| {
+            node.dht.put(ctx, ResourceKey::new("table", format!("row-{i}"), i), i, None);
+        });
+    }
+    sim.run_for(Duration::from_secs(10));
+
+    // Global ownership check: each item must be present at its responsible node.
+    let mut nodes: Vec<(Id, NodeAddr)> = sim
+        .alive_nodes()
+        .iter()
+        .map(|&a| (sim.node(a).unwrap().dht.id(), a))
+        .collect();
+    nodes.sort();
+    let owner_of = |key: &Id| -> NodeAddr {
+        nodes.iter().find(|(id, _)| key <= id).map(|(_, a)| *a).unwrap_or(nodes[0].1)
+    };
+
+    let mut placed_correctly = 0;
+    for i in 0..n_items {
+        let key = ResourceKey::new("table", format!("row-{i}"), i);
+        let owner = owner_of(&key.routing_id());
+        let items = sim.node(owner).unwrap().dht.lscan("table", sim.now());
+        if items.iter().any(|(k, v)| k.resource == format!("row-{i}") && *v == i) {
+            placed_correctly += 1;
+        }
+    }
+    assert_eq!(placed_correctly, n_items, "{placed_correctly}/{n_items} items at the right node");
+}
+
+#[test]
+fn get_returns_previously_put_items() {
+    let mut sim = build_ring(12, 4, DhtConfig::fast_test(), LossModel::None);
+    sim.run_for(Duration::from_secs(25));
+
+    sim.invoke(NodeAddr(2), |node, ctx| {
+        node.dht.put(ctx, ResourceKey::new("inventory", "widget", 1), 111, None);
+        node.dht.put(ctx, ResourceKey::new("inventory", "widget", 2), 222, None);
+    });
+    sim.run_for(Duration::from_secs(5));
+
+    let req = sim
+        .invoke(NodeAddr(9), |node, ctx| {
+            node.dht.get(ctx, ResourceKey::singleton("inventory", "widget"))
+        })
+        .unwrap();
+    sim.run_for(Duration::from_secs(5));
+
+    let node = sim.node(NodeAddr(9)).unwrap();
+    let result = node.upcalls.iter().find_map(|u| match u {
+        Upcall::GetResult { req_id, items, .. } if *req_id == req => Some(items.clone()),
+        _ => None,
+    });
+    let items = result.expect("get reply must arrive");
+    let mut values: Vec<u64> = items.iter().map(|(_, v)| *v).collect();
+    values.sort_unstable();
+    assert_eq!(values, vec![111, 222]);
+}
+
+#[test]
+fn send_to_key_delivers_at_one_responsible_node() {
+    let mut sim = build_ring(16, 5, DhtConfig::fast_test(), LossModel::None);
+    sim.run_for(Duration::from_secs(25));
+
+    for i in 0..20u64 {
+        let origin = NodeAddr((i % 16) as u32);
+        sim.invoke(origin, |node, ctx| {
+            node.dht.send_to_key(ctx, ResourceKey::new("agg", "group-7", 0), i);
+        });
+    }
+    sim.run_for(Duration::from_secs(5));
+
+    // All 20 payloads must arrive, all at the same (single) node.
+    let mut receivers = Vec::new();
+    let mut total = 0;
+    for addr in sim.alive_nodes() {
+        let count = sim
+            .node(addr)
+            .unwrap()
+            .count_upcalls(|u| matches!(u, Upcall::Delivered { key, .. } if key.resource == "group-7"));
+        if count > 0 {
+            receivers.push(addr);
+            total += count;
+        }
+    }
+    assert_eq!(total, 20, "all rehashed payloads must be delivered");
+    assert_eq!(receivers.len(), 1, "one node is responsible for one key");
+}
+
+#[test]
+fn replication_survives_owner_failure() {
+    let mut config = DhtConfig::fast_test();
+    config.replication_factor = 2;
+    let mut sim = build_ring(12, 6, config, LossModel::None);
+    sim.run_for(Duration::from_secs(25));
+
+    sim.invoke(NodeAddr(0), |node, ctx| {
+        node.dht.put(ctx, ResourceKey::new("vital", "answer", 0), 42, Some(Duration::from_secs(600)));
+    });
+    sim.run_for(Duration::from_secs(5));
+
+    // Find and kill the owner.
+    let owner = sim
+        .alive_nodes()
+        .into_iter()
+        .find(|&a| !sim.node(a).unwrap().dht.lscan("vital", sim.now()).is_empty())
+        .expect("item must be stored somewhere");
+    sim.kill_node(owner);
+    sim.run_for(Duration::from_secs(10));
+
+    // A replica must still exist on some other live node.
+    let survivors = sim
+        .alive_nodes()
+        .into_iter()
+        .filter(|&a| !sim.node(a).unwrap().dht.lscan("vital", sim.now()).is_empty())
+        .count();
+    assert!(survivors >= 1, "replicas must survive the owner's crash");
+}
+
+#[test]
+fn ring_recovers_from_churn() {
+    let mut sim = build_ring(24, 7, DhtConfig::fast_test(), LossModel::None);
+    sim.run_for(Duration::from_secs(30));
+    assert!(ring_is_consistent(&sim));
+
+    // Kill a quarter of the nodes at t=30s, restart them at t=45s.
+    let victims: Vec<NodeAddr> = (0..6).map(|i| NodeAddr(i * 4 + 1)).collect();
+    let schedule =
+        ChurnSchedule::mass_failure(&victims, SimTime::from_secs(31), Some(SimTime::from_secs(45)));
+    sim.apply_churn(&schedule);
+
+    sim.run_until(SimTime::from_secs(40));
+    // While the victims are down the survivors must have healed around them.
+    assert_eq!(sim.alive_nodes().len(), 18);
+    assert!(ring_is_consistent(&sim), "ring must heal after failures");
+
+    sim.run_until(SimTime::from_secs(80));
+    assert_eq!(sim.alive_nodes().len(), 24);
+    assert!(ring_is_consistent(&sim), "ring must reintegrate restarted nodes");
+    for addr in sim.alive_nodes() {
+        assert!(sim.node(addr).unwrap().dht.is_joined(), "{addr} failed to rejoin");
+    }
+}
+
+#[test]
+fn broadcast_covers_ring_despite_message_loss() {
+    let mut sim = build_ring(20, 8, DhtConfig::fast_test(), LossModel::Bernoulli(0.02));
+    sim.run_for(Duration::from_secs(30));
+
+    sim.invoke(NodeAddr(5), |node, ctx| node.dht.broadcast(ctx, 4242));
+    sim.run_for(Duration::from_secs(5));
+
+    let reached = sim
+        .alive_nodes()
+        .into_iter()
+        .filter(|&a| {
+            sim.node(a)
+                .unwrap()
+                .count_upcalls(|u| matches!(u, Upcall::Broadcast { payload: 4242 }))
+                > 0
+        })
+        .count();
+    // With 2% loss a handful of subtrees may be pruned, but the vast majority
+    // of nodes must still receive the broadcast.
+    assert!(reached >= 17, "broadcast reached only {reached}/20 nodes");
+}
+
+#[test]
+fn soft_state_expires_without_renewal() {
+    let mut sim = build_ring(8, 9, DhtConfig::fast_test(), LossModel::None);
+    sim.run_for(Duration::from_secs(20));
+
+    sim.invoke(NodeAddr(1), |node, ctx| {
+        node.dht.put(ctx, ResourceKey::new("ephemeral", "x", 0), 1, Some(Duration::from_secs(5)));
+    });
+    sim.run_for(Duration::from_secs(3));
+    let visible: usize = sim
+        .alive_nodes()
+        .iter()
+        .map(|&a| sim.node(a).unwrap().dht.lscan("ephemeral", sim.now()).len())
+        .sum();
+    assert!(visible >= 1, "item must be stored before its TTL elapses");
+
+    sim.run_for(Duration::from_secs(30));
+    let visible_after: usize = sim
+        .alive_nodes()
+        .iter()
+        .map(|&a| sim.node(a).unwrap().dht.lscan("ephemeral", sim.now()).len())
+        .sum();
+    assert_eq!(visible_after, 0, "item must expire after its TTL");
+}
+
+#[test]
+fn average_route_hops_scale_logarithmically() {
+    // Hop counts on a 64-node ring should be well below the node count —
+    // multi-hop routing, not flooding — and small in absolute terms.
+    let mut sim = build_ring(64, 10, DhtConfig::fast_test(), LossModel::None);
+    sim.run_for(Duration::from_secs(40));
+
+    for i in 0..100u64 {
+        let origin = NodeAddr((i % 64) as u32);
+        sim.invoke(origin, |node, ctx| {
+            node.dht.put(ctx, ResourceKey::new("spread", format!("k{i}"), 0), i, None);
+        });
+    }
+    sim.run_for(Duration::from_secs(10));
+
+    let (deliveries, hops): (u64, u64) = sim
+        .alive_nodes()
+        .iter()
+        .map(|&a| {
+            let s = sim.node(a).unwrap().dht.stats();
+            (s.deliveries, s.delivery_hops)
+        })
+        .fold((0, 0), |(d, h), (dd, hh)| (d + dd, h + hh));
+    assert!(deliveries >= 100);
+    let avg = hops as f64 / deliveries as f64;
+    assert!(avg <= 8.0, "average hops {avg:.2} too high for a 64-node ring");
+}

@@ -1,0 +1,196 @@
+//! Churn schedules.
+//!
+//! "Dynamic membership" is one of PIER's headline design goals: PlanetLab
+//! nodes reboot, lose connectivity, and rejoin all the time, and Figure 1 of
+//! the paper plots the varying number of *responding* nodes beneath the
+//! continuous aggregate.  A [`ChurnSchedule`] is a precomputed list of
+//! up/down transitions that the simulation applies at the scheduled times.
+
+use crate::node::NodeAddr;
+use crate::rng::DetRng;
+use crate::time::{Duration, SimTime};
+
+/// Whether a node goes down or comes back up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// The node crashes / departs.
+    Down,
+    /// The node (re)joins.
+    Up,
+}
+
+/// One membership transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the transition happens.
+    pub at: SimTime,
+    /// Which node.
+    pub node: NodeAddr,
+    /// Direction of the transition.
+    pub kind: ChurnKind,
+}
+
+/// An ordered list of churn events.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// An empty schedule (no churn).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add one event.
+    pub fn push(&mut self, at: SimTime, node: NodeAddr, kind: ChurnKind) -> &mut Self {
+        self.events.push(ChurnEvent { at, node, kind });
+        self
+    }
+
+    /// All events, sorted by time.
+    pub fn events(&self) -> Vec<ChurnEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| (e.at, e.node.0));
+        evs
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the schedule empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generate alternating down/up sessions for a subset of nodes.
+    ///
+    /// Each node in `nodes` alternates between being up for an exponentially
+    /// distributed period with mean `mean_uptime` and being down for an
+    /// exponentially distributed period with mean `mean_downtime`, starting
+    /// and ending within `[start, end]`.  This is the classic session-based
+    /// churn model used in the Bamboo "Handling churn in a DHT" paper the
+    /// PIER demo cites.
+    pub fn poisson_sessions(
+        nodes: &[NodeAddr],
+        start: SimTime,
+        end: SimTime,
+        mean_uptime: Duration,
+        mean_downtime: Duration,
+        rng: &mut DetRng,
+    ) -> Self {
+        let mut schedule = ChurnSchedule::default();
+        for &node in nodes {
+            let mut t = start;
+            // Stagger the first failure so all nodes don't die at once.
+            t += Duration::from_secs_f64(rng.exponential(mean_uptime.as_secs_f64()));
+            loop {
+                if t >= end {
+                    break;
+                }
+                schedule.push(t, node, ChurnKind::Down);
+                t += Duration::from_secs_f64(rng.exponential(mean_downtime.as_secs_f64()).max(0.001));
+                if t >= end {
+                    break;
+                }
+                schedule.push(t, node, ChurnKind::Up);
+                t += Duration::from_secs_f64(rng.exponential(mean_uptime.as_secs_f64()).max(0.001));
+            }
+        }
+        schedule
+    }
+
+    /// A correlated mass failure: `nodes` all fail at `fail_at` and, if
+    /// `recover_at` is given, all rejoin then.
+    pub fn mass_failure(nodes: &[NodeAddr], fail_at: SimTime, recover_at: Option<SimTime>) -> Self {
+        let mut schedule = ChurnSchedule::default();
+        for &node in nodes {
+            schedule.push(fail_at, node, ChurnKind::Down);
+            if let Some(r) = recover_at {
+                schedule.push(r, node, ChurnKind::Up);
+            }
+        }
+        schedule
+    }
+
+    /// Merge another schedule into this one.
+    pub fn extend(&mut self, other: &ChurnSchedule) {
+        self.events.extend_from_slice(&other.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_sort() {
+        let mut s = ChurnSchedule::none();
+        s.push(SimTime::from_secs(10), NodeAddr(1), ChurnKind::Down);
+        s.push(SimTime::from_secs(5), NodeAddr(2), ChurnKind::Down);
+        let evs = s.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].at, SimTime::from_secs(5));
+        assert_eq!(evs[1].node, NodeAddr(1));
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn poisson_sessions_alternate_per_node() {
+        let mut rng = DetRng::new(1);
+        let nodes: Vec<NodeAddr> = (0..20).map(NodeAddr).collect();
+        let s = ChurnSchedule::poisson_sessions(
+            &nodes,
+            SimTime::ZERO,
+            SimTime::from_secs(600),
+            Duration::from_secs(120),
+            Duration::from_secs(60),
+            &mut rng,
+        );
+        assert!(!s.is_empty());
+        // For each node, events must alternate Down, Up, Down, ...
+        for &node in &nodes {
+            let mut evs: Vec<_> = s.events().into_iter().filter(|e| e.node == node).collect();
+            evs.sort_by_key(|e| e.at);
+            for (i, e) in evs.iter().enumerate() {
+                let expected = if i % 2 == 0 { ChurnKind::Down } else { ChurnKind::Up };
+                assert_eq!(e.kind, expected, "node {node} event {i}");
+            }
+        }
+        // All events inside the window.
+        for e in s.events() {
+            assert!(e.at < SimTime::from_secs(600));
+        }
+    }
+
+    #[test]
+    fn mass_failure_pairs() {
+        let nodes = [NodeAddr(3), NodeAddr(4)];
+        let s = ChurnSchedule::mass_failure(
+            &nodes,
+            SimTime::from_secs(100),
+            Some(SimTime::from_secs(200)),
+        );
+        assert_eq!(s.len(), 4);
+        let downs = s.events().iter().filter(|e| e.kind == ChurnKind::Down).count();
+        assert_eq!(downs, 2);
+    }
+
+    #[test]
+    fn mass_failure_without_recovery() {
+        let s = ChurnSchedule::mass_failure(&[NodeAddr(1)], SimTime::from_secs(1), None);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.events()[0].kind, ChurnKind::Down);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = ChurnSchedule::mass_failure(&[NodeAddr(1)], SimTime::from_secs(1), None);
+        let b = ChurnSchedule::mass_failure(&[NodeAddr(2)], SimTime::from_secs(2), None);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+    }
+}

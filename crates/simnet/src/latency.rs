@@ -1,0 +1,189 @@
+//! Network latency models.
+//!
+//! PlanetLab spans five continents, so one-way delays between PIER nodes range
+//! from a few milliseconds (same site) to hundreds of milliseconds
+//! (intercontinental).  The simulator offers several latency models; all of
+//! them are sampled deterministically from the simulation's RNG stream.
+
+use crate::node::NodeAddr;
+use crate::rng::DetRng;
+use crate::time::Duration;
+
+/// How a one-way network delay is chosen for each message.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(Duration),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform { min: Duration, max: Duration },
+    /// Latency derived from synthetic 2-D coordinates: each node is placed on
+    /// a plane (kilometre-ish units); delay = `base + dist * per_unit`, plus a
+    /// small jitter fraction.  This gives stable, triangle-inequality-
+    /// respecting pairwise delays similar to a geographic testbed.
+    Coordinates {
+        /// Position of each node, indexed by `NodeAddr.0`.
+        positions: Vec<(f64, f64)>,
+        /// Fixed per-message overhead.
+        base: Duration,
+        /// Delay per unit of Euclidean distance.
+        per_unit: Duration,
+        /// Relative jitter (e.g. `0.1` = up to ±10%).
+        jitter: f64,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        // A loose stand-in for wide-area RTT/2: 10–120 ms one way.
+        LatencyModel::Uniform { min: Duration::from_millis(10), max: Duration::from_millis(120) }
+    }
+}
+
+impl LatencyModel {
+    /// A planetary-scale coordinate model with `n` nodes scattered uniformly
+    /// over a 20 000 x 10 000 "km" plane (roughly Earth's surface unrolled).
+    pub fn planetary(n: usize, rng: &mut DetRng) -> Self {
+        let positions = (0..n)
+            .map(|_| (rng.unit() * 20_000.0, rng.unit() * 10_000.0))
+            .collect();
+        LatencyModel::Coordinates {
+            positions,
+            base: Duration::from_millis(2),
+            // ~5 microseconds per km of great-circle-ish distance plus routing slop.
+            per_unit: Duration::from_micros(8),
+            jitter: 0.1,
+        }
+    }
+
+    /// A LAN-like model: 0.2–2 ms.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            min: Duration::from_micros(200),
+            max: Duration::from_millis(2),
+        }
+    }
+
+    /// Sample the one-way delay for a message from `from` to `to`.
+    pub fn sample(&self, rng: &mut DetRng, from: NodeAddr, to: NodeAddr) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                if max.as_micros() <= min.as_micros() {
+                    *min
+                } else {
+                    Duration::from_micros(rng.range_u64(min.as_micros(), max.as_micros() + 1))
+                }
+            }
+            LatencyModel::Coordinates { positions, base, per_unit, jitter } => {
+                let p = |a: NodeAddr| -> (f64, f64) {
+                    positions
+                        .get(a.0 as usize)
+                        .copied()
+                        .unwrap_or((0.0, 0.0))
+                };
+                let (x1, y1) = p(from);
+                let (x2, y2) = p(to);
+                let dist = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt();
+                let raw = base.as_micros() as f64 + dist * per_unit.as_micros() as f64;
+                let j = if *jitter > 0.0 { 1.0 + (rng.unit() * 2.0 - 1.0) * jitter } else { 1.0 };
+                Duration::from_micros((raw * j).max(1.0) as u64)
+            }
+        }
+    }
+
+    /// Number of nodes a coordinate-based model was built for, if applicable.
+    pub fn capacity(&self) -> Option<usize> {
+        match self {
+            LatencyModel::Coordinates { positions, .. } => Some(positions.len()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(Duration::from_millis(50));
+        let mut rng = DetRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng, NodeAddr(0), NodeAddr(1)), Duration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = LatencyModel::Uniform {
+            min: Duration::from_millis(5),
+            max: Duration::from_millis(10),
+        };
+        let mut rng = DetRng::new(2);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng, NodeAddr(0), NodeAddr(1));
+            assert!(d >= Duration::from_millis(5) && d <= Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let m = LatencyModel::Uniform {
+            min: Duration::from_millis(7),
+            max: Duration::from_millis(7),
+        };
+        let mut rng = DetRng::new(3);
+        assert_eq!(m.sample(&mut rng, NodeAddr(0), NodeAddr(1)), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn coordinates_close_nodes_are_faster() {
+        let m = LatencyModel::Coordinates {
+            positions: vec![(0.0, 0.0), (1.0, 0.0), (10_000.0, 5_000.0)],
+            base: Duration::from_millis(1),
+            per_unit: Duration::from_micros(10),
+            jitter: 0.0,
+        };
+        let mut rng = DetRng::new(4);
+        let near = m.sample(&mut rng, NodeAddr(0), NodeAddr(1));
+        let far = m.sample(&mut rng, NodeAddr(0), NodeAddr(2));
+        assert!(far > near, "far {far:?} should exceed near {near:?}");
+    }
+
+    #[test]
+    fn coordinates_unknown_addr_falls_back() {
+        let m = LatencyModel::Coordinates {
+            positions: vec![(0.0, 0.0)],
+            base: Duration::from_millis(1),
+            per_unit: Duration::from_micros(10),
+            jitter: 0.0,
+        };
+        let mut rng = DetRng::new(5);
+        // Should not panic even for addresses outside the position table.
+        let d = m.sample(&mut rng, NodeAddr(0), NodeAddr(99));
+        assert!(d >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn planetary_has_capacity() {
+        let mut rng = DetRng::new(6);
+        let m = LatencyModel::planetary(300, &mut rng);
+        assert_eq!(m.capacity(), Some(300));
+        assert_eq!(LatencyModel::lan().capacity(), None);
+    }
+
+    #[test]
+    fn planetary_latencies_look_wide_area() {
+        let mut rng = DetRng::new(7);
+        let m = LatencyModel::planetary(100, &mut rng);
+        let mut max = Duration::ZERO;
+        for i in 0..100u32 {
+            let d = m.sample(&mut rng, NodeAddr(0), NodeAddr(i));
+            if d > max {
+                max = d;
+            }
+        }
+        // Some pair should be tens of milliseconds apart.
+        assert!(max > Duration::from_millis(20), "max {max:?}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Message loss models.
+//!
+//! PIER is built on soft state precisely because the wide area drops packets
+//! and partitions occasionally.  The loss model decides, per message, whether
+//! it is silently discarded.  Partitions can also be expressed: any message
+//! crossing the partition boundary is dropped while the partition is active.
+
+use crate::node::NodeAddr;
+use crate::rng::DetRng;
+use std::collections::BTreeSet;
+
+/// Probabilistic message-drop policy.
+#[derive(Clone, Debug, Default)]
+pub enum LossModel {
+    /// Never drop messages (the default).
+    #[default]
+    None,
+    /// Drop each message independently with probability `p`.
+    Bernoulli(f64),
+    /// Drop messages between specific unordered node pairs with probability
+    /// `pair_p`, and all other messages with probability `base_p`.  Useful to
+    /// model a few persistently lossy paths.
+    LossyPairs {
+        /// Background drop probability.
+        base_p: f64,
+        /// Drop probability on the listed pairs.
+        pair_p: f64,
+        /// Unordered pairs, stored as (min, max).
+        pairs: BTreeSet<(u32, u32)>,
+    },
+}
+
+impl LossModel {
+    /// Construct a lossy-pairs model from arbitrary (unordered) pairs.
+    pub fn lossy_pairs(base_p: f64, pair_p: f64, pairs: &[(NodeAddr, NodeAddr)]) -> Self {
+        let set = pairs
+            .iter()
+            .map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0)))
+            .collect();
+        LossModel::LossyPairs { base_p, pair_p, pairs: set }
+    }
+
+    /// Decide whether a message from `from` to `to` is dropped.
+    pub fn drops(&self, rng: &mut DetRng, from: NodeAddr, to: NodeAddr) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli(p) => rng.chance(*p),
+            LossModel::LossyPairs { base_p, pair_p, pairs } => {
+                let key = (from.0.min(to.0), from.0.max(to.0));
+                if pairs.contains(&key) {
+                    rng.chance(*pair_p)
+                } else {
+                    rng.chance(*base_p)
+                }
+            }
+        }
+    }
+}
+
+/// A set of network partitions.  Nodes in different groups cannot exchange
+/// messages while the partition is installed.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionSet {
+    /// group id per node address; nodes not present are in group 0.
+    groups: std::collections::BTreeMap<u32, u32>,
+    active: bool,
+}
+
+impl PartitionSet {
+    /// No partition: all nodes can talk to each other.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Split the network into the given groups of node addresses.  Nodes not
+    /// mentioned stay in group 0.
+    pub fn split(groups: &[&[NodeAddr]]) -> Self {
+        let mut map = std::collections::BTreeMap::new();
+        for (gid, members) in groups.iter().enumerate() {
+            for addr in members.iter() {
+                map.insert(addr.0, gid as u32 + 1);
+            }
+        }
+        PartitionSet { groups: map, active: true }
+    }
+
+    /// Is the partition currently in force?
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Remove the partition (heal the network).
+    pub fn heal(&mut self) {
+        self.active = false;
+        self.groups.clear();
+    }
+
+    /// Whether a message between the two addresses is blocked.
+    pub fn blocks(&self, a: NodeAddr, b: NodeAddr) -> bool {
+        if !self.active {
+            return false;
+        }
+        let ga = self.groups.get(&a.0).copied().unwrap_or(0);
+        let gb = self.groups.get(&b.0).copied().unwrap_or(0);
+        ga != gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops() {
+        let mut rng = DetRng::new(1);
+        let m = LossModel::None;
+        assert!((0..100).all(|_| !m.drops(&mut rng, NodeAddr(0), NodeAddr(1))));
+    }
+
+    #[test]
+    fn bernoulli_rate_roughly_matches() {
+        let mut rng = DetRng::new(2);
+        let m = LossModel::Bernoulli(0.3);
+        let drops = (0..10_000)
+            .filter(|_| m.drops(&mut rng, NodeAddr(0), NodeAddr(1)))
+            .count();
+        assert!((drops as i64 - 3_000).abs() < 300, "drops {drops}");
+    }
+
+    #[test]
+    fn lossy_pairs_targets_pairs() {
+        let mut rng = DetRng::new(3);
+        let m = LossModel::lossy_pairs(0.0, 1.0, &[(NodeAddr(1), NodeAddr(2))]);
+        assert!(m.drops(&mut rng, NodeAddr(1), NodeAddr(2)));
+        assert!(m.drops(&mut rng, NodeAddr(2), NodeAddr(1)));
+        assert!(!m.drops(&mut rng, NodeAddr(0), NodeAddr(1)));
+    }
+
+    #[test]
+    fn partitions_block_cross_group_traffic() {
+        let p = PartitionSet::split(&[&[NodeAddr(0), NodeAddr(1)], &[NodeAddr(2)]]);
+        assert!(p.is_active());
+        assert!(!p.blocks(NodeAddr(0), NodeAddr(1)));
+        assert!(p.blocks(NodeAddr(0), NodeAddr(2)));
+        assert!(p.blocks(NodeAddr(1), NodeAddr(2)));
+        // Unmentioned nodes share group 0 and also differ from group 1 and 2.
+        assert!(p.blocks(NodeAddr(5), NodeAddr(0)));
+        assert!(!p.blocks(NodeAddr(5), NodeAddr(6)));
+    }
+
+    #[test]
+    fn healed_partition_blocks_nothing() {
+        let mut p = PartitionSet::split(&[&[NodeAddr(0)], &[NodeAddr(1)]]);
+        assert!(p.blocks(NodeAddr(0), NodeAddr(1)));
+        p.heal();
+        assert!(!p.blocks(NodeAddr(0), NodeAddr(1)));
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn default_partition_is_inactive() {
+        let p = PartitionSet::none();
+        assert!(!p.is_active());
+        assert!(!p.blocks(NodeAddr(3), NodeAddr(4)));
+    }
+}

@@ -1,0 +1,391 @@
+//! Simulation metrics.
+//!
+//! The benchmark harness reproduces the paper's figures from these counters:
+//! messages sent/delivered/dropped, bytes on the wire, per-tag counts (so the
+//! DHT layer and query layer can be accounted separately), and latency
+//! histograms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A simple fixed-bucket histogram for latency-like quantities (microseconds).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    /// (upper-bound-in-micros, count) buckets plus an overflow bucket.
+    counts: Vec<u64>,
+    bounds: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with exponentially spaced bounds from 100 µs to ~100 s.
+    pub fn new() -> Self {
+        let mut bounds = Vec::new();
+        let mut b = 100u64;
+        while b <= 100_000_000 {
+            bounds.push(b);
+            b = b.saturating_mul(2);
+        }
+        let counts = vec![0; bounds.len() + 1];
+        Histogram { counts, bounds, total: 0, sum: 0, max: 0 }
+    }
+
+    /// Record one observation (in microseconds).
+    pub fn record(&mut self, value_us: u64) {
+        let idx = match self.bounds.binary_search(&value_us) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value_us as u128;
+        if value_us > self.max {
+            self.max = value_us;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Maximum recorded observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile (0.0–1.0) using bucket upper bounds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bounds.get(i).copied().unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (i, &c) in other.counts.iter().enumerate() {
+            if i < self.counts.len() {
+                self.counts[i] += c;
+            }
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Counters accumulated while the simulation runs.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    messages_sent: u64,
+    messages_delivered: u64,
+    messages_dropped_loss: u64,
+    messages_dropped_dead: u64,
+    bytes_sent: u64,
+    bytes_delivered: u64,
+    timers_fired: u64,
+    timers_cancelled: u64,
+    node_starts: u64,
+    node_stops: u64,
+    delivery_latency: Option<Histogram>,
+    tags: BTreeMap<&'static str, u64>,
+}
+
+impl Metrics {
+    /// Fresh metrics with latency histogram enabled.
+    pub fn new() -> Self {
+        Metrics { delivery_latency: Some(Histogram::new()), ..Default::default() }
+    }
+
+    pub(crate) fn on_send(&mut self, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    pub(crate) fn on_deliver(&mut self, bytes: usize, latency_us: u64) {
+        self.messages_delivered += 1;
+        self.bytes_delivered += bytes as u64;
+        if let Some(h) = &mut self.delivery_latency {
+            h.record(latency_us);
+        }
+    }
+
+    pub(crate) fn on_drop_loss(&mut self) {
+        self.messages_dropped_loss += 1;
+    }
+
+    pub(crate) fn on_drop_dead(&mut self) {
+        self.messages_dropped_dead += 1;
+    }
+
+    pub(crate) fn on_timer_fired(&mut self) {
+        self.timers_fired += 1;
+    }
+
+    pub(crate) fn on_timer_cancelled(&mut self) {
+        self.timers_cancelled += 1;
+    }
+
+    pub(crate) fn on_node_start(&mut self) {
+        self.node_starts += 1;
+    }
+
+    pub(crate) fn on_node_stop(&mut self) {
+        self.node_stops += 1;
+    }
+
+    /// Increment a named counter (e.g. `"dht.lookup"`, `"pier.tuple"`).
+    pub fn bump(&mut self, tag: &'static str) {
+        self.bump_by(tag, 1);
+    }
+
+    /// Increment a named counter by `n`.
+    pub fn bump_by(&mut self, tag: &'static str, n: u64) {
+        *self.tags.entry(tag).or_insert(0) += n;
+    }
+
+    /// Read a named counter.
+    pub fn tag(&self, tag: &str) -> u64 {
+        self.tags.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Total messages handed to the network layer.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Messages actually delivered to a live node.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages_delivered
+    }
+
+    /// Messages dropped by the loss model or a partition.
+    pub fn messages_dropped_loss(&self) -> u64 {
+        self.messages_dropped_loss
+    }
+
+    /// Messages dropped because the destination was down.
+    pub fn messages_dropped_dead(&self) -> u64 {
+        self.messages_dropped_dead
+    }
+
+    /// Total bytes handed to the network layer.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total bytes delivered.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// Timers that fired.
+    pub fn timers_fired(&self) -> u64 {
+        self.timers_fired
+    }
+
+    /// Timers cancelled before firing.
+    pub fn timers_cancelled(&self) -> u64 {
+        self.timers_cancelled
+    }
+
+    /// Node boot events (including restarts).
+    pub fn node_starts(&self) -> u64 {
+        self.node_starts
+    }
+
+    /// Node stop events (crashes / departures).
+    pub fn node_stops(&self) -> u64 {
+        self.node_stops
+    }
+
+    /// One-way delivery latency histogram, if enabled.
+    pub fn delivery_latency(&self) -> Option<&Histogram> {
+        self.delivery_latency.as_ref()
+    }
+
+    /// Immutable snapshot used for before/after deltas in benchmarks.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            messages_sent: self.messages_sent,
+            messages_delivered: self.messages_delivered,
+            bytes_sent: self.bytes_sent,
+            bytes_delivered: self.bytes_delivered,
+            messages_dropped_loss: self.messages_dropped_loss,
+            messages_dropped_dead: self.messages_dropped_dead,
+        }
+    }
+
+    /// All named counters.
+    pub fn tags(&self) -> &BTreeMap<&'static str, u64> {
+        &self.tags
+    }
+}
+
+/// A cheap copy of the headline counters, used to compute deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub messages_sent: u64,
+    pub messages_delivered: u64,
+    pub bytes_sent: u64,
+    pub bytes_delivered: u64,
+    pub messages_dropped_loss: u64,
+    pub messages_dropped_dead: u64,
+}
+
+impl MetricsSnapshot {
+    /// Difference `self - earlier`, field-wise (saturating).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            messages_sent: self.messages_sent.saturating_sub(earlier.messages_sent),
+            messages_delivered: self.messages_delivered.saturating_sub(earlier.messages_delivered),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            bytes_delivered: self.bytes_delivered.saturating_sub(earlier.bytes_delivered),
+            messages_dropped_loss: self
+                .messages_dropped_loss
+                .saturating_sub(earlier.messages_dropped_loss),
+            messages_dropped_dead: self
+                .messages_dropped_dead
+                .saturating_sub(earlier.messages_dropped_dead),
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "messages: sent={} delivered={} dropped(loss)={} dropped(dead)={}",
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped_loss,
+            self.messages_dropped_dead
+        )?;
+        writeln!(f, "bytes: sent={} delivered={}", self.bytes_sent, self.bytes_delivered)?;
+        writeln!(
+            f,
+            "timers: fired={} cancelled={}  nodes: starts={} stops={}",
+            self.timers_fired, self.timers_cancelled, self.node_starts, self.node_stops
+        )?;
+        if let Some(h) = &self.delivery_latency {
+            writeln!(
+                f,
+                "latency us: mean={:.0} p50={} p99={} max={}",
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max()
+            )?;
+        }
+        for (tag, v) in &self.tags {
+            writeln!(f, "  {tag} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        h.record(100);
+        h.record(200);
+        h.record(400);
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 233.333).abs() < 1.0);
+        assert_eq!(h.max(), 400);
+        assert!(h.quantile(0.99) >= 400);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1_000);
+        b.record(3_000);
+        b.record(5_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 5_000);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn metrics_counters() {
+        let mut m = Metrics::new();
+        m.on_send(100);
+        m.on_send(50);
+        m.on_deliver(100, 2_000);
+        m.on_drop_loss();
+        m.on_drop_dead();
+        m.on_timer_fired();
+        m.on_timer_cancelled();
+        m.on_node_start();
+        m.on_node_stop();
+        m.bump("dht.lookup");
+        m.bump_by("dht.lookup", 4);
+        assert_eq!(m.messages_sent(), 2);
+        assert_eq!(m.messages_delivered(), 1);
+        assert_eq!(m.messages_dropped_loss(), 1);
+        assert_eq!(m.messages_dropped_dead(), 1);
+        assert_eq!(m.bytes_sent(), 150);
+        assert_eq!(m.bytes_delivered(), 100);
+        assert_eq!(m.timers_fired(), 1);
+        assert_eq!(m.timers_cancelled(), 1);
+        assert_eq!(m.node_starts(), 1);
+        assert_eq!(m.node_stops(), 1);
+        assert_eq!(m.tag("dht.lookup"), 5);
+        assert_eq!(m.tag("unknown"), 0);
+        assert_eq!(m.delivery_latency().unwrap().count(), 1);
+        let s = format!("{m}");
+        assert!(s.contains("dht.lookup"));
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut m = Metrics::new();
+        m.on_send(10);
+        let before = m.snapshot();
+        m.on_send(10);
+        m.on_deliver(10, 500);
+        let after = m.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.messages_sent, 1);
+        assert_eq!(d.messages_delivered, 1);
+        assert_eq!(d.bytes_sent, 10);
+    }
+}

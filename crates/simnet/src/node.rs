@@ -1,0 +1,232 @@
+//! Node abstraction and the per-event execution context.
+//!
+//! Protocol layers (the DHT, the PIER query engine) are written as [`Node`]
+//! state machines.  During each event the node receives a mutable [`Context`]
+//! through which it can send messages, set and cancel timers, read the virtual
+//! clock, and draw deterministic random numbers.  The context records the
+//! requested actions; the simulator applies them after the handler returns,
+//! which keeps the borrow structure simple and the event order well defined.
+
+use crate::rng::DetRng;
+use crate::time::{Duration, SimTime};
+use std::fmt;
+
+/// Network address of a simulated node (dense, assigned at creation).
+///
+/// This is the "IP address" of a node, distinct from the 160-bit DHT
+/// identifier assigned by hashing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeAddr(pub u32);
+
+impl fmt::Debug for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl NodeAddr {
+    /// The address as a dense index (for vectors keyed by address).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle identifying a pending timer, used for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub u64);
+
+/// Estimate of a message's on-the-wire size in bytes.
+///
+/// The simulator does not serialize messages; it only needs a size estimate
+/// to account for bandwidth in the metrics the benchmarks report.
+pub trait WireSize {
+    /// Approximate serialized size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(|x| x.wire_size()).sum::<usize>()
+    }
+}
+
+impl WireSize for String {
+    fn wire_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+/// A protocol state machine hosted on one simulated node.
+pub trait Node {
+    /// The message type this node exchanges with its peers.
+    type Msg: Clone + WireSize;
+
+    /// Called once when the node boots (either at simulation start or when a
+    /// churned node restarts).
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Context<Self::Msg>, from: NodeAddr, msg: Self::Msg);
+
+    /// Called when a timer set through [`Context::set_timer`] fires.  `token`
+    /// is the caller-chosen discriminant passed when the timer was set.
+    fn on_timer(&mut self, ctx: &mut Context<Self::Msg>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Called when the node is taken down (crash or scheduled departure).
+    /// Nodes are not obliged to do anything; soft state protocols recover.
+    fn on_stop(&mut self, ctx: &mut Context<Self::Msg>) {
+        let _ = ctx;
+    }
+}
+
+/// Actions a node requested during a handler invocation.
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { to: NodeAddr, msg: M },
+    SetTimer { id: TimerId, delay: Duration, token: u64 },
+    CancelTimer { id: TimerId },
+}
+
+/// Per-event execution context handed to node handlers.
+pub struct Context<'a, M> {
+    pub(crate) addr: NodeAddr,
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut DetRng,
+    pub(crate) actions: Vec<Action<M>>,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The address of the node currently executing.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic random number generator for this node.
+    pub fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+
+    /// Send `msg` to `to`.  Delivery latency and loss are decided by the
+    /// simulator's models; messages to dead nodes are silently dropped, just
+    /// as UDP datagrams to a crashed PlanetLab host would be.
+    pub fn send(&mut self, to: NodeAddr, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Schedule a timer to fire after `delay`.  The returned [`TimerId`] can
+    /// be used to cancel it; `token` is echoed back to
+    /// [`Node::on_timer`].
+    pub fn set_timer(&mut self, delay: Duration, token: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.actions.push(Action::SetTimer { id, delay, token });
+        id
+    }
+
+    /// Cancel a previously set timer.  Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_addr_display_and_index() {
+        let a = NodeAddr(17);
+        assert_eq!(format!("{a}"), "n17");
+        assert_eq!(format!("{a:?}"), "n17");
+        assert_eq!(a.index(), 17);
+    }
+
+    #[test]
+    fn wire_size_impls() {
+        assert_eq!(().wire_size(), 0);
+        assert_eq!(42u64.wire_size(), 8);
+        assert_eq!("abc".to_string().wire_size(), 7);
+        assert_eq!(vec![1u64, 2, 3].wire_size(), 4 + 24);
+    }
+
+    #[test]
+    fn context_records_actions() {
+        let mut rng = DetRng::new(1);
+        let mut next_id = 0u64;
+        let mut ctx: Context<u64> = Context {
+            addr: NodeAddr(3),
+            now: SimTime::from_secs(5),
+            rng: &mut rng,
+            actions: Vec::new(),
+            next_timer_id: &mut next_id,
+        };
+        assert_eq!(ctx.addr(), NodeAddr(3));
+        assert_eq!(ctx.now(), SimTime::from_secs(5));
+        ctx.send(NodeAddr(4), 99);
+        let t = ctx.set_timer(Duration::from_millis(10), 7);
+        ctx.cancel_timer(t);
+        assert_eq!(ctx.actions.len(), 3);
+        match &ctx.actions[0] {
+            Action::Send { to, msg } => {
+                assert_eq!(*to, NodeAddr(4));
+                assert_eq!(*msg, 99);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        match &ctx.actions[1] {
+            Action::SetTimer { id, delay, token } => {
+                assert_eq!(*id, t);
+                assert_eq!(*delay, Duration::from_millis(10));
+                assert_eq!(*token, 7);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        drop(ctx);
+        assert_eq!(next_id, 1);
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let mut rng = DetRng::new(1);
+        let mut next_id = 0u64;
+        let mut ctx: Context<()> = Context {
+            addr: NodeAddr(0),
+            now: SimTime::ZERO,
+            rng: &mut rng,
+            actions: Vec::new(),
+            next_timer_id: &mut next_id,
+        };
+        let a = ctx.set_timer(Duration::from_millis(1), 0);
+        let b = ctx.set_timer(Duration::from_millis(1), 0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,127 @@
+//! Test support: run protocol state machines outside a full [`Simulation`].
+//!
+//! Unit tests of protocol layers (the DHT, PIER's engine) often want to poke a
+//! single node directly — hand it one message, then assert on its state and on
+//! what it tried to send — without building an entire simulated network.
+//! [`TestContext`] provides exactly that: it manufactures the same
+//! [`Context`](crate::Context) the simulator would, and collects the actions
+//! the handler requested so the test can inspect them.
+
+use crate::node::{Action, Context, NodeAddr, TimerId};
+use crate::rng::DetRng;
+use crate::time::{Duration, SimTime};
+
+/// A standalone context factory for unit tests.
+pub struct TestContext<M> {
+    addr: NodeAddr,
+    now: SimTime,
+    rng: DetRng,
+    next_timer_id: u64,
+    /// Messages the handler sent, in order.
+    pub sent: Vec<(NodeAddr, M)>,
+    /// Timers the handler set: `(delay, token)`, in order.
+    pub timers_set: Vec<(Duration, u64)>,
+    /// Timers the handler cancelled.
+    pub timers_cancelled: Vec<TimerId>,
+}
+
+impl<M> TestContext<M> {
+    /// A context for node `addr` at virtual time zero.
+    pub fn new(addr: NodeAddr) -> Self {
+        Self::at(addr, SimTime::ZERO)
+    }
+
+    /// A context for node `addr` at the given virtual time.
+    pub fn at(addr: NodeAddr, now: SimTime) -> Self {
+        TestContext {
+            addr,
+            now,
+            rng: DetRng::new(0x7E57 + addr.0 as u64),
+            next_timer_id: 0,
+            sent: Vec::new(),
+            timers_set: Vec::new(),
+            timers_cancelled: Vec::new(),
+        }
+    }
+
+    /// Advance the virtual clock used for subsequent calls.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Current virtual time of this test context.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run a closure with a fresh [`Context`]; afterwards the actions it
+    /// requested are appended to [`sent`](Self::sent) /
+    /// [`timers_set`](Self::timers_set) / [`timers_cancelled`](Self::timers_cancelled).
+    pub fn run<R>(&mut self, f: impl FnOnce(&mut Context<'_, M>) -> R) -> R {
+        let mut ctx = Context {
+            addr: self.addr,
+            now: self.now,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+            next_timer_id: &mut self.next_timer_id,
+        };
+        let out = f(&mut ctx);
+        let actions = std::mem::take(&mut ctx.actions);
+        drop(ctx);
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.sent.push((to, msg)),
+                Action::SetTimer { delay, token, .. } => self.timers_set.push((delay, token)),
+                Action::CancelTimer { id } => self.timers_cancelled.push(id),
+            }
+        }
+        out
+    }
+
+    /// Drop every recorded action (useful between test phases).
+    pub fn clear(&mut self) {
+        self.sent.clear();
+        self.timers_set.clear();
+        self.timers_cancelled.clear();
+    }
+
+    /// Messages sent to a particular destination.
+    pub fn sent_to(&self, to: NodeAddr) -> Vec<&M> {
+        self.sent.iter().filter(|(t, _)| *t == to).map(|(_, m)| m).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_actions() {
+        let mut tc: TestContext<u64> = TestContext::new(NodeAddr(1));
+        let result = tc.run(|ctx| {
+            ctx.send(NodeAddr(2), 10);
+            ctx.send(NodeAddr(3), 11);
+            let t = ctx.set_timer(Duration::from_millis(5), 99);
+            ctx.cancel_timer(t);
+            "done"
+        });
+        assert_eq!(result, "done");
+        assert_eq!(tc.sent.len(), 2);
+        assert_eq!(tc.sent_to(NodeAddr(3)), vec![&11]);
+        assert_eq!(tc.timers_set, vec![(Duration::from_millis(5), 99)]);
+        assert_eq!(tc.timers_cancelled.len(), 1);
+        tc.clear();
+        assert!(tc.sent.is_empty());
+    }
+
+    #[test]
+    fn clock_is_controllable() {
+        let mut tc: TestContext<()> = TestContext::at(NodeAddr(0), SimTime::from_secs(5));
+        assert_eq!(tc.now(), SimTime::from_secs(5));
+        let seen = tc.run(|ctx| ctx.now());
+        assert_eq!(seen, SimTime::from_secs(5));
+        tc.set_now(SimTime::from_secs(9));
+        let seen = tc.run(|ctx| ctx.now());
+        assert_eq!(seen, SimTime::from_secs(9));
+    }
+}

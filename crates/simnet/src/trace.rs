@@ -1,0 +1,147 @@
+//! Optional event tracing.
+//!
+//! When enabled, the simulator records a compact trace of interesting events
+//! (deliveries, drops, node lifecycle).  Traces are used by integration tests
+//! to assert ordering properties and by the examples to print human-readable
+//! activity logs.  Tracing is off by default because large simulations emit
+//! millions of events.
+
+use crate::node::NodeAddr;
+use crate::time::SimTime;
+
+/// One recorded simulation event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message was delivered.
+    Deliver { at: SimTime, from: NodeAddr, to: NodeAddr, bytes: usize },
+    /// A message was dropped by the loss model or a partition.
+    DropLoss { at: SimTime, from: NodeAddr, to: NodeAddr },
+    /// A message was dropped because its destination was down.
+    DropDead { at: SimTime, from: NodeAddr, to: NodeAddr },
+    /// A node booted (initial start or churn restart).
+    NodeUp { at: SimTime, node: NodeAddr },
+    /// A node went down.
+    NodeDown { at: SimTime, node: NodeAddr },
+    /// A timer fired.
+    TimerFired { at: SimTime, node: NodeAddr, token: u64 },
+}
+
+impl TraceEvent {
+    /// Virtual time the event occurred at.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Deliver { at, .. }
+            | TraceEvent::DropLoss { at, .. }
+            | TraceEvent::DropDead { at, .. }
+            | TraceEvent::NodeUp { at, .. }
+            | TraceEvent::NodeDown { at, .. }
+            | TraceEvent::TimerFired { at, .. } => *at,
+        }
+    }
+}
+
+/// A bounded in-memory trace log.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// A disabled trace log (records nothing).
+    pub fn disabled() -> Self {
+        TraceLog { enabled: false, capacity: 0, ..Default::default() }
+    }
+
+    /// An enabled trace log retaining at most `capacity` events
+    /// (older events are kept; once full, new events are counted but not stored).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceLog { enabled: true, capacity, ..Default::default() }
+    }
+
+    /// Is recording enabled?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events that did not fit in `capacity`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Remove all recorded events (keeps the enabled flag / capacity).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// Count events satisfying a predicate.
+    pub fn count_if<F: Fn(&TraceEvent) -> bool>(&self, f: F) -> usize {
+        self.events.iter().filter(|e| f(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::NodeUp { at: SimTime::from_millis(t), node: NodeAddr(0) }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.push(ev(1));
+        assert!(log.events().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut log = TraceLog::with_capacity(2);
+        log.push(ev(1));
+        log.push(ev(2));
+        log.push(ev(3));
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 1);
+        log.clear();
+        assert!(log.events().is_empty());
+        assert_eq!(log.dropped(), 0);
+        assert!(log.is_enabled());
+    }
+
+    #[test]
+    fn count_and_at() {
+        let mut log = TraceLog::with_capacity(16);
+        log.push(TraceEvent::NodeUp { at: SimTime::from_secs(1), node: NodeAddr(1) });
+        log.push(TraceEvent::NodeDown { at: SimTime::from_secs(2), node: NodeAddr(1) });
+        log.push(TraceEvent::Deliver {
+            at: SimTime::from_secs(3),
+            from: NodeAddr(0),
+            to: NodeAddr(1),
+            bytes: 10,
+        });
+        assert_eq!(log.count_if(|e| matches!(e, TraceEvent::NodeUp { .. })), 1);
+        assert_eq!(log.events()[2].at(), SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,48 @@
+//! Keyword-based filesharing search: a distributed equi-join between the file
+//! catalog and its inverted keyword index.
+//!
+//! Run with: `cargo run --example filesharing_search`
+
+use pier::apps::filesharing::{files_table, keywords_table, FileCorpus};
+use pier::prelude::*;
+
+fn main() {
+    let mut bed = PierTestbed::new(TestbedConfig { nodes: 40, seed: 21, ..Default::default() });
+    bed.create_table_everywhere(&files_table());
+    bed.create_table_everywhere(&keywords_table());
+
+    // Publish a synthetic corpus: 600 files, 1-4 keywords each.
+    let corpus = FileCorpus::generate(600, 40, 21);
+    corpus.publish(&mut bed);
+    bed.run_for(Duration::from_secs(10));
+    println!(
+        "published {} files and {} keyword postings into the DHT",
+        corpus.files().len(),
+        corpus.postings().len()
+    );
+
+    for keyword in ["linux", "sigmod", "creative-commons"] {
+        let origin = bed.nodes()[3];
+        let query = bed
+            .submit_sql(origin, &FileCorpus::search_sql(keyword))
+            .expect("search query must plan");
+        bed.run_for(Duration::from_secs(12));
+        let rows = bed.results(origin, query, 0);
+        println!(
+            "\nsearch '{keyword}': {} results (ground truth {})",
+            rows.len(),
+            corpus.matching_files(keyword)
+        );
+        for row in rows.iter().take(5) {
+            println!(
+                "  {:<28} owner={:<16} {:>8} KB",
+                row.get(0).to_string(),
+                row.get(1).to_string(),
+                row.get(2).to_string()
+            );
+        }
+        if rows.len() > 5 {
+            println!("  … and {} more", rows.len() - 5);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: boot a small PIER overlay, publish a relation, and run both a
+//! one-shot aggregate and a filtered selection from an arbitrary node.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pier::prelude::*;
+
+fn main() {
+    // 1. Boot a 24-node PIER deployment on the simulated wide-area network.
+    let mut bed = PierTestbed::quick(24, 2004);
+    println!("booted {} PIER nodes (virtual time {})", bed.nodes().len(), bed.now());
+
+    // 2. Agree on a relation.  The table name doubles as the DHT namespace;
+    //    `host` is the partitioning column.
+    let readings = TableDef::new(
+        "readings",
+        Schema::of(&[
+            ("host", DataType::Str),
+            ("cpu_load", DataType::Float),
+            ("mem_mb", DataType::Int),
+        ]),
+        "host",
+        Duration::from_secs(300),
+    );
+    bed.create_table_everywhere(&readings);
+
+    // 3. Every node publishes one reading about itself.
+    for (i, &addr) in bed.nodes().to_vec().iter().enumerate() {
+        let tuple = Tuple::new(vec![
+            Value::str(format!("planetlab-{i:03}")),
+            Value::Float(0.1 * (i as f64 % 17.0) + 0.2),
+            Value::Int(256 + (i as i64 * 37) % 1800),
+        ]);
+        bed.publish(addr, "readings", tuple);
+    }
+    bed.run_for(Duration::from_secs(5));
+
+    // 4. Ask network-wide questions from node 0.
+    let rows = bed
+        .query_once(
+            "SELECT COUNT(*) AS nodes, AVG(cpu_load) AS avg_load, MAX(mem_mb) AS max_mem \
+             FROM readings",
+            Duration::from_secs(10),
+        )
+        .expect("aggregate query failed");
+    println!("\nnetwork-wide summary:");
+    println!("  nodes reporting : {}", rows[0].get(0));
+    println!("  average cpu load: {}", rows[0].get(1));
+    println!("  max memory (MB) : {}", rows[0].get(2));
+
+    // 5. A filtered selection: which hosts are heavily loaded?
+    let rows = bed
+        .query_once(
+            "SELECT host, cpu_load FROM readings WHERE cpu_load > 1.0 ORDER BY cpu_load DESC LIMIT 5",
+            Duration::from_secs(10),
+        )
+        .expect("selection query failed");
+    println!("\nbusiest hosts (cpu_load > 1.0):");
+    for row in &rows {
+        println!("  {:<16} {}", row.get(0).to_string(), row.get(1));
+    }
+
+    println!(
+        "\nsimulator totals: {} messages delivered, {} bytes",
+        bed.metrics().messages_delivered(),
+        bed.metrics().bytes_delivered()
+    );
+}

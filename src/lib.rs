@@ -1,0 +1,24 @@
+//! # pier — reproduction of "Querying at Internet Scale" (SIGMOD 2004)
+//!
+//! This is the umbrella crate of the workspace.  It re-exports the four
+//! layers so examples and downstream users can depend on a single crate:
+//!
+//! * [`simnet`] — the deterministic discrete-event network simulator that
+//!   stands in for PlanetLab / the wide-area Internet;
+//! * [`dht`] — the Chord-style distributed hash table with soft state,
+//!   key-based routing, and broadcast dissemination;
+//! * [`core`] — PIER itself: SQL + algebraic dataflow interfaces, planner,
+//!   in-network aggregation, distributed joins, recursive and continuous
+//!   queries, and the deployment testbed;
+//! * [`apps`] — the demo's applications: network monitoring, Snort-style
+//!   intrusion detection, filesharing keyword search, topology mapping.
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the harness that regenerates the paper's Figure 1 and Table 1.
+
+pub use pier_apps as apps;
+pub use pier_core as core;
+pub use pier_dht as dht;
+pub use pier_simnet as simnet;
+
+pub use pier_core::prelude;

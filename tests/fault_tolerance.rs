@@ -1,0 +1,172 @@
+//! Failure-injection integration tests: message loss, node crashes mid-query,
+//! and network partitions.  PIER's claim is graceful degradation — queries
+//! keep returning (possibly partial) answers and the system recovers without
+//! operator intervention.
+
+use pier::apps::netmon::{netstats_table, NetworkMonitor};
+use pier::prelude::*;
+use pier::simnet::{LossModel, PartitionSet};
+
+fn lossy_testbed(nodes: usize, seed: u64, loss: f64) -> PierTestbed {
+    PierTestbed::new(TestbedConfig {
+        nodes,
+        seed,
+        loss: LossModel::Bernoulli(loss),
+        warmup: Duration::from_secs(60),
+        ..Default::default()
+    })
+}
+
+#[test]
+fn aggregate_survives_one_percent_message_loss() {
+    let nodes = 24;
+    let mut bed = lossy_testbed(nodes, 42, 0.01);
+    bed.create_table_everywhere(&netstats_table());
+    let mut monitor = NetworkMonitor::new(nodes, 42);
+    for (i, &addr) in bed.nodes().to_vec().iter().enumerate() {
+        bed.publish_local(addr, "netstats", monitor.sample(i));
+    }
+    bed.run_for(Duration::from_secs(3));
+
+    let origin = bed.nodes()[0];
+    let q = bed.submit_sql(origin, "SELECT COUNT(*) FROM netstats").unwrap();
+    bed.run_for(Duration::from_secs(15));
+
+    let rows = bed.results(origin, q, 0);
+    assert_eq!(rows.len(), 1, "the aggregate must still produce an answer");
+    let count = rows[0].get(0).as_i64().unwrap();
+    // Under 1% loss the vast majority of nodes still contribute.
+    assert!(
+        count >= (nodes as i64) - 4,
+        "count {count} dropped too far below {nodes} under 1% loss"
+    );
+    assert!(count <= nodes as i64);
+    assert!(bed.metrics().messages_dropped_loss() > 0, "loss model must actually drop messages");
+}
+
+#[test]
+fn continuous_query_survives_origin_isolation_and_heals() {
+    // Partition the query origin away from the rest of the network for a
+    // while: epochs during the partition cannot reach it, but once healed the
+    // stream of per-epoch answers resumes.
+    let nodes = 20;
+    let mut bed = PierTestbed::new(TestbedConfig {
+        nodes,
+        seed: 7,
+        warmup: Duration::from_secs(40),
+        ..Default::default()
+    });
+    bed.create_table_everywhere(&netstats_table());
+    let mut monitor = NetworkMonitor::new(nodes, 7);
+
+    let origin = bed.nodes()[0];
+    let q = bed.submit_sql(origin, &NetworkMonitor::figure1_sql(5, 10)).unwrap();
+
+    // Healthy operation first.
+    for _ in 0..4 {
+        monitor.publish_round(&mut bed);
+        bed.run_for(Duration::from_secs(5));
+    }
+    let epochs_before = bed.epochs(origin, q).len();
+    assert!(epochs_before >= 2, "need some healthy epochs first");
+
+    // Partition the origin on its own.
+    let others: Vec<NodeAddr> = bed.nodes().iter().copied().filter(|a| *a != origin).collect();
+    bed.sim().set_partition(PartitionSet::split(&[&[origin][..], &others[..]]));
+    for _ in 0..3 {
+        monitor.publish_round(&mut bed);
+        bed.run_for(Duration::from_secs(5));
+    }
+
+    // Heal and continue.
+    bed.sim().heal_partition();
+    for _ in 0..5 {
+        monitor.publish_round(&mut bed);
+        bed.run_for(Duration::from_secs(5));
+    }
+    let epochs_after = bed.epochs(origin, q).len();
+    assert!(
+        epochs_after > epochs_before,
+        "no new epochs arrived after the partition healed ({epochs_before} -> {epochs_after})"
+    );
+
+    // The latest epoch after healing once again aggregates most of the network.
+    let last = *bed.epochs(origin, q).last().unwrap();
+    let responding = bed.contributors(origin, q, last);
+    assert!(responding >= (nodes as u64) - 4, "only {responding} nodes responding after heal");
+}
+
+#[test]
+fn mid_query_crash_of_data_holders_degrades_gracefully() {
+    // Crash three nodes while a continuous aggregate is running.  The epoch in
+    // flight when the crash happens may be truncated (the aggregation tree can
+    // lose a subtree, or even its root), but subsequent epochs must recover to
+    // "everyone who is still alive" — that is PIER's graceful-degradation claim.
+    let nodes = 24;
+    let mut bed = PierTestbed::new(TestbedConfig {
+        nodes,
+        seed: 21,
+        warmup: Duration::from_secs(40),
+        ..Default::default()
+    });
+    bed.create_table_everywhere(&netstats_table());
+    let mut monitor = NetworkMonitor::new(nodes, 21);
+
+    let origin = bed.nodes()[0];
+    let q = bed.submit_sql(origin, "SELECT COUNT(*) AS hosts FROM netstats \
+        CONTINUOUS EVERY 5 SECONDS WINDOW 10 SECONDS").unwrap();
+
+    // One healthy epoch, then the crash, then several more epochs.
+    monitor.publish_round(&mut bed);
+    bed.run_for(Duration::from_secs(6));
+    for addr in [NodeAddr(5), NodeAddr(9), NodeAddr(13)] {
+        bed.kill_node(addr);
+    }
+    for _ in 0..6 {
+        monitor.publish_round(&mut bed);
+        bed.run_for(Duration::from_secs(5));
+    }
+
+    let epochs = bed.epochs(origin, q);
+    assert!(epochs.len() >= 4, "continuous query stalled after the crash");
+    let last = *epochs.last().unwrap();
+    let rows = bed.results(origin, q, last);
+    assert_eq!(rows.len(), 1);
+    let count = rows[0].get(0).as_i64().unwrap();
+    // 21 survivors keep publishing one reading every ~5 s into a 10 s window,
+    // so each epoch sees one or two live readings per surviving host — and
+    // none from the crashed hosts, whose soft state has expired.
+    assert!(count >= 18 && count <= 2 * 21, "unexpected surviving reading count {count}");
+    assert!(bed.contributors(origin, q, last) >= 18);
+}
+
+#[test]
+fn expired_soft_state_drops_out_of_answers() {
+    let nodes = 12;
+    let mut bed = PierTestbed::new(TestbedConfig {
+        nodes,
+        seed: 31,
+        warmup: Duration::from_secs(30),
+        ..Default::default()
+    });
+    // netstats TTL is 30 s; publish once and query twice, 60 s apart.
+    bed.create_table_everywhere(&netstats_table());
+    let mut monitor = NetworkMonitor::new(nodes, 31);
+    for (i, &addr) in bed.nodes().to_vec().iter().enumerate() {
+        bed.publish_local(addr, "netstats", monitor.sample(i));
+    }
+    bed.run_for(Duration::from_secs(2));
+
+    let origin = bed.nodes()[0];
+    let q1 = bed.submit_sql(origin, "SELECT COUNT(*) FROM netstats").unwrap();
+    bed.run_for(Duration::from_secs(12));
+    let fresh = bed.results(origin, q1, 0)[0].get(0).as_i64().unwrap();
+    assert_eq!(fresh, nodes as i64);
+
+    // Let the soft state expire without renewal.
+    bed.run_for(Duration::from_secs(60));
+    let q2 = bed.submit_sql(origin, "SELECT COUNT(*) FROM netstats").unwrap();
+    bed.run_for(Duration::from_secs(12));
+    let stale = bed.results(origin, q2, 0)[0].get(0).as_i64().unwrap();
+    assert_eq!(stale, 0, "expired tuples must not be counted");
+}

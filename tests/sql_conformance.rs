@@ -1,0 +1,175 @@
+//! SQL conformance battery: parse → plan → evaluate on the centralized
+//! reference engine, checking results and error behaviour for the dialect the
+//! paper's applications rely on.  These tests run without the simulator, so
+//! they exercise the frontend and operator semantics in isolation.
+
+use pier::core::{Catalog, MemoryDb, Planner, TableDef};
+use pier::prelude::*;
+
+fn fixture() -> (Catalog, MemoryDb) {
+    let mut catalog = Catalog::new();
+    catalog.register(TableDef::new(
+        "events",
+        Schema::of(&[
+            ("host", DataType::Str),
+            ("kind", DataType::Str),
+            ("severity", DataType::Int),
+            ("bytes", DataType::Float),
+        ]),
+        "host",
+        Duration::from_secs(60),
+    ));
+    catalog.register(TableDef::new(
+        "hosts",
+        Schema::of(&[("name", DataType::Str), ("site", DataType::Str)]),
+        "name",
+        Duration::from_secs(60),
+    ));
+    let mut db = MemoryDb::new();
+    let rows = [
+        ("h1", "scan", 3, 120.0),
+        ("h1", "probe", 1, 40.0),
+        ("h2", "scan", 5, 900.0),
+        ("h2", "worm", 9, 3200.0),
+        ("h3", "scan", 2, 64.0),
+        ("h3", "probe", 2, 80.0),
+        ("h3", "worm", 7, 1500.0),
+    ];
+    db.insert(
+        "events",
+        rows.iter().map(|(h, k, s, b)| {
+            Tuple::new(vec![Value::str(*h), Value::str(*k), Value::Int(*s), Value::Float(*b)])
+        }),
+    );
+    db.insert(
+        "hosts",
+        [("h1", "berkeley"), ("h2", "seattle"), ("h3", "berkeley")].iter().map(|(n, s)| {
+            Tuple::new(vec![Value::str(*n), Value::str(*s)])
+        }),
+    );
+    (catalog, db)
+}
+
+fn run(sql: &str) -> Vec<Tuple> {
+    let (catalog, db) = fixture();
+    let stmt = pier::core::sql::parse_select(sql).expect("parse");
+    let planned = Planner::new(&catalog).plan_select(&stmt).expect("plan");
+    db.execute(&planned.logical)
+}
+
+fn run_err(sql: &str) -> String {
+    let (catalog, _) = fixture();
+    match pier::core::sql::parse_select(sql) {
+        Err(e) => e.to_string(),
+        Ok(stmt) => match Planner::new(&catalog).plan_select(&stmt) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("expected an error for {sql}"),
+        },
+    }
+}
+
+#[test]
+fn projection_and_arithmetic() {
+    let rows = run("SELECT host, bytes / 2 FROM events WHERE kind = 'worm' ORDER BY host");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(0), &Value::str("h2"));
+    assert_eq!(rows[0].get(1), &Value::Float(1600.0));
+}
+
+#[test]
+fn where_with_and_or_not() {
+    let rows = run(
+        "SELECT host FROM events WHERE (severity >= 5 OR bytes > 1000.0) AND NOT kind = 'probe' \
+         ORDER BY host",
+    );
+    let hosts: Vec<&str> = rows.iter().filter_map(|r| r.get(0).as_str()).collect();
+    assert_eq!(hosts, vec!["h2", "h2", "h3"]);
+}
+
+#[test]
+fn like_and_string_functions() {
+    let rows = run("SELECT upper(kind) AS k FROM events WHERE kind LIKE 'w%' ORDER BY k");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(0), &Value::str("WORM"));
+    let rows = run("SELECT host FROM events WHERE length(kind) = 4 ORDER BY host LIMIT 1");
+    assert_eq!(rows[0].get(0), &Value::str("h1"));
+}
+
+#[test]
+fn grouped_aggregates_with_having_and_topk() {
+    let rows = run(
+        "SELECT host, COUNT(*) AS n, SUM(bytes) AS total, MAX(severity) AS worst \
+         FROM events GROUP BY host HAVING COUNT(*) >= 2 ORDER BY total DESC LIMIT 2",
+    );
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(0), &Value::str("h2"));
+    assert_eq!(rows[0].get(1), &Value::Int(2));
+    assert_eq!(rows[0].get(3), &Value::Int(9));
+    assert_eq!(rows[1].get(0), &Value::str("h3"));
+}
+
+#[test]
+fn global_aggregates_over_empty_selection() {
+    let rows = run("SELECT COUNT(*), SUM(bytes), MIN(severity) FROM events WHERE severity > 100");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(0), &Value::Int(0));
+    assert!(rows[0].get(1).is_null());
+    assert!(rows[0].get(2).is_null());
+}
+
+#[test]
+fn avg_and_mixed_numeric_types() {
+    let rows = run("SELECT AVG(severity), AVG(bytes) FROM events WHERE host = 'h3'");
+    let avg_sev = rows[0].get(0).as_f64().unwrap();
+    assert!((avg_sev - 11.0 / 3.0).abs() < 1e-9);
+}
+
+#[test]
+fn join_with_qualified_columns_and_filter() {
+    let rows = run(
+        "SELECT e.host, h.site, e.bytes FROM events e JOIN hosts h ON e.host = h.name \
+         WHERE h.site = 'berkeley' AND e.kind = 'worm'",
+    );
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(0), &Value::str("h3"));
+    assert_eq!(rows[0].get(1), &Value::str("berkeley"));
+}
+
+#[test]
+fn order_by_multiple_keys_and_limit() {
+    let rows = run("SELECT host, severity FROM events ORDER BY host, severity DESC LIMIT 3");
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0], Tuple::new(vec![Value::str("h1"), Value::Int(3)]));
+    assert_eq!(rows[1], Tuple::new(vec![Value::str("h1"), Value::Int(1)]));
+    assert_eq!(rows[2].get(0), &Value::str("h2"));
+}
+
+#[test]
+fn continuous_clause_is_planned_but_does_not_change_semantics() {
+    let (catalog, _) = fixture();
+    let stmt = pier::core::sql::parse_select(
+        "SELECT COUNT(*) FROM events CONTINUOUS EVERY 2 SECONDS WINDOW 4 SECONDS",
+    )
+    .unwrap();
+    let planned = Planner::new(&catalog).plan_select(&stmt).unwrap();
+    let c = planned.continuous.unwrap();
+    assert_eq!(c.period, Duration::from_secs(2));
+    assert_eq!(c.window, Duration::from_secs(4));
+}
+
+#[test]
+fn useful_error_messages() {
+    assert!(run_err("SELECT * FROM nowhere").contains("unknown table"));
+    assert!(run_err("SELECT missing FROM events").contains("unknown column"));
+    assert!(run_err("SELECT host, COUNT(*) FROM events").contains("GROUP BY"));
+    assert!(run_err("SELECT host FROM events ORDER BY").contains("error"));
+    assert!(run_err("SELECT FROM events").contains("error"));
+}
+
+#[test]
+fn count_distinct_hosts_via_group_by() {
+    // The dialect has no DISTINCT keyword; grouping provides the same answer,
+    // which is how the PlanetLab monitoring queries were written.
+    let rows = run("SELECT host, COUNT(*) FROM events GROUP BY host");
+    assert_eq!(rows.len(), 3);
+}
