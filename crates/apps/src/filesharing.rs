@@ -12,9 +12,26 @@ use pier_simnet::DetRng;
 
 /// Vocabulary the synthetic corpus draws keywords from.
 pub const VOCABULARY: [&str; 20] = [
-    "music", "video", "linux", "ebook", "creative-commons", "dataset", "trailer", "podcast",
-    "lecture", "kernel", "sigmod", "planetlab", "overlay", "dht", "backup", "photo", "game",
-    "compiler", "paper", "trace",
+    "music",
+    "video",
+    "linux",
+    "ebook",
+    "creative-commons",
+    "dataset",
+    "trailer",
+    "podcast",
+    "lecture",
+    "kernel",
+    "sigmod",
+    "planetlab",
+    "overlay",
+    "dht",
+    "backup",
+    "photo",
+    "game",
+    "compiler",
+    "paper",
+    "trace",
 ];
 
 /// The `files` relation: `(file_id INTEGER, name STRING, owner STRING, size_kb INTEGER)`.
@@ -93,10 +110,7 @@ impl FileCorpus {
 
     /// Number of files whose posting list contains `keyword` (ground truth).
     pub fn matching_files(&self, keyword: &str) -> usize {
-        self.postings
-            .iter()
-            .filter(|p| p.get(0).as_str() == Some(keyword))
-            .count()
+        self.postings.iter().filter(|p| p.get(0).as_str() == Some(keyword)).count()
     }
 
     /// Publish the corpus into a running deployment: each file (and its
@@ -114,11 +128,47 @@ impl FileCorpus {
         }
     }
 
+    /// True cardinality hints for the `files` relation of this corpus.
+    pub fn files_stats(&self) -> TableStats {
+        TableStats::with_rows(self.files.len() as u64).distinct_keys(self.files.len() as u64)
+    }
+
+    /// True cardinality hints for the `keywords` inverted index.
+    pub fn keywords_stats(&self) -> TableStats {
+        TableStats::with_rows(self.postings.len() as u64).distinct_keys(VOCABULARY.len() as u64)
+    }
+
+    /// Install this corpus's cardinality hints into a catalog so the physical
+    /// planner can cost join strategies against real sizes.
+    pub fn register_stats(&self, catalog: &mut pier_core::Catalog) {
+        catalog.set_stats("files", self.files_stats());
+        catalog.set_stats("keywords", self.keywords_stats());
+    }
+
+    /// Install this corpus's cardinality hints on every node of a deployment.
+    pub fn register_stats_everywhere(&self, bed: &mut PierTestbed) {
+        bed.set_table_stats_everywhere("files", self.files_stats());
+        bed.set_table_stats_everywhere("keywords", self.keywords_stats());
+    }
+
     /// The distributed keyword-search query.
     pub fn search_sql(keyword: &str) -> String {
         format!(
             "SELECT f.name, f.owner, f.size_kb FROM files f \
              JOIN keywords k ON f.file_id = k.file_id \
+             WHERE k.keyword = '{keyword}'"
+        )
+    }
+
+    /// The same keyword search written with the inverted index as the outer
+    /// (probing) relation.  With corpus statistics installed, the physical
+    /// planner resolves this shape to a Fetch-Matches join: the filtered
+    /// posting list is tiny, and `files` is partitioned on the join key, so
+    /// each posting probes the DHT directly.
+    pub fn probe_search_sql(keyword: &str) -> String {
+        format!(
+            "SELECT f.name, f.owner, f.size_kb FROM keywords k \
+             JOIN files f ON k.file_id = f.file_id \
              WHERE k.keyword = '{keyword}'"
         )
     }
@@ -171,5 +221,44 @@ mod tests {
         let stmt = pier_core::sql::parse_select(&sql).unwrap();
         let planned = pier_core::Planner::new(&cat).plan_select(&stmt).unwrap();
         assert!(matches!(planned.kind, pier_core::QueryKind::Join { .. }));
+    }
+
+    #[test]
+    fn corpus_stats_reflect_true_cardinalities() {
+        let corpus = FileCorpus::generate(300, 16, 5);
+        assert_eq!(corpus.files_stats().rows, 300);
+        assert_eq!(corpus.keywords_stats().rows, corpus.postings().len() as u64);
+        assert_eq!(corpus.keywords_stats().distinct_keys, Some(VOCABULARY.len() as u64));
+    }
+
+    #[test]
+    fn stats_steer_probe_search_to_fetch_matches() {
+        let corpus = FileCorpus::generate(2_000, 32, 11);
+        let mut cat = pier_core::Catalog::new();
+        cat.register(files_table());
+        cat.register(keywords_table());
+        corpus.register_stats(&mut cat);
+
+        // Keyword probe: tiny filtered posting list against the file table
+        // partitioned on the join key → Fetch-Matches.
+        let stmt = pier_core::sql::parse_select(&FileCorpus::probe_search_sql("linux")).unwrap();
+        let planned = pier_core::Planner::new(&cat).plan_select(&stmt).unwrap();
+        match &planned.kind {
+            pier_core::QueryKind::Join { strategy, .. } => {
+                assert_eq!(*strategy, pier_core::JoinStrategy::FetchMatches)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Same tables with files as the outer: keywords is not partitioned
+        // on file_id, so the planner falls back to symmetric rehash.
+        let stmt = pier_core::sql::parse_select(&FileCorpus::search_sql("linux")).unwrap();
+        let planned = pier_core::Planner::new(&cat).plan_select(&stmt).unwrap();
+        match &planned.kind {
+            pier_core::QueryKind::Join { strategy, .. } => {
+                assert_eq!(*strategy, pier_core::JoinStrategy::SymmetricHash)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

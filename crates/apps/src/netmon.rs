@@ -24,6 +24,12 @@ pub fn netstats_table() -> TableDef {
     )
 }
 
+/// Cardinality hints for `netstats` in a deployment of `nodes` hosts: one
+/// live reading per host per window (soft state expires older ones).
+pub fn netstats_stats(nodes: usize) -> TableStats {
+    TableStats::with_rows(nodes as u64).distinct_keys(nodes as u64)
+}
+
 /// Generates per-node traffic readings.
 pub struct NetworkMonitor {
     rng: DetRng,
@@ -39,8 +45,7 @@ impl NetworkMonitor {
     /// Create a monitor for `nodes` hosts.
     pub fn new(nodes: usize, seed: u64) -> Self {
         let mut rng = DetRng::new(seed).stream(0x4E4D);
-        let base_out: Vec<f64> =
-            (0..nodes).map(|_| rng.heavy_tail(20.0, 1.3, 5_000.0)).collect();
+        let base_out: Vec<f64> = (0..nodes).map(|_| rng.heavy_tail(20.0, 1.3, 5_000.0)).collect();
         let base_in: Vec<f64> = (0..nodes).map(|_| rng.heavy_tail(10.0, 1.3, 3_000.0)).collect();
         NetworkMonitor { rng, drift: vec![1.0; nodes], base_out, base_in }
     }
@@ -107,6 +112,9 @@ mod tests {
         assert_eq!(def.name, "netstats");
         assert_eq!(def.schema.arity(), 3);
         assert_eq!(def.partition_column, 0);
+        let stats = netstats_stats(300);
+        assert_eq!(stats.rows, 300);
+        assert_eq!(stats.distinct_keys, Some(300));
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub fn intrusions_table() -> TableDef {
     )
 }
 
+/// Cardinality hints for `intrusions` in a deployment of `nodes` hosts: each
+/// node reports one row per rule it observed (top ten plus the tail).
+pub fn intrusions_stats(nodes: usize) -> TableStats {
+    let rules = (SNORT_RULES.len() + TAIL_RULES.len()) as u64;
+    TableStats::with_rows(nodes as u64 * rules).distinct_keys(nodes as u64)
+}
+
 /// Generates per-node Snort reports with the paper's rule mix.
 pub struct SnortSimulator {
     rng: DetRng,
@@ -142,6 +149,9 @@ mod tests {
         assert_eq!(def.name, "intrusions");
         assert_eq!(def.schema.arity(), 4);
         assert_eq!(def.schema.index_of("hits"), Some(3));
+        let stats = intrusions_stats(48);
+        assert_eq!(stats.rows, 48 * 16);
+        assert_eq!(stats.distinct_keys, Some(48));
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub fn links_table() -> TableDef {
     )
 }
 
+/// Cardinality hints for `links` given the published edge count: sources are
+/// the overlay nodes, so distinct keys ≈ edges / mean-degree.
+pub fn links_stats(edges: usize, nodes: usize) -> TableStats {
+    TableStats::with_rows(edges as u64).distinct_keys(nodes as u64)
+}
+
 /// Extracts overlay graphs and builds recursive reachability queries.
 pub struct TopologyMapper;
 
@@ -116,6 +122,9 @@ mod tests {
         let def = links_table();
         assert_eq!(def.name, "links");
         assert_eq!(def.partition_column, 0);
+        let stats = links_stats(96, 24);
+        assert_eq!(stats.rows, 96);
+        assert_eq!(stats.distinct_keys, Some(24));
     }
 
     #[test]

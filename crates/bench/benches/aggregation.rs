@@ -41,7 +41,13 @@ fn main() {
     println!("A2: hierarchical (in-network) vs direct aggregation, continuous SUM query");
     println!(
         "{:>8} {:>16} {:>16} {:>14} {:>16} {:>16} {:>14}",
-        "nodes", "hier msgs/ep", "hier bytes/ep", "hier respond", "direct msgs/ep", "direct bytes/ep", "direct respond"
+        "nodes",
+        "hier msgs/ep",
+        "hier bytes/ep",
+        "hier respond",
+        "direct msgs/ep",
+        "direct bytes/ep",
+        "direct respond"
     );
     for &n in &[50usize, 100] {
         let (hm, hb, hr) = run(n, AggregationMode::Hierarchical);

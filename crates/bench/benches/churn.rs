@@ -50,14 +50,14 @@ fn main() {
     let nodes = 60;
     println!("A4: responding nodes under churn ({nodes} nodes, continuous SUM, 12 epochs)");
     println!("{:<24} {:>18} {:>18}", "churn level", "avg responding", "min responding");
-    for (label, uptime) in [
-        ("none", 0u64),
-        ("mild (120 s sessions)", 120),
-        ("harsh (45 s sessions)", 45),
-    ] {
+    for (label, uptime) in
+        [("none", 0u64), ("mild (120 s sessions)", 120), ("harsh (45 s sessions)", 45)]
+    {
         let (avg, min) = run(nodes, uptime);
         println!("{label:<24} {avg:>18.1} {min:>18.1}");
     }
     println!("\nexpected shape: responding-node counts degrade gracefully with churn and never");
-    println!("collapse to zero — the query keeps producing network-wide sums over whoever answers.");
+    println!(
+        "collapse to zero — the query keeps producing network-wide sums over whoever answers."
+    );
 }

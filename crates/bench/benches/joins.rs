@@ -27,9 +27,8 @@ fn run(strategy: JoinStrategy, sql: &str) -> (usize, u64, u64) {
 
     let origin = bed.nodes()[0];
     let before = bed.metrics().snapshot();
-    let q = bed
-        .submit_query(origin, planned.kind, planned.output_names, planned.continuous)
-        .unwrap();
+    let q =
+        bed.submit_query(origin, planned.kind, planned.output_names, planned.continuous).unwrap();
     bed.run_for(Duration::from_secs(20));
     let after = bed.metrics().snapshot();
     let rows = bed.results(origin, q, 0).len();

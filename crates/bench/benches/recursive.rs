@@ -14,7 +14,10 @@ use pier_core::prelude::*;
 fn main() {
     let nodes = 48;
     println!("A5: recursive reachability over overlay successor links ({nodes} nodes)");
-    println!("{:>10} {:>14} {:>16} {:>14}", "max depth", "hosts reached", "edges reported", "expand msgs");
+    println!(
+        "{:>10} {:>14} {:>16} {:>14}",
+        "max depth", "hosts reached", "edges reported", "expand msgs"
+    );
     for &depth in &[2u32, 4, 8, 16] {
         let mut bed = PierTestbed::new(TestbedConfig { nodes, seed: 3, ..Default::default() });
         bed.create_table_everywhere(&links_table());
@@ -32,11 +35,8 @@ fn main() {
             rows.iter().filter_map(|r| r.get(1).as_str().map(|s| s.to_string())).collect();
         hosts.sort();
         hosts.dedup();
-        let expands: u64 = bed
-            .alive_nodes()
-            .iter()
-            .map(|&a| bed.node(a).unwrap().stats().expands_sent)
-            .sum();
+        let expands: u64 =
+            bed.alive_nodes().iter().map(|&a| bed.node(a).unwrap().stats().expands_sent).sum();
         println!("{depth:>10} {:>14} {:>16} {expands:>14}", hosts.len(), rows.len());
     }
     println!("\nexpected shape: reached hosts grow with the depth bound until the ring is");

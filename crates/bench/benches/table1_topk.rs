@@ -23,7 +23,12 @@ fn main() {
     println!("Table 1 (bench): top ten intrusion rules, {nodes} nodes");
     println!("{:<6} {:<42} {:>12}", "Rule", "Description", "Hits");
     for row in &rows {
-        println!("{:<6} {:<42} {:>12}", row.get(0).to_string(), row.get(1).to_string(), row.get(2).to_string());
+        println!(
+            "{:<6} {:<42} {:>12}",
+            row.get(0).to_string(),
+            row.get(1).to_string(),
+            row.get(2).to_string()
+        );
     }
     let got: Vec<i64> = rows.iter().filter_map(|r| r.get(0).as_i64()).collect();
     let expected = SnortSimulator::expected_top10();

@@ -20,7 +20,8 @@ use pier_simnet::ChurnSchedule;
 fn main() {
     let nodes: usize = std::env::var("PIER_NODES").ok().and_then(|s| s.parse().ok()).unwrap_or(300);
     let seed: u64 = std::env::var("PIER_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
-    let epochs: usize = std::env::var("PIER_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(24);
+    let epochs: usize =
+        std::env::var("PIER_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(24);
 
     eprintln!("[fig1] booting {nodes} PIER nodes …");
     let mut bed = monitoring_testbed(nodes, seed, experiment_config());
@@ -49,7 +50,10 @@ fn main() {
     println!();
     println!("Figure 1: continuous SUM(out_rate) over responding nodes");
     println!();
-    println!("{:>5} {:>10} {:>18} {:>18}", "epoch", "time(s)", "SUM(out_rate) KB/s", "responding nodes");
+    println!(
+        "{:>5} {:>10} {:>18} {:>18}",
+        "epoch", "time(s)", "SUM(out_rate) KB/s", "responding nodes"
+    );
     println!("{:->5} {:->10} {:->18} {:->18}", "", "", "", "");
 
     let mut series = Vec::new();

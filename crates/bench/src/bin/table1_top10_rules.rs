@@ -38,7 +38,10 @@ fn main() {
     println!("Table 1: The network-wide top ten intrusion detection rules");
     println!("(paper column 'Hits' shown for shape comparison)");
     println!();
-    println!("{:<6} {:<42} {:>12} {:>14}", "Rule", "Rule Description", "Hits(meas.)", "Hits(paper)");
+    println!(
+        "{:<6} {:<42} {:>12} {:>14}",
+        "Rule", "Rule Description", "Hits(meas.)", "Hits(paper)"
+    );
     println!("{:-<6} {:-<42} {:-<12} {:-<14}", "", "", "", "");
     for (i, row) in rows.iter().enumerate() {
         let paper = SNORT_RULES.get(i).map(|r| fmt_thousands(r.2 as f64)).unwrap_or_default();

@@ -127,9 +127,7 @@ impl AggState {
                 }
                 let better = match min {
                     None => true,
-                    Some(current) => {
-                        value.total_cmp(current) == std::cmp::Ordering::Less
-                    }
+                    Some(current) => value.total_cmp(current) == std::cmp::Ordering::Less,
                 };
                 if better {
                     *min = Some(value.clone());
@@ -283,10 +281,7 @@ mod tests {
     #[test]
     fn sum_int_and_float() {
         assert_eq!(run(AggFunc::Sum, &[Value::Int(1), Value::Int(2)]), Value::Int(3));
-        assert_eq!(
-            run(AggFunc::Sum, &[Value::Int(1), Value::Float(0.5)]),
-            Value::Float(1.5)
-        );
+        assert_eq!(run(AggFunc::Sum, &[Value::Int(1), Value::Float(0.5)]), Value::Float(1.5));
         assert_eq!(run(AggFunc::Sum, &[Value::Null]), Value::Null);
         assert_eq!(run(AggFunc::Sum, &[]), Value::Null);
     }

@@ -44,10 +44,38 @@ impl TableDef {
     }
 }
 
+/// Optimizer statistics for one relation: cardinality hints the physical
+/// planner uses to cost distributed join strategies.  PIER has no central
+/// statistics authority, so these are per-node *hints* (published counts,
+/// sampling, or operator feedback), not exact figures — the planner treats
+/// them accordingly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableStats {
+    /// Estimated number of live tuples across the whole ring.
+    pub rows: u64,
+    /// Estimated number of distinct partitioning-key values (`None` = unknown,
+    /// assumed to be on the order of `rows`).
+    pub distinct_keys: Option<u64>,
+}
+
+impl TableStats {
+    /// Stats carrying only a row-count estimate.
+    pub fn with_rows(rows: u64) -> Self {
+        TableStats { rows, distinct_keys: None }
+    }
+
+    /// Add a distinct-partitioning-key estimate.
+    pub fn distinct_keys(mut self, keys: u64) -> Self {
+        self.distinct_keys = Some(keys);
+        self
+    }
+}
+
 /// A per-node collection of table definitions.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, TableDef>,
+    stats: BTreeMap<String, TableStats>,
 }
 
 impl Catalog {
@@ -61,9 +89,23 @@ impl Catalog {
         self.tables.insert(def.name.clone(), def);
     }
 
-    /// Remove a table definition.  Returns true if it existed.
+    /// Remove a table definition (and its statistics).  Returns true if it
+    /// existed.
     pub fn drop_table(&mut self, name: &str) -> bool {
-        self.tables.remove(&name.to_ascii_lowercase()).is_some()
+        let key = name.to_ascii_lowercase();
+        self.stats.remove(&key);
+        self.tables.remove(&key).is_some()
+    }
+
+    /// Record (or replace) cardinality statistics for a table.  Statistics
+    /// may be set before or after the table definition is registered.
+    pub fn set_stats(&mut self, name: &str, stats: TableStats) {
+        self.stats.insert(name.to_ascii_lowercase(), stats);
+    }
+
+    /// Cardinality statistics for a table, if any have been recorded.
+    pub fn stats(&self, name: &str) -> Option<TableStats> {
+        self.stats.get(&name.to_ascii_lowercase()).copied()
     }
 
     /// Look up a table by (case-insensitive) name.
@@ -150,5 +192,18 @@ mod tests {
         assert!(cat.drop_table("netstats"));
         assert!(!cat.drop_table("netstats"));
         assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn stats_are_case_insensitive_and_dropped_with_table() {
+        let mut cat = Catalog::new();
+        cat.register(netstats());
+        assert_eq!(cat.stats("netstats"), None);
+        cat.set_stats("NetStats", TableStats::with_rows(1_000).distinct_keys(300));
+        let s = cat.stats("NETSTATS").unwrap();
+        assert_eq!(s.rows, 1_000);
+        assert_eq!(s.distinct_keys, Some(300));
+        cat.drop_table("netstats");
+        assert_eq!(cat.stats("netstats"), None);
     }
 }

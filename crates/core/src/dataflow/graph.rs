@@ -405,8 +405,7 @@ mod tests {
             // Seed the dedup so the start vertex is not re-reported.
             (dedup, 0, vec![row(&[0])]),
         ]);
-        let mut reached: Vec<i64> =
-            out.iter().filter_map(|t| t.get(0).as_i64()).collect();
+        let mut reached: Vec<i64> = out.iter().filter_map(|t| t.get(0).as_i64()).collect();
         reached.sort_unstable();
         reached.dedup();
         // 0 reaches 1, 2, 3 (via the cycle 1->2->3->1) but not 4 or 5.

@@ -100,8 +100,7 @@ impl Default for PierConfig {
         // would make replicated tuples show up twice in scans, so the engine
         // runs the DHT without item replication and relies on soft-state
         // renewal (publishers re-publish every TTL) for durability, as PIER does.
-        let mut dht = DhtConfig::default();
-        dht.replication_factor = 0;
+        let dht = DhtConfig { replication_factor: 0, ..DhtConfig::default() };
         PierConfig {
             dht,
             holddown: Duration::from_millis(250),
@@ -252,8 +251,7 @@ impl QueryResults {
 
     /// Epochs for which at least one row or an epoch summary arrived.
     pub fn epochs(&self) -> Vec<u64> {
-        let mut e: Vec<u64> =
-            self.rows.keys().chain(self.contributors.keys()).copied().collect();
+        let mut e: Vec<u64> = self.rows.keys().chain(self.contributors.keys()).copied().collect();
         e.sort_unstable();
         e.dedup();
         e
@@ -269,24 +267,27 @@ impl QueryResults {
     pub fn rows(&self, epoch: u64) -> Vec<Tuple> {
         let mut rows = self.raw_rows(epoch).to_vec();
         let (order_by, limit) = match &self.spec.kind {
-            QueryKind::Select { order_by, limit, .. }
-            | QueryKind::Join { order_by, limit, .. } => (order_by.clone(), *limit),
-            // Aggregates are ordered/limited at the root before shipping, but
-            // individual result rows arrive over the network in arbitrary
-            // order, so the origin re-applies the ordering.  The root's
-            // ORDER BY columns refer to the pre-projection schema; after the
-            // final projection the sort keys map to the select-list order.
+            QueryKind::Select { order_by, limit, .. } | QueryKind::Join { order_by, limit, .. } => {
+                (order_by.clone(), *limit)
+            }
+            // The aggregation root orders/limits before shipping, but rows
+            // arrive at the origin in arbitrary network order, so the
+            // ordering is re-applied here.  Rows travel *pre-projection*
+            // (group columns ++ all aggregates, hidden ones included), which
+            // lets the root's sort keys apply directly — ORDER BY an
+            // aggregate that is not in the select list still works — and the
+            // final projection to the client's column order happens last.
             QueryKind::Aggregate { order_by, limit, final_project, .. } => {
-                let remapped: Vec<crate::plan::SortKey> = order_by
-                    .iter()
-                    .filter_map(|k| {
-                        final_project
-                            .iter()
-                            .position(|&p| p == k.column)
-                            .map(|column| crate::plan::SortKey { column, desc: k.desc })
-                    })
-                    .collect();
-                (remapped, *limit)
+                if !order_by.is_empty() {
+                    sort_tuples(&mut rows, order_by);
+                }
+                if let Some(n) = limit {
+                    rows.truncate(*n);
+                }
+                let project = ProjectOp::new(
+                    final_project.iter().map(|&i| crate::expr::Expr::col(i)).collect(),
+                );
+                return rows.iter().map(|r| project.apply_one(r)).collect();
             }
             _ => (Vec::new(), None),
         };
@@ -299,9 +300,10 @@ impl QueryResults {
         rows
     }
 
-    /// Rows across every epoch (useful for one-shot queries).
+    /// Rows across every epoch (useful for one-shot queries), each epoch with
+    /// the query's ordering/projection applied.
     pub fn all_rows(&self) -> Vec<Tuple> {
-        self.rows.values().flatten().cloned().collect()
+        self.epochs().into_iter().flat_map(|e| self.rows(e)).collect()
     }
 
     /// The most recent epoch with data, and its rows.
@@ -388,6 +390,12 @@ impl PierNode {
         self.catalog.register(def);
     }
 
+    /// Record cardinality hints for a table in the local catalog; the
+    /// physical planner costs distributed join strategies from them.
+    pub fn set_table_stats(&mut self, table: &str, stats: crate::catalog::TableStats) {
+        self.catalog.set_stats(table, stats);
+    }
+
     /// Results collected at this node for a query it originated.
     pub fn results(&self, id: QueryId) -> Option<&QueryResults> {
         self.results.get(&id)
@@ -405,7 +413,12 @@ impl PierNode {
     // ------------------------------------------------------------------
 
     /// Publish a tuple into the DHT under its table's partitioning key.
-    pub fn publish(&mut self, ctx: &mut Ctx<'_>, table: &str, tuple: Tuple) -> Result<(), PierError> {
+    pub fn publish(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        table: &str,
+        tuple: Tuple,
+    ) -> Result<(), PierError> {
         let def = self
             .catalog
             .get(table)
@@ -457,10 +470,31 @@ impl PierNode {
                     planner.plan_select(&sel).map_err(|e| PierError::new(e.to_string()))?;
                 self.submit(ctx, planned.kind, planned.output_names, planned.continuous)
             }
+            Statement::Explain(_) => Err(PierError::new(
+                "EXPLAIN is evaluated locally, not disseminated; use explain_sql",
+            )),
             Statement::CreateTable(_) | Statement::Insert(_) => Err(PierError::new(
                 "only SELECT can be submitted as a distributed query; use create_table/publish",
             )),
         }
+    }
+
+    /// Run the planning pipeline over `EXPLAIN <select>` (or a bare `SELECT`)
+    /// against this node's catalog and render each stage's output.  Purely
+    /// local: nothing is disseminated.
+    pub fn explain_sql(&self, sql: &str) -> Result<String, PierError> {
+        let stmt = parse(sql).map_err(|e| PierError::new(e.to_string()))?;
+        let select = match stmt {
+            Statement::Explain(inner) => *inner,
+            Statement::Select(sel) => sel,
+            Statement::CreateTable(_) | Statement::Insert(_) => {
+                return Err(PierError::new("EXPLAIN supports only SELECT statements"))
+            }
+        };
+        Planner::new(&self.catalog)
+            .explain_select(&select)
+            .map(|e| e.render())
+            .map_err(|e| PierError::new(e.to_string()))
     }
 
     /// Submit a query built through the algebraic interface.
@@ -671,17 +705,19 @@ impl PierNode {
                 right_table,
                 left_key,
                 right_key,
+                left_filter,
+                right_filter,
                 strategy,
                 ..
             } => match strategy {
                 JoinStrategy::SymmetricHash => {
-                    let left_rows = self.scan(left_table, now, since);
+                    let left_rows = self.scan_filtered(left_table, now, since, left_filter);
                     self.rehash_side(ctx, &spec, epoch, 0, left_key, left_rows);
-                    let right_rows = self.scan(right_table, now, since);
+                    let right_rows = self.scan_filtered(right_table, now, since, right_filter);
                     self.rehash_side(ctx, &spec, epoch, 1, right_key, right_rows);
                 }
                 JoinStrategy::FetchMatches => {
-                    let left_rows = self.scan(left_table, now, since);
+                    let left_rows = self.scan_filtered(left_table, now, since, left_filter);
                     let right_table = right_table.clone();
                     let left_key = left_key.clone();
                     for row in left_rows {
@@ -699,7 +735,7 @@ impl PierNode {
                 JoinStrategy::BloomFilter => {
                     // Phase 1: summarize and rehash the left relation; the right
                     // relation waits for the combined filter.
-                    let left_rows = self.scan(left_table, now, since);
+                    let left_rows = self.scan_filtered(left_table, now, since, left_filter);
                     let mut bloom = BloomFilter::new(self.config.bloom_bits, 4);
                     for row in &left_rows {
                         let key = left_key.eval(row);
@@ -725,12 +761,29 @@ impl PierNode {
 
     fn scan(&mut self, table: &str, now: SimTime, since: SimTime) -> Vec<Tuple> {
         let items = self.dht.lscan_since(table, now, since);
-        let rows: Vec<Tuple> = items
-            .into_iter()
-            .filter_map(|(_, payload)| payload.as_tuple().cloned())
-            .collect();
+        let rows: Vec<Tuple> =
+            items.into_iter().filter_map(|(_, payload)| payload.as_tuple().cloned()).collect();
         self.stats.tuples_scanned += rows.len() as u64;
         rows
+    }
+
+    /// Scan a table and apply a pushed-down predicate before any tuple is
+    /// shipped (the optimizer places per-side join filters here).
+    fn scan_filtered(
+        &mut self,
+        table: &str,
+        now: SimTime,
+        since: SimTime,
+        filter: &Option<crate::expr::Expr>,
+    ) -> Vec<Tuple> {
+        let rows = self.scan(table, now, since);
+        match filter {
+            Some(f) => {
+                let op = FilterOp::new(f.clone());
+                rows.into_iter().filter(|r| op.accepts(r)).collect()
+            }
+            None => rows,
+        }
     }
 
     fn send_result(&mut self, ctx: &mut Ctx<'_>, spec: &QuerySpec, epoch: u64, tuple: Tuple) {
@@ -759,7 +812,7 @@ impl PierNode {
         contributors: u64,
         from_network: bool,
     ) {
-        if self.queries.get(&id).is_none() {
+        if !self.queries.contains_key(&id) {
             // This node never received the query plan (e.g. it joined after
             // dissemination).  It cannot combine — it lacks the aggregate
             // specs — but it can still relay the partials toward the root so
@@ -911,8 +964,7 @@ impl PierNode {
         let contributors = q.root_contrib.remove(&epoch).unwrap_or(0);
         let spec = q.spec.clone();
 
-        let QueryKind::Aggregate { having, order_by, limit, final_project, .. } = &spec.kind
-        else {
+        let QueryKind::Aggregate { having, order_by, limit, .. } = &spec.kind else {
             return;
         };
 
@@ -927,10 +979,10 @@ impl PierNode {
             }
             rows = topk.finish();
         }
-        let project = ProjectOp::new(final_project.iter().map(|&i| crate::expr::Expr::col(i)).collect());
+        // Rows ship pre-projection (hidden aggregates included) so the
+        // origin can re-sort on any ORDER BY key; it projects afterwards.
         for row in rows {
-            let out = project.apply_one(&row);
-            self.send_result(ctx, &spec, epoch, out);
+            self.send_result(ctx, &spec, epoch, row);
         }
         self.dht.send_direct(
             ctx,
@@ -963,7 +1015,13 @@ impl PierNode {
             self.dht.send_to_key(
                 ctx,
                 ResourceKey::singleton(namespace.clone(), key.partition_string()),
-                PierPayload::JoinTuple { query: spec.id, epoch, side, key: key.clone(), tuple: row },
+                PierPayload::JoinTuple {
+                    query: spec.id,
+                    epoch,
+                    side,
+                    key: key.clone(),
+                    tuple: row,
+                },
             );
         }
     }
@@ -1015,16 +1073,22 @@ impl PierNode {
         let Some((id, epoch, left_tuple)) = self.pending_fetch.remove(&req_id) else { return };
         let Some(q) = self.queries.get(&id) else { return };
         let spec = q.spec.clone();
-        let QueryKind::Join { right_key, post_filter, project, left_key, .. } = &spec.kind else {
+        let QueryKind::Join { right_key, right_filter, post_filter, project, left_key, .. } =
+            &spec.kind
+        else {
             return;
         };
         let probe_key = left_key.eval(&left_tuple);
+        let right_filter_op = right_filter.clone().map(FilterOp::new);
         let filter_op = post_filter.clone().map(FilterOp::new);
         let project_op = ProjectOp::new(project.clone());
         let mut outputs = Vec::new();
         for (_, payload) in items {
             let Some(right_tuple) = payload.as_tuple() else { continue };
             if !right_key.eval(right_tuple).sql_eq(&probe_key) {
+                continue;
+            }
+            if !right_filter_op.as_ref().map(|f| f.accepts(right_tuple)).unwrap_or(true) {
                 continue;
             }
             let joined = left_tuple.concat(right_tuple);
@@ -1039,7 +1103,14 @@ impl PierNode {
         self.process_upcalls(ctx);
     }
 
-    fn on_bloom_summary(&mut self, ctx: &mut Ctx<'_>, id: QueryId, epoch: u64, bits: Vec<u64>, k: u8) {
+    fn on_bloom_summary(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: QueryId,
+        epoch: u64,
+        bits: Vec<u64>,
+        k: u8,
+    ) {
         let arm = {
             let Some(q) = self.queries.get_mut(&id) else { return };
             let incoming = BloomFilter::from_words(bits, k);
@@ -1057,18 +1128,20 @@ impl PierNode {
         q.bloom_armed.remove(&epoch);
         let Some(filter) = q.blooms.remove(&epoch) else { return };
         let (bits, k) = filter.to_words();
-        self.dht.broadcast(
-            ctx,
-            PierPayload::Bloom { query: id, epoch, bits, k, combined: true },
-        );
+        self.dht.broadcast(ctx, PierPayload::Bloom { query: id, epoch, bits, k, combined: true });
         self.process_upcalls(ctx);
     }
 
     fn run_bloom_phase2(&mut self, ctx: &mut Ctx<'_>, id: QueryId, epoch: u64) {
         let Some(q) = self.queries.get(&id) else { return };
         let spec = q.spec.clone();
-        let QueryKind::Join { right_table, right_key, strategy: JoinStrategy::BloomFilter, .. } =
-            &spec.kind
+        let QueryKind::Join {
+            right_table,
+            right_key,
+            right_filter,
+            strategy: JoinStrategy::BloomFilter,
+            ..
+        } = &spec.kind
         else {
             return;
         };
@@ -1078,7 +1151,8 @@ impl PierNode {
             Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
             None => SimTime::ZERO,
         };
-        let rows = self.scan(right_table, now, since);
+        let right_filter = right_filter.clone();
+        let rows = self.scan_filtered(right_table, now, since, &right_filter);
         let survivors: Vec<Tuple> = rows
             .into_iter()
             .filter(|r| {

@@ -237,6 +237,83 @@ impl Expr {
             }
         }
     }
+
+    /// Every column index referenced by this expression (with duplicates).
+    pub fn referenced_columns(&self) -> Vec<usize> {
+        fn rec(e: &Expr, out: &mut Vec<usize>) {
+            match e {
+                Expr::Column(i) => out.push(*i),
+                Expr::Literal(_) => {}
+                Expr::Binary { left, right, .. } => {
+                    rec(left, out);
+                    rec(right, out);
+                }
+                Expr::Unary { expr, .. }
+                | Expr::Func { arg: expr, .. }
+                | Expr::Like { expr, .. } => rec(expr, out),
+            }
+        }
+        let mut out = Vec::new();
+        rec(self, &mut out);
+        out
+    }
+
+    /// Is this expression free of column references (a constant expression)?
+    pub fn is_constant(&self) -> bool {
+        self.max_column().is_none()
+    }
+
+    /// Rewrite every column reference through `map` (used by the optimizer to
+    /// push predicates through projections and to renumber columns after
+    /// pruning).
+    pub fn substitute_columns(&self, map: &dyn Fn(usize) -> Expr) -> Expr {
+        match self {
+            Expr::Column(i) => map(*i),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.substitute_columns(map)),
+                right: Box::new(right.substitute_columns(map)),
+            },
+            Expr::Unary { op, expr } => {
+                Expr::Unary { op: *op, expr: Box::new(expr.substitute_columns(map)) }
+            }
+            Expr::Func { func, arg } => {
+                Expr::Func { func: *func, arg: Box::new(arg.substitute_columns(map)) }
+            }
+            Expr::Like { expr, pattern } => Expr::Like {
+                expr: Box::new(expr.substitute_columns(map)),
+                pattern: pattern.clone(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Compact rendering used by `EXPLAIN`: columns print as `#n`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "NOT {expr}"),
+                UnaryOp::Neg => write!(f, "-{expr}"),
+                UnaryOp::IsNull => write!(f, "{expr} IS NULL"),
+                UnaryOp::IsNotNull => write!(f, "{expr} IS NOT NULL"),
+            },
+            Expr::Func { func, arg } => {
+                let name = match func {
+                    ScalarFunc::Lower => "lower",
+                    ScalarFunc::Upper => "upper",
+                    ScalarFunc::Length => "length",
+                    ScalarFunc::Abs => "abs",
+                };
+                write!(f, "{name}({arg})")
+            }
+            Expr::Like { expr, pattern } => write!(f, "{expr} LIKE '{pattern}'"),
+        }
+    }
 }
 
 fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Value {
@@ -328,9 +405,7 @@ fn like_match(s: &str, pattern: &str) -> bool {
                 (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
             }
             Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
-            Some(&c) => {
-                !s.is_empty() && s[0].eq_ignore_ascii_case(&c) && rec(&s[1..], &p[1..])
-            }
+            Some(&c) => !s.is_empty() && s[0].eq_ignore_ascii_case(&c) && rec(&s[1..], &p[1..]),
         }
     }
     rec(s.as_bytes(), pattern.as_bytes())
@@ -396,7 +471,7 @@ mod tests {
         let null_cmp = Expr::col(0).eq(Expr::lit(1i64)); // NULL
         let true_cmp = Expr::col(1).eq(Expr::lit(1i64)); // TRUE
         let false_cmp = Expr::col(1).eq(Expr::lit(2i64)); // FALSE
-        // NULL AND FALSE = FALSE ; NULL AND TRUE = NULL ; NULL OR TRUE = TRUE.
+                                                          // NULL AND FALSE = FALSE ; NULL AND TRUE = NULL ; NULL OR TRUE = TRUE.
         assert_eq!(null_cmp.clone().and(false_cmp.clone()).eval(&t), Value::Bool(false));
         assert_eq!(null_cmp.clone().and(true_cmp.clone()).eval(&t), Value::Null);
         assert_eq!(null_cmp.clone().binary(BinaryOp::Or, true_cmp).eval(&t), Value::Bool(true));

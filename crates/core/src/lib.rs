@@ -71,12 +71,14 @@ pub mod value;
 
 pub use aggregate::{AggFunc, AggState};
 pub use bloom::BloomFilter;
-pub use catalog::{Catalog, TableDef};
-pub use engine::{AggregationMode, EngineStats, PierConfig, PierError, PierMsg, PierNode, QueryResults};
+pub use catalog::{Catalog, TableDef, TableStats};
+pub use engine::{
+    AggregationMode, EngineStats, PierConfig, PierError, PierMsg, PierNode, QueryResults,
+};
 pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
 pub use payload::PierPayload;
 pub use plan::{AggExpr, LogicalPlan, SortKey};
-pub use planner::{PlanError, PlannedQuery, Planner};
+pub use planner::{Explanation, PlanError, PlannedQuery, Planner};
 pub use query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind, QuerySpec, ResultRow};
 pub use reference::{same_rows, MemoryDb};
 pub use testbed::{PierTestbed, TestbedConfig};
@@ -85,7 +87,7 @@ pub use value::{DataType, Value};
 
 /// Commonly used items, for `use pier_core::prelude::*`.
 pub mod prelude {
-    pub use crate::catalog::TableDef;
+    pub use crate::catalog::{TableDef, TableStats};
     pub use crate::engine::{PierConfig, PierNode};
     pub use crate::query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind};
     pub use crate::testbed::{PierTestbed, TestbedConfig};

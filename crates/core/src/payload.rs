@@ -14,6 +14,10 @@ use crate::value::Value;
 use pier_simnet::WireSize;
 
 /// Application-level message / stored value.
+///
+/// Variant sizes differ wildly (a disseminated `QuerySpec` vs a stop token);
+/// payloads are moved, not stored in bulk, so boxing would only add churn.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum PierPayload {
     /// A base-table tuple stored in the DHT.
@@ -135,8 +139,13 @@ mod tests {
         let small = PierPayload::Tuple(Tuple::new(vec![Value::Int(1)]));
         let big = PierPayload::Tuple(Tuple::new(vec![Value::str("x".repeat(100))]));
         assert!(big.wire_size() > small.wire_size());
-        let bloom =
-            PierPayload::Bloom { query: QueryId::new(NodeAddr(0), 1), epoch: 0, bits: vec![0; 64], k: 4, combined: false };
+        let bloom = PierPayload::Bloom {
+            query: QueryId::new(NodeAddr(0), 1),
+            epoch: 0,
+            bits: vec![0; 64],
+            k: 4,
+            combined: false,
+        };
         assert!(bloom.wire_size() > 64 * 8);
     }
 }

@@ -131,17 +131,20 @@ impl LogicalPlan {
         fn rec(plan: &LogicalPlan, depth: usize, out: &mut String) {
             let pad = "  ".repeat(depth);
             match plan {
-                LogicalPlan::Scan { table, .. } => out.push_str(&format!("{pad}Scan {table}\n")),
+                LogicalPlan::Scan { table, schema } => {
+                    out.push_str(&format!("{pad}Scan {table} [{} cols]\n", schema.arity()))
+                }
                 LogicalPlan::Filter { input, predicate } => {
-                    out.push_str(&format!("{pad}Filter {predicate:?}\n"));
+                    out.push_str(&format!("{pad}Filter {predicate}\n"));
                     rec(input, depth + 1, out);
                 }
                 LogicalPlan::Project { input, exprs, .. } => {
-                    out.push_str(&format!("{pad}Project [{} exprs]\n", exprs.len()));
+                    let rendered: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                    out.push_str(&format!("{pad}Project [{}]\n", rendered.join(", ")));
                     rec(input, depth + 1, out);
                 }
                 LogicalPlan::Join { left, right, left_key, right_key } => {
-                    out.push_str(&format!("{pad}Join on {left_key:?} = {right_key:?}\n"));
+                    out.push_str(&format!("{pad}Join on {left_key} = {right_key}\n"));
                     rec(left, depth + 1, out);
                     rec(right, depth + 1, out);
                 }

@@ -1,0 +1,599 @@
+//! Stage 1 — the binder.
+//!
+//! Resolves every name in a parsed [`SelectStmt`] against the [`Catalog`]:
+//! tables become schemas, column names become tuple positions, aggregate
+//! calls become [`AggExpr`] slots, and the select list / `ORDER BY` /
+//! `HAVING` are checked for shape errors (ungrouped columns, `*` mixed with
+//! aggregation, …).  The output is a fully typed [`BoundSelect`] with **no
+//! remaining strings to resolve** — the later stages work purely on
+//! positions, which keeps the optimizer and the physical planner free of
+//! name-lookup concerns.
+
+use crate::aggregate::AggFunc;
+use crate::catalog::Catalog;
+use crate::expr::{Expr, ScalarFunc};
+use crate::plan::{AggExpr, SortKey};
+use crate::query::ContinuousSpec;
+use crate::sql::{AstExpr, SelectItem, SelectStmt};
+use crate::tuple::{Field, Schema};
+use crate::value::DataType;
+use pier_simnet::Duration;
+
+use super::PlanError;
+
+/// A base relation with its (possibly alias-qualified) schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundTable {
+    /// Catalog / DHT namespace name.
+    pub name: String,
+    /// Schema, qualified with the alias when the query used one.
+    pub schema: Schema,
+}
+
+/// A resolved two-way equi-join.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundJoin {
+    /// The right-hand relation.
+    pub right: BoundTable,
+    /// Join key over the *left* table's schema.
+    pub left_key: Expr,
+    /// Join key over the *right* table's schema.
+    pub right_key: Expr,
+}
+
+/// Resolved grouped (or global) aggregation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundAggregate {
+    /// Grouping expressions over the input schema.
+    pub group_exprs: Vec<Expr>,
+    /// Aggregates over the input schema (select-list plus hidden ones
+    /// appended for `HAVING` / `ORDER BY`).
+    pub aggs: Vec<AggExpr>,
+    /// `HAVING` predicate over the aggregate output (groups ++ aggs).
+    pub having: Option<Expr>,
+    /// Output schema of the aggregate operator: group columns then
+    /// aggregate columns.
+    pub schema: Schema,
+    /// Final projection over the aggregate output mapping to the client's
+    /// select-list order.
+    pub final_project: Vec<usize>,
+}
+
+/// A fully resolved `SELECT`: the binder's output and the input to the
+/// logical planner.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundSelect {
+    /// The main (left) relation.
+    pub from: BoundTable,
+    /// Optional equi-join.
+    pub join: Option<BoundJoin>,
+    /// `WHERE` predicate over the scan schema (the concatenated schema for
+    /// joins).
+    pub filter: Option<Expr>,
+    /// Aggregation, when the statement groups or calls aggregate functions.
+    pub aggregate: Option<BoundAggregate>,
+    /// Select-list expressions over the input schema (non-aggregate case).
+    pub projections: Vec<Expr>,
+    /// Schema of `projections` (non-aggregate case; for aggregates this is
+    /// the final projected schema).
+    pub project_schema: Schema,
+    /// Client-visible output column names.
+    pub output_names: Vec<String>,
+    /// Sort keys.  For plain selects and joins they index the projected
+    /// output; for aggregates they index the aggregate output schema.
+    pub order_by: Vec<SortKey>,
+    /// Row limit.
+    pub limit: Option<usize>,
+    /// Continuous-query settings.
+    pub continuous: Option<ContinuousSpec>,
+}
+
+impl BoundSelect {
+    /// Is this an aggregation query?
+    pub fn is_aggregate(&self) -> bool {
+        self.aggregate.is_some()
+    }
+
+    /// One-line-per-table rendering for `EXPLAIN`.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let table_line = |t: &BoundTable| {
+            let cols: Vec<String> =
+                t.schema.fields().iter().map(|f| format!("{}:{:?}", f.name, f.dtype)).collect();
+            format!("table {} ({})\n", t.name, cols.join(", "))
+        };
+        out.push_str(&table_line(&self.from));
+        if let Some(join) = &self.join {
+            out.push_str(&table_line(&join.right));
+            out.push_str(&format!(
+                "join keys: left {} = right {}\n",
+                join.left_key, join.right_key
+            ));
+        }
+        out.push_str(&format!("output: [{}]\n", self.output_names.join(", ")));
+        out
+    }
+}
+
+/// Resolves names in parsed statements against a catalog.
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Binder<'a> {
+    /// A binder over the given catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Binder { catalog }
+    }
+
+    /// Bind a parsed `SELECT`.
+    pub fn bind_select(&self, stmt: &SelectStmt) -> Result<BoundSelect, PlanError> {
+        let continuous = stmt.continuous.map(|c| {
+            let period = Duration::from_secs_f64(c.every_secs.max(0.001));
+            let window = c.window_secs.map(Duration::from_secs_f64).unwrap_or(period);
+            ContinuousSpec { period, window }
+        });
+
+        if stmt.join.is_some() {
+            self.bind_join(stmt, continuous)
+        } else if stmt.is_aggregate() {
+            self.bind_aggregate(stmt, continuous)
+        } else {
+            self.bind_simple_select(stmt, continuous)
+        }
+    }
+
+    fn table_schema(&self, name: &str, qualifier: Option<&str>) -> Result<Schema, PlanError> {
+        let def = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| PlanError::new(format!("unknown table '{name}'")))?;
+        Ok(match qualifier {
+            Some(q) => def.schema.qualified(q),
+            None => def.schema.clone(),
+        })
+    }
+
+    fn bind_simple_select(
+        &self,
+        stmt: &SelectStmt,
+        continuous: Option<ContinuousSpec>,
+    ) -> Result<BoundSelect, PlanError> {
+        let schema = self.table_schema(&stmt.from.name, None)?;
+        let filter = match &stmt.where_clause {
+            Some(ast) => Some(resolve_expr(ast, &schema)?),
+            None => None,
+        };
+        let (exprs, names, out_schema) = resolve_projections(&stmt.projections, &schema)?;
+        let order_by = resolve_order_by(stmt, &out_schema)?;
+
+        Ok(BoundSelect {
+            from: BoundTable { name: stmt.from.name.clone(), schema },
+            join: None,
+            filter,
+            aggregate: None,
+            projections: exprs,
+            project_schema: out_schema,
+            output_names: names,
+            order_by,
+            limit: stmt.limit,
+            continuous,
+        })
+    }
+
+    fn bind_aggregate(
+        &self,
+        stmt: &SelectStmt,
+        continuous: Option<ContinuousSpec>,
+    ) -> Result<BoundSelect, PlanError> {
+        let schema = self.table_schema(&stmt.from.name, None)?;
+        let filter = match &stmt.where_clause {
+            Some(ast) => Some(resolve_expr(ast, &schema)?),
+            None => None,
+        };
+
+        // Group-by expressions.
+        let mut group_exprs = Vec::new();
+        let mut group_fields = Vec::new();
+        for name in &stmt.group_by {
+            let idx = schema
+                .index_of(name)
+                .ok_or_else(|| PlanError::new(format!("unknown GROUP BY column '{name}'")))?;
+            group_exprs.push(Expr::col(idx));
+            let f = schema.field(idx).expect("index_of returned valid index");
+            group_fields.push(Field::new(name.clone(), f.dtype));
+        }
+
+        // Select list: group columns and aggregates.  Track, for each select
+        // item, which aggregate-output column it maps to.
+        let mut aggs: Vec<AggExpr> = Vec::new();
+        let mut final_project = Vec::new();
+        let mut output_names = Vec::new();
+
+        for (i, item) in stmt.projections.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(PlanError::new("SELECT * cannot be combined with aggregation"))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    if let AstExpr::Agg { func, arg } = expr {
+                        let resolved_arg = match arg {
+                            Some(a) => Some(resolve_expr(a, &schema)?),
+                            None => None,
+                        };
+                        let name = alias.clone().unwrap_or_else(|| default_agg_name(*func, arg));
+                        let col = group_exprs.len()
+                            + push_agg(&mut aggs, *func, resolved_arg, name.clone());
+                        final_project.push(col);
+                        output_names.push(name);
+                    } else if expr.contains_aggregate() {
+                        return Err(PlanError::new(
+                            "expressions over aggregates in SELECT are not supported; \
+                             use the aggregate directly",
+                        ));
+                    } else {
+                        // Must be (equivalent to) a grouping column.
+                        let cols = expr.referenced_columns();
+                        let name = alias.clone().unwrap_or_else(|| {
+                            cols.first().cloned().unwrap_or_else(|| format!("col{i}"))
+                        });
+                        let resolved = resolve_expr(expr, &schema)?;
+                        let pos =
+                            group_exprs.iter().position(|g| *g == resolved).ok_or_else(|| {
+                                PlanError::new(format!(
+                                    "non-aggregate select item '{name}' must appear in GROUP BY"
+                                ))
+                            })?;
+                        final_project.push(pos);
+                        output_names.push(name);
+                    }
+                }
+            }
+        }
+
+        // HAVING and ORDER BY are resolved over the aggregate output
+        // (group columns ++ aggregate columns); aggregates they mention that
+        // are not already computed are appended as hidden columns.
+        let having = match &stmt.having {
+            Some(ast) => Some(resolve_agg_output_expr(
+                ast,
+                &schema,
+                &group_exprs,
+                &stmt.group_by,
+                &mut aggs,
+            )?),
+            None => None,
+        };
+
+        let mut order_by = Vec::new();
+        for item in &stmt.order_by {
+            let expr = resolve_agg_output_expr(
+                &item.expr,
+                &schema,
+                &group_exprs,
+                &stmt.group_by,
+                &mut aggs,
+            )?;
+            let column = match expr {
+                Expr::Column(c) => c,
+                _ => {
+                    return Err(PlanError::new(
+                        "ORDER BY in aggregate queries must be a group column or an aggregate",
+                    ))
+                }
+            };
+            order_by.push(SortKey { column, desc: item.desc });
+        }
+
+        // Output schema of the aggregate operator.
+        let mut agg_fields = group_fields.clone();
+        for a in &aggs {
+            let dtype = match a.func {
+                AggFunc::Count => DataType::Int,
+                AggFunc::Avg => DataType::Float,
+                AggFunc::Sum => DataType::Float,
+                AggFunc::Min | AggFunc::Max => a
+                    .arg
+                    .as_ref()
+                    .and_then(|e| match e {
+                        Expr::Column(i) => schema.field(*i).map(|f| f.dtype),
+                        _ => None,
+                    })
+                    .unwrap_or(DataType::Float),
+            };
+            agg_fields.push(Field::new(a.name.clone(), dtype));
+        }
+        let agg_schema = Schema::new(agg_fields);
+
+        // The final projected schema, in select-list order.
+        let proj_fields: Vec<Field> = final_project
+            .iter()
+            .zip(&output_names)
+            .map(|(&i, name)| {
+                Field::new(
+                    name.clone(),
+                    agg_schema.field(i).map(|f| f.dtype).unwrap_or(DataType::Float),
+                )
+            })
+            .collect();
+
+        Ok(BoundSelect {
+            from: BoundTable { name: stmt.from.name.clone(), schema },
+            join: None,
+            filter,
+            aggregate: Some(BoundAggregate {
+                group_exprs,
+                aggs,
+                having,
+                schema: agg_schema,
+                final_project,
+            }),
+            projections: Vec::new(),
+            project_schema: Schema::new(proj_fields),
+            output_names,
+            order_by,
+            limit: stmt.limit,
+            continuous,
+        })
+    }
+
+    fn bind_join(
+        &self,
+        stmt: &SelectStmt,
+        continuous: Option<ContinuousSpec>,
+    ) -> Result<BoundSelect, PlanError> {
+        if stmt.is_aggregate() {
+            return Err(PlanError::new("aggregation over joins is not supported"));
+        }
+        let join = stmt.join.as_ref().expect("bind_join requires a join clause");
+        let left_qualifier = stmt.from.qualifier().to_string();
+        let right_qualifier = join.table.qualifier().to_string();
+        let left_schema = self.table_schema(&stmt.from.name, Some(&left_qualifier))?;
+        let right_schema = self.table_schema(&join.table.name, Some(&right_qualifier))?;
+
+        // Resolve the equi-join keys; accept them written in either order.
+        let (left_key, right_key) = match (
+            left_schema.index_of(&join.left_column),
+            right_schema.index_of(&join.right_column),
+        ) {
+            (Some(l), Some(r)) => (Expr::col(l), Expr::col(r)),
+            _ => match (
+                left_schema.index_of(&join.right_column),
+                right_schema.index_of(&join.left_column),
+            ) {
+                (Some(l), Some(r)) => (Expr::col(l), Expr::col(r)),
+                _ => {
+                    return Err(PlanError::new(format!(
+                        "cannot resolve join columns '{}' / '{}'",
+                        join.left_column, join.right_column
+                    )))
+                }
+            },
+        };
+
+        let joined_schema = left_schema.concat(&right_schema);
+        let filter = match &stmt.where_clause {
+            Some(ast) => Some(resolve_expr(ast, &joined_schema)?),
+            None => None,
+        };
+        let (project, names, out_schema) = resolve_projections(&stmt.projections, &joined_schema)?;
+        let order_by = resolve_order_by(stmt, &out_schema)?;
+
+        Ok(BoundSelect {
+            from: BoundTable { name: stmt.from.name.clone(), schema: left_schema },
+            join: Some(BoundJoin {
+                right: BoundTable { name: join.table.name.clone(), schema: right_schema },
+                left_key,
+                right_key,
+            }),
+            filter,
+            aggregate: None,
+            projections: project,
+            project_schema: out_schema,
+            output_names: names,
+            order_by,
+            limit: stmt.limit,
+            continuous,
+        })
+    }
+}
+
+/// Resolve a select list against an input schema (non-aggregate case).
+fn resolve_projections(
+    items: &[SelectItem],
+    schema: &Schema,
+) -> Result<(Vec<Expr>, Vec<String>, Schema), PlanError> {
+    let mut exprs = Vec::new();
+    let mut names = Vec::new();
+    let mut fields = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for (idx, field) in schema.fields().iter().enumerate() {
+                    exprs.push(Expr::col(idx));
+                    names.push(field.name.clone());
+                    fields.push(field.clone());
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                if expr.contains_aggregate() {
+                    return Err(PlanError::new("aggregate expressions require GROUP BY planning"));
+                }
+                let resolved = resolve_expr(expr, schema)?;
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    AstExpr::Column(c) => c.clone(),
+                    _ => format!("col{i}"),
+                });
+                let dtype = match &resolved {
+                    Expr::Column(idx) => {
+                        schema.field(*idx).map(|f| f.dtype).unwrap_or(DataType::Float)
+                    }
+                    Expr::Literal(v) => v.data_type(),
+                    _ => DataType::Float,
+                };
+                fields.push(Field::new(name.clone(), dtype));
+                names.push(name);
+                exprs.push(resolved);
+            }
+        }
+    }
+    Ok((exprs, names, Schema::new(fields)))
+}
+
+/// Append an aggregate (deduplicating identical ones); returns its index.
+fn push_agg(aggs: &mut Vec<AggExpr>, func: AggFunc, arg: Option<Expr>, name: String) -> usize {
+    if let Some(pos) = aggs.iter().position(|a| a.func == func && a.arg == arg) {
+        return pos;
+    }
+    aggs.push(AggExpr { func, arg, name });
+    aggs.len() - 1
+}
+
+fn default_agg_name(func: AggFunc, arg: &Option<Box<AstExpr>>) -> String {
+    match arg {
+        Some(a) => match a.as_ref() {
+            AstExpr::Column(c) => {
+                format!("{}_{}", func.name().to_ascii_lowercase(), c.replace('.', "_"))
+            }
+            _ => func.name().to_ascii_lowercase(),
+        },
+        None => "count".to_string(),
+    }
+}
+
+/// Resolve an expression against a schema (no aggregates allowed).
+pub fn resolve_expr(ast: &AstExpr, schema: &Schema) -> Result<Expr, PlanError> {
+    match ast {
+        AstExpr::Column(name) => schema
+            .index_of(name)
+            .map(Expr::Column)
+            .ok_or_else(|| PlanError::new(format!("unknown column '{name}'"))),
+        AstExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        AstExpr::Binary { op, left, right } => Ok(Expr::Binary {
+            op: *op,
+            left: Box::new(resolve_expr(left, schema)?),
+            right: Box::new(resolve_expr(right, schema)?),
+        }),
+        AstExpr::Unary { op, expr } => {
+            Ok(Expr::Unary { op: *op, expr: Box::new(resolve_expr(expr, schema)?) })
+        }
+        AstExpr::Like { expr, pattern } => {
+            Ok(Expr::Like { expr: Box::new(resolve_expr(expr, schema)?), pattern: pattern.clone() })
+        }
+        AstExpr::Func { name, args } => {
+            let func = match name.as_str() {
+                "lower" => ScalarFunc::Lower,
+                "upper" => ScalarFunc::Upper,
+                "length" => ScalarFunc::Length,
+                "abs" => ScalarFunc::Abs,
+                other => return Err(PlanError::new(format!("unknown function '{other}'"))),
+            };
+            if args.len() != 1 {
+                return Err(PlanError::new(format!("{name} takes exactly one argument")));
+            }
+            Ok(Expr::Func { func, arg: Box::new(resolve_expr(&args[0], schema)?) })
+        }
+        AstExpr::Agg { .. } => {
+            Err(PlanError::new("aggregate calls are not allowed in this context"))
+        }
+    }
+}
+
+/// Resolve an expression over an *aggregate output* schema: group columns may
+/// be referenced by name, aggregate calls map to (possibly newly appended)
+/// aggregate columns.
+fn resolve_agg_output_expr(
+    ast: &AstExpr,
+    input_schema: &Schema,
+    group_exprs: &[Expr],
+    group_names: &[String],
+    aggs: &mut Vec<AggExpr>,
+) -> Result<Expr, PlanError> {
+    match ast {
+        AstExpr::Agg { func, arg } => {
+            let resolved_arg = match arg {
+                Some(a) => Some(resolve_expr(a, input_schema)?),
+                None => None,
+            };
+            let name = default_agg_name(*func, arg);
+            let idx = group_exprs.len() + push_agg(aggs, *func, resolved_arg, name);
+            Ok(Expr::Column(idx))
+        }
+        AstExpr::Column(name) => {
+            // A group-by column referenced by name.
+            if let Some(pos) = group_names.iter().position(|g| {
+                g.eq_ignore_ascii_case(name) || g.rsplit('.').next() == name.rsplit('.').next()
+            }) {
+                return Ok(Expr::Column(pos));
+            }
+            // An aggregate referenced by its alias.
+            if let Some(pos) = aggs.iter().position(|a| a.name.eq_ignore_ascii_case(name)) {
+                return Ok(Expr::Column(group_exprs.len() + pos));
+            }
+            Err(PlanError::new(format!(
+                "column '{name}' must be a GROUP BY column or an aggregate alias"
+            )))
+        }
+        AstExpr::Literal(v) => Ok(Expr::Literal(v.clone())),
+        AstExpr::Binary { op, left, right } => Ok(Expr::Binary {
+            op: *op,
+            left: Box::new(resolve_agg_output_expr(
+                left,
+                input_schema,
+                group_exprs,
+                group_names,
+                aggs,
+            )?),
+            right: Box::new(resolve_agg_output_expr(
+                right,
+                input_schema,
+                group_exprs,
+                group_names,
+                aggs,
+            )?),
+        }),
+        AstExpr::Unary { op, expr } => Ok(Expr::Unary {
+            op: *op,
+            expr: Box::new(resolve_agg_output_expr(
+                expr,
+                input_schema,
+                group_exprs,
+                group_names,
+                aggs,
+            )?),
+        }),
+        AstExpr::Like { expr, pattern } => Ok(Expr::Like {
+            expr: Box::new(resolve_agg_output_expr(
+                expr,
+                input_schema,
+                group_exprs,
+                group_names,
+                aggs,
+            )?),
+            pattern: pattern.clone(),
+        }),
+        AstExpr::Func { .. } => {
+            Err(PlanError::new("scalar functions over aggregate outputs are not supported"))
+        }
+    }
+}
+
+fn resolve_order_by(stmt: &SelectStmt, out_schema: &Schema) -> Result<Vec<SortKey>, PlanError> {
+    let mut keys = Vec::new();
+    for item in &stmt.order_by {
+        match &item.expr {
+            AstExpr::Column(name) => {
+                let idx = out_schema.index_of(name).ok_or_else(|| {
+                    PlanError::new(format!("ORDER BY column '{name}' is not in the output"))
+                })?;
+                keys.push(SortKey { column: idx, desc: item.desc });
+            }
+            other => {
+                return Err(PlanError::new(format!(
+                    "ORDER BY only supports output columns here, found {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(keys)
+}

@@ -1,0 +1,75 @@
+//! Stage 2 — the logical planner.
+//!
+//! Translates a [`BoundSelect`] into a [`LogicalPlan`] operator tree.  The
+//! construction is purely structural (names were resolved by the binder, no
+//! costs are consulted): scans at the leaves, filters directly above them,
+//! then joins/aggregation, then sort / limit / final projection.  The tree it
+//! emits is the *initial* plan — the optimizer rewrites it before the
+//! physical planner or the centralized reference evaluator consume it.
+
+use crate::plan::LogicalPlan;
+
+use super::binder::BoundSelect;
+
+/// Build the initial (unoptimized) logical plan for a bound statement.
+pub fn build_logical(bound: &BoundSelect) -> LogicalPlan {
+    let mut plan =
+        LogicalPlan::Scan { table: bound.from.name.clone(), schema: bound.from.schema.clone() };
+
+    if let Some(join) = &bound.join {
+        let right =
+            LogicalPlan::Scan { table: join.right.name.clone(), schema: join.right.schema.clone() };
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(right),
+            left_key: join.left_key.clone(),
+            right_key: join.right_key.clone(),
+        };
+    }
+
+    if let Some(predicate) = &bound.filter {
+        plan = LogicalPlan::Filter { input: Box::new(plan), predicate: predicate.clone() };
+    }
+
+    match &bound.aggregate {
+        Some(agg) => {
+            plan = LogicalPlan::Aggregate {
+                input: Box::new(plan),
+                group_exprs: agg.group_exprs.clone(),
+                aggs: agg.aggs.clone(),
+                schema: agg.schema.clone(),
+            };
+            if let Some(h) = &agg.having {
+                plan = LogicalPlan::Filter { input: Box::new(plan), predicate: h.clone() };
+            }
+            if !bound.order_by.is_empty() {
+                plan = LogicalPlan::Sort { input: Box::new(plan), keys: bound.order_by.clone() };
+            }
+            if let Some(n) = bound.limit {
+                plan = LogicalPlan::Limit { input: Box::new(plan), n };
+            }
+            // Final projection to the select-list order.
+            let exprs = agg.final_project.iter().map(|&i| crate::expr::Expr::col(i)).collect();
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs,
+                schema: bound.project_schema.clone(),
+            };
+        }
+        None => {
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs: bound.projections.clone(),
+                schema: bound.project_schema.clone(),
+            };
+            if !bound.order_by.is_empty() {
+                plan = LogicalPlan::Sort { input: Box::new(plan), keys: bound.order_by.clone() };
+            }
+            if let Some(n) = bound.limit {
+                plan = LogicalPlan::Limit { input: Box::new(plan), n };
+            }
+        }
+    }
+
+    plan
+}

@@ -1,0 +1,298 @@
+//! Stage 4 — the physical / distributed planner.
+//!
+//! Turns a bound statement plus its optimized logical plan into the per-node
+//! [`QueryKind`] spec that is disseminated over the DHT.  This is the layer
+//! that makes *distributed* decisions:
+//!
+//! * join-strategy selection (symmetric rehash vs Fetch-Matches vs
+//!   Bloom-filter semi-join) is **costed from catalog cardinality hints**
+//!   ([`TableStats`](crate::catalog::TableStats)) and filter selectivities,
+//!   instead of a hard-coded default;
+//! * predicates the optimizer pushed below the join are carried as per-side
+//!   filters so every node filters *before* shipping tuples;
+//! * Fetch-Matches is only eligible when the inner relation is partitioned on
+//!   the join key (the DHT can then answer probes with a single `get`).
+
+use crate::catalog::Catalog;
+use crate::expr::Expr;
+use crate::plan::LogicalPlan;
+use crate::query::{JoinStrategy, QueryKind};
+
+use super::binder::BoundSelect;
+use super::optimizer::{fold_expr, split_group_having};
+use super::PlanError;
+
+/// Row-count estimate used when the catalog has no statistics for a table.
+pub const DEFAULT_ROW_ESTIMATE: f64 = 1024.0;
+
+/// Relative cost of one Fetch-Matches DHT probe versus rehashing one tuple
+/// (a probe is a routed request *and* a response).
+const FETCH_PROBE_COST: f64 = 4.0;
+
+/// Fallback selectivity of an equality predicate when the catalog has no
+/// distinct-key estimate for the table.
+const DEFAULT_EQ_SELECTIVITY: f64 = 0.05;
+
+/// A Bloom join only pays off when the prunable side is at least this large.
+const BLOOM_MIN_RIGHT: f64 = 512.0;
+
+/// How much bigger the right side must be (relative to the left) before the
+/// two-phase Bloom protocol beats plain symmetric rehashing.
+const BLOOM_SKEW: f64 = 4.0;
+
+/// The physical planner's output: the distributed spec plus a human-readable
+/// note on the join-strategy decision (surfaced by `EXPLAIN`).
+#[derive(Clone, Debug)]
+pub struct PhysicalPlan {
+    /// Per-node work description.
+    pub kind: QueryKind,
+    /// Why the join strategy was chosen (`None` for non-join queries).
+    pub strategy_note: Option<String>,
+}
+
+/// Chooses distributed execution strategies from catalog statistics.
+pub struct PhysicalPlanner<'a> {
+    catalog: &'a Catalog,
+    forced_strategy: Option<JoinStrategy>,
+}
+
+impl<'a> PhysicalPlanner<'a> {
+    /// A planner that costs strategies from the catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        PhysicalPlanner { catalog, forced_strategy: None }
+    }
+
+    /// A planner that always uses `strategy` for joins (benchmarks and tests
+    /// compare strategies this way).
+    pub fn with_forced_strategy(catalog: &'a Catalog, strategy: JoinStrategy) -> Self {
+        PhysicalPlanner { catalog, forced_strategy: Some(strategy) }
+    }
+
+    /// Derive the distributed spec for a bound statement whose optimized
+    /// logical plan is `optimized`.
+    pub fn plan(
+        &self,
+        bound: &BoundSelect,
+        optimized: &LogicalPlan,
+    ) -> Result<PhysicalPlan, PlanError> {
+        if bound.join.is_some() {
+            self.plan_join(bound, optimized)
+        } else if let Some(agg) = &bound.aggregate {
+            // HAVING conjuncts over plain group columns run before
+            // aggregation on every node (mirroring the optimizer's rewrite
+            // of the logical plan), so non-qualifying tuples are dropped at
+            // the scan instead of shipping partials the root would discard.
+            let (having_below, having_above) = match &agg.having {
+                Some(h) => split_group_having(h, &agg.group_exprs),
+                None => (None, None),
+            };
+            let filter = match (bound.filter.as_ref().map(fold_expr), having_below) {
+                (Some(f), Some(h)) => Some(f.and(h)),
+                (Some(f), None) => Some(f),
+                (None, Some(h)) => Some(h),
+                (None, None) => None,
+            };
+            Ok(PhysicalPlan {
+                kind: QueryKind::Aggregate {
+                    table: bound.from.name.clone(),
+                    filter: filter.as_ref().map(fold_expr),
+                    group_exprs: agg.group_exprs.clone(),
+                    aggs: agg.aggs.clone(),
+                    having: having_above.as_ref().map(fold_expr),
+                    order_by: bound.order_by.clone(),
+                    limit: bound.limit,
+                    final_project: agg.final_project.clone(),
+                },
+                strategy_note: None,
+            })
+        } else {
+            Ok(PhysicalPlan {
+                kind: QueryKind::Select {
+                    table: bound.from.name.clone(),
+                    filter: bound.filter.as_ref().map(fold_expr),
+                    project: bound.projections.iter().map(fold_expr).collect(),
+                    order_by: bound.order_by.clone(),
+                    limit: bound.limit,
+                },
+                strategy_note: None,
+            })
+        }
+    }
+
+    fn plan_join(
+        &self,
+        bound: &BoundSelect,
+        optimized: &LogicalPlan,
+    ) -> Result<PhysicalPlan, PlanError> {
+        let join = bound.join.as_ref().expect("plan_join requires a bound join");
+        let pieces = extract_join_pieces(optimized);
+        let (strategy, note) =
+            self.choose_join_strategy(bound, &pieces.left_filter, &pieces.right_filter);
+
+        Ok(PhysicalPlan {
+            kind: QueryKind::Join {
+                left_table: bound.from.name.clone(),
+                right_table: join.right.name.clone(),
+                left_key: join.left_key.clone(),
+                right_key: join.right_key.clone(),
+                left_filter: pieces.left_filter,
+                right_filter: pieces.right_filter,
+                post_filter: pieces.post_filter,
+                project: bound.projections.iter().map(fold_expr).collect(),
+                strategy,
+                order_by: bound.order_by.clone(),
+                limit: bound.limit,
+            },
+            strategy_note: Some(note),
+        })
+    }
+
+    /// Cost-based join-strategy selection from catalog cardinality hints.
+    fn choose_join_strategy(
+        &self,
+        bound: &BoundSelect,
+        left_filter: &Option<Expr>,
+        right_filter: &Option<Expr>,
+    ) -> (JoinStrategy, String) {
+        if let Some(s) = self.forced_strategy {
+            return (s, format!("{s:?} (forced by caller)"));
+        }
+        let join = bound.join.as_ref().expect("join strategy needs a join");
+
+        let base = |name: &str| {
+            self.catalog.stats(name).map(|s| s.rows as f64).unwrap_or(DEFAULT_ROW_ESTIMATE)
+        };
+        // An equality predicate on the *partitioning column* keeps
+        // ~1/distinct_keys of the rows when the catalog knows the key count;
+        // equality on any other column falls back to the flat System-R
+        // guess (key-count statistics are tracked per partition key only).
+        let eq_sel = |name: &str| {
+            let partition_column = self.catalog.get(name).map(|d| d.partition_column);
+            let distinct = self.catalog.stats(name).and_then(|s| s.distinct_keys);
+            move |col: usize| match (partition_column, distinct) {
+                (Some(p), Some(k)) if p == col => (1.0 / k.max(1) as f64).clamp(1e-6, 1.0),
+                _ => DEFAULT_EQ_SELECTIVITY,
+            }
+        };
+        let left_rows = base(&bound.from.name);
+        let right_rows = base(&join.right.name);
+        let left_est = (left_rows * selectivity(left_filter, &eq_sel(&bound.from.name))).max(1.0);
+        let right_est =
+            (right_rows * selectivity(right_filter, &eq_sel(&join.right.name))).max(1.0);
+
+        // Fetch-Matches probes the inner relation by its DHT resource id, so
+        // the inner table must be partitioned on the join key column.
+        let fetch_eligible = match (&join.right_key, self.catalog.get(&join.right.name)) {
+            (Expr::Column(c), Some(def)) => def.partition_column == *c,
+            _ => false,
+        };
+
+        if fetch_eligible && left_est * FETCH_PROBE_COST <= right_est {
+            return (
+                JoinStrategy::FetchMatches,
+                format!(
+                    "Fetch-Matches: ~{left_est:.0} probing tuples (of ~{left_rows:.0}) vs \
+                     ~{right_est:.0} inner tuples; '{}' is partitioned on the join key",
+                    join.right.name
+                ),
+            );
+        }
+        if right_est >= BLOOM_MIN_RIGHT && right_est >= BLOOM_SKEW * left_est {
+            return (
+                JoinStrategy::BloomFilter,
+                format!(
+                    "Bloom semi-join: right side ~{right_est:.0} tuples dwarfs left \
+                     ~{left_est:.0}; a key summary prunes the rehash"
+                ),
+            );
+        }
+        (
+            JoinStrategy::SymmetricHash,
+            format!(
+                "symmetric rehash: comparable cardinalities (~{left_est:.0} left vs \
+                 ~{right_est:.0} right), both sides ship to the key's node"
+            ),
+        )
+    }
+}
+
+/// Estimated fraction of rows surviving a predicate (System-R style guesses);
+/// `eq_sel` maps a column index to the selectivity of an equality predicate
+/// on that column (1/distinct_keys for a partition key the catalog knows).
+fn selectivity(filter: &Option<Expr>, eq_sel: &dyn Fn(usize) -> f64) -> f64 {
+    match filter {
+        None => 1.0,
+        Some(e) => expr_selectivity(e, eq_sel),
+    }
+}
+
+fn expr_selectivity(e: &Expr, eq_sel: &dyn Fn(usize) -> f64) -> f64 {
+    use crate::expr::{BinaryOp, UnaryOp};
+    match e {
+        Expr::Binary { op, left, right } => match op {
+            BinaryOp::And => expr_selectivity(left, eq_sel) * expr_selectivity(right, eq_sel),
+            BinaryOp::Or => {
+                (expr_selectivity(left, eq_sel) + expr_selectivity(right, eq_sel)).min(1.0)
+            }
+            BinaryOp::Eq => match (&**left, &**right) {
+                (Expr::Column(c), other) | (other, Expr::Column(c)) if other.is_constant() => {
+                    eq_sel(*c)
+                }
+                _ => DEFAULT_EQ_SELECTIVITY,
+            },
+            BinaryOp::NotEq => 0.9,
+            BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => 0.3,
+            _ => 0.75,
+        },
+        Expr::Like { .. } => 0.25,
+        Expr::Unary { op: UnaryOp::Not, expr } => (1.0 - expr_selectivity(expr, eq_sel)).max(0.05),
+        Expr::Unary { op: UnaryOp::IsNull, .. } => 0.1,
+        Expr::Unary { op: UnaryOp::IsNotNull, .. } => 0.9,
+        _ => 0.75,
+    }
+}
+
+/// The join-relevant filters of an optimized plan: the predicates sitting
+/// directly on each side's scan (placed there by predicate pushdown) and the
+/// residual predicate directly above the join.
+struct JoinPieces {
+    left_filter: Option<Expr>,
+    right_filter: Option<Expr>,
+    post_filter: Option<Expr>,
+}
+
+fn extract_join_pieces(plan: &LogicalPlan) -> JoinPieces {
+    let mut cur = plan;
+    let mut post = None;
+    loop {
+        match cur {
+            LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Project { input, .. } => cur = input,
+            LogicalPlan::Filter { input, predicate } => {
+                if matches!(**input, LogicalPlan::Join { .. }) {
+                    post = Some(predicate.clone());
+                }
+                cur = input;
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                let side_filter = |side: &LogicalPlan| match side {
+                    LogicalPlan::Filter { input, predicate }
+                        if matches!(**input, LogicalPlan::Scan { .. }) =>
+                    {
+                        Some(predicate.clone())
+                    }
+                    _ => None,
+                };
+                return JoinPieces {
+                    left_filter: side_filter(left),
+                    right_filter: side_filter(right),
+                    post_filter: post,
+                };
+            }
+            LogicalPlan::Scan { .. } | LogicalPlan::Aggregate { .. } => {
+                return JoinPieces { left_filter: None, right_filter: None, post_filter: post }
+            }
+        }
+    }
+}

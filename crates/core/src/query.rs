@@ -128,7 +128,14 @@ pub enum QueryKind {
         left_key: Expr,
         /// Join key over the right table schema.
         right_key: Expr,
-        /// Residual predicate over the concatenated schema.
+        /// Predicate over the left table schema, applied at each node before
+        /// its tuples are shipped (the optimizer's predicate pushdown).
+        left_filter: Option<Expr>,
+        /// Predicate over the right table schema, applied at each node before
+        /// its tuples are shipped or probed.
+        right_filter: Option<Expr>,
+        /// Residual predicate over the concatenated schema (conjuncts that
+        /// reference both sides).
         post_filter: Option<Expr>,
         /// Projection over the concatenated schema.
         project: Vec<Expr>,
@@ -217,9 +224,19 @@ impl WireSize for QuerySpec {
                         .sum::<usize>()
                     + having.as_ref().map(|f| f.wire_size()).unwrap_or(0)
             }
-            QueryKind::Join { left_key, right_key, post_filter, project, .. } => {
+            QueryKind::Join {
+                left_key,
+                right_key,
+                left_filter,
+                right_filter,
+                post_filter,
+                project,
+                ..
+            } => {
                 left_key.wire_size()
                     + right_key.wire_size()
+                    + left_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
+                    + right_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
                     + post_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
                     + project.iter().map(|e| e.wire_size()).sum::<usize>()
             }

@@ -46,11 +46,9 @@ impl MemoryDb {
     pub fn execute(&self, plan: &LogicalPlan) -> Vec<Tuple> {
         match plan {
             LogicalPlan::Scan { table, .. } => self.rows(table).to_vec(),
-            LogicalPlan::Filter { input, predicate } => self
-                .execute(input)
-                .into_iter()
-                .filter(|t| predicate.matches(t))
-                .collect(),
+            LogicalPlan::Filter { input, predicate } => {
+                self.execute(input).into_iter().filter(|t| predicate.matches(t)).collect()
+            }
             LogicalPlan::Project { input, exprs, .. } => self
                 .execute(input)
                 .iter()
@@ -207,10 +205,8 @@ mod tests {
 
     #[test]
     fn having_and_top_k() {
-        let out = run(
-            "SELECT dept, SUM(salary) AS total FROM emp GROUP BY dept \
-             HAVING COUNT(*) > 1 ORDER BY total DESC LIMIT 1",
-        );
+        let out = run("SELECT dept, SUM(salary) AS total FROM emp GROUP BY dept \
+             HAVING COUNT(*) > 1 ORDER BY total DESC LIMIT 1");
         assert_eq!(out, vec![Tuple::new(vec![Value::str("os"), Value::Int(210)])]);
     }
 
@@ -222,10 +218,8 @@ mod tests {
 
     #[test]
     fn join_query() {
-        let out = run(
-            "SELECT e.name, d.building FROM emp e JOIN dept d ON e.dept = d.dname \
-             WHERE e.salary > 85 ORDER BY e.name",
-        );
+        let out = run("SELECT e.name, d.building FROM emp e JOIN dept d ON e.dept = d.dname \
+             WHERE e.salary > 85 ORDER BY e.name");
         assert_eq!(
             out,
             vec![
@@ -249,7 +243,25 @@ mod tests {
         let c = vec![Tuple::new(vec![Value::Int(2)]), Tuple::new(vec![Value::Int(2)])];
         assert!(same_rows(&a, &b));
         assert!(!same_rows(&a, &c));
-        assert!(!same_rows(&a, &a[..1].to_vec()));
+        assert!(!same_rows(&a, &a[..1]));
+    }
+
+    #[test]
+    fn reference_evaluator_consumes_the_optimized_plan() {
+        // `PlannedQuery::logical` is the optimizer's output; check that it
+        // really is rewritten (pruned scan) and still evaluates correctly.
+        let (db, cat) = db_and_catalog();
+        let stmt = parse_select("SELECT name FROM emp WHERE salary >= 90 ORDER BY name").unwrap();
+        let planned = Planner::new(&cat).plan_select(&stmt).unwrap();
+        assert!(
+            planned.rules_applied.contains(&"projection_pruning"),
+            "three-column scan with two used columns must be pruned: {:?}",
+            planned.rules_applied
+        );
+        assert_ne!(planned.logical, planned.logical_initial);
+        let out = db.execute(&planned.logical);
+        assert_eq!(out.len(), 3);
+        assert!(same_rows(&out, &db.execute(&planned.logical_initial)));
     }
 
     #[test]

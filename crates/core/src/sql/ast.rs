@@ -12,10 +12,17 @@ use crate::expr::{BinaryOp, UnaryOp};
 use crate::value::{DataType, Value};
 
 /// A complete SQL statement.
+///
+/// `SelectStmt` dominates the size; statements are parsed once and consumed,
+/// so the imbalance is harmless.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Statement {
     /// A (possibly continuous) query.
     Select(SelectStmt),
+    /// `EXPLAIN <select>`: run the planning pipeline and report each stage's
+    /// output instead of executing the query.
+    Explain(Box<SelectStmt>),
     /// Table definition.
     CreateTable(CreateTableStmt),
     /// Single-row insert.
@@ -234,7 +241,8 @@ mod tests {
 
     #[test]
     fn contains_aggregate_walks_tree() {
-        let agg = AstExpr::Agg { func: AggFunc::Sum, arg: Some(Box::new(AstExpr::Column("x".into()))) };
+        let agg =
+            AstExpr::Agg { func: AggFunc::Sum, arg: Some(Box::new(AstExpr::Column("x".into()))) };
         let wrapped = AstExpr::Binary {
             op: BinaryOp::Add,
             left: Box::new(AstExpr::Literal(Value::Int(1))),

@@ -24,10 +24,48 @@ pub enum Token {
     Eof,
 }
 
+/// Reserved words of the dialect.  They are lexed as ordinary identifiers
+/// (SQL keywords are contextual), but the parser refuses to treat them as
+/// implicit aliases; `EXPLAIN` heads the list because it starts a statement.
+pub const RESERVED_WORDS: &[&str] = &[
+    "explain",
+    "select",
+    "from",
+    "where",
+    "group",
+    "having",
+    "order",
+    "limit",
+    "join",
+    "on",
+    "as",
+    "continuous",
+    "every",
+    "window",
+    "and",
+    "or",
+    "not",
+    "asc",
+    "desc",
+    "create",
+    "insert",
+    "into",
+    "values",
+    "table",
+    "by",
+    "ttl",
+    "partition",
+];
+
 impl Token {
     /// Is this token the given keyword (case-insensitive)?
     pub fn is_kw(&self, kw: &str) -> bool {
         matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Is this token one of the dialect's reserved words?
+    pub fn is_reserved(&self) -> bool {
+        matches!(self, Token::Ident(s) if RESERVED_WORDS.contains(&s.as_str()))
     }
 
     /// Is this token the given symbol?
@@ -167,7 +205,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit() {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -230,6 +272,16 @@ mod tests {
         assert!(toks[0].is_kw("select"));
         assert!(toks[0].is_kw("SELECT"));
         assert!(!toks[0].is_kw("from"));
+    }
+
+    #[test]
+    fn reserved_words_are_recognized() {
+        let toks = tokenize("EXPLAIN total FROM t").unwrap();
+        assert!(toks[0].is_reserved(), "EXPLAIN is reserved");
+        assert!(!toks[1].is_reserved(), "'total' is an ordinary identifier");
+        assert!(toks[2].is_reserved(), "FROM is reserved");
+        assert!(!Token::Int(7).is_reserved());
+        assert!(!Token::Sym(",").is_reserved());
     }
 
     #[test]

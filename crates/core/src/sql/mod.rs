@@ -14,6 +14,10 @@
 //! -- Keyword filesharing search (two-way distributed equi-join)
 //! SELECT f.name, f.owner FROM files f JOIN keywords k ON f.file_id = k.file_id
 //! WHERE k.keyword = 'creative-commons';
+//!
+//! -- Planner introspection: render every pipeline stage instead of executing
+//! EXPLAIN SELECT f.name FROM files f JOIN keywords k ON f.file_id = k.file_id
+//! WHERE k.keyword = 'mp3';
 //! ```
 
 pub mod ast;

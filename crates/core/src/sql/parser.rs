@@ -132,14 +132,26 @@ impl Parser {
     // ------------------------------------------------------------------
 
     fn statement(&mut self) -> Result<Statement, ParseError> {
-        if self.peek().is_kw("select") {
+        if self.peek().is_kw("explain") {
+            self.advance();
+            if !self.peek().is_kw("select") {
+                return Err(ParseError::new(format!(
+                    "EXPLAIN supports only SELECT statements, found {}",
+                    self.peek()
+                )));
+            }
+            Ok(Statement::Explain(Box::new(self.select()?)))
+        } else if self.peek().is_kw("select") {
             Ok(Statement::Select(self.select()?))
         } else if self.peek().is_kw("create") {
             Ok(Statement::CreateTable(self.create_table()?))
         } else if self.peek().is_kw("insert") {
             Ok(Statement::Insert(self.insert()?))
         } else {
-            Err(ParseError::new(format!("expected SELECT, CREATE or INSERT, found {}", self.peek())))
+            Err(ParseError::new(format!(
+                "expected SELECT, EXPLAIN, CREATE or INSERT, found {}",
+                self.peek()
+            )))
         }
     }
 
@@ -234,13 +246,8 @@ impl Parser {
                 items.push(SelectItem::Wildcard);
             } else {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("as") {
-                    Some(self.ident()?)
-                } else if matches!(self.peek(), Token::Ident(s) if !is_clause_keyword(s)) {
-                    Some(self.ident()?)
-                } else {
-                    None
-                };
+                let implicit = matches!(self.peek(), Token::Ident(_)) && !self.peek().is_reserved();
+                let alias = if self.eat_kw("as") || implicit { Some(self.ident()?) } else { None };
                 items.push(SelectItem::Expr { expr, alias });
             }
             if !self.eat_sym(",") {
@@ -252,13 +259,8 @@ impl Parser {
 
     fn table_ref(&mut self) -> Result<TableRef, ParseError> {
         let name = self.ident()?;
-        let alias = if self.eat_kw("as") {
-            Some(self.ident()?)
-        } else if matches!(self.peek(), Token::Ident(s) if !is_clause_keyword(s)) {
-            Some(self.ident()?)
-        } else {
-            None
-        };
+        let implicit = matches!(self.peek(), Token::Ident(_)) && !self.peek().is_reserved();
+        let alias = if self.eat_kw("as") || implicit { Some(self.ident()?) } else { None };
         Ok(TableRef { name, alias })
     }
 
@@ -285,7 +287,8 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("or") {
             let right = self.and_expr()?;
-            left = AstExpr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
+            left =
+                AstExpr::Binary { op: BinaryOp::Or, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -294,7 +297,8 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("and") {
             let right = self.not_expr()?;
-            left = AstExpr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
+            left =
+                AstExpr::Binary { op: BinaryOp::And, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -540,29 +544,6 @@ impl Parser {
     }
 }
 
-/// Keywords that terminate an implicit alias in a select list or FROM clause.
-fn is_clause_keyword(word: &str) -> bool {
-    matches!(
-        word,
-        "from"
-            | "where"
-            | "group"
-            | "having"
-            | "order"
-            | "limit"
-            | "join"
-            | "on"
-            | "as"
-            | "continuous"
-            | "every"
-            | "window"
-            | "and"
-            | "or"
-            | "asc"
-            | "desc"
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,15 +605,16 @@ mod tests {
     #[test]
     fn figure1_continuous_sum() {
         // The paper's Figure 1 query: continuous network-wide SUM of rates.
-        let s = sel(
-            "SELECT SUM(out_rate) FROM netstats CONTINUOUS EVERY 5 SECONDS WINDOW 10 SECONDS",
-        );
+        let s =
+            sel("SELECT SUM(out_rate) FROM netstats CONTINUOUS EVERY 5 SECONDS WINDOW 10 SECONDS");
         assert!(s.is_aggregate());
         let cont = s.continuous.unwrap();
         assert_eq!(cont.every_secs, 5.0);
         assert_eq!(cont.window_secs, Some(10.0));
         match &s.projections[0] {
-            SelectItem::Expr { expr: AstExpr::Agg { func: AggFunc::Sum, arg: Some(_) }, .. } => {}
+            SelectItem::Expr {
+                expr: AstExpr::Agg { func: AggFunc::Sum, arg: Some(_) }, ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -640,11 +622,9 @@ mod tests {
     #[test]
     fn table1_top_ten_rules() {
         // The paper's Table 1 query: network-wide top ten intrusion rules.
-        let s = sel(
-            "SELECT rule_id, description, SUM(hits) AS total \
+        let s = sel("SELECT rule_id, description, SUM(hits) AS total \
              FROM intrusions GROUP BY rule_id, description \
-             ORDER BY SUM(hits) DESC LIMIT 10",
-        );
+             ORDER BY SUM(hits) DESC LIMIT 10");
         assert!(s.is_aggregate());
         assert_eq!(s.group_by, vec!["rule_id".to_string(), "description".to_string()]);
         assert_eq!(s.limit, Some(10));
@@ -681,7 +661,8 @@ mod tests {
 
     #[test]
     fn like_is_null_not() {
-        let s = sel("SELECT * FROM files WHERE name LIKE '%.mp3' AND size IS NOT NULL AND NOT hidden");
+        let s =
+            sel("SELECT * FROM files WHERE name LIKE '%.mp3' AND size IS NOT NULL AND NOT hidden");
         let w = s.where_clause.unwrap();
         let cols = w.referenced_columns();
         assert!(cols.contains(&"name".to_string()));
@@ -777,6 +758,31 @@ mod tests {
         let err = parse("SELECT * FROM t WHERE a LIKE 5").unwrap_err();
         assert!(err.message.contains("LIKE"), "{}", err.message);
         assert!(format!("{err}").contains("SQL parse error"));
+    }
+
+    #[test]
+    fn explain_select_round_trips() {
+        let stmt = parse("EXPLAIN SELECT host FROM netstats WHERE out_rate > 10 LIMIT 3").unwrap();
+        match stmt {
+            Statement::Explain(inner) => {
+                assert_eq!(inner.from.name, "netstats");
+                assert!(inner.where_clause.is_some());
+                assert_eq!(inner.limit, Some(3));
+                // The inner statement is exactly what plain parsing produces.
+                let direct = sel("SELECT host FROM netstats WHERE out_rate > 10 LIMIT 3");
+                assert_eq!(*inner, direct);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Case-insensitive, tolerant of a trailing semicolon.
+        assert!(matches!(parse("explain select * from t;").unwrap(), Statement::Explain(_)));
+    }
+
+    #[test]
+    fn explain_requires_select() {
+        let err = parse("EXPLAIN CREATE TABLE t (a INT)").unwrap_err();
+        assert!(err.message.contains("EXPLAIN supports only SELECT"), "{}", err.message);
+        assert!(parse("EXPLAIN").is_err());
     }
 
     #[test]

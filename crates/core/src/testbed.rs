@@ -57,11 +57,18 @@ impl PierTestbed {
     /// Build and warm up a deployment.
     pub fn new(config: TestbedConfig) -> Self {
         let mut rng = pier_simnet::DetRng::new(config.seed);
-        let latency =
-            config.latency.clone().unwrap_or_else(|| LatencyModel::planetary(config.nodes.max(1), &mut rng));
+        let latency = config
+            .latency
+            .clone()
+            .unwrap_or_else(|| LatencyModel::planetary(config.nodes.max(1), &mut rng));
         let pier_config = config.pier.clone();
         let mut sim = Simulation::new(
-            SimConfig { seed: config.seed, latency, loss: config.loss.clone(), ..Default::default() },
+            SimConfig {
+                seed: config.seed,
+                latency,
+                loss: config.loss.clone(),
+                ..Default::default()
+            },
             move |addr| {
                 let bootstrap = if addr.0 == 0 { None } else { Some(NodeAddr(0)) };
                 PierNode::new(addr, pier_config.clone(), bootstrap)
@@ -119,6 +126,27 @@ impl PierTestbed {
                 node.create_table(def.clone());
             }
         }
+    }
+
+    /// Record cardinality hints for a table on every node (the hints drive
+    /// cost-based join-strategy selection in the physical planner).
+    pub fn set_table_stats_everywhere(&mut self, table: &str, stats: crate::catalog::TableStats) {
+        for addr in self.sim.alive_nodes() {
+            if let Some(node) = self.sim.node_mut(addr) {
+                node.set_table_stats(table, stats);
+            }
+        }
+    }
+
+    /// Render the planning pipeline's `EXPLAIN` report for a query, as seen
+    /// from one node's catalog.  Purely local — nothing is disseminated.
+    pub fn explain(&mut self, from: NodeAddr, sql: &str) -> Result<String, String> {
+        self.ensure_tables(from);
+        self.sim
+            .node(from)
+            .ok_or_else(|| "origin node is not alive".to_string())?
+            .explain_sql(sql)
+            .map_err(|e| e.to_string())
     }
 
     /// Re-register every known table definition on a node whose catalog lost
@@ -209,29 +237,17 @@ impl PierTestbed {
 
     /// Result rows of a query for an epoch, with ORDER BY / LIMIT applied.
     pub fn results(&self, origin: NodeAddr, id: QueryId, epoch: u64) -> Vec<Tuple> {
-        self.sim
-            .node(origin)
-            .and_then(|n| n.results(id))
-            .map(|r| r.rows(epoch))
-            .unwrap_or_default()
+        self.sim.node(origin).and_then(|n| n.results(id)).map(|r| r.rows(epoch)).unwrap_or_default()
     }
 
     /// All result rows of a query across epochs.
     pub fn all_results(&self, origin: NodeAddr, id: QueryId) -> Vec<Tuple> {
-        self.sim
-            .node(origin)
-            .and_then(|n| n.results(id))
-            .map(|r| r.all_rows())
-            .unwrap_or_default()
+        self.sim.node(origin).and_then(|n| n.results(id)).map(|r| r.all_rows()).unwrap_or_default()
     }
 
     /// Epochs with data for a query.
     pub fn epochs(&self, origin: NodeAddr, id: QueryId) -> Vec<u64> {
-        self.sim
-            .node(origin)
-            .and_then(|n| n.results(id))
-            .map(|r| r.epochs())
-            .unwrap_or_default()
+        self.sim.node(origin).and_then(|n| n.results(id)).map(|r| r.epochs()).unwrap_or_default()
     }
 
     /// "Responding nodes" for an epoch of an aggregation query.
@@ -278,10 +294,11 @@ mod tests {
         );
         bed.create_table_everywhere(&def);
         for (i, &addr) in bed.nodes().to_vec().iter().enumerate() {
-            bed.publish(addr, "readings", Tuple::new(vec![
-                Value::str(format!("host-{i}")),
-                Value::Int(i as i64),
-            ]));
+            bed.publish(
+                addr,
+                "readings",
+                Tuple::new(vec![Value::str(format!("host-{i}")), Value::Int(i as i64)]),
+            );
         }
         bed.run_for(Duration::from_secs(5));
 

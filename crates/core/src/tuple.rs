@@ -201,10 +201,9 @@ impl Schema {
     pub fn admits(&self, tuple: &Tuple) -> bool {
         tuple.arity() == self.arity()
             && tuple.values().iter().zip(&self.fields).all(|(v, f)| {
-                v.is_null() || v.data_type() == f.dtype || matches!(
-                    (v.data_type(), f.dtype),
-                    (DataType::Int, DataType::Float)
-                )
+                v.is_null()
+                    || v.data_type() == f.dtype
+                    || matches!((v.data_type(), f.dtype), (DataType::Int, DataType::Float))
             })
     }
 }

@@ -173,8 +173,10 @@ impl Value {
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         self.total_cmp(other) == Ordering::Equal && self.data_type() == other.data_type()
-            || matches!((self, other), (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_)))
-                && self.total_cmp(other) == Ordering::Equal
+            || matches!(
+                (self, other),
+                (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
+            ) && self.total_cmp(other) == Ordering::Equal
     }
 }
 
@@ -310,7 +312,7 @@ mod tests {
 
     #[test]
     fn total_ordering_is_total() {
-        let mut values = vec![
+        let mut values = [
             Value::str("zebra"),
             Value::Int(10),
             Value::Null,

@@ -210,10 +210,7 @@ impl<P: WireSize> WireSize for DhtMsg<P> {
                 DhtMsg::GetReply { key, items, .. } => {
                     8 + key.wire_size()
                         + 4
-                        + items
-                            .iter()
-                            .map(|(k, v)| k.wire_size() + v.wire_size())
-                            .sum::<usize>()
+                        + items.iter().map(|(k, v)| k.wire_size() + v.wire_size()).sum::<usize>()
                 }
                 DhtMsg::Direct { payload } => payload.wire_size(),
                 DhtMsg::Broadcast { payload, .. } => payload.wire_size() + 20 + 1,
@@ -326,10 +323,8 @@ mod tests {
 
     #[test]
     fn route_body_variants_have_distinct_sizes() {
-        let put: RouteBody<u64> = RouteBody::Put {
-            item: WireItem { key: key(), value: 1, ttl_us: 0 },
-            replicate: true,
-        };
+        let put: RouteBody<u64> =
+            RouteBody::Put { item: WireItem { key: key(), value: 1, ttl_us: 0 }, replicate: true };
         let get: RouteBody<u64> = RouteBody::Get { key: key(), req_id: 0, origin: NodeAddr(0) };
         let app: RouteBody<u64> = RouteBody::AppSend { key: key(), payload: 9 };
         let find: RouteBody<u64> = RouteBody::FindSuccessor { req_id: 0, origin: NodeAddr(0) };

@@ -304,7 +304,12 @@ impl<P: Clone + WireSize> DhtNode<P> {
 
     /// Locally stored items of `namespace` that are live at `now` and were
     /// stored at or after `since` (continuous-query windows).
-    pub fn lscan_since(&self, namespace: &str, now: SimTime, since: SimTime) -> Vec<(ResourceKey, P)> {
+    pub fn lscan_since(
+        &self,
+        namespace: &str,
+        now: SimTime,
+        since: SimTime,
+    ) -> Vec<(ResourceKey, P)> {
         self.store
             .lscan_since(namespace, now, since)
             .into_iter()
@@ -315,13 +320,7 @@ impl<P: Clone + WireSize> DhtNode<P> {
     /// Store an item directly at this node, bypassing routing.  PIER uses
     /// this for data that is *about* the local node (e.g. its own monitoring
     /// readings) when partitioning by publisher is desired.
-    pub fn local_put(
-        &mut self,
-        now: SimTime,
-        key: ResourceKey,
-        value: P,
-        ttl: Option<Duration>,
-    ) {
+    pub fn local_put(&mut self, now: SimTime, key: ResourceKey, value: P, ttl: Option<Duration>) {
         let ttl = ttl.unwrap_or(self.config.default_ttl);
         let is_new = self.store.put(key.clone(), value.clone(), now, ttl);
         if is_new {
@@ -334,12 +333,7 @@ impl<P: Clone + WireSize> DhtNode<P> {
     // ------------------------------------------------------------------
 
     /// Handle a DHT message delivered to the enclosing node.
-    pub fn handle_message(
-        &mut self,
-        ctx: &mut Context<DhtMsg<P>>,
-        from: NodeAddr,
-        msg: DhtMsg<P>,
-    ) {
+    pub fn handle_message(&mut self, ctx: &mut Context<DhtMsg<P>>, from: NodeAddr, msg: DhtMsg<P>) {
         self.last_heard.insert(from, ctx.now());
         match msg {
             DhtMsg::Route { target, hops, body } => self.handle_route(ctx, target, hops, body),
@@ -362,12 +356,7 @@ impl<P: Clone + WireSize> DhtNode<P> {
             DhtMsg::Replicate { items } => {
                 let now = ctx.now();
                 for item in items {
-                    self.store.put(
-                        item.key,
-                        item.value,
-                        now,
-                        Duration::from_micros(item.ttl_us),
-                    );
+                    self.store.put(item.key, item.value, now, Duration::from_micros(item.ttl_us));
                 }
             }
             DhtMsg::Handoff { items } => {
@@ -415,16 +404,11 @@ impl<P: Clone + WireSize> DhtNode<P> {
                 self.store.sweep(ctx.now());
                 ctx.set_timer(self.config.storage_sweep_interval, timers::SWEEP);
             }
-            timers::JOIN_RETRY => {
-                if !self.joined {
-                    if let Some(b) = self.bootstrap {
-                        self.send_join_lookup(ctx, b);
-                    }
-                    ctx.set_timer(
-                        self.config.stabilize_interval.saturating_mul(4),
-                        timers::JOIN_RETRY,
-                    );
+            timers::JOIN_RETRY if !self.joined => {
+                if let Some(b) = self.bootstrap {
+                    self.send_join_lookup(ctx, b);
                 }
+                ctx.set_timer(self.config.stabilize_interval.saturating_mul(4), timers::JOIN_RETRY);
             }
             _ => {}
         }
@@ -476,12 +460,7 @@ impl<P: Clone + WireSize> DhtNode<P> {
     fn closest_preceding(&self, target: &Id) -> Peer {
         let mut best = self.me;
         let mut best_dist = self.me.id.distance_to(target);
-        let candidates = self
-            .fingers
-            .iter()
-            .flatten()
-            .chain(self.successors.iter())
-            .copied();
+        let candidates = self.fingers.iter().flatten().chain(self.successors.iter()).copied();
         for peer in candidates {
             if peer.addr == self.me.addr {
                 continue;
@@ -797,7 +776,11 @@ impl<P: Clone + WireSize> DhtNode<P> {
             self.stats.broadcast_forwards += 1;
             ctx.send(
                 targets[i].addr,
-                DhtMsg::Broadcast { payload: payload.clone(), range_end: sub_end, depth: depth + 1 },
+                DhtMsg::Broadcast {
+                    payload: payload.clone(),
+                    range_end: sub_end,
+                    depth: depth + 1,
+                },
             );
         }
     }

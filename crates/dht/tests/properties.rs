@@ -1,61 +1,111 @@
 //! Property-based tests for the DHT's identifier arithmetic, hashing, and
 //! soft-state storage invariants.
+//!
+//! Cases are generated with the simulator's deterministic RNG (the container
+//! has no third-party property-testing crate); each property is checked over a
+//! few hundred random cases, so failures reproduce bit-identically.
 
 use pier_dht::{hash_bytes, sha1, Id, ResourceKey, SoftStateStore};
-use pier_simnet::{Duration, SimTime};
-use proptest::prelude::*;
+use pier_simnet::{DetRng, Duration, SimTime};
 
-fn arb_id() -> impl Strategy<Value = Id> {
-    proptest::array::uniform20(any::<u8>()).prop_map(Id::from_bytes)
+const CASES: usize = 256;
+
+fn arb_id(rng: &mut DetRng) -> Id {
+    let mut bytes = [0u8; 20];
+    rng.fill_bytes(&mut bytes);
+    Id::from_bytes(bytes)
 }
 
-proptest! {
-    /// Addition and subtraction on the ring are inverses.
-    #[test]
-    fn add_sub_roundtrip(a in arb_id(), b in arb_id()) {
-        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
-        prop_assert_eq!(a.wrapping_sub(&b).wrapping_add(&b), a);
-    }
+fn arb_bytes(rng: &mut DetRng, max_len: usize) -> Vec<u8> {
+    let len = rng.index(max_len + 1);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
 
-    /// Ring addition is commutative.
-    #[test]
-    fn add_commutative(a in arb_id(), b in arb_id()) {
-        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+/// Addition and subtraction on the ring are inverses.
+#[test]
+fn add_sub_roundtrip() {
+    let mut rng = DetRng::new(0xD417_0001);
+    for _ in 0..CASES {
+        let a = arb_id(&mut rng);
+        let b = arb_id(&mut rng);
+        assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+        assert_eq!(a.wrapping_sub(&b).wrapping_add(&b), a);
     }
+}
 
-    /// Clockwise distances around the ring sum to zero (a full revolution).
-    #[test]
-    fn distances_sum_to_full_circle(a in arb_id(), b in arb_id()) {
+/// Ring addition is commutative.
+#[test]
+fn add_commutative() {
+    let mut rng = DetRng::new(0xD417_0002);
+    for _ in 0..CASES {
+        let a = arb_id(&mut rng);
+        let b = arb_id(&mut rng);
+        assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+}
+
+/// Clockwise distances around the ring sum to zero (a full revolution).
+#[test]
+fn distances_sum_to_full_circle() {
+    let mut rng = DetRng::new(0xD417_0003);
+    for _ in 0..CASES {
+        let a = arb_id(&mut rng);
+        let b = arb_id(&mut rng);
         let d1 = a.distance_to(&b);
         let d2 = b.distance_to(&a);
-        prop_assert_eq!(d1.wrapping_add(&d2), Id::ZERO);
+        assert_eq!(d1.wrapping_add(&d2), Id::ZERO);
     }
+}
 
-    /// For distinct points, exactly one of "c in (a,b)" / "c in (b,a)" /
-    /// "c == a" / "c == b" holds — the two arcs partition the rest of the ring.
-    #[test]
-    fn open_intervals_partition_ring(a in arb_id(), b in arb_id(), c in arb_id()) {
-        prop_assume!(a != b);
+/// For distinct points, exactly one of "c in (a,b)" / "c in (b,a)" /
+/// "c == a" / "c == b" holds — the two arcs partition the rest of the ring.
+#[test]
+fn open_intervals_partition_ring() {
+    let mut rng = DetRng::new(0xD417_0004);
+    for _ in 0..CASES {
+        let a = arb_id(&mut rng);
+        let b = arb_id(&mut rng);
+        if a == b {
+            continue;
+        }
+        let c = arb_id(&mut rng);
         let in_ab = c.in_open_interval(&a, &b);
         let in_ba = c.in_open_interval(&b, &a);
         let on_endpoint = c == a || c == b;
         let count = [in_ab, in_ba, on_endpoint].iter().filter(|x| **x).count();
-        prop_assert_eq!(count, 1, "c must be in exactly one region");
+        assert_eq!(count, 1, "c must be in exactly one region");
     }
+}
 
-    /// The half-open interval (a, b] contains b and never contains a (when a != b).
-    #[test]
-    fn half_open_interval_endpoints(a in arb_id(), b in arb_id()) {
-        prop_assume!(a != b);
-        prop_assert!(b.in_half_open_interval(&a, &b));
-        prop_assert!(!a.in_half_open_interval(&a, &b));
+/// The half-open interval (a, b] contains b and never contains a (when a != b).
+#[test]
+fn half_open_interval_endpoints() {
+    let mut rng = DetRng::new(0xD417_0005);
+    for _ in 0..CASES {
+        let a = arb_id(&mut rng);
+        let b = arb_id(&mut rng);
+        if a == b {
+            continue;
+        }
+        assert!(b.in_half_open_interval(&a, &b));
+        assert!(!a.in_half_open_interval(&a, &b));
     }
+}
 
-    /// Successor ownership intervals of a set of nodes cover every key exactly once.
-    #[test]
-    fn ownership_partitions_key_space(mut node_ids in proptest::collection::btree_set(arb_id(), 2..12), key in arb_id()) {
-        let ids: Vec<Id> = node_ids.iter().copied().collect();
-        node_ids.clear();
+/// Successor ownership intervals of a set of nodes cover every key exactly once.
+#[test]
+fn ownership_partitions_key_space() {
+    let mut rng = DetRng::new(0xD417_0006);
+    for _ in 0..CASES {
+        let count = 2 + rng.index(10);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < count {
+            set.insert(arb_id(&mut rng));
+        }
+        let ids: Vec<Id> = set.into_iter().collect();
+        let key = arb_id(&mut rng);
         // Each node i owns (pred_i, id_i]. Count owners of `key`.
         let n = ids.len();
         let mut owners = 0;
@@ -66,31 +116,44 @@ proptest! {
                 owners += 1;
             }
         }
-        prop_assert_eq!(owners, 1, "every key must have exactly one owner");
+        assert_eq!(owners, 1, "every key must have exactly one owner");
     }
+}
 
-    /// SHA-1 is deterministic and spreads distinct inputs to distinct ids.
-    #[test]
-    fn sha1_deterministic(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-        prop_assert_eq!(sha1(&data), sha1(&data));
-        prop_assert_eq!(hash_bytes(&data), hash_bytes(&data));
+/// SHA-1 is deterministic and spreads distinct inputs to distinct ids.
+#[test]
+fn sha1_deterministic() {
+    let mut rng = DetRng::new(0xD417_0007);
+    for _ in 0..CASES {
+        let data = arb_bytes(&mut rng, 255);
+        assert_eq!(sha1(&data), sha1(&data));
+        assert_eq!(hash_bytes(&data), hash_bytes(&data));
     }
+}
 
-    /// Appending a byte changes the digest (no trivial length-extension equality).
-    #[test]
-    fn sha1_sensitive_to_append(data in proptest::collection::vec(any::<u8>(), 0..128), extra in any::<u8>()) {
+/// Appending a byte changes the digest (no trivial length-extension equality).
+#[test]
+fn sha1_sensitive_to_append() {
+    let mut rng = DetRng::new(0xD417_0008);
+    for _ in 0..CASES {
+        let data = arb_bytes(&mut rng, 127);
+        let extra = (rng.next_u64() & 0xFF) as u8;
         let mut longer = data.clone();
         longer.push(extra);
-        prop_assert_ne!(sha1(&data), sha1(&longer));
+        assert_ne!(sha1(&data), sha1(&longer));
     }
+}
 
-    /// Soft-state storage: items are visible before expiry and gone afterwards,
-    /// and `len()` matches the number of distinct keys inserted.
-    #[test]
-    fn storage_ttl_and_len(
-        entries in proptest::collection::vec((0u8..20, 0u8..20, 1u64..50), 1..40),
-        ttl_secs in 1u64..100,
-    ) {
+/// Soft-state storage: items are visible before expiry and gone afterwards,
+/// and `len()` matches the number of distinct keys inserted.
+#[test]
+fn storage_ttl_and_len() {
+    let mut rng = DetRng::new(0xD417_0009);
+    for _ in 0..64 {
+        let entries: Vec<(u8, u8, u64)> = (0..1 + rng.index(39))
+            .map(|_| (rng.index(20) as u8, rng.index(20) as u8, 1 + rng.range_u64(0, 49)))
+            .collect();
+        let ttl_secs = 1 + rng.range_u64(0, 99);
         let mut store: SoftStateStore<u64> = SoftStateStore::new();
         let ttl = Duration::from_secs(ttl_secs);
         let mut distinct = std::collections::BTreeSet::new();
@@ -99,26 +162,39 @@ proptest! {
             distinct.insert((key.namespace.clone(), key.resource.clone(), key.instance));
             store.put(key, 1, SimTime::ZERO, ttl);
         }
-        prop_assert_eq!(store.len(), distinct.len());
+        assert_eq!(store.len(), distinct.len());
 
         // Just before expiry everything is visible.
         let before = SimTime::from_micros(ttl_secs * 1_000_000 - 1);
         let visible: usize = store.all_items(before).len();
-        prop_assert_eq!(visible, distinct.len());
+        assert_eq!(visible, distinct.len());
 
         // At/after expiry nothing is visible and sweep removes everything.
         let after = SimTime::from_secs(ttl_secs);
-        prop_assert_eq!(store.all_items(after).len(), 0);
+        assert_eq!(store.all_items(after).len(), 0);
         let removed = store.sweep(after);
-        prop_assert_eq!(removed, distinct.len());
-        prop_assert!(store.is_empty());
+        assert_eq!(removed, distinct.len());
+        assert!(store.is_empty());
     }
+}
 
-    /// Routing ids depend only on namespace + resource, never on instance.
-    #[test]
-    fn routing_id_instance_independent(ns in "[a-z]{1,8}", res in "[a-z0-9]{1,8}", i1 in any::<u64>(), i2 in any::<u64>()) {
+/// Routing ids depend only on namespace + resource, never on instance.
+#[test]
+fn routing_id_instance_independent() {
+    let mut rng = DetRng::new(0xD417_000A);
+    for _ in 0..CASES {
+        let ns: String =
+            (0..1 + rng.index(8)).map(|_| (b'a' + rng.index(26) as u8) as char).collect();
+        let res: String = (0..1 + rng.index(8))
+            .map(|_| {
+                let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789";
+                alphabet[rng.index(alphabet.len())] as char
+            })
+            .collect();
+        let i1 = rng.next_u64();
+        let i2 = rng.next_u64();
         let a = ResourceKey::new(ns.clone(), res.clone(), i1);
         let b = ResourceKey::new(ns, res, i2);
-        prop_assert_eq!(a.routing_id(), b.routing_id());
+        assert_eq!(a.routing_id(), b.routing_id());
     }
 }

@@ -75,18 +75,12 @@ fn lookups_agree_with_global_successor_computation() {
     assert!(ring_is_consistent(&sim));
 
     // Global view: sorted node ids.
-    let mut nodes: Vec<(Id, NodeAddr)> = sim
-        .alive_nodes()
-        .iter()
-        .map(|&a| (sim.node(a).unwrap().dht.id(), a))
-        .collect();
+    let mut nodes: Vec<(Id, NodeAddr)> =
+        sim.alive_nodes().iter().map(|&a| (sim.node(a).unwrap().dht.id(), a)).collect();
     nodes.sort();
     let expected_owner = |key: &Id| -> NodeAddr {
-        nodes
-            .iter()
-            .find(|(id, _)| key <= id)
-            .map(|(_, a)| *a)
-            .unwrap_or(nodes[0].1) // wraps to the smallest id
+        nodes.iter().find(|(id, _)| key <= id).map(|(_, a)| *a).unwrap_or(nodes[0].1)
+        // wraps to the smallest id
     };
 
     // Issue lookups for a spread of keys from several origins.
@@ -129,11 +123,8 @@ fn put_places_items_at_responsible_nodes() {
     sim.run_for(Duration::from_secs(10));
 
     // Global ownership check: each item must be present at its responsible node.
-    let mut nodes: Vec<(Id, NodeAddr)> = sim
-        .alive_nodes()
-        .iter()
-        .map(|&a| (sim.node(a).unwrap().dht.id(), a))
-        .collect();
+    let mut nodes: Vec<(Id, NodeAddr)> =
+        sim.alive_nodes().iter().map(|&a| (sim.node(a).unwrap().dht.id(), a)).collect();
     nodes.sort();
     let owner_of = |key: &Id| -> NodeAddr {
         nodes.iter().find(|(id, _)| key <= id).map(|(_, a)| *a).unwrap_or(nodes[0].1)
@@ -197,10 +188,9 @@ fn send_to_key_delivers_at_one_responsible_node() {
     let mut receivers = Vec::new();
     let mut total = 0;
     for addr in sim.alive_nodes() {
-        let count = sim
-            .node(addr)
-            .unwrap()
-            .count_upcalls(|u| matches!(u, Upcall::Delivered { key, .. } if key.resource == "group-7"));
+        let count = sim.node(addr).unwrap().count_upcalls(
+            |u| matches!(u, Upcall::Delivered { key, .. } if key.resource == "group-7"),
+        );
         if count > 0 {
             receivers.push(addr);
             total += count;
@@ -218,7 +208,12 @@ fn replication_survives_owner_failure() {
     sim.run_for(Duration::from_secs(25));
 
     sim.invoke(NodeAddr(0), |node, ctx| {
-        node.dht.put(ctx, ResourceKey::new("vital", "answer", 0), 42, Some(Duration::from_secs(600)));
+        node.dht.put(
+            ctx,
+            ResourceKey::new("vital", "answer", 0),
+            42,
+            Some(Duration::from_secs(600)),
+        );
     });
     sim.run_for(Duration::from_secs(5));
 
@@ -277,9 +272,7 @@ fn broadcast_covers_ring_despite_message_loss() {
         .alive_nodes()
         .into_iter()
         .filter(|&a| {
-            sim.node(a)
-                .unwrap()
-                .count_upcalls(|u| matches!(u, Upcall::Broadcast { payload: 4242 }))
+            sim.node(a).unwrap().count_upcalls(|u| matches!(u, Upcall::Broadcast { payload: 4242 }))
                 > 0
         })
         .count();

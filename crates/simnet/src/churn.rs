@@ -91,7 +91,9 @@ impl ChurnSchedule {
                     break;
                 }
                 schedule.push(t, node, ChurnKind::Down);
-                t += Duration::from_secs_f64(rng.exponential(mean_downtime.as_secs_f64()).max(0.001));
+                t += Duration::from_secs_f64(
+                    rng.exponential(mean_downtime.as_secs_f64()).max(0.001),
+                );
                 if t >= end {
                     break;
                 }

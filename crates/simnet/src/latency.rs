@@ -43,9 +43,7 @@ impl LatencyModel {
     /// A planetary-scale coordinate model with `n` nodes scattered uniformly
     /// over a 20 000 x 10 000 "km" plane (roughly Earth's surface unrolled).
     pub fn planetary(n: usize, rng: &mut DetRng) -> Self {
-        let positions = (0..n)
-            .map(|_| (rng.unit() * 20_000.0, rng.unit() * 10_000.0))
-            .collect();
+        let positions = (0..n).map(|_| (rng.unit() * 20_000.0, rng.unit() * 10_000.0)).collect();
         LatencyModel::Coordinates {
             positions,
             base: Duration::from_millis(2),
@@ -57,10 +55,7 @@ impl LatencyModel {
 
     /// A LAN-like model: 0.2–2 ms.
     pub fn lan() -> Self {
-        LatencyModel::Uniform {
-            min: Duration::from_micros(200),
-            max: Duration::from_millis(2),
-        }
+        LatencyModel::Uniform { min: Duration::from_micros(200), max: Duration::from_millis(2) }
     }
 
     /// Sample the one-way delay for a message from `from` to `to`.
@@ -76,10 +71,7 @@ impl LatencyModel {
             }
             LatencyModel::Coordinates { positions, base, per_unit, jitter } => {
                 let p = |a: NodeAddr| -> (f64, f64) {
-                    positions
-                        .get(a.0 as usize)
-                        .copied()
-                        .unwrap_or((0.0, 0.0))
+                    positions.get(a.0 as usize).copied().unwrap_or((0.0, 0.0))
                 };
                 let (x1, y1) = p(from);
                 let (x2, y2) = p(to);
@@ -115,10 +107,8 @@ mod tests {
 
     #[test]
     fn uniform_within_bounds() {
-        let m = LatencyModel::Uniform {
-            min: Duration::from_millis(5),
-            max: Duration::from_millis(10),
-        };
+        let m =
+            LatencyModel::Uniform { min: Duration::from_millis(5), max: Duration::from_millis(10) };
         let mut rng = DetRng::new(2);
         for _ in 0..1000 {
             let d = m.sample(&mut rng, NodeAddr(0), NodeAddr(1));
@@ -128,10 +118,8 @@ mod tests {
 
     #[test]
     fn uniform_degenerate_bounds() {
-        let m = LatencyModel::Uniform {
-            min: Duration::from_millis(7),
-            max: Duration::from_millis(7),
-        };
+        let m =
+            LatencyModel::Uniform { min: Duration::from_millis(7), max: Duration::from_millis(7) };
         let mut rng = DetRng::new(3);
         assert_eq!(m.sample(&mut rng, NodeAddr(0), NodeAddr(1)), Duration::from_millis(7));
     }

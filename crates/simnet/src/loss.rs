@@ -33,10 +33,7 @@ pub enum LossModel {
 impl LossModel {
     /// Construct a lossy-pairs model from arbitrary (unordered) pairs.
     pub fn lossy_pairs(base_p: f64, pair_p: f64, pairs: &[(NodeAddr, NodeAddr)]) -> Self {
-        let set = pairs
-            .iter()
-            .map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0)))
-            .collect();
+        let set = pairs.iter().map(|&(a, b)| (a.0.min(b.0), a.0.max(b.0))).collect();
         LossModel::LossyPairs { base_p, pair_p, pairs: set }
     }
 
@@ -121,9 +118,7 @@ mod tests {
     fn bernoulli_rate_roughly_matches() {
         let mut rng = DetRng::new(2);
         let m = LossModel::Bernoulli(0.3);
-        let drops = (0..10_000)
-            .filter(|_| m.drops(&mut rng, NodeAddr(0), NodeAddr(1)))
-            .count();
+        let drops = (0..10_000).filter(|_| m.drops(&mut rng, NodeAddr(0), NodeAddr(1))).count();
         assert!((drops as i64 - 3_000).abs() < 300, "drops {drops}");
     }
 

@@ -7,17 +7,19 @@
 //! that adding a consumer of randomness in one subsystem does not perturb the
 //! draws seen by another subsystem.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic random number generator with stream splitting.
+///
+/// Implemented as xoshiro256++ (public domain, Blackman & Vigna) so the
+/// simulator carries no external dependencies; the state is seeded from the
+/// root seed with SplitMix64 exactly as `rand`'s `SmallRng` does.
 #[derive(Clone, Debug)]
 pub struct DetRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
 }
 
-/// SplitMix64 finalizer — used to derive independent child seeds.
+/// SplitMix64 finalizer — used to derive independent child seeds and to
+/// expand a 64-bit seed into generator state.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
@@ -29,7 +31,29 @@ fn splitmix64(mut x: u64) -> u64 {
 impl DetRng {
     /// Create a generator from a root seed.
     pub fn new(seed: u64) -> Self {
-        DetRng { inner: SmallRng::seed_from_u64(seed), seed }
+        // SplitMix64 sequence over the seed expands it into generator state
+        // (the helper advances the counter by the golden-ratio increment).
+        let mut s = [0u64; 4];
+        let mut x = seed;
+        for slot in &mut s {
+            *slot = splitmix64(x);
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        }
+        DetRng { state: s, seed }
+    }
+
+    /// One xoshiro256++ step.
+    fn step(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// The seed this generator was created with.
@@ -48,19 +72,26 @@ impl DetRng {
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard conversion.
+        (self.step() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's widening-multiply reduction
+    /// (bias is negligible for the ranges the simulator draws).
+    fn below(&mut self, n: u64) -> u64 {
+        ((self.step() as u128 * n as u128) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi)`; `lo` must be `< hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         debug_assert!(lo < hi);
-        self.inner.gen_range(lo..hi)
+        lo + self.below(hi - lo)
     }
 
     /// Uniform usize in `[0, n)`; `n` must be positive.
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.inner.gen_range(0..n)
+        self.below(n as u64) as usize
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -117,7 +148,7 @@ impl DetRng {
             return;
         }
         for i in (1..n).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             items.swap(i, j);
         }
     }
@@ -129,12 +160,15 @@ impl DetRng {
 
     /// Raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.step()
     }
 
     /// Fill a byte buffer.
     pub fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.step().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 }
 
@@ -251,7 +285,7 @@ mod tests {
         let mut r = DetRng::new(29);
         for _ in 0..1000 {
             let x = r.heavy_tail(1.0, 1.5, 100.0);
-            assert!(x >= 1.0 && x <= 100.0);
+            assert!((1.0..=100.0).contains(&x));
         }
     }
 }

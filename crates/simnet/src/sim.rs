@@ -407,14 +407,19 @@ impl<N: Node> Simulation<N> {
                 Action::Send { to, msg } => {
                     let bytes = msg.wire_size();
                     self.metrics.on_send(bytes);
-                    if self.partitions.blocks(from, to) || self.config.loss.drops(&mut self.net_rng, from, to) {
+                    if self.partitions.blocks(from, to)
+                        || self.config.loss.drops(&mut self.net_rng, from, to)
+                    {
                         self.metrics.on_drop_loss();
                         self.trace.push(TraceEvent::DropLoss { at: self.now, from, to });
                         continue;
                     }
                     let delay = self.config.latency.sample(&mut self.net_rng, from, to);
                     let at = self.now + delay;
-                    self.push_event(at, EventKind::Deliver { from, to, msg, sent_at: self.now, bytes });
+                    self.push_event(
+                        at,
+                        EventKind::Deliver { from, to, msg, sent_at: self.now, bytes },
+                    );
                 }
                 Action::SetTimer { id, delay, token } => {
                     let incarnation = self.nodes[from.index()].incarnation;

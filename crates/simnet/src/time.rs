@@ -123,6 +123,7 @@ impl Duration {
     }
 
     /// Integer division by a positive factor.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, k: u64) -> Duration {
         Duration(self.0 / k.max(1))
     }
@@ -248,9 +249,6 @@ mod tests {
     #[test]
     fn checked_add_overflow() {
         assert!(SimTime::MAX.checked_add(Duration(1)).is_none());
-        assert_eq!(
-            SimTime::ZERO.checked_add(Duration::from_secs(1)),
-            Some(SimTime::from_secs(1))
-        );
+        assert_eq!(SimTime::ZERO.checked_add(Duration::from_secs(1)), Some(SimTime::from_secs(1)));
     }
 }

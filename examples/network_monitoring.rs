@@ -38,10 +38,7 @@ fn main() {
         let epochs = bed.epochs(origin, query);
         if let Some(&epoch) = epochs.last() {
             let rows = bed.results(origin, query, epoch);
-            let sum = rows
-                .first()
-                .and_then(|r| r.get(0).as_f64())
-                .unwrap_or(0.0);
+            let sum = rows.first().and_then(|r| r.get(0).as_f64()).unwrap_or(0.0);
             let responding = bed.contributors(origin, query, epoch);
             println!(
                 "{epoch:>5}  {:>12}  {sum:>18.1}   {responding:>16}",

@@ -6,11 +6,7 @@ use pier::apps::snort::{intrusions_table, SnortSimulator};
 use pier::core::{same_rows, Catalog, MemoryDb, Planner};
 use pier::prelude::*;
 
-fn reference_answer(
-    catalog: &Catalog,
-    db: &MemoryDb,
-    sql: &str,
-) -> Vec<Tuple> {
+fn reference_answer(catalog: &Catalog, db: &MemoryDb, sql: &str) -> Vec<Tuple> {
     let stmt = pier::core::sql::parse_select(sql).unwrap();
     let planned = Planner::new(catalog).plan_select(&stmt).unwrap();
     db.execute(&planned.logical)
@@ -174,7 +170,11 @@ fn continuous_query_produces_multiple_epochs_under_churn() {
     let victims: Vec<NodeAddr> = (10..20).map(NodeAddr).collect();
     let fail_at = bed.now() + Duration::from_secs(25);
     let recover_at = bed.now() + Duration::from_secs(45);
-    bed.apply_churn(&pier::simnet::ChurnSchedule::mass_failure(&victims, fail_at, Some(recover_at)));
+    bed.apply_churn(&pier::simnet::ChurnSchedule::mass_failure(
+        &victims,
+        fail_at,
+        Some(recover_at),
+    ));
 
     let mut responding = Vec::new();
     for _ in 0..14 {
@@ -204,11 +204,11 @@ fn continuous_query_produces_multiple_epochs_under_churn() {
     let peak = *responding.iter().max().unwrap();
     let dip = *responding.iter().min().unwrap();
     assert!(peak >= (nodes as u64) - 3, "peak responding {peak} too low");
-    assert!(dip <= peak - 8, "churn did not visibly reduce responding nodes (dip {dip}, peak {peak})");
     assert!(
-        *responding.last().unwrap() > dip,
-        "responding nodes did not recover after churn"
+        dip <= peak - 8,
+        "churn did not visibly reduce responding nodes (dip {dip}, peak {peak})"
     );
+    assert!(*responding.last().unwrap() > dip, "responding nodes did not recover after churn");
 }
 
 #[test]

@@ -113,8 +113,13 @@ fn mid_query_crash_of_data_holders_degrades_gracefully() {
     let mut monitor = NetworkMonitor::new(nodes, 21);
 
     let origin = bed.nodes()[0];
-    let q = bed.submit_sql(origin, "SELECT COUNT(*) AS hosts FROM netstats \
-        CONTINUOUS EVERY 5 SECONDS WINDOW 10 SECONDS").unwrap();
+    let q = bed
+        .submit_sql(
+            origin,
+            "SELECT COUNT(*) AS hosts FROM netstats \
+        CONTINUOUS EVERY 5 SECONDS WINDOW 10 SECONDS",
+        )
+        .unwrap();
 
     // One healthy epoch, then the crash, then several more epochs.
     monitor.publish_round(&mut bed);
@@ -136,7 +141,7 @@ fn mid_query_crash_of_data_holders_degrades_gracefully() {
     // 21 survivors keep publishing one reading every ~5 s into a 10 s window,
     // so each epoch sees one or two live readings per surviving host — and
     // none from the crashed hosts, whose soft state has expired.
-    assert!(count >= 18 && count <= 2 * 21, "unexpected surviving reading count {count}");
+    assert!((18..=2 * 21).contains(&count), "unexpected surviving reading count {count}");
     assert!(bed.contributors(origin, q, last) >= 18);
 }
 

@@ -27,7 +27,12 @@ fn corpus_testbed(
     (bed, corpus, catalog, db)
 }
 
-fn reference_answer(catalog: &Catalog, db: &MemoryDb, sql: &str, strategy: JoinStrategy) -> Vec<Tuple> {
+fn reference_answer(
+    catalog: &Catalog,
+    db: &MemoryDb,
+    sql: &str,
+    strategy: JoinStrategy,
+) -> Vec<Tuple> {
     let stmt = pier::core::sql::parse_select(sql).unwrap();
     let planned = Planner::with_join_strategy(catalog, strategy).plan_select(&stmt).unwrap();
     db.execute(&planned.logical)
@@ -145,13 +150,13 @@ fn recursive_reachability_matches_ground_truth() {
     reached.sort();
     reached.dedup();
 
-    let expected_vec: Vec<String> = expected.iter().cloned().filter(|v| *v != source).collect();
+    let expected_vec: Vec<String> = expected.iter().filter(|&v| *v != source).cloned().collect();
     assert_eq!(reached, expected_vec, "recursive reachability differs from ground truth");
 
     // Depth annotations must respect the depth bound.
     for row in &rows {
         let d = row.get(2).as_i64().unwrap();
-        assert!(d >= 1 && d <= 8);
+        assert!((1..=8).contains(&d));
     }
 }
 

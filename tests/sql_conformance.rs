@@ -43,9 +43,9 @@ fn fixture() -> (Catalog, MemoryDb) {
     );
     db.insert(
         "hosts",
-        [("h1", "berkeley"), ("h2", "seattle"), ("h3", "berkeley")].iter().map(|(n, s)| {
-            Tuple::new(vec![Value::str(*n), Value::str(*s)])
-        }),
+        [("h1", "berkeley"), ("h2", "seattle"), ("h3", "berkeley")]
+            .iter()
+            .map(|(n, s)| Tuple::new(vec![Value::str(*n), Value::str(*s)])),
     );
     (catalog, db)
 }
@@ -97,10 +97,8 @@ fn like_and_string_functions() {
 
 #[test]
 fn grouped_aggregates_with_having_and_topk() {
-    let rows = run(
-        "SELECT host, COUNT(*) AS n, SUM(bytes) AS total, MAX(severity) AS worst \
-         FROM events GROUP BY host HAVING COUNT(*) >= 2 ORDER BY total DESC LIMIT 2",
-    );
+    let rows = run("SELECT host, COUNT(*) AS n, SUM(bytes) AS total, MAX(severity) AS worst \
+         FROM events GROUP BY host HAVING COUNT(*) >= 2 ORDER BY total DESC LIMIT 2");
     assert_eq!(rows.len(), 2);
     assert_eq!(rows[0].get(0), &Value::str("h2"));
     assert_eq!(rows[0].get(1), &Value::Int(2));
@@ -126,10 +124,8 @@ fn avg_and_mixed_numeric_types() {
 
 #[test]
 fn join_with_qualified_columns_and_filter() {
-    let rows = run(
-        "SELECT e.host, h.site, e.bytes FROM events e JOIN hosts h ON e.host = h.name \
-         WHERE h.site = 'berkeley' AND e.kind = 'worm'",
-    );
+    let rows = run("SELECT e.host, h.site, e.bytes FROM events e JOIN hosts h ON e.host = h.name \
+         WHERE h.site = 'berkeley' AND e.kind = 'worm'");
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].get(0), &Value::str("h3"));
     assert_eq!(rows[0].get(1), &Value::str("berkeley"));
