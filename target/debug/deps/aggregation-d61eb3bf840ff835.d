@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aggregation-d61eb3bf840ff835.d: crates/bench/benches/aggregation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaggregation-d61eb3bf840ff835.rmeta: crates/bench/benches/aggregation.rs Cargo.toml
+
+crates/bench/benches/aggregation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/churn-10b5faf8117df909.d: crates/bench/benches/churn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchurn-10b5faf8117df909.rmeta: crates/bench/benches/churn.rs Cargo.toml
+
+crates/bench/benches/churn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

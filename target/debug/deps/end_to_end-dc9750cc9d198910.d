@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-dc9750cc9d198910.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-dc9750cc9d198910: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-28144eb365e9e52b.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-28144eb365e9e52b: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_aggregation-16153cba059d670b.d: crates/bench/benches/fig1_aggregation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_aggregation-16153cba059d670b.rmeta: crates/bench/benches/fig1_aggregation.rs Cargo.toml
+
+crates/bench/benches/fig1_aggregation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_continuous_sum-3e0134bc806aef30.d: crates/bench/src/bin/fig1_continuous_sum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_continuous_sum-3e0134bc806aef30.rmeta: crates/bench/src/bin/fig1_continuous_sum.rs Cargo.toml
+
+crates/bench/src/bin/fig1_continuous_sum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

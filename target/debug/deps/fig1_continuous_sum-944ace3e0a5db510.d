@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_continuous_sum-944ace3e0a5db510.d: crates/bench/src/bin/fig1_continuous_sum.rs
+
+/root/repo/target/debug/deps/fig1_continuous_sum-944ace3e0a5db510: crates/bench/src/bin/fig1_continuous_sum.rs
+
+crates/bench/src/bin/fig1_continuous_sum.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_continuous_sum-a4c4410e7e5314a9.d: crates/bench/src/bin/fig1_continuous_sum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_continuous_sum-a4c4410e7e5314a9.rmeta: crates/bench/src/bin/fig1_continuous_sum.rs Cargo.toml
+
+crates/bench/src/bin/fig1_continuous_sum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

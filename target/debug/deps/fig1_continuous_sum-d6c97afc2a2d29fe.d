@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_continuous_sum-d6c97afc2a2d29fe.d: crates/bench/src/bin/fig1_continuous_sum.rs
+
+/root/repo/target/debug/deps/fig1_continuous_sum-d6c97afc2a2d29fe: crates/bench/src/bin/fig1_continuous_sum.rs
+
+crates/bench/src/bin/fig1_continuous_sum.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/joins-61b3371facb29fc2.d: crates/bench/benches/joins.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjoins-61b3371facb29fc2.rmeta: crates/bench/benches/joins.rs Cargo.toml
+
+crates/bench/benches/joins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

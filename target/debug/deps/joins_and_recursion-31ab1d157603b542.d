@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/joins_and_recursion-31ab1d157603b542.d: tests/joins_and_recursion.rs
+
+/root/repo/target/debug/deps/joins_and_recursion-31ab1d157603b542: tests/joins_and_recursion.rs
+
+tests/joins_and_recursion.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/joins_and_recursion-e2b5b3c488875020.d: tests/joins_and_recursion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libjoins_and_recursion-e2b5b3c488875020.rmeta: tests/joins_and_recursion.rs Cargo.toml
+
+tests/joins_and_recursion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

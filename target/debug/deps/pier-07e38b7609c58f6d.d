@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pier-07e38b7609c58f6d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpier-07e38b7609c58f6d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

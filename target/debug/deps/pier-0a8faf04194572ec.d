@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pier-0a8faf04194572ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/pier-0a8faf04194572ec: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pier-a57655d06d8eaadc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpier-a57655d06d8eaadc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpier-a57655d06d8eaadc.rmeta: src/lib.rs
+
+src/lib.rs:

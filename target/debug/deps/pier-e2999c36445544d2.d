@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pier-e2999c36445544d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpier-e2999c36445544d2.rmeta: src/lib.rs
+
+src/lib.rs:

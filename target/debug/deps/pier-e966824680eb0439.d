@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pier-e966824680eb0439.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpier-e966824680eb0439.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

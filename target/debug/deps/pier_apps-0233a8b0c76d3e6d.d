@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pier_apps-0233a8b0c76d3e6d.d: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+/root/repo/target/debug/deps/libpier_apps-0233a8b0c76d3e6d.rmeta: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/filesharing.rs:
+crates/apps/src/netmon.rs:
+crates/apps/src/snort.rs:
+crates/apps/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pier_apps-2c16da36b4d83380.d: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+/root/repo/target/debug/deps/pier_apps-2c16da36b4d83380: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/filesharing.rs:
+crates/apps/src/netmon.rs:
+crates/apps/src/snort.rs:
+crates/apps/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pier_apps-34c38d011b6fac99.d: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpier_apps-34c38d011b6fac99.rmeta: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/filesharing.rs:
+crates/apps/src/netmon.rs:
+crates/apps/src/snort.rs:
+crates/apps/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pier_apps-cb19e0f338ef315c.d: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+/root/repo/target/debug/deps/libpier_apps-cb19e0f338ef315c.rlib: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+/root/repo/target/debug/deps/libpier_apps-cb19e0f338ef315c.rmeta: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/filesharing.rs:
+crates/apps/src/netmon.rs:
+crates/apps/src/snort.rs:
+crates/apps/src/topology.rs:

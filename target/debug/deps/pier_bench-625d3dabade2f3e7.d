@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pier_bench-625d3dabade2f3e7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpier_bench-625d3dabade2f3e7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpier_bench-625d3dabade2f3e7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pier_bench-ab1654fcc5829a0c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpier_bench-ab1654fcc5829a0c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pier_bench-c72bf945a2788eb4.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpier_bench-c72bf945a2788eb4.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pier_bench-ffc7cdb621f43006.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pier_bench-ffc7cdb621f43006: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

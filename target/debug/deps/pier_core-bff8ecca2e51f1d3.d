@@ -1,0 +1,33 @@
+/root/repo/target/debug/deps/pier_core-bff8ecca2e51f1d3.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bloom.rs crates/core/src/catalog.rs crates/core/src/dataflow/mod.rs crates/core/src/dataflow/graph.rs crates/core/src/dataflow/ops.rs crates/core/src/engine.rs crates/core/src/expr.rs crates/core/src/payload.rs crates/core/src/plan.rs crates/core/src/planner/mod.rs crates/core/src/planner/binder.rs crates/core/src/planner/logical.rs crates/core/src/planner/optimizer.rs crates/core/src/planner/physical.rs crates/core/src/query.rs crates/core/src/reference.rs crates/core/src/sql/mod.rs crates/core/src/sql/ast.rs crates/core/src/sql/lexer.rs crates/core/src/sql/parser.rs crates/core/src/testbed.rs crates/core/src/tuple.rs crates/core/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpier_core-bff8ecca2e51f1d3.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/bloom.rs crates/core/src/catalog.rs crates/core/src/dataflow/mod.rs crates/core/src/dataflow/graph.rs crates/core/src/dataflow/ops.rs crates/core/src/engine.rs crates/core/src/expr.rs crates/core/src/payload.rs crates/core/src/plan.rs crates/core/src/planner/mod.rs crates/core/src/planner/binder.rs crates/core/src/planner/logical.rs crates/core/src/planner/optimizer.rs crates/core/src/planner/physical.rs crates/core/src/query.rs crates/core/src/reference.rs crates/core/src/sql/mod.rs crates/core/src/sql/ast.rs crates/core/src/sql/lexer.rs crates/core/src/sql/parser.rs crates/core/src/testbed.rs crates/core/src/tuple.rs crates/core/src/value.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/bloom.rs:
+crates/core/src/catalog.rs:
+crates/core/src/dataflow/mod.rs:
+crates/core/src/dataflow/graph.rs:
+crates/core/src/dataflow/ops.rs:
+crates/core/src/engine.rs:
+crates/core/src/expr.rs:
+crates/core/src/payload.rs:
+crates/core/src/plan.rs:
+crates/core/src/planner/mod.rs:
+crates/core/src/planner/binder.rs:
+crates/core/src/planner/logical.rs:
+crates/core/src/planner/optimizer.rs:
+crates/core/src/planner/physical.rs:
+crates/core/src/query.rs:
+crates/core/src/reference.rs:
+crates/core/src/sql/mod.rs:
+crates/core/src/sql/ast.rs:
+crates/core/src/sql/lexer.rs:
+crates/core/src/sql/parser.rs:
+crates/core/src/testbed.rs:
+crates/core/src/tuple.rs:
+crates/core/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

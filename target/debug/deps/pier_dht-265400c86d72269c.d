@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pier_dht-265400c86d72269c.d: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpier_dht-265400c86d72269c.rmeta: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs Cargo.toml
+
+crates/dht/src/lib.rs:
+crates/dht/src/config.rs:
+crates/dht/src/hash.rs:
+crates/dht/src/id.rs:
+crates/dht/src/key.rs:
+crates/dht/src/messages.rs:
+crates/dht/src/node.rs:
+crates/dht/src/standalone.rs:
+crates/dht/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

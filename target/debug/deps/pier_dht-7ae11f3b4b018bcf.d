@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pier_dht-7ae11f3b4b018bcf.d: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs
+
+/root/repo/target/debug/deps/libpier_dht-7ae11f3b4b018bcf.rlib: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs
+
+/root/repo/target/debug/deps/libpier_dht-7ae11f3b4b018bcf.rmeta: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs
+
+crates/dht/src/lib.rs:
+crates/dht/src/config.rs:
+crates/dht/src/hash.rs:
+crates/dht/src/id.rs:
+crates/dht/src/key.rs:
+crates/dht/src/messages.rs:
+crates/dht/src/node.rs:
+crates/dht/src/standalone.rs:
+crates/dht/src/storage.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pier_dht-f3de4745c71d186a.d: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs
+
+/root/repo/target/debug/deps/libpier_dht-f3de4745c71d186a.rmeta: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs
+
+crates/dht/src/lib.rs:
+crates/dht/src/config.rs:
+crates/dht/src/hash.rs:
+crates/dht/src/id.rs:
+crates/dht/src/key.rs:
+crates/dht/src/messages.rs:
+crates/dht/src/node.rs:
+crates/dht/src/standalone.rs:
+crates/dht/src/storage.rs:

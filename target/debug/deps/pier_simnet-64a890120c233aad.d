@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pier_simnet-64a890120c233aad.d: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libpier_simnet-64a890120c233aad.rmeta: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/churn.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/loss.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/testkit.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

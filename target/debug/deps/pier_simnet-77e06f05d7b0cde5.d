@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pier_simnet-77e06f05d7b0cde5.d: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpier_simnet-77e06f05d7b0cde5.rmeta: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/churn.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/loss.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/testkit.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

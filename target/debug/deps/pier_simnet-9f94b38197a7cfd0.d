@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pier_simnet-9f94b38197a7cfd0.d: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libpier_simnet-9f94b38197a7cfd0.rlib: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/debug/deps/libpier_simnet-9f94b38197a7cfd0.rmeta: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/churn.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/loss.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/testkit.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/planner_pipeline-23f869110e27d21a.d: tests/planner_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplanner_pipeline-23f869110e27d21a.rmeta: tests/planner_pipeline.rs Cargo.toml
+
+tests/planner_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/planner_pipeline-a341b2c2e6a4fcae.d: tests/planner_pipeline.rs
+
+/root/repo/target/debug/deps/planner_pipeline-a341b2c2e6a4fcae: tests/planner_pipeline.rs
+
+tests/planner_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-81e28cb09e0618e8.d: crates/dht/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-81e28cb09e0618e8: crates/dht/tests/properties.rs
+
+crates/dht/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-dcac1bbcf732c08e.d: crates/dht/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-dcac1bbcf732c08e.rmeta: crates/dht/tests/properties.rs Cargo.toml
+
+crates/dht/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recursive-1d7dce178feb3086.d: crates/bench/benches/recursive.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecursive-1d7dce178feb3086.rmeta: crates/bench/benches/recursive.rs Cargo.toml
+
+crates/bench/benches/recursive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ring-2c9a90123f81c810.d: crates/dht/tests/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libring-2c9a90123f81c810.rmeta: crates/dht/tests/ring.rs Cargo.toml
+
+crates/dht/tests/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

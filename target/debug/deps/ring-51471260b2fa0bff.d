@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ring-51471260b2fa0bff.d: crates/dht/tests/ring.rs
+
+/root/repo/target/debug/deps/ring-51471260b2fa0bff: crates/dht/tests/ring.rs
+
+crates/dht/tests/ring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/routing-383133acf3f77bcf.d: crates/bench/benches/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/librouting-383133acf3f77bcf.rmeta: crates/bench/benches/routing.rs Cargo.toml
+
+crates/bench/benches/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_conformance-a35c4bf665b4d81b.d: tests/sql_conformance.rs
+
+/root/repo/target/debug/deps/sql_conformance-a35c4bf665b4d81b: tests/sql_conformance.rs
+
+tests/sql_conformance.rs:

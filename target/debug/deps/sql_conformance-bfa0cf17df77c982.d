@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_conformance-bfa0cf17df77c982.d: tests/sql_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_conformance-bfa0cf17df77c982.rmeta: tests/sql_conformance.rs Cargo.toml
+
+tests/sql_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_top10_rules-3e303b55653a594e.d: crates/bench/src/bin/table1_top10_rules.rs
+
+/root/repo/target/debug/deps/table1_top10_rules-3e303b55653a594e: crates/bench/src/bin/table1_top10_rules.rs
+
+crates/bench/src/bin/table1_top10_rules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_top10_rules-a5b9ab187b5de628.d: crates/bench/src/bin/table1_top10_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_top10_rules-a5b9ab187b5de628.rmeta: crates/bench/src/bin/table1_top10_rules.rs Cargo.toml
+
+crates/bench/src/bin/table1_top10_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_top10_rules-db95e5b4176f9e61.d: crates/bench/src/bin/table1_top10_rules.rs
+
+/root/repo/target/debug/deps/table1_top10_rules-db95e5b4176f9e61: crates/bench/src/bin/table1_top10_rules.rs
+
+crates/bench/src/bin/table1_top10_rules.rs:

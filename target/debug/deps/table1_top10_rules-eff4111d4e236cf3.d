@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_top10_rules-eff4111d4e236cf3.d: crates/bench/src/bin/table1_top10_rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_top10_rules-eff4111d4e236cf3.rmeta: crates/bench/src/bin/table1_top10_rules.rs Cargo.toml
+
+crates/bench/src/bin/table1_top10_rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

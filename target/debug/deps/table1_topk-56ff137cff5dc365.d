@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_topk-56ff137cff5dc365.d: crates/bench/benches/table1_topk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_topk-56ff137cff5dc365.rmeta: crates/bench/benches/table1_topk.rs Cargo.toml
+
+crates/bench/benches/table1_topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

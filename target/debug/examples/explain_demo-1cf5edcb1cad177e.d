@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/explain_demo-1cf5edcb1cad177e.d: examples/explain_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexplain_demo-1cf5edcb1cad177e.rmeta: examples/explain_demo.rs Cargo.toml
+
+examples/explain_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

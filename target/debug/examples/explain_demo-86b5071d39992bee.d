@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explain_demo-86b5071d39992bee.d: examples/explain_demo.rs
+
+/root/repo/target/debug/examples/explain_demo-86b5071d39992bee: examples/explain_demo.rs
+
+examples/explain_demo.rs:

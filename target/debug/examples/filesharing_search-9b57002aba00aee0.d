@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filesharing_search-9b57002aba00aee0.d: examples/filesharing_search.rs
+
+/root/repo/target/debug/examples/filesharing_search-9b57002aba00aee0: examples/filesharing_search.rs
+
+examples/filesharing_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/filesharing_search-b542027750bf94ef.d: examples/filesharing_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfilesharing_search-b542027750bf94ef.rmeta: examples/filesharing_search.rs Cargo.toml
+
+examples/filesharing_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

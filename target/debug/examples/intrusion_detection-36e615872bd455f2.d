@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intrusion_detection-36e615872bd455f2.d: examples/intrusion_detection.rs
+
+/root/repo/target/debug/examples/intrusion_detection-36e615872bd455f2: examples/intrusion_detection.rs
+
+examples/intrusion_detection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intrusion_detection-84f1686e9db030d1.d: examples/intrusion_detection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintrusion_detection-84f1686e9db030d1.rmeta: examples/intrusion_detection.rs Cargo.toml
+
+examples/intrusion_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

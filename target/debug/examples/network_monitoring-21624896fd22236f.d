@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_monitoring-21624896fd22236f.d: examples/network_monitoring.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_monitoring-21624896fd22236f.rmeta: examples/network_monitoring.rs Cargo.toml
+
+examples/network_monitoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_monitoring-8200096e9a4b4d4e.d: examples/network_monitoring.rs
+
+/root/repo/target/debug/examples/network_monitoring-8200096e9a4b4d4e: examples/network_monitoring.rs
+
+examples/network_monitoring.rs:

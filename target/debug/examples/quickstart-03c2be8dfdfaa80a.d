@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-03c2be8dfdfaa80a.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-03c2be8dfdfaa80a.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

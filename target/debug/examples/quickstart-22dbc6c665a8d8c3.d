@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-22dbc6c665a8d8c3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-22dbc6c665a8d8c3: examples/quickstart.rs
+
+examples/quickstart.rs:

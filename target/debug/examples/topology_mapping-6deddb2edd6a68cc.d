@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topology_mapping-6deddb2edd6a68cc.d: examples/topology_mapping.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopology_mapping-6deddb2edd6a68cc.rmeta: examples/topology_mapping.rs Cargo.toml
+
+examples/topology_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_mapping-dfc323c8d6a26062.d: examples/topology_mapping.rs
+
+/root/repo/target/debug/examples/topology_mapping-dfc323c8d6a26062: examples/topology_mapping.rs
+
+examples/topology_mapping.rs:

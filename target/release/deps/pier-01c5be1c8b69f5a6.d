@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pier-01c5be1c8b69f5a6.d: src/lib.rs
+
+/root/repo/target/release/deps/libpier-01c5be1c8b69f5a6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpier-01c5be1c8b69f5a6.rmeta: src/lib.rs
+
+src/lib.rs:

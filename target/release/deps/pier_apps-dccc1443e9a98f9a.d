@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pier_apps-dccc1443e9a98f9a.d: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+/root/repo/target/release/deps/libpier_apps-dccc1443e9a98f9a.rlib: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+/root/repo/target/release/deps/libpier_apps-dccc1443e9a98f9a.rmeta: crates/apps/src/lib.rs crates/apps/src/filesharing.rs crates/apps/src/netmon.rs crates/apps/src/snort.rs crates/apps/src/topology.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/filesharing.rs:
+crates/apps/src/netmon.rs:
+crates/apps/src/snort.rs:
+crates/apps/src/topology.rs:

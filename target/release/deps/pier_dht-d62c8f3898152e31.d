@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pier_dht-d62c8f3898152e31.d: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs
+
+/root/repo/target/release/deps/libpier_dht-d62c8f3898152e31.rlib: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs
+
+/root/repo/target/release/deps/libpier_dht-d62c8f3898152e31.rmeta: crates/dht/src/lib.rs crates/dht/src/config.rs crates/dht/src/hash.rs crates/dht/src/id.rs crates/dht/src/key.rs crates/dht/src/messages.rs crates/dht/src/node.rs crates/dht/src/standalone.rs crates/dht/src/storage.rs
+
+crates/dht/src/lib.rs:
+crates/dht/src/config.rs:
+crates/dht/src/hash.rs:
+crates/dht/src/id.rs:
+crates/dht/src/key.rs:
+crates/dht/src/messages.rs:
+crates/dht/src/node.rs:
+crates/dht/src/standalone.rs:
+crates/dht/src/storage.rs:

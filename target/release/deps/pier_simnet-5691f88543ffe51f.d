@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pier_simnet-5691f88543ffe51f.d: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libpier_simnet-5691f88543ffe51f.rlib: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+/root/repo/target/release/deps/libpier_simnet-5691f88543ffe51f.rmeta: crates/simnet/src/lib.rs crates/simnet/src/churn.rs crates/simnet/src/latency.rs crates/simnet/src/loss.rs crates/simnet/src/metrics.rs crates/simnet/src/node.rs crates/simnet/src/rng.rs crates/simnet/src/sim.rs crates/simnet/src/testkit.rs crates/simnet/src/time.rs crates/simnet/src/trace.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/churn.rs:
+crates/simnet/src/latency.rs:
+crates/simnet/src/loss.rs:
+crates/simnet/src/metrics.rs:
+crates/simnet/src/node.rs:
+crates/simnet/src/rng.rs:
+crates/simnet/src/sim.rs:
+crates/simnet/src/testkit.rs:
+crates/simnet/src/time.rs:
+crates/simnet/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/explain_demo-ad425884227b7026.d: examples/explain_demo.rs
+
+/root/repo/target/release/examples/explain_demo-ad425884227b7026: examples/explain_demo.rs
+
+examples/explain_demo.rs:

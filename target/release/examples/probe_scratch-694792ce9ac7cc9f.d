@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_scratch-694792ce9ac7cc9f.d: examples/probe_scratch.rs
+
+/root/repo/target/release/examples/probe_scratch-694792ce9ac7cc9f: examples/probe_scratch.rs
+
+examples/probe_scratch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-35a67c1e0900aae5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-35a67c1e0900aae5: examples/quickstart.rs
+
+examples/quickstart.rs:
