@@ -1,0 +1,283 @@
+//! Measures the batched wire paths against the one-message-per-tuple
+//! baseline on the Figure-1 monitoring workload, and emits a machine-readable
+//! `BENCH_batching.json` so future changes have a perf trajectory to compare
+//! against.
+//!
+//! The workload runs twice with the same seed — once with `batching` off
+//! (every published tuple, rehashed join tuple, and result row is its own
+//! DHT message) and once with it on (`TupleBatch`/`JoinBatch`/`ResultBatch`
+//! payloads plus DHT-level `RouteBatch` coalescing).  Each epoch every node
+//! publishes its `netstats` reading and its multi-row Snort `intrusions`
+//! report through the DHT while the paper's continuous SUM query runs; a
+//! distributed symmetric-rehash join is submitted at the end.  Per-epoch
+//! query answers must be identical across the two runs — batching changes
+//! the wire, never the answer.
+//!
+//! Environment knobs: `PIER_NODES` (default 300), `PIER_EPOCHS` (default 24),
+//! `PIER_SEED` (default 1), `PIER_BATCH_MAX` (default 512), `PIER_MIN_RATIO`
+//! (assert at least this messages-sent improvement; default 1.0, i.e. only
+//! "batching must not send more").
+//!
+//! Run with: `cargo run --release -p pier-bench --bin bench_batching`
+
+use pier_apps::netmon::{netstats_stats, NetworkMonitor};
+use pier_apps::snort::{intrusions_stats, SnortSimulator};
+use pier_bench::{experiment_config, fmt_thousands, monitoring_testbed};
+use pier_core::engine::EngineStats;
+use pier_core::prelude::*;
+use pier_core::{same_rows, Catalog, JoinStrategy, Planner};
+
+/// One mode's measurements.
+struct RunOutcome {
+    stats: EngineStats,
+    /// Per-hop DHT wire messages carrying query traffic (tuples, partials,
+    /// results), summed over every node — the headline "DHT messages sent".
+    dht_app_messages: u64,
+    sim_messages: u64,
+    sim_bytes: u64,
+    wall_ms: u128,
+    /// (epoch, sum, responding) series of the continuous query.
+    series: Vec<(u64, f64, u64)>,
+    /// Rows of the final join query, origin-ordered.
+    join_rows: Vec<Tuple>,
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn run_mode(
+    nodes: usize,
+    epochs: usize,
+    seed: u64,
+    batching: bool,
+    batch_max: usize,
+) -> RunOutcome {
+    let started = std::time::Instant::now();
+    let mut pier = experiment_config();
+    pier.batching = batching;
+    pier.batch_max = batch_max;
+    let mut bed = monitoring_testbed(nodes, seed, pier);
+    bed.set_table_stats_everywhere("netstats", netstats_stats(nodes));
+    bed.set_table_stats_everywhere("intrusions", intrusions_stats(nodes));
+
+    let mut monitor = NetworkMonitor::new(nodes, seed);
+    let mut snort = SnortSimulator::new(nodes, 710_000, seed);
+
+    // A static long-TTL relation for the join phase: soft-state expiry never
+    // crosses its TTL during the run, so both modes join over exactly the
+    // same tuples (netstats' 30 s TTL would put early rounds right on the
+    // expiry boundary, where per-run latency jitter decides liveness).
+    let hostinfo = TableDef::new(
+        "hostinfo",
+        Schema::of(&[("host", DataType::Str), ("region", DataType::Str)]),
+        "host",
+        Duration::from_secs(3_600),
+    );
+    bed.create_table_everywhere(&hostinfo);
+    for addr in bed.alive_nodes() {
+        let node = addr.0 as usize;
+        let row = Tuple::new(vec![
+            Value::str(NetworkMonitor::host_name(node)),
+            Value::str(format!("region-{}", node % 5)),
+        ]);
+        bed.publish_batch(addr, "hostinfo", vec![row]);
+    }
+    bed.run_for(Duration::from_secs(3));
+
+    let origin = bed.nodes()[0];
+    let query = bed
+        .submit_sql(origin, &NetworkMonitor::figure1_sql(5, 5))
+        .expect("continuous query must plan");
+
+    // Publish each round just *after* an epoch boundary: a reading stored at
+    // boundary+0.2 s (plus routing latency) deterministically belongs to the
+    // epoch whose scan runs a full period later, so per-run latency jitter
+    // cannot move readings across window edges and both modes aggregate the
+    // exact same multiset per epoch.
+    let period_us = 5_000_000u64;
+    let next = (bed.now().as_micros() / period_us + 1) * period_us + 200_000;
+    bed.run_until(SimTime::from_micros(next));
+    for _ in 0..epochs {
+        for addr in bed.alive_nodes() {
+            let node = addr.0 as usize;
+            if node >= nodes {
+                continue;
+            }
+            bed.publish_batch(addr, "netstats", vec![monitor.sample(node)]);
+            bed.publish_batch(addr, "intrusions", snort.node_report(node));
+        }
+        bed.run_for(Duration::from_secs(5));
+    }
+    bed.run_for(Duration::from_secs(10));
+
+    // A distributed symmetric-rehash join: every host's accumulated
+    // top-rule intrusion reports pair with its hostinfo row at the join
+    // site, so each host contributes one multi-tuple JoinBatch per side.
+    let mut catalog = Catalog::new();
+    catalog.register(hostinfo);
+    catalog.register(pier_apps::snort::intrusions_table());
+    let join_sql = "SELECT h.host, h.region, i.rule_id, i.hits FROM hostinfo h \
+                    JOIN intrusions i ON h.host = i.host WHERE i.rule_id = 1322";
+    let stmt = pier_core::sql::parse_select(join_sql).expect("join SQL parses");
+    let planned = Planner::with_join_strategy(&catalog, JoinStrategy::SymmetricHash)
+        .plan_select(&stmt)
+        .expect("join SQL plans");
+    let join_query = bed
+        .submit_query(origin, planned.kind, planned.output_names, planned.continuous)
+        .expect("join submits");
+    bed.run_for(Duration::from_secs(20));
+
+    let series: Vec<(u64, f64, u64)> = bed
+        .epochs(origin, query)
+        .into_iter()
+        .map(|e| {
+            let rows = bed.results(origin, query, e);
+            let sum = rows.first().and_then(|r| r.get(0).as_f64()).unwrap_or(0.0);
+            (e, sum, bed.contributors(origin, query, e))
+        })
+        .collect();
+    let join_rows = bed.results(origin, join_query, 0);
+
+    let stats = bed.engine_totals();
+    let dht_app_messages: u64 = bed
+        .nodes()
+        .to_vec()
+        .iter()
+        .filter_map(|&a| bed.node(a))
+        .map(|n| n.dht.stats().app_msgs_sent)
+        .sum();
+    RunOutcome {
+        stats,
+        dht_app_messages,
+        sim_messages: bed.metrics().messages_sent(),
+        sim_bytes: bed.metrics().bytes_sent(),
+        wall_ms: started.elapsed().as_millis(),
+        series,
+        join_rows,
+    }
+}
+
+fn mode_json(r: &RunOutcome) -> String {
+    format!(
+        "{{\"dht_app_messages\": {}, \"messages_sent\": {}, \"bytes_shipped\": {}, \"batches_sent\": {}, \
+         \"tuples_published\": {}, \"join_tuples_sent\": {}, \"results_sent\": {}, \
+         \"partials_sent\": {}, \"sim_messages\": {}, \"sim_bytes\": {}, \
+         \"join_rows\": {}, \"wall_clock_ms\": {}}}",
+        r.dht_app_messages,
+        r.stats.messages_sent,
+        r.stats.bytes_shipped,
+        r.stats.batches_sent,
+        r.stats.tuples_published,
+        r.stats.join_tuples_sent,
+        r.stats.results_sent,
+        r.stats.partials_sent,
+        r.sim_messages,
+        r.sim_bytes,
+        r.join_rows.len(),
+        r.wall_ms,
+    )
+}
+
+fn main() {
+    let nodes: usize = env_parse("PIER_NODES", 300);
+    let epochs: usize = env_parse("PIER_EPOCHS", 24);
+    let seed: u64 = env_parse("PIER_SEED", 1);
+    let batch_max: usize = env_parse("PIER_BATCH_MAX", 512);
+    let min_ratio: f64 = env_parse("PIER_MIN_RATIO", 1.0);
+
+    eprintln!("[batching] {nodes} nodes × {epochs} epochs, seed {seed}, batch_max {batch_max}");
+    eprintln!("[batching] running baseline (batching off) …");
+    let baseline = run_mode(nodes, epochs, seed, false, batch_max);
+    eprintln!("[batching] running batched (batching on) …");
+    let batched = run_mode(nodes, epochs, seed, true, batch_max);
+
+    // Correctness gate: batching must not change any answer the network
+    // actually finished computing.  Epochs where a slow aggregation subtree
+    // missed the root's finalization cutoff aggregate a partial subset —
+    // *which* epochs those are is per-run latency jitter that differs
+    // between any two runs (batched or not), so the gate compares the
+    // epochs that are complete (every node responding) in BOTH runs and
+    // requires them to be bit-identical.  Boundary epochs (dissemination
+    // ramp-up, final epoch still in flight) are excluded the same way.
+    let steady = baseline.series.len().min(batched.series.len()).saturating_sub(1);
+    let mut identical = true;
+    let mut compared = 0usize;
+    for ((e1, s1, r1), (e2, s2, r2)) in
+        baseline.series.iter().take(steady).skip(1).zip(batched.series.iter().take(steady).skip(1))
+    {
+        if *r1 != nodes as u64 || *r2 != nodes as u64 {
+            continue;
+        }
+        compared += 1;
+        // The multiset of aggregated readings must match exactly; the float
+        // SUM is compared with a relative epsilon because in-network partials
+        // merge in arrival order, and addition order differs between any two
+        // runs (batched or not).
+        let close = (s1 - s2).abs() <= f64::max(1.0, s1.abs()) * 1e-9;
+        if e1 != e2 || !close || r1 != r2 {
+            eprintln!("[batching] DIVERGENCE at epoch {e1}/{e2}: sum {s1} vs {s2}");
+            identical = false;
+        }
+    }
+    assert!(
+        compared * 2 >= steady.saturating_sub(1),
+        "too few epochs completed in both runs to compare ({compared} of {steady})"
+    );
+    if !same_rows(&baseline.join_rows, &batched.join_rows) {
+        eprintln!(
+            "[batching] JOIN DIVERGENCE: {} baseline rows vs {} batched rows",
+            baseline.join_rows.len(),
+            batched.join_rows.len()
+        );
+        identical = false;
+    }
+
+    let ratio = baseline.dht_app_messages as f64 / batched.dht_app_messages.max(1) as f64;
+    let byte_ratio =
+        baseline.stats.bytes_shipped as f64 / batched.stats.bytes_shipped.max(1) as f64;
+
+    println!();
+    println!("Batched wire paths vs per-tuple baseline ({nodes} nodes, {epochs} epochs)");
+    println!();
+    println!("{:<28} {:>16} {:>16}", "", "baseline", "batched");
+    let row = |label: &str, a: u64, b: u64| {
+        println!("{:<28} {:>16} {:>16}", label, fmt_thousands(a as f64), fmt_thousands(b as f64));
+    };
+    row("DHT app messages (all hops)", baseline.dht_app_messages, batched.dht_app_messages);
+    row("engine messages sent", baseline.stats.messages_sent, batched.stats.messages_sent);
+    row("engine bytes shipped", baseline.stats.bytes_shipped, batched.stats.bytes_shipped);
+    row("batch messages", baseline.stats.batches_sent, batched.stats.batches_sent);
+    row("tuples published", baseline.stats.tuples_published, batched.stats.tuples_published);
+    row("join tuples shipped", baseline.stats.join_tuples_sent, batched.stats.join_tuples_sent);
+    row("result rows sent", baseline.stats.results_sent, batched.stats.results_sent);
+    row("simnet messages (total)", baseline.sim_messages, batched.sim_messages);
+    row("simnet bytes (total)", baseline.sim_bytes, batched.sim_bytes);
+    println!();
+    println!("messages-sent improvement : {ratio:.2}x");
+    println!("bytes-shipped improvement : {byte_ratio:.2}x");
+    println!("epoch results identical   : {identical} ({compared} complete epochs compared)");
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"nodes\": {nodes}, \"epochs\": {epochs}, \"seed\": {seed}, \
+         \"batch_max\": {batch_max}}},\n  \"baseline\": {},\n  \"batched\": {},\n  \
+         \"messages_ratio\": {ratio:.3},\n  \"bytes_ratio\": {byte_ratio:.3},\n  \
+         \"results_identical\": {identical}\n}}\n",
+        mode_json(&baseline),
+        mode_json(&batched),
+    );
+    std::fs::write("BENCH_batching.json", &json).expect("write BENCH_batching.json");
+    eprintln!("[batching] wrote BENCH_batching.json");
+
+    assert!(identical, "batching changed query answers");
+    assert!(
+        batched.dht_app_messages < baseline.dht_app_messages,
+        "batching must send fewer messages ({} vs {})",
+        batched.dht_app_messages,
+        baseline.dht_app_messages
+    );
+    assert!(
+        ratio >= min_ratio,
+        "messages-sent improvement {ratio:.2}x below required {min_ratio:.2}x"
+    );
+}

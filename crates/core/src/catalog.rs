@@ -76,6 +76,9 @@ impl TableStats {
 pub struct Catalog {
     tables: BTreeMap<String, TableDef>,
     stats: BTreeMap<String, TableStats>,
+    /// Monotonic counter bumped by every mutation; plan caches key on it so
+    /// any definition or statistics change invalidates cached plans.
+    version: u64,
 }
 
 impl Catalog {
@@ -86,6 +89,7 @@ impl Catalog {
 
     /// Register (or replace) a table definition.
     pub fn register(&mut self, def: TableDef) {
+        self.version += 1;
         self.tables.insert(def.name.clone(), def);
     }
 
@@ -93,6 +97,7 @@ impl Catalog {
     /// existed.
     pub fn drop_table(&mut self, name: &str) -> bool {
         let key = name.to_ascii_lowercase();
+        self.version += 1;
         self.stats.remove(&key);
         self.tables.remove(&key).is_some()
     }
@@ -100,7 +105,16 @@ impl Catalog {
     /// Record (or replace) cardinality statistics for a table.  Statistics
     /// may be set before or after the table definition is registered.
     pub fn set_stats(&mut self, name: &str, stats: TableStats) {
+        self.version += 1;
         self.stats.insert(name.to_ascii_lowercase(), stats);
+    }
+
+    /// The catalog's mutation counter.  Two calls returning the same value
+    /// bracket a window in which no definition or statistic changed, so a
+    /// query plan produced inside the window is still valid (plan caches key
+    /// on `(SQL, version)`).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Cardinality statistics for a table, if any have been recorded.

@@ -27,7 +27,7 @@ use crate::bloom::BloomFilter;
 use crate::catalog::{Catalog, TableDef};
 use crate::dataflow::ops::{sort_tuples, FilterOp, GroupAggregator, GroupKey, ProjectOp, TopK};
 use crate::payload::PierPayload;
-use crate::planner::Planner;
+use crate::planner::{PlanCache, Planner};
 use crate::query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind, QuerySpec, ResultRow};
 use crate::sql::{parse, Statement};
 use crate::tuple::Tuple;
@@ -92,6 +92,18 @@ pub struct PierConfig {
     pub bloom_bits: usize,
     /// Aggregation routing mode.
     pub aggregation: AggregationMode,
+    /// Coalesce hot wire paths into batch messages (`TupleBatch`,
+    /// `JoinBatch`, `ResultBatch`, and DHT-level `RouteBatch`es).  `false`
+    /// reproduces the original one-message-per-tuple behaviour; benchmarks
+    /// flip this to measure the saving.
+    pub batching: bool,
+    /// Maximum tuples per batch message (the `PIER_BATCH_MAX` knob).  Larger
+    /// batches amortize per-message overhead further but make each loss
+    /// under churn costlier; buffers flush early once a batch reaches this
+    /// size.  The `pier-bench` binaries read the `PIER_BATCH_MAX` environment
+    /// variable into this field so deployments can tune it without
+    /// recompiling.
+    pub batch_max: usize,
 }
 
 impl Default for PierConfig {
@@ -108,6 +120,8 @@ impl Default for PierConfig {
             bloom_collect_delay: Duration::from_millis(1_500),
             bloom_bits: 4096,
             aggregation: AggregationMode::Hierarchical,
+            batching: true,
+            batch_max: 512,
         }
     }
 }
@@ -124,6 +138,8 @@ impl PierConfig {
             bloom_collect_delay: Duration::from_millis(800),
             bloom_bits: 2048,
             aggregation: AggregationMode::Hierarchical,
+            batching: true,
+            batch_max: 512,
         }
     }
 
@@ -138,6 +154,8 @@ impl PierConfig {
             bloom_collect_delay: Duration::from_millis(2_000),
             bloom_bits: 8192,
             aggregation: AggregationMode::Hierarchical,
+            batching: true,
+            batch_max: 512,
         }
     }
 }
@@ -163,6 +181,38 @@ pub struct EngineStats {
     pub expands_sent: u64,
     /// Epoch evaluations performed.
     pub epochs_run: u64,
+    /// DHT wire messages this engine initiated on the query wire paths
+    /// (publishes, rehashed join tuples, partials, results, Bloom summaries,
+    /// expansions) — the denominator of the batching win.
+    pub messages_sent: u64,
+    /// Application-payload bytes those messages carried.
+    pub bytes_shipped: u64,
+    /// Batch messages among `messages_sent` (each coalescing ≥ 2 tuples).
+    pub batches_sent: u64,
+    /// SQL submissions answered from the per-node plan cache.
+    pub plan_cache_hits: u64,
+    /// SQL submissions that ran the full planning pipeline.
+    pub plan_cache_misses: u64,
+}
+
+impl EngineStats {
+    /// Field-wise sum (benchmarks aggregate per-node stats network-wide).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.tuples_published += other.tuples_published;
+        self.tuples_scanned += other.tuples_scanned;
+        self.results_sent += other.results_sent;
+        self.partials_sent += other.partials_sent;
+        self.partials_merged += other.partials_merged;
+        self.join_tuples_sent += other.join_tuples_sent;
+        self.join_matches += other.join_matches;
+        self.expands_sent += other.expands_sent;
+        self.epochs_run += other.epochs_run;
+        self.messages_sent += other.messages_sent;
+        self.bytes_shipped += other.bytes_shipped;
+        self.batches_sent += other.batches_sent;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+    }
 }
 
 /// What an engine timer is for.
@@ -335,6 +385,13 @@ pub struct PierNode {
     /// the plan arrives.
     early_arrivals: HashMap<QueryId, Vec<PierPayload>>,
     timer_purposes: HashMap<u64, TimerPurpose>,
+    /// Result rows produced during the current engine tick, coalesced per
+    /// (query, epoch) and flushed as one `ResultBatch` per destination when
+    /// the tick's upcall processing drains (the origin address is derived
+    /// from the query id).  First-come order, so flushing preserves the
+    /// per-epoch row order the unbatched path would produce.
+    pending_results: Vec<((QueryId, u64), Vec<Tuple>)>,
+    plan_cache: PlanCache,
     next_token: u64,
     next_query_seq: u32,
     publish_seq: u64,
@@ -356,6 +413,8 @@ impl PierNode {
             pending_fetch: HashMap::new(),
             early_arrivals: HashMap::new(),
             timer_purposes: HashMap::new(),
+            pending_results: Vec::new(),
+            plan_cache: PlanCache::new(),
             next_token: 1_000,
             next_query_seq: 1,
             publish_seq: 0,
@@ -375,7 +434,33 @@ impl PierNode {
 
     /// Engine activity counters.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.plan_cache_hits = self.plan_cache.hits();
+        stats.plan_cache_misses = self.plan_cache.misses();
+        stats
+    }
+
+    /// Record `payload`'s bytes (and batch-ness) in the shipping counters.
+    /// Wire-message counts are added separately because a routed batch
+    /// submission reports how many messages it actually put on the wire.
+    fn note_payload(&mut self, payload: &PierPayload) {
+        use pier_simnet::WireSize;
+        self.stats.bytes_shipped += payload.wire_size() as u64;
+        if matches!(
+            payload,
+            PierPayload::TupleBatch(_)
+                | PierPayload::JoinBatch { .. }
+                | PierPayload::ResultBatch { .. }
+        ) {
+            self.stats.batches_sent += 1;
+        }
+    }
+
+    /// Record one payload that costs exactly one wire message (direct sends,
+    /// unbatched routed sends).
+    fn note_send(&mut self, payload: &PierPayload) {
+        self.stats.messages_sent += 1;
+        self.note_payload(payload);
     }
 
     /// Number of queries currently installed at this node.
@@ -427,8 +512,65 @@ impl PierNode {
         self.publish_seq += 1;
         let instance = ((self.addr.0 as u64) << 32) | (self.publish_seq & 0xFFFF_FFFF);
         let key = ResourceKey::new(def.name.clone(), def.resource_of(&tuple), instance);
-        self.dht.put(ctx, key, PierPayload::Tuple(tuple), Some(def.ttl));
+        let payload = PierPayload::Tuple(tuple);
+        self.note_payload(&payload);
+        let sent = self.dht.put(ctx, key, payload, Some(def.ttl));
+        self.stats.messages_sent += sent as u64;
         self.stats.tuples_published += 1;
+        self.process_upcalls(ctx);
+        Ok(())
+    }
+
+    /// Publish many tuples of one table with coalesced wire traffic: tuples
+    /// sharing a partitioning value travel (and are stored) as a single
+    /// `TupleBatch`, and batches whose first routing hop coincides share one
+    /// wire message.  With `batching` disabled this degenerates to per-tuple
+    /// puts, which benchmarks use as the baseline.
+    pub fn publish_batch(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        table: &str,
+        tuples: Vec<Tuple>,
+    ) -> Result<(), PierError> {
+        if !self.config.batching {
+            for tuple in tuples {
+                self.publish(ctx, table, tuple)?;
+            }
+            return Ok(());
+        }
+        let def = self
+            .catalog
+            .get(table)
+            .ok_or_else(|| PierError::new(format!("unknown table '{table}'")))?
+            .clone();
+        // Group by partitioning value in first-occurrence order (deterministic
+        // runs need deterministic message ordering).
+        let mut groups: Vec<(String, Vec<Tuple>)> = Vec::new();
+        for tuple in tuples {
+            let resource = def.resource_of(&tuple);
+            match groups.iter_mut().find(|(r, _)| *r == resource) {
+                Some((_, group)) => group.push(tuple),
+                None => groups.push((resource, vec![tuple])),
+            }
+        }
+        let mut items = Vec::new();
+        for (resource, group) in groups {
+            for chunk in group.chunks(self.config.batch_max.max(1)) {
+                self.publish_seq += 1;
+                let instance = ((self.addr.0 as u64) << 32) | (self.publish_seq & 0xFFFF_FFFF);
+                let key = ResourceKey::new(def.name.clone(), resource.clone(), instance);
+                let payload = if chunk.len() == 1 {
+                    PierPayload::Tuple(chunk[0].clone())
+                } else {
+                    PierPayload::TupleBatch(chunk.to_vec())
+                };
+                self.stats.tuples_published += chunk.len() as u64;
+                self.note_payload(&payload);
+                items.push((key, payload, Some(def.ttl)));
+            }
+        }
+        let sent = self.dht.put_batch(ctx, items);
+        self.stats.messages_sent += sent as u64;
         self.process_upcalls(ctx);
         Ok(())
     }
@@ -462,12 +604,19 @@ impl PierNode {
     /// Parse, plan, and submit a SQL `SELECT`.  `CREATE TABLE` statements are
     /// applied to the local catalog only and return an error mentioning it.
     pub fn submit_sql(&mut self, ctx: &mut Ctx<'_>, sql: &str) -> Result<QueryId, PierError> {
+        // Plan-cache fast path: a hit skips lexing, parsing, binding and
+        // optimization entirely.  Only successfully planned SELECTs are ever
+        // inserted, so a hit is known to be a SELECT without parsing.
+        if let Some(planned) = self.plan_cache.lookup(sql, self.catalog.version()) {
+            return self.submit(ctx, planned.kind, planned.output_names, planned.continuous);
+        }
         let stmt = parse(sql).map_err(|e| PierError::new(e.to_string()))?;
         match stmt {
             Statement::Select(sel) => {
-                let planner = Planner::new(&self.catalog);
-                let planned =
-                    planner.plan_select(&sel).map_err(|e| PierError::new(e.to_string()))?;
+                let planned = self
+                    .plan_cache
+                    .plan_parsed(&self.catalog, sql, &sel)
+                    .map_err(|e| PierError::new(e.to_string()))?;
                 self.submit(ctx, planned.kind, planned.output_names, planned.continuous)
             }
             Statement::Explain(_) => Err(PierError::new(
@@ -540,6 +689,8 @@ impl PierNode {
         loop {
             let upcalls = self.dht.take_upcalls();
             if upcalls.is_empty() {
+                // The tick has quiesced: ship whatever results it produced.
+                self.flush_results(ctx);
                 break;
             }
             for up in upcalls {
@@ -578,9 +729,9 @@ impl PierNode {
         // tuple may reach the join site before the site hears about the
         // query).  Buffer it; install_query replays it.
         let query_of = match &payload {
-            PierPayload::JoinTuple { query, .. } | PierPayload::Expand { query, .. } => {
-                Some(*query)
-            }
+            PierPayload::JoinTuple { query, .. }
+            | PierPayload::JoinBatch { query, .. }
+            | PierPayload::Expand { query, .. } => Some(*query),
             _ => None,
         };
         if let Some(id) = query_of {
@@ -594,7 +745,10 @@ impl PierNode {
         }
         match payload {
             PierPayload::JoinTuple { query, epoch, side, key, tuple } => {
-                self.on_join_tuple(ctx, query, epoch, side, key, tuple)
+                self.on_join_tuples(ctx, query, epoch, side, key, vec![tuple])
+            }
+            PierPayload::JoinBatch { query, epoch, side, key, tuples } => {
+                self.on_join_tuples(ctx, query, epoch, side, key, tuples)
             }
             PierPayload::Expand { query, vertex, depth } => {
                 self.on_expand(ctx, query, vertex, depth)
@@ -611,6 +765,11 @@ impl PierNode {
             PierPayload::Result(row) => {
                 if let Some(res) = self.results.get_mut(&row.query) {
                     res.rows.entry(row.epoch).or_default().push(row.tuple);
+                }
+            }
+            PierPayload::ResultBatch { query, epoch, rows } => {
+                if let Some(res) = self.results.get_mut(&query) {
+                    res.rows.entry(epoch).or_default().extend(rows);
                 }
             }
             PierPayload::EpochDone { query, epoch, contributors } => {
@@ -745,11 +904,9 @@ impl PierNode {
                     }
                     self.rehash_side(ctx, &spec, epoch, 0, left_key, left_rows);
                     let (bits, k) = bloom.to_words();
-                    self.dht.send_direct(
-                        ctx,
-                        spec.origin(),
-                        PierPayload::Bloom { query: id, epoch, bits, k, combined: false },
-                    );
+                    let payload = PierPayload::Bloom { query: id, epoch, bits, k, combined: false };
+                    self.note_send(&payload);
+                    self.dht.send_direct(ctx, spec.origin(), payload);
                 }
             },
             QueryKind::Recursive { .. } => {
@@ -761,8 +918,10 @@ impl PierNode {
 
     fn scan(&mut self, table: &str, now: SimTime, since: SimTime) -> Vec<Tuple> {
         let items = self.dht.lscan_since(table, now, since);
+        // A stored item carries one tuple or a same-key batch; scans read
+        // through the difference.
         let rows: Vec<Tuple> =
-            items.into_iter().filter_map(|(_, payload)| payload.as_tuple().cloned()).collect();
+            items.into_iter().flat_map(|(_, payload)| payload.tuples().to_vec()).collect();
         self.stats.tuples_scanned += rows.len() as u64;
         rows
     }
@@ -788,8 +947,55 @@ impl PierNode {
 
     fn send_result(&mut self, ctx: &mut Ctx<'_>, spec: &QuerySpec, epoch: u64, tuple: Tuple) {
         self.stats.results_sent += 1;
-        let row = ResultRow { query: spec.id, epoch, tuple };
-        self.dht.send_direct(ctx, spec.origin(), PierPayload::Result(row));
+        if !self.config.batching {
+            let row = ResultRow { query: spec.id, epoch, tuple };
+            let payload = PierPayload::Result(row);
+            self.note_send(&payload);
+            self.dht.send_direct(ctx, spec.origin(), payload);
+            return;
+        }
+        // Buffer; flush_results ships one message per (origin, query, epoch)
+        // when the current engine tick drains (or earlier at batch_max).
+        let key = (spec.id, epoch);
+        let flush_now = {
+            let rows = match self.pending_results.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, rows)) => rows,
+                None => {
+                    self.pending_results.push((key, Vec::new()));
+                    &mut self.pending_results.last_mut().expect("just pushed").1
+                }
+            };
+            rows.push(tuple);
+            rows.len() >= self.config.batch_max.max(1)
+        };
+        if flush_now {
+            self.flush_results(ctx);
+        }
+    }
+
+    /// Ship every buffered result row, one message per (query, epoch): a
+    /// plain `Result` for a single row, a `ResultBatch` otherwise.  Called
+    /// whenever an engine tick finishes processing (and from `send_result`
+    /// when a buffer hits `batch_max`).
+    fn flush_results(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pending_results.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_results);
+        for ((query, epoch), mut rows) in pending {
+            let origin = query.origin();
+            let payload = if rows.len() == 1 {
+                PierPayload::Result(ResultRow {
+                    query,
+                    epoch,
+                    tuple: rows.pop().expect("len checked"),
+                })
+            } else {
+                PierPayload::ResultBatch { query, epoch, rows }
+            };
+            self.note_send(&payload);
+            self.dht.send_direct(ctx, origin, payload);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -820,11 +1026,9 @@ impl PierNode {
             if from_network {
                 if let Some(next) = self.dht.route_next_hop(&Self::agg_root_id(id)) {
                     self.stats.partials_sent += 1;
-                    self.dht.send_direct(
-                        ctx,
-                        next.addr,
-                        PierPayload::Partial { query: id, epoch, groups, contributors },
-                    );
+                    let payload = PierPayload::Partial { query: id, epoch, groups, contributors };
+                    self.note_send(&payload);
+                    self.dht.send_direct(ctx, next.addr, payload);
                 }
             }
             return;
@@ -920,11 +1124,9 @@ impl PierNode {
         match target {
             Some(next) if next != self.addr => {
                 self.stats.partials_sent += 1;
-                self.dht.send_direct(
-                    ctx,
-                    next,
-                    PierPayload::Partial { query: id, epoch, groups, contributors },
-                );
+                let payload = PierPayload::Partial { query: id, epoch, groups, contributors };
+                self.note_send(&payload);
+                self.dht.send_direct(ctx, next, payload);
             }
             _ => {
                 // We became the root in the meantime: absorb locally.
@@ -984,11 +1186,9 @@ impl PierNode {
         for row in rows {
             self.send_result(ctx, &spec, epoch, row);
         }
-        self.dht.send_direct(
-            ctx,
-            spec.origin(),
-            PierPayload::EpochDone { query: id, epoch, contributors },
-        );
+        let done = PierPayload::EpochDone { query: id, epoch, contributors };
+        self.note_send(&done);
+        self.dht.send_direct(ctx, spec.origin(), done);
         self.process_upcalls(ctx);
     }
 
@@ -1006,55 +1206,121 @@ impl PierNode {
         rows: Vec<Tuple>,
     ) {
         let namespace = format!("pier:join:{}", spec.id);
+        // Join-side projection pushdown: the join key is evaluated over the
+        // full base tuple, then only the columns the join site consumes ship.
+        let ship_cols: Option<&[usize]> = match &spec.kind {
+            QueryKind::Join { left_ship_cols, right_ship_cols, .. } => {
+                Some(if side == 0 { left_ship_cols } else { right_ship_cols })
+            }
+            _ => None,
+        };
+        let narrow = |row: &Tuple| match ship_cols {
+            Some(cols) => row.project(cols),
+            None => row.clone(),
+        };
+        if !self.config.batching {
+            for row in rows {
+                let key = key_expr.eval(&row);
+                if key.is_null() {
+                    continue;
+                }
+                self.stats.join_tuples_sent += 1;
+                let payload = PierPayload::JoinTuple {
+                    query: spec.id,
+                    epoch,
+                    side,
+                    key: key.clone(),
+                    tuple: narrow(&row),
+                };
+                self.note_payload(&payload);
+                let sent = self.dht.send_to_key(
+                    ctx,
+                    ResourceKey::singleton(namespace.clone(), key.partition_string()),
+                    payload,
+                );
+                self.stats.messages_sent += sent as u64;
+            }
+            return;
+        }
+        // Coalesce per join-key value: every tuple with the same key value
+        // travels to the same site, so one JoinBatch per (destination, query,
+        // epoch) replaces one message per tuple.  First-occurrence order
+        // keeps runs deterministic.
+        let mut groups: Vec<(Value, Vec<Tuple>)> = Vec::new();
         for row in rows {
             let key = key_expr.eval(&row);
             if key.is_null() {
                 continue;
             }
-            self.stats.join_tuples_sent += 1;
-            self.dht.send_to_key(
-                ctx,
-                ResourceKey::singleton(namespace.clone(), key.partition_string()),
-                PierPayload::JoinTuple {
-                    query: spec.id,
-                    epoch,
-                    side,
-                    key: key.clone(),
-                    tuple: row,
-                },
-            );
+            let narrowed = narrow(&row);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, group)) => group.push(narrowed),
+                None => groups.push((key, vec![narrowed])),
+            }
         }
+        let mut items = Vec::new();
+        for (key, group) in groups {
+            let resource = ResourceKey::singleton(namespace.clone(), key.partition_string());
+            for chunk in group.chunks(self.config.batch_max.max(1)) {
+                self.stats.join_tuples_sent += chunk.len() as u64;
+                let payload = if chunk.len() == 1 {
+                    PierPayload::JoinTuple {
+                        query: spec.id,
+                        epoch,
+                        side,
+                        key: key.clone(),
+                        tuple: chunk[0].clone(),
+                    }
+                } else {
+                    PierPayload::JoinBatch {
+                        query: spec.id,
+                        epoch,
+                        side,
+                        key: key.clone(),
+                        tuples: chunk.to_vec(),
+                    }
+                };
+                self.note_payload(&payload);
+                items.push((resource.clone(), payload));
+            }
+        }
+        let sent = self.dht.send_to_key_batch(ctx, items);
+        self.stats.messages_sent += sent as u64;
     }
 
-    fn on_join_tuple(
+    fn on_join_tuples(
         &mut self,
         ctx: &mut Ctx<'_>,
         id: QueryId,
         epoch: u64,
         side: u8,
         key: Value,
-        tuple: Tuple,
+        tuples: Vec<Tuple>,
     ) {
         let Some(q) = self.queries.get_mut(&id) else { return };
         let spec = q.spec.clone();
         let QueryKind::Join { post_filter, project, .. } = &spec.kind else { return };
 
-        // Store and probe symmetrically.
+        // Store the whole batch, then probe the other side once per arrival
+        // (matches already stored locally pair with every incoming tuple,
+        // exactly as a sequence of single-tuple deliveries would).
         let matches: Vec<Tuple> = if side == 0 {
-            q.join_left.entry((epoch, key.clone())).or_default().push(tuple.clone());
+            q.join_left.entry((epoch, key.clone())).or_default().extend(tuples.iter().cloned());
             q.join_right.get(&(epoch, key)).cloned().unwrap_or_default()
         } else {
-            q.join_right.entry((epoch, key.clone())).or_default().push(tuple.clone());
+            q.join_right.entry((epoch, key.clone())).or_default().extend(tuples.iter().cloned());
             q.join_left.get(&(epoch, key)).cloned().unwrap_or_default()
         };
 
         let filter_op = post_filter.clone().map(FilterOp::new);
         let project_op = ProjectOp::new(project.clone());
         let mut outputs = Vec::new();
-        for m in matches {
-            let joined = if side == 0 { tuple.concat(&m) } else { m.concat(&tuple) };
-            if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
-                outputs.push(project_op.apply_one(&joined));
+        for tuple in &tuples {
+            for m in &matches {
+                let joined = if side == 0 { tuple.concat(m) } else { m.concat(tuple) };
+                if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
+                    outputs.push(project_op.apply_one(&joined));
+                }
             }
         }
         self.stats.join_matches += outputs.len() as u64;
@@ -1084,16 +1350,17 @@ impl PierNode {
         let project_op = ProjectOp::new(project.clone());
         let mut outputs = Vec::new();
         for (_, payload) in items {
-            let Some(right_tuple) = payload.as_tuple() else { continue };
-            if !right_key.eval(right_tuple).sql_eq(&probe_key) {
-                continue;
-            }
-            if !right_filter_op.as_ref().map(|f| f.accepts(right_tuple)).unwrap_or(true) {
-                continue;
-            }
-            let joined = left_tuple.concat(right_tuple);
-            if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
-                outputs.push(project_op.apply_one(&joined));
+            for right_tuple in payload.tuples() {
+                if !right_key.eval(right_tuple).sql_eq(&probe_key) {
+                    continue;
+                }
+                if !right_filter_op.as_ref().map(|f| f.accepts(right_tuple)).unwrap_or(true) {
+                    continue;
+                }
+                let joined = left_tuple.concat(right_tuple);
+                if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
+                    outputs.push(project_op.apply_one(&joined));
+                }
             }
         }
         self.stats.join_matches += outputs.len() as u64;
@@ -1175,11 +1442,11 @@ impl PierNode {
         let edges_table = edges_table.clone();
         let source = source.clone();
         self.stats.expands_sent += 1;
-        self.dht.send_to_key(
-            ctx,
-            ResourceKey::singleton(edges_table, source.partition_string()),
-            PierPayload::Expand { query: id, vertex: source, depth: 0 },
-        );
+        let resource = ResourceKey::singleton(edges_table, source.partition_string());
+        let payload = PierPayload::Expand { query: id, vertex: source, depth: 0 };
+        self.note_payload(&payload);
+        let sent = self.dht.send_to_key(ctx, resource, payload);
+        self.stats.messages_sent += sent as u64;
         self.process_upcalls(ctx);
     }
 
@@ -1211,11 +1478,11 @@ impl PierNode {
         let edges_table = edges_table.clone();
         for dst in to_expand {
             self.stats.expands_sent += 1;
-            self.dht.send_to_key(
-                ctx,
-                ResourceKey::singleton(edges_table.clone(), dst.partition_string()),
-                PierPayload::Expand { query: id, vertex: dst, depth: depth + 1 },
-            );
+            let resource = ResourceKey::singleton(edges_table.clone(), dst.partition_string());
+            let payload = PierPayload::Expand { query: id, vertex: dst, depth: depth + 1 };
+            self.note_payload(&payload);
+            let sent = self.dht.send_to_key(ctx, resource, payload);
+            self.stats.messages_sent += sent as u64;
         }
         self.process_upcalls(ctx);
     }

@@ -78,7 +78,7 @@ pub use engine::{
 pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
 pub use payload::PierPayload;
 pub use plan::{AggExpr, LogicalPlan, SortKey};
-pub use planner::{Explanation, PlanError, PlannedQuery, Planner};
+pub use planner::{Explanation, PlanCache, PlanError, PlannedQuery, Planner};
 pub use query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind, QuerySpec, ResultRow};
 pub use reference::{same_rows, MemoryDb};
 pub use testbed::{PierTestbed, TestbedConfig};

@@ -22,6 +22,12 @@ use pier_simnet::WireSize;
 pub enum PierPayload {
     /// A base-table tuple stored in the DHT.
     Tuple(Tuple),
+    /// Several base-table tuples of one relation that share a partitioning
+    /// key, stored in the DHT as a single item.  Publishers coalesce
+    /// same-destination tuples into one routed `put`; local scans and
+    /// Fetch-Matches probes unbatch transparently via
+    /// [`PierPayload::tuples`].
+    TupleBatch(Vec<Tuple>),
     /// A query plan being disseminated to all nodes.
     Query(QuerySpec),
     /// Tear down a (continuous) query everywhere.
@@ -62,6 +68,32 @@ pub enum PierPayload {
         /// The tuple itself.
         tuple: Tuple,
     },
+    /// Several tuples of one join side that rehash to the *same* join-key
+    /// value — and therefore to the same site — shipped as one message per
+    /// (destination, query, epoch) instead of one per tuple.
+    JoinBatch {
+        /// Which query.
+        query: QueryId,
+        /// Which epoch.
+        epoch: u64,
+        /// 0 = left relation, 1 = right relation.
+        side: u8,
+        /// The shared join-key value (also determines the site).
+        key: Value,
+        /// The tuples themselves.
+        tuples: Vec<Tuple>,
+    },
+    /// Several result rows of one (query, epoch) streamed to the origin in a
+    /// single message.  Producers buffer rows while evaluating an epoch tick
+    /// and flush once per destination.
+    ResultBatch {
+        /// Which query.
+        query: QueryId,
+        /// Which epoch.
+        epoch: u64,
+        /// The rows, in production order.
+        rows: Vec<Tuple>,
+    },
     /// A Bloom-filter summary of one node's left-relation join keys (phase 1,
     /// sent to the origin) or the combined filter (phase 2, broadcast).
     Bloom {
@@ -91,6 +123,7 @@ impl WireSize for PierPayload {
     fn wire_size(&self) -> usize {
         1 + match self {
             PierPayload::Tuple(t) => t.wire_size(),
+            PierPayload::TupleBatch(ts) => 4 + ts.iter().map(|t| t.wire_size()).sum::<usize>(),
             PierPayload::Query(q) => q.wire_size(),
             PierPayload::StopQuery(_) => 8,
             PierPayload::Partial { groups, .. } => {
@@ -106,6 +139,12 @@ impl WireSize for PierPayload {
             PierPayload::Result(r) => r.wire_size(),
             PierPayload::EpochDone { .. } => 24,
             PierPayload::JoinTuple { key, tuple, .. } => 18 + key.wire_size() + tuple.wire_size(),
+            PierPayload::JoinBatch { key, tuples, .. } => {
+                18 + 4 + key.wire_size() + tuples.iter().map(|t| t.wire_size()).sum::<usize>()
+            }
+            PierPayload::ResultBatch { rows, .. } => {
+                16 + 4 + rows.iter().map(|t| t.wire_size()).sum::<usize>()
+            }
             PierPayload::Bloom { bits, .. } => 18 + bits.len() * 8,
             PierPayload::Expand { vertex, .. } => 20 + vertex.wire_size(),
         }
@@ -118,6 +157,18 @@ impl PierPayload {
         match self {
             PierPayload::Tuple(t) => Some(t),
             _ => None,
+        }
+    }
+
+    /// The stored base-table tuples this payload carries: one for
+    /// [`PierPayload::Tuple`], all of them for [`PierPayload::TupleBatch`],
+    /// none for every other variant.  Scans and probes read through this so
+    /// batched and unbatched storage are indistinguishable to operators.
+    pub fn tuples(&self) -> &[Tuple] {
+        match self {
+            PierPayload::Tuple(t) => std::slice::from_ref(t),
+            PierPayload::TupleBatch(ts) => ts,
+            _ => &[],
         }
     }
 }

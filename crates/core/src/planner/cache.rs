@@ -1,0 +1,194 @@
+//! Per-node plan cache.
+//!
+//! High-QPS continuous workloads submit the same SQL text over and over (every
+//! monitoring dashboard refresh, every re-armed probe).  Re-running the
+//! lex/parse/bind/optimize/cost pipeline for each submission is pure waste, so
+//! each [`PierNode`](crate::engine::PierNode) keeps a small [`PlanCache`]
+//! keyed by `(SQL text, catalog version)`: any change to a table definition or
+//! its statistics bumps the [`Catalog`](crate::catalog::Catalog) version and
+//! thereby invalidates every plan produced against the older catalog, with no
+//! explicit invalidation protocol.
+
+use super::{PlanError, PlannedQuery, Planner};
+use crate::catalog::Catalog;
+use crate::sql::{parse_select, SelectStmt};
+use std::collections::{HashMap, VecDeque};
+
+/// Default number of cached plans per node.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// A bounded map from `(SQL text, catalog version)` to a finished
+/// [`PlannedQuery`].  Insertion-order eviction: stale catalog versions age out
+/// naturally as new plans displace them.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<(String, u64), PlannedQuery>,
+    order: VecDeque<(String, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// A cache holding up to [`DEFAULT_PLAN_CACHE_CAPACITY`] plans.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// A cache holding up to `capacity` plans (0 disables caching).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache { capacity, entries: HashMap::new(), order: VecDeque::new(), hits: 0, misses: 0 }
+    }
+
+    /// Plan `sql` (which must be a bare `SELECT`) against `catalog`, reusing
+    /// the cached plan when the same text was already planned at the current
+    /// catalog version.  A hit skips the entire pipeline, lexing included.
+    pub fn plan_sql(&mut self, catalog: &Catalog, sql: &str) -> Result<PlannedQuery, PlanError> {
+        if let Some(plan) = self.lookup(sql, catalog.version()) {
+            return Ok(plan);
+        }
+        let stmt = parse_select(sql).map_err(|e| PlanError::new(e.to_string()))?;
+        self.plan_parsed(catalog, sql, &stmt)
+    }
+
+    /// Plan an already-parsed `SELECT`, inserting the result under `sql`.
+    /// Callers that parsed the statement themselves (to dispatch on the
+    /// statement kind) use this to avoid parsing twice on a miss.
+    pub fn plan_parsed(
+        &mut self,
+        catalog: &Catalog,
+        sql: &str,
+        stmt: &SelectStmt,
+    ) -> Result<PlannedQuery, PlanError> {
+        let version = catalog.version();
+        let planned = Planner::new(catalog).plan_select(stmt)?;
+        self.insert(sql.to_string(), version, planned.clone());
+        Ok(planned)
+    }
+
+    /// The cached plan for `(sql, version)`, if present.
+    pub fn lookup(&mut self, sql: &str, version: u64) -> Option<PlannedQuery> {
+        // One key probe without allocating on miss would need raw-entry APIs;
+        // a String per lookup is noise next to the planning work it saves.
+        let key = (sql.to_string(), version);
+        match self.entries.get(&key) {
+            Some(plan) => {
+                self.hits += 1;
+                Some(plan.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, sql: String, version: u64, plan: PlannedQuery) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = (sql, version);
+        if self.entries.insert(key.clone(), plan).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.entries.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to run the planning pipeline.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{TableDef, TableStats};
+    use crate::tuple::Schema;
+    use crate::value::DataType;
+    use pier_simnet::Duration;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(TableDef::new(
+            "t",
+            Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+            "a",
+            Duration::from_secs(60),
+        ));
+        cat
+    }
+
+    #[test]
+    fn repeat_submissions_hit() {
+        let cat = catalog();
+        let mut cache = PlanCache::new();
+        let sql = "SELECT a FROM t WHERE b > 1";
+        let p1 = cache.plan_sql(&cat, sql).unwrap();
+        let p2 = cache.plan_sql(&cat, sql).unwrap();
+        assert_eq!(p1.output_names, p2.output_names);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn catalog_changes_invalidate() {
+        let mut cat = catalog();
+        let mut cache = PlanCache::new();
+        let sql = "SELECT a FROM t";
+        cache.plan_sql(&cat, sql).unwrap();
+        cat.set_stats("t", TableStats::with_rows(10));
+        cache.plan_sql(&cat, sql).unwrap();
+        assert_eq!(cache.hits(), 0, "stale version must not be served");
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2, "plans for both versions coexist until evicted");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let cat = catalog();
+        let mut cache = PlanCache::with_capacity(2);
+        cache.plan_sql(&cat, "SELECT a FROM t").unwrap();
+        cache.plan_sql(&cat, "SELECT b FROM t").unwrap();
+        cache.plan_sql(&cat, "SELECT a, b FROM t").unwrap();
+        assert_eq!(cache.len(), 2);
+        // The first entry was evicted; re-planning it is a miss.
+        assert!(cache.lookup("SELECT a FROM t", cat.version()).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cat = catalog();
+        let mut cache = PlanCache::with_capacity(0);
+        cache.plan_sql(&cat, "SELECT a FROM t").unwrap();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let cat = catalog();
+        let mut cache = PlanCache::new();
+        assert!(cache.plan_sql(&cat, "SELEC a FROM t").is_err());
+        assert!(cache.is_empty());
+    }
+}

@@ -16,11 +16,13 @@
 //! stage's output.  See `README.md` in this directory for the full tour.
 
 pub mod binder;
+pub mod cache;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
 
 pub use binder::{resolve_expr, Binder, BoundSelect};
+pub use cache::PlanCache;
 pub use optimizer::{Optimized, Optimizer, Rule};
 pub use physical::{PhysicalPlan, PhysicalPlanner};
 
@@ -221,6 +223,8 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
             left_filter,
             right_filter,
             post_filter,
+            left_ship_cols,
+            right_ship_cols,
             strategy,
             order_by,
             limit,
@@ -239,6 +243,14 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
             if let Some(f) = right_filter {
                 out.push_str(&format!("  right-side filter (before shipping): {f}\n"));
             }
+            let fmt_cols = |cols: &[usize]| {
+                cols.iter().map(|c| format!("#{c}")).collect::<Vec<_>>().join(", ")
+            };
+            out.push_str(&format!(
+                "  shipped columns: left [{}], right [{}]\n",
+                fmt_cols(left_ship_cols),
+                fmt_cols(right_ship_cols)
+            ));
             if let Some(f) = post_filter {
                 out.push_str(&format!("  residual filter (at join site): {f}\n"));
             }
@@ -448,6 +460,8 @@ mod tests {
                 right_filter,
                 post_filter,
                 project,
+                left_ship_cols,
+                right_ship_cols,
                 ..
             } => {
                 assert_eq!(left_table, "files");
@@ -460,9 +474,12 @@ mod tests {
                 assert!(right_filter.is_some());
                 assert!(post_filter.is_none());
                 assert_eq!(right_filter.as_ref().unwrap(), &Expr::col(0).eq(Expr::lit("mp3")));
-                // f.name is column 1 of the left schema; k.keyword is column 0
-                // of the right schema = column 3 of the joined schema.
-                assert_eq!(project, &vec![Expr::col(1), Expr::col(3)]);
+                // Join-side projection pushdown: only f.name (left column 1)
+                // and k.keyword (right column 0) ship; the projection is
+                // renumbered over the narrowed concatenated schema.
+                assert_eq!(left_ship_cols, &vec![1]);
+                assert_eq!(right_ship_cols, &vec![0]);
+                assert_eq!(project, &vec![Expr::col(0), Expr::col(1)]);
             }
             other => panic!("unexpected kind {other:?}"),
         }

@@ -129,6 +129,12 @@ impl<'a> PhysicalPlanner<'a> {
         let (strategy, note) =
             self.choose_join_strategy(bound, &pieces.left_filter, &pieces.right_filter);
 
+        let left_arity = bound.from.schema.arity();
+        let right_arity = join.right.schema.arity();
+        let project: Vec<Expr> = bound.projections.iter().map(fold_expr).collect();
+        let narrowed =
+            narrow_join_sides(strategy, left_arity, right_arity, project, pieces.post_filter);
+
         Ok(PhysicalPlan {
             kind: QueryKind::Join {
                 left_table: bound.from.name.clone(),
@@ -137,8 +143,10 @@ impl<'a> PhysicalPlanner<'a> {
                 right_key: join.right_key.clone(),
                 left_filter: pieces.left_filter,
                 right_filter: pieces.right_filter,
-                post_filter: pieces.post_filter,
-                project: bound.projections.iter().map(fold_expr).collect(),
+                post_filter: narrowed.post_filter,
+                project: narrowed.project,
+                left_ship_cols: narrowed.left_ship_cols,
+                right_ship_cols: narrowed.right_ship_cols,
                 strategy,
                 order_by: bound.order_by.clone(),
                 limit: bound.limit,
@@ -213,6 +221,65 @@ impl<'a> PhysicalPlanner<'a> {
                  ~{right_est:.0} right), both sides ship to the key's node"
             ),
         )
+    }
+}
+
+/// Join sides narrowed to the columns the join site actually consumes, with
+/// the site-side expressions renumbered to the narrowed concatenated schema.
+struct NarrowedJoin {
+    left_ship_cols: Vec<usize>,
+    right_ship_cols: Vec<usize>,
+    post_filter: Option<Expr>,
+    project: Vec<Expr>,
+}
+
+/// Join-side projection pushdown: rehash strategies ship only the columns the
+/// join site's residual filter and projection reference, cutting
+/// [`JoinBatch`](crate::payload::PierPayload) bytes at the source.
+/// Fetch-Matches keeps the full schemas — its right tuples are read from DHT
+/// storage (which holds whole tuples) and its left tuples never leave the
+/// probing node.
+fn narrow_join_sides(
+    strategy: JoinStrategy,
+    left_arity: usize,
+    right_arity: usize,
+    project: Vec<Expr>,
+    post_filter: Option<Expr>,
+) -> NarrowedJoin {
+    if strategy == JoinStrategy::FetchMatches {
+        return NarrowedJoin {
+            left_ship_cols: (0..left_arity).collect(),
+            right_ship_cols: (0..right_arity).collect(),
+            post_filter,
+            project,
+        };
+    }
+    let mut used: Vec<usize> = project.iter().flat_map(|e| e.referenced_columns()).collect();
+    if let Some(f) = &post_filter {
+        used.extend(f.referenced_columns());
+    }
+    used.sort_unstable();
+    used.dedup();
+    let left_ship_cols: Vec<usize> = used.iter().copied().filter(|&c| c < left_arity).collect();
+    let right_ship_cols: Vec<usize> =
+        used.iter().copied().filter(|&c| c >= left_arity).map(|c| c - left_arity).collect();
+    let remap = |c: usize| -> Expr {
+        let new = if c < left_arity {
+            left_ship_cols.iter().position(|&x| x == c).expect("used left column is shipped")
+        } else {
+            left_ship_cols.len()
+                + right_ship_cols
+                    .iter()
+                    .position(|&x| x == c - left_arity)
+                    .expect("used right column is shipped")
+        };
+        Expr::col(new)
+    };
+    NarrowedJoin {
+        post_filter: post_filter.map(|f| f.substitute_columns(&remap)),
+        project: project.into_iter().map(|e| e.substitute_columns(&remap)).collect(),
+        left_ship_cols,
+        right_ship_cols,
     }
 }
 

@@ -139,6 +139,15 @@ pub enum QueryKind {
         post_filter: Option<Expr>,
         /// Projection over the concatenated schema.
         project: Vec<Expr>,
+        /// Columns of the left relation each node ships to the join site
+        /// (join-side projection pushdown).  `post_filter` and `project` are
+        /// expressed over `left_ship_cols ++ right_ship_cols`; the join keys
+        /// and per-side filters stay over the full base schemas because they
+        /// are evaluated before narrowing.
+        left_ship_cols: Vec<usize>,
+        /// Columns of the right relation each node ships (or, for
+        /// Fetch-Matches, reads from the probed tuples).
+        right_ship_cols: Vec<usize>,
         /// Which join algorithm to run.
         strategy: JoinStrategy,
         /// Sort keys over the projected output (origin-side).
@@ -231,9 +240,13 @@ impl WireSize for QuerySpec {
                 right_filter,
                 post_filter,
                 project,
+                left_ship_cols,
+                right_ship_cols,
                 ..
             } => {
-                left_key.wire_size()
+                left_ship_cols.len()
+                    + right_ship_cols.len()
+                    + left_key.wire_size()
                     + right_key.wire_size()
                     + left_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
                     + right_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)

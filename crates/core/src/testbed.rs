@@ -171,6 +171,37 @@ impl PierTestbed {
         });
     }
 
+    /// Publish many tuples of one table from a specific node in a single
+    /// coalesced submission (same-destination tuples share wire messages; see
+    /// [`PierNode::publish_batch`](crate::engine::PierNode::publish_batch)).
+    pub fn publish_batch(&mut self, from: NodeAddr, table: &str, tuples: Vec<Tuple>) {
+        self.ensure_tables(from);
+        let table = table.to_string();
+        self.sim.invoke(from, move |node, ctx| {
+            node.publish_batch(ctx, &table, tuples).expect("publish_batch failed");
+        });
+    }
+
+    /// Network-wide engine activity: the field-wise sum of every node's
+    /// [`EngineStats`](crate::engine::EngineStats) (dead nodes included — their
+    /// counters describe traffic they caused while alive).  Also syncs the
+    /// headline shipping counters into the simulation metrics as the
+    /// `pier.messages_sent` / `pier.bytes_shipped` / `pier.batches_sent`
+    /// tags, so `Metrics` displays the query-path share of the traffic.
+    pub fn engine_totals(&mut self) -> crate::engine::EngineStats {
+        let mut total = crate::engine::EngineStats::default();
+        for i in 0..self.sim.num_nodes() {
+            if let Some(node) = self.sim.node(NodeAddr(i as u32)) {
+                total.merge(&node.stats());
+            }
+        }
+        let m = self.sim.metrics_mut();
+        m.set_tag("pier.messages_sent", total.messages_sent);
+        m.set_tag("pier.bytes_shipped", total.bytes_shipped);
+        m.set_tag("pier.batches_sent", total.batches_sent);
+        total
+    }
+
     /// Store a tuple locally at a node (monitoring data about that node).
     pub fn publish_local(&mut self, at: NodeAddr, table: &str, tuple: Tuple) {
         self.ensure_tables(at);

@@ -109,6 +109,24 @@ impl<P: WireSize> WireSize for RouteBody<P> {
     }
 }
 
+/// One routed operation inside a [`DhtMsg::RouteBatch`]: the same triple a
+/// standalone [`DhtMsg::Route`] carries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouteEnvelope<P> {
+    /// Destination identifier on the ring.
+    pub target: Id,
+    /// Hops taken so far (loop guard and statistic).
+    pub hops: u8,
+    /// The operation to perform at the responsible node.
+    pub body: RouteBody<P>,
+}
+
+impl<P: WireSize> WireSize for RouteEnvelope<P> {
+    fn wire_size(&self) -> usize {
+        20 + 1 + self.body.wire_size()
+    }
+}
+
 /// Messages exchanged between DHT nodes.
 #[derive(Clone, Debug)]
 pub enum DhtMsg<P> {
@@ -120,6 +138,15 @@ pub enum DhtMsg<P> {
         hops: u8,
         /// The operation to perform at the responsible node.
         body: RouteBody<P>,
+    },
+    /// Several routed operations coalesced into one wire message because, at
+    /// this hop, they all travel to the same peer.  Each receiving node splits
+    /// the batch, delivers the envelopes it is responsible for, and re-groups
+    /// the rest by *its* next hops — so batches stay coalesced along shared
+    /// routing-path prefixes and amortize per-message overhead the whole way.
+    RouteBatch {
+        /// The coalesced operations (individual targets, one shared next hop).
+        routes: Vec<RouteEnvelope<P>>,
     },
     /// Reply to [`RouteBody::FindSuccessor`]: `successor` is responsible for
     /// the identifier the request named.
@@ -197,6 +224,9 @@ impl<P: WireSize> WireSize for DhtMsg<P> {
         header
             + match self {
                 DhtMsg::Route { body, .. } => 20 + 1 + body.wire_size(),
+                DhtMsg::RouteBatch { routes } => {
+                    4 + routes.iter().map(|r| r.wire_size()).sum::<usize>()
+                }
                 DhtMsg::FoundSuccessor { .. } => 8 + PEER_WIRE + 1,
                 DhtMsg::GetNeighbors => 0,
                 DhtMsg::Neighbors { predecessor, successors } => {

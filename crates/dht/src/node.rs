@@ -26,7 +26,7 @@ use crate::config::DhtConfig;
 use crate::hash::hash_node_addr;
 use crate::id::{Id, ID_BITS};
 use crate::key::ResourceKey;
-use crate::messages::{DhtMsg, Peer, RouteBody, Upcall, WireItem};
+use crate::messages::{DhtMsg, Peer, RouteBody, RouteEnvelope, Upcall, WireItem};
 use crate::storage::SoftStateStore;
 use pier_simnet::{Context, Duration, NodeAddr, SimTime, WireSize};
 use std::collections::HashMap;
@@ -75,6 +75,12 @@ pub struct DhtStats {
     pub hop_limit_drops: u64,
     /// Broadcast messages forwarded by this node.
     pub broadcast_forwards: u64,
+    /// Wire messages this node sent carrying application traffic (`put` /
+    /// `send` payloads being routed — originated *or* forwarded — plus
+    /// point-to-point `Direct` sends).  Summed across nodes this is the true
+    /// per-hop DHT message cost of the query wire paths, the quantity
+    /// destination-coalesced batching attacks.
+    pub app_msgs_sent: u64,
 }
 
 /// A Chord node with PIER's put/get/send/lscan/broadcast API.
@@ -237,19 +243,64 @@ impl<P: Clone + WireSize> DhtNode<P> {
     // ------------------------------------------------------------------
 
     /// Store `value` under `key` in the DHT (routed to the responsible node).
-    /// `ttl` defaults to [`DhtConfig::default_ttl`].
+    /// `ttl` defaults to [`DhtConfig::default_ttl`].  Returns the number of
+    /// wire messages sent (0 when this node is itself responsible).
     pub fn put(
         &mut self,
         ctx: &mut Context<DhtMsg<P>>,
         key: ResourceKey,
         value: P,
         ttl: Option<Duration>,
-    ) {
+    ) -> usize {
         let ttl = ttl.unwrap_or(self.config.default_ttl);
         let item = WireItem { key, value, ttl_us: ttl.as_micros() };
         let target = item.key.routing_id();
         let body = RouteBody::Put { item, replicate: self.config.replication_factor > 0 };
-        self.route(ctx, target, body, 0);
+        self.route(ctx, target, body, 0)
+    }
+
+    /// Store many items in the DHT with one coalesced submission: items whose
+    /// first routing hop coincides travel in a single [`DhtMsg::RouteBatch`]
+    /// wire message (and stay coalesced along shared path prefixes, every hop
+    /// re-grouping by its own next hops).  Semantically identical to calling
+    /// [`DhtNode::put`] per item; the wire cost is what changes.  Returns the
+    /// number of wire messages actually sent.
+    pub fn put_batch(
+        &mut self,
+        ctx: &mut Context<DhtMsg<P>>,
+        items: Vec<(ResourceKey, P, Option<Duration>)>,
+    ) -> usize {
+        let replicate = self.config.replication_factor > 0;
+        let envelopes: Vec<RouteEnvelope<P>> = items
+            .into_iter()
+            .map(|(key, value, ttl)| {
+                let ttl = ttl.unwrap_or(self.config.default_ttl);
+                let item = WireItem { key, value, ttl_us: ttl.as_micros() };
+                let target = item.key.routing_id();
+                RouteEnvelope { target, hops: 0, body: RouteBody::Put { item, replicate } }
+            })
+            .collect();
+        self.route_many(ctx, envelopes)
+    }
+
+    /// Route many application payloads, each to the node responsible for its
+    /// key, coalescing payloads that share a next hop into single
+    /// [`DhtMsg::RouteBatch`] wire messages.  Returns the number of wire
+    /// messages actually sent (payloads this node is itself responsible for
+    /// are delivered locally and cost nothing on the wire).
+    pub fn send_to_key_batch(
+        &mut self,
+        ctx: &mut Context<DhtMsg<P>>,
+        items: Vec<(ResourceKey, P)>,
+    ) -> usize {
+        let envelopes: Vec<RouteEnvelope<P>> = items
+            .into_iter()
+            .map(|(key, payload)| {
+                let target = key.routing_id();
+                RouteEnvelope { target, hops: 0, body: RouteBody::AppSend { key, payload } }
+            })
+            .collect();
+        self.route_many(ctx, envelopes)
     }
 
     /// Fetch all items stored under `(key.namespace, key.resource)`.  Returns
@@ -264,15 +315,22 @@ impl<P: Clone + WireSize> DhtNode<P> {
 
     /// Route an application payload to the node responsible for `key`
     /// (PIER uses this to rehash tuples to join and aggregation sites).
-    pub fn send_to_key(&mut self, ctx: &mut Context<DhtMsg<P>>, key: ResourceKey, payload: P) {
+    /// Returns the number of wire messages sent (0 on local delivery).
+    pub fn send_to_key(
+        &mut self,
+        ctx: &mut Context<DhtMsg<P>>,
+        key: ResourceKey,
+        payload: P,
+    ) -> usize {
         let target = key.routing_id();
         let body = RouteBody::AppSend { key, payload };
-        self.route(ctx, target, body, 0);
+        self.route(ctx, target, body, 0)
     }
 
     /// Send an application payload directly to a known node address (one hop,
     /// no DHT routing) — PIER streams query results back to the origin this way.
     pub fn send_direct(&mut self, ctx: &mut Context<DhtMsg<P>>, to: NodeAddr, payload: P) {
+        self.stats.app_msgs_sent += 1;
         ctx.send(to, DhtMsg::Direct { payload });
     }
 
@@ -337,6 +395,9 @@ impl<P: Clone + WireSize> DhtNode<P> {
         self.last_heard.insert(from, ctx.now());
         match msg {
             DhtMsg::Route { target, hops, body } => self.handle_route(ctx, target, hops, body),
+            DhtMsg::RouteBatch { routes } => {
+                self.route_many(ctx, routes);
+            }
             DhtMsg::FoundSuccessor { req_id, successor, hops } => {
                 self.handle_found_successor(ctx, req_id, successor, hops)
             }
@@ -476,16 +537,29 @@ impl<P: Clone + WireSize> DhtNode<P> {
         best
     }
 
-    fn route(&mut self, ctx: &mut Context<DhtMsg<P>>, target: Id, body: RouteBody<P>, hops: u8) {
+    fn route(
+        &mut self,
+        ctx: &mut Context<DhtMsg<P>>,
+        target: Id,
+        body: RouteBody<P>,
+        hops: u8,
+    ) -> usize {
         match self.next_hop(&target) {
-            None => self.deliver(ctx, target, hops, body),
+            None => {
+                self.deliver(ctx, target, hops, body);
+                0
+            }
             Some(peer) => {
                 if hops >= self.config.max_route_hops {
                     self.stats.hop_limit_drops += 1;
-                    return;
+                    return 0;
                 }
                 self.stats.forwards += 1;
+                if matches!(body, RouteBody::Put { .. } | RouteBody::AppSend { .. }) {
+                    self.stats.app_msgs_sent += 1;
+                }
                 ctx.send(peer.addr, DhtMsg::Route { target, hops: hops + 1, body });
+                1
             }
         }
     }
@@ -498,6 +572,62 @@ impl<P: Clone + WireSize> DhtNode<P> {
         body: RouteBody<P>,
     ) {
         self.route(ctx, target, body, hops);
+    }
+
+    /// Route a set of envelopes, coalescing the ones that share a next hop
+    /// into one [`DhtMsg::RouteBatch`] per peer.  Envelopes this node is
+    /// responsible for are delivered immediately.  Returns the number of wire
+    /// messages sent.
+    fn route_many(
+        &mut self,
+        ctx: &mut Context<DhtMsg<P>>,
+        envelopes: Vec<RouteEnvelope<P>>,
+    ) -> usize {
+        // Group by next hop, preserving arrival order within each group so
+        // batching never reorders two ops on the same (source, destination)
+        // pair.  Vec-of-groups instead of a HashMap keeps iteration
+        // deterministic, which the simulator's reproducibility relies on.
+        let mut groups: Vec<(NodeAddr, Vec<RouteEnvelope<P>>)> = Vec::new();
+        for envelope in envelopes {
+            match self.next_hop(&envelope.target) {
+                None => {
+                    let RouteEnvelope { target, hops, body } = envelope;
+                    self.deliver(ctx, target, hops, body);
+                }
+                Some(peer) => {
+                    if envelope.hops >= self.config.max_route_hops {
+                        self.stats.hop_limit_drops += 1;
+                        continue;
+                    }
+                    self.stats.forwards += 1;
+                    match groups.iter_mut().find(|(addr, _)| *addr == peer.addr) {
+                        Some((_, group)) => group.push(envelope),
+                        None => groups.push((peer.addr, vec![envelope])),
+                    }
+                }
+            }
+        }
+        let mut sent = 0;
+        for (peer, mut group) in groups {
+            for envelope in &mut group {
+                envelope.hops += 1;
+            }
+            sent += 1;
+            if group
+                .iter()
+                .any(|e| matches!(e.body, RouteBody::Put { .. } | RouteBody::AppSend { .. }))
+            {
+                self.stats.app_msgs_sent += 1;
+            }
+            if group.len() == 1 {
+                // No sense paying the batch framing for a single op.
+                let RouteEnvelope { target, hops, body } = group.pop().expect("len checked");
+                ctx.send(peer, DhtMsg::Route { target, hops, body });
+            } else {
+                ctx.send(peer, DhtMsg::RouteBatch { routes: group });
+            }
+        }
+        sent
     }
 
     /// Execute a routed operation at the responsible node (this one).

@@ -165,6 +165,13 @@ impl Metrics {
         *self.tags.entry(tag).or_insert(0) += n;
     }
 
+    /// Overwrite a named counter (protocol layers that keep their own totals
+    /// — e.g. PIER's per-node messages-sent/bytes-shipped counters — sync
+    /// them into the simulation metrics this way, idempotently).
+    pub fn set_tag(&mut self, tag: &'static str, value: u64) {
+        self.tags.insert(tag, value);
+    }
+
     /// Read a named counter.
     pub fn tag(&self, tag: &str) -> u64 {
         self.tags.get(tag).copied().unwrap_or(0)

@@ -1,0 +1,264 @@
+//! Correctness and accounting tests for the batched wire paths: distributed
+//! answers must be identical to the centralized reference (and to the
+//! unbatched engine) with batching on, the per-node plan cache must serve
+//! repeat submissions, and join-side projection pushdown must narrow what
+//! ships.
+
+use pier::apps::filesharing::{files_table, keywords_table, FileCorpus};
+use pier::core::engine::EngineStats;
+use pier::core::{same_rows, Catalog, JoinStrategy, MemoryDb, Planner, QueryKind};
+use pier::prelude::*;
+
+fn corpus_testbed(
+    nodes: usize,
+    seed: u64,
+    files: usize,
+    batching: bool,
+    batch_max: usize,
+) -> (PierTestbed, Catalog, MemoryDb) {
+    let mut pier = PierConfig::fast_test();
+    pier.batching = batching;
+    pier.batch_max = batch_max;
+    let mut bed = PierTestbed::new(TestbedConfig { nodes, seed, pier, ..Default::default() });
+    bed.create_table_everywhere(&files_table());
+    bed.create_table_everywhere(&keywords_table());
+    let corpus = FileCorpus::generate(files, nodes, seed);
+    corpus.publish(&mut bed);
+    bed.run_for(Duration::from_secs(8));
+
+    let mut catalog = Catalog::new();
+    catalog.register(files_table());
+    catalog.register(keywords_table());
+    let mut db = MemoryDb::new();
+    db.insert("files", corpus.files().to_vec());
+    db.insert("keywords", corpus.postings().to_vec());
+    (bed, catalog, db)
+}
+
+fn run_join(
+    bed: &mut PierTestbed,
+    catalog: &Catalog,
+    sql: &str,
+    strategy: JoinStrategy,
+) -> Vec<Tuple> {
+    let stmt = pier::core::sql::parse_select(sql).unwrap();
+    let planned = Planner::with_join_strategy(catalog, strategy).plan_select(&stmt).unwrap();
+    let origin = bed.nodes()[0];
+    let q =
+        bed.submit_query(origin, planned.kind, planned.output_names, planned.continuous).unwrap();
+    bed.run_for(Duration::from_secs(20));
+    bed.results(origin, q, 0)
+}
+
+fn reference_join(catalog: &Catalog, db: &MemoryDb, sql: &str) -> Vec<Tuple> {
+    let stmt = pier::core::sql::parse_select(sql).unwrap();
+    let planned = Planner::new(catalog).plan_select(&stmt).unwrap();
+    db.execute(&planned.logical)
+}
+
+#[test]
+fn batched_join_and_aggregation_match_reference() {
+    let (mut bed, catalog, db) = corpus_testbed(18, 2026, 260, true, 512);
+    // Join (symmetric rehash → JoinBatch path).
+    let sql = FileCorpus::search_sql("music");
+    let distributed = run_join(&mut bed, &catalog, &sql, JoinStrategy::SymmetricHash);
+    let reference = reference_join(&catalog, &db, &sql);
+    assert!(!reference.is_empty());
+    assert!(
+        same_rows(&distributed, &reference),
+        "batched join: {} distributed vs {} reference rows",
+        distributed.len(),
+        reference.len()
+    );
+
+    // Aggregation over the same corpus.
+    let agg_sql = "SELECT owner, COUNT(*) AS files FROM files GROUP BY owner";
+    let origin = bed.nodes()[0];
+    let q = bed.submit_sql(origin, agg_sql).unwrap();
+    bed.run_for(Duration::from_secs(15));
+    let distributed = bed.results(origin, q, 0);
+    let stmt = pier::core::sql::parse_select(agg_sql).unwrap();
+    let planned = Planner::new(&catalog).plan_select(&stmt).unwrap();
+    let reference = db.execute(&planned.logical);
+    assert!(
+        same_rows(&distributed, &reference),
+        "batched aggregation: {} distributed vs {} reference rows",
+        distributed.len(),
+        reference.len()
+    );
+}
+
+#[test]
+fn batched_and_unbatched_runs_agree() {
+    let sql = FileCorpus::search_sql("video");
+    let (mut on, catalog, db) = corpus_testbed(14, 321, 200, true, 512);
+    let rows_on = run_join(&mut on, &catalog, &sql, JoinStrategy::SymmetricHash);
+    let (mut off, _, _) = corpus_testbed(14, 321, 200, false, 512);
+    let rows_off = run_join(&mut off, &catalog, &sql, JoinStrategy::SymmetricHash);
+    let reference = reference_join(&catalog, &db, &sql);
+    assert!(!reference.is_empty());
+    assert!(same_rows(&rows_on, &reference), "batching on diverges from reference");
+    assert!(same_rows(&rows_off, &reference), "batching off diverges from reference");
+}
+
+#[test]
+fn tiny_batch_max_still_correct() {
+    // batch_max = 1 forces every buffer to flush immediately (degenerate
+    // batches); answers must not change.
+    let sql = FileCorpus::search_sql("ebook");
+    let (mut bed, catalog, db) = corpus_testbed(12, 77, 180, true, 1);
+    let rows = run_join(&mut bed, &catalog, &sql, JoinStrategy::SymmetricHash);
+    let reference = reference_join(&catalog, &db, &sql);
+    assert!(!reference.is_empty());
+    assert!(same_rows(&rows, &reference));
+}
+
+#[test]
+fn bloom_join_unbatches_correctly() {
+    let sql = FileCorpus::search_sql("linux");
+    let (mut bed, catalog, db) = corpus_testbed(16, 55, 220, true, 512);
+    let rows = run_join(&mut bed, &catalog, &sql, JoinStrategy::BloomFilter);
+    let reference = reference_join(&catalog, &db, &sql);
+    assert!(!reference.is_empty());
+    assert!(same_rows(&rows, &reference), "bloom semi-join with batching diverges");
+}
+
+#[test]
+fn batching_cuts_wire_messages() {
+    // The monitoring workload has real per-destination fan-in: every node's
+    // multi-row Snort report shares one partitioning key (the host), so the
+    // batched publish path coalesces it into a single TupleBatch put while
+    // the baseline pays one routed message per row.
+    use pier::apps::snort::{intrusions_table, SnortSimulator};
+    let totals = |batching: bool| -> (EngineStats, u64, Vec<Tuple>) {
+        let mut pier = PierConfig::fast_test();
+        pier.batching = batching;
+        let mut bed =
+            PierTestbed::new(TestbedConfig { nodes: 16, seed: 909, pier, ..Default::default() });
+        bed.create_table_everywhere(&intrusions_table());
+        let mut snort = SnortSimulator::new(16, 100_000, 909);
+        for round in 0..3 {
+            for addr in bed.nodes().to_vec() {
+                let _ = round;
+                let report = snort.node_report(addr.0 as usize);
+                bed.publish_batch(addr, "intrusions", report);
+            }
+            bed.run_for(Duration::from_secs(3));
+        }
+        let origin = bed.nodes()[0];
+        let q = bed.submit_sql(origin, SnortSimulator::table1_sql()).unwrap();
+        bed.run_for(Duration::from_secs(15));
+        let rows = bed.results(origin, q, 0);
+        let stats = bed.engine_totals();
+        let app_msgs = bed
+            .nodes()
+            .to_vec()
+            .iter()
+            .filter_map(|&a| bed.node(a))
+            .map(|n| n.dht.stats().app_msgs_sent)
+            .sum();
+        (stats, app_msgs, rows)
+    };
+    let (off, off_app, rows_off) = totals(false);
+    let (on, on_app, rows_on) = totals(true);
+    assert!(!rows_on.is_empty());
+    assert!(same_rows(&rows_on, &rows_off), "modes must agree before comparing costs");
+    assert!(on.batches_sent > 0, "batched run must actually batch");
+    assert_eq!(off.batches_sent, 0, "baseline must not batch");
+    assert_eq!(on.tuples_published, off.tuples_published, "same tuples in both modes");
+    assert!(
+        on.messages_sent * 2 <= off.messages_sent,
+        "engine messages: batched {} vs baseline {} (expected ≥ 2x reduction)",
+        on.messages_sent,
+        off.messages_sent
+    );
+    assert!(
+        on_app * 2 <= off_app,
+        "per-hop DHT app messages: batched {on_app} vs baseline {off_app}"
+    );
+}
+
+#[test]
+fn engine_totals_sync_simnet_tags() {
+    let (mut bed, _, _) = corpus_testbed(8, 42, 60, true, 512);
+    let totals = bed.engine_totals();
+    assert!(totals.messages_sent > 0);
+    assert_eq!(bed.metrics().tag("pier.messages_sent"), totals.messages_sent);
+    assert_eq!(bed.metrics().tag("pier.bytes_shipped"), totals.bytes_shipped);
+    assert_eq!(bed.metrics().tag("pier.batches_sent"), totals.batches_sent);
+}
+
+#[test]
+fn plan_cache_serves_repeat_submissions() {
+    let mut bed = PierTestbed::quick(8, 7);
+    let def = TableDef::new(
+        "readings",
+        Schema::of(&[("host", DataType::Str), ("v", DataType::Int)]),
+        "host",
+        Duration::from_secs(300),
+    );
+    bed.create_table_everywhere(&def);
+    let origin = bed.nodes()[0];
+    let sql = "SELECT COUNT(*) FROM readings";
+    for _ in 0..5 {
+        bed.submit_sql(origin, sql).unwrap();
+        bed.run_for(Duration::from_secs(1));
+    }
+    let stats = bed.node(origin).unwrap().stats();
+    assert_eq!(stats.plan_cache_misses, 1, "only the first submission plans");
+    assert_eq!(stats.plan_cache_hits, 4, "the rest are cache hits");
+
+    // A catalog change (new statistics) invalidates the cached plan.
+    bed.set_table_stats_everywhere("readings", TableStats::with_rows(1_000));
+    bed.submit_sql(origin, sql).unwrap();
+    let stats = bed.node(origin).unwrap().stats();
+    assert_eq!(stats.plan_cache_misses, 2, "catalog change must re-plan");
+}
+
+#[test]
+fn join_projection_pushdown_narrows_shipped_bytes() {
+    // Narrow query (two columns survive) vs wide query (all columns survive):
+    // the narrow one must ship measurably fewer bytes for the same tuples.
+    let catalog = {
+        let mut c = Catalog::new();
+        c.register(files_table());
+        c.register(keywords_table());
+        c
+    };
+    let shipped = |sql: &str| -> (u64, u64) {
+        let (mut bed, _, _) = corpus_testbed(14, 4242, 240, true, 512);
+        let _ = run_join(&mut bed, &catalog, sql, JoinStrategy::SymmetricHash);
+        let totals = bed.engine_totals();
+        (totals.bytes_shipped, totals.join_tuples_sent)
+    };
+    let (narrow_bytes, narrow_tuples) = shipped(
+        "SELECT k.keyword FROM files f JOIN keywords k ON f.file_id = k.file_id \
+                 WHERE k.keyword = 'music'",
+    );
+    let (wide_bytes, wide_tuples) = shipped(
+        "SELECT f.file_id, f.name, f.owner, f.size_kb, k.keyword, k.file_id \
+                 FROM files f JOIN keywords k ON f.file_id = k.file_id \
+                 WHERE k.keyword = 'music'",
+    );
+    assert_eq!(narrow_tuples, wide_tuples, "same tuples must rehash in both runs");
+    assert!(
+        narrow_bytes < wide_bytes,
+        "narrowed join shipped {narrow_bytes} bytes, wide shipped {wide_bytes}"
+    );
+
+    // And the plan itself records the narrowing.
+    let stmt = pier::core::sql::parse_select(
+        "SELECT k.keyword FROM files f JOIN keywords k ON f.file_id = k.file_id",
+    )
+    .unwrap();
+    let planned = Planner::with_join_strategy(&catalog, JoinStrategy::SymmetricHash)
+        .plan_select(&stmt)
+        .unwrap();
+    match &planned.kind {
+        QueryKind::Join { left_ship_cols, right_ship_cols, .. } => {
+            assert!(left_ship_cols.is_empty(), "no left column is consumed at the join site");
+            assert_eq!(right_ship_cols, &vec![0]);
+        }
+        other => panic!("unexpected kind {other:?}"),
+    }
+}

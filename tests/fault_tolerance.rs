@@ -3,7 +3,9 @@
 //! keep returning (possibly partial) answers and the system recovers without
 //! operator intervention.
 
+use pier::apps::filesharing::{files_table, keywords_table, FileCorpus};
 use pier::apps::netmon::{netstats_table, NetworkMonitor};
+use pier::core::{Catalog, JoinStrategy, MemoryDb, Planner};
 use pier::prelude::*;
 use pier::simnet::{LossModel, PartitionSet};
 
@@ -143,6 +145,123 @@ fn mid_query_crash_of_data_holders_degrades_gracefully() {
     // none from the crashed hosts, whose soft state has expired.
     assert!((18..=2 * 21).contains(&count), "unexpected surviving reading count {count}");
     assert!(bed.contributors(origin, q, last) >= 18);
+}
+
+#[test]
+fn lost_batches_degrade_like_lost_tuples_not_a_hang() {
+    // Batching on (the default): join tuples travel as multi-tuple
+    // JoinBatches and results as ResultBatches.  Crash nodes *while the
+    // batches are in flight*: whatever a dead node was carrying — batch or
+    // single tuple — is lost the same way, so the query must still return,
+    // with the surviving subset of the reference answer, instead of hanging.
+    let nodes = 20;
+    let mut bed = PierTestbed::new(TestbedConfig { nodes, seed: 1606, ..Default::default() });
+    bed.create_table_everywhere(&files_table());
+    bed.create_table_everywhere(&keywords_table());
+    let corpus = FileCorpus::generate(260, nodes, 1606);
+    corpus.publish(&mut bed);
+    bed.run_for(Duration::from_secs(8));
+
+    let mut catalog = Catalog::new();
+    catalog.register(files_table());
+    catalog.register(keywords_table());
+    let mut db = MemoryDb::new();
+    db.insert("files", corpus.files().to_vec());
+    db.insert("keywords", corpus.postings().to_vec());
+
+    let sql = FileCorpus::search_sql("music");
+    let stmt = pier::core::sql::parse_select(&sql).unwrap();
+    let planned = Planner::with_join_strategy(&catalog, JoinStrategy::SymmetricHash)
+        .plan_select(&stmt)
+        .unwrap();
+    let reference = db.execute(&planned.logical);
+    assert!(!reference.is_empty());
+
+    let origin = bed.nodes()[0];
+    let q =
+        bed.submit_query(origin, planned.kind, planned.output_names, planned.continuous).unwrap();
+    // Let dissemination start, then crash three nodes right as the rehash
+    // batches are being routed (join state and in-flight batches die with
+    // them).
+    bed.run_for(Duration::from_millis(400));
+    for addr in [NodeAddr(6), NodeAddr(11), NodeAddr(17)] {
+        bed.kill_node(addr);
+    }
+    bed.run_for(Duration::from_secs(20));
+
+    let rows = bed.results(origin, q, 0);
+    assert!(!rows.is_empty(), "query hung: no results after losing batches to dead nodes");
+    assert!(
+        rows.len() <= reference.len(),
+        "lost batches must only remove rows ({} distributed vs {} reference)",
+        rows.len(),
+        reference.len()
+    );
+    // Multiset-subset of the reference: a lost batch removes matches, never
+    // invents or duplicates them.
+    let mut remaining = reference.clone();
+    for row in &rows {
+        let pos = remaining.iter().position(|r| r == row);
+        assert!(pos.is_some(), "row {row:?} not in the reference answer");
+        remaining.remove(pos.unwrap());
+    }
+}
+
+#[test]
+fn continuous_query_with_batched_publishes_survives_crashes() {
+    // Routed batched publishes + continuous aggregation under mid-run
+    // crashes: epochs must keep advancing and recover to the survivor count.
+    let nodes = 20;
+    let mut bed = PierTestbed::new(TestbedConfig {
+        nodes,
+        seed: 2707,
+        warmup: Duration::from_secs(40),
+        ..Default::default()
+    });
+    bed.create_table_everywhere(&netstats_table());
+    let mut monitor = NetworkMonitor::new(nodes, 2707);
+
+    let origin = bed.nodes()[0];
+    let q = bed
+        .submit_sql(
+            origin,
+            "SELECT COUNT(*) AS readings FROM netstats \
+             CONTINUOUS EVERY 5 SECONDS WINDOW 5 SECONDS",
+        )
+        .unwrap();
+
+    let publish_round = |bed: &mut PierTestbed, monitor: &mut NetworkMonitor| {
+        for addr in bed.alive_nodes() {
+            let node = addr.0 as usize;
+            let sample = monitor.sample(node);
+            bed.publish_batch(addr, "netstats", vec![sample]);
+        }
+    };
+
+    publish_round(&mut bed, &mut monitor);
+    bed.run_for(Duration::from_secs(6));
+    // Crash a slice of the network immediately after it published: the
+    // tuples (and any batches) in flight toward the dead nodes are lost.
+    for addr in [NodeAddr(4), NodeAddr(9), NodeAddr(14), NodeAddr(19)] {
+        bed.kill_node(addr);
+    }
+    for _ in 0..6 {
+        publish_round(&mut bed, &mut monitor);
+        bed.run_for(Duration::from_secs(5));
+    }
+
+    let epochs = bed.epochs(origin, q);
+    assert!(epochs.len() >= 4, "continuous query stalled after losing batches to crashes");
+    let last = *epochs.last().unwrap();
+    let rows = bed.results(origin, q, last);
+    assert_eq!(rows.len(), 1);
+    let count = rows[0].get(0).as_i64().unwrap();
+    // 16 survivors publish one reading per 5 s window; some readings land on
+    // (and die with) the crashed nodes' key ranges until the ring heals.
+    assert!(
+        (10..=20).contains(&count),
+        "unexpected surviving reading count {count} (16 survivors)"
+    );
 }
 
 #[test]
