@@ -185,9 +185,10 @@ pub struct EngineStats {
     /// (publishes, rehashed join tuples, partials, results, Bloom summaries,
     /// expansions) — the denominator of the batching win.
     pub messages_sent: u64,
-    /// Application-payload bytes those messages carried.
+    /// Application-payload bytes handed to the DHT on those paths (counted
+    /// per payload, whether its first hop was remote or this node itself).
     pub bytes_shipped: u64,
-    /// Batch messages among `messages_sent` (each coalescing ≥ 2 tuples).
+    /// Batch payloads (each coalescing ≥ 2 tuples) among them.
     pub batches_sent: u64,
     /// SQL submissions answered from the per-node plan cache.
     pub plan_cache_hits: u64,
@@ -543,16 +544,7 @@ impl PierNode {
             .get(table)
             .ok_or_else(|| PierError::new(format!("unknown table '{table}'")))?
             .clone();
-        // Group by partitioning value in first-occurrence order (deterministic
-        // runs need deterministic message ordering).
-        let mut groups: Vec<(String, Vec<Tuple>)> = Vec::new();
-        for tuple in tuples {
-            let resource = def.resource_of(&tuple);
-            match groups.iter_mut().find(|(r, _)| *r == resource) {
-                Some((_, group)) => group.push(tuple),
-                None => groups.push((resource, vec![tuple])),
-            }
-        }
+        let groups = group_by_key(tuples.into_iter().map(|t| (def.resource_of(&t), t)));
         let mut items = Vec::new();
         for (resource, group) in groups {
             for chunk in group.chunks(self.config.batch_max.max(1)) {
@@ -1244,20 +1236,15 @@ impl PierNode {
         }
         // Coalesce per join-key value: every tuple with the same key value
         // travels to the same site, so one JoinBatch per (destination, query,
-        // epoch) replaces one message per tuple.  First-occurrence order
-        // keeps runs deterministic.
-        let mut groups: Vec<(Value, Vec<Tuple>)> = Vec::new();
-        for row in rows {
+        // epoch) replaces one message per tuple.
+        let groups = group_by_key(rows.into_iter().filter_map(|row| {
             let key = key_expr.eval(&row);
             if key.is_null() {
-                continue;
+                return None;
             }
             let narrowed = narrow(&row);
-            match groups.iter_mut().find(|(k, _)| *k == key) {
-                Some((_, group)) => group.push(narrowed),
-                None => groups.push((key, vec![narrowed])),
-            }
-        }
+            Some((key, narrowed))
+        }));
         let mut items = Vec::new();
         for (key, group) in groups {
             let resource = ResourceKey::singleton(namespace.clone(), key.partition_string());
@@ -1490,6 +1477,27 @@ impl PierNode {
 
 /// Alias to keep `absorb_partials`'s signature readable.
 type AggStateVec = crate::aggregate::AggState;
+
+/// Group `items` by key, preserving first-occurrence group order (the
+/// simulator's reproducibility requires deterministic message ordering, which
+/// bare HashMap iteration would break).  O(n) via an index map.
+fn group_by_key<K, V>(items: impl IntoIterator<Item = (K, V)>) -> Vec<(K, Vec<V>)>
+where
+    K: std::hash::Hash + Eq + Clone,
+{
+    let mut index: HashMap<K, usize> = HashMap::new();
+    let mut groups: Vec<(K, Vec<V>)> = Vec::new();
+    for (key, value) in items {
+        match index.get(&key) {
+            Some(&i) => groups[i].1.push(value),
+            None => {
+                index.insert(key.clone(), groups.len());
+                groups.push((key, vec![value]));
+            }
+        }
+    }
+    groups
+}
 
 /// The epoch a continuous query is in at virtual time `now`.  Epochs are
 /// derived from absolute virtual time (not a per-node counter) so every node —

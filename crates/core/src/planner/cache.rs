@@ -60,27 +60,26 @@ impl PlanCache {
         sql: &str,
         stmt: &SelectStmt,
     ) -> Result<PlannedQuery, PlanError> {
+        self.misses += 1;
         let version = catalog.version();
         let planned = Planner::new(catalog).plan_select(stmt)?;
         self.insert(sql.to_string(), version, planned.clone());
         Ok(planned)
     }
 
-    /// The cached plan for `(sql, version)`, if present.
+    /// The cached plan for `(sql, version)`, if present.  Counts a hit when
+    /// found; absence is not counted as a miss here — misses are recorded by
+    /// [`PlanCache::plan_parsed`] when the planning pipeline actually runs,
+    /// so non-SELECT submissions probing the cache don't skew the hit rate.
     pub fn lookup(&mut self, sql: &str, version: u64) -> Option<PlannedQuery> {
         // One key probe without allocating on miss would need raw-entry APIs;
         // a String per lookup is noise next to the planning work it saves.
         let key = (sql.to_string(), version);
-        match self.entries.get(&key) {
-            Some(plan) => {
-                self.hits += 1;
-                Some(plan.clone())
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        let plan = self.entries.get(&key).cloned();
+        if plan.is_some() {
+            self.hits += 1;
         }
+        plan
     }
 
     fn insert(&mut self, sql: String, version: u64, plan: PlannedQuery) {
@@ -113,7 +112,7 @@ impl PlanCache {
         self.hits
     }
 
-    /// Lookups that had to run the planning pipeline.
+    /// Submissions that ran the planning pipeline (cache misses).
     pub fn misses(&self) -> u64 {
         self.misses
     }

@@ -585,8 +585,10 @@ impl<P: Clone + WireSize> DhtNode<P> {
     ) -> usize {
         // Group by next hop, preserving arrival order within each group so
         // batching never reorders two ops on the same (source, destination)
-        // pair.  Vec-of-groups instead of a HashMap keeps iteration
-        // deterministic, which the simulator's reproducibility relies on.
+        // pair.  Groups are kept in first-occurrence order (not HashMap
+        // iteration order) so runs stay deterministic; the index map makes
+        // the grouping O(n).
+        let mut index: HashMap<NodeAddr, usize> = HashMap::new();
         let mut groups: Vec<(NodeAddr, Vec<RouteEnvelope<P>>)> = Vec::new();
         for envelope in envelopes {
             match self.next_hop(&envelope.target) {
@@ -600,9 +602,12 @@ impl<P: Clone + WireSize> DhtNode<P> {
                         continue;
                     }
                     self.stats.forwards += 1;
-                    match groups.iter_mut().find(|(addr, _)| *addr == peer.addr) {
-                        Some((_, group)) => group.push(envelope),
-                        None => groups.push((peer.addr, vec![envelope])),
+                    match index.get(&peer.addr) {
+                        Some(&i) => groups[i].1.push(envelope),
+                        None => {
+                            index.insert(peer.addr, groups.len());
+                            groups.push((peer.addr, vec![envelope]));
+                        }
                     }
                 }
             }
