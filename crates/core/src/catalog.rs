@@ -46,9 +46,20 @@ impl TableDef {
 
 /// Optimizer statistics for one relation: cardinality hints the physical
 /// planner uses to cost distributed join strategies.  PIER has no central
-/// statistics authority, so these are per-node *hints* (published counts,
-/// sampling, or operator feedback), not exact figures — the planner treats
-/// them accordingly.
+/// statistics authority, so these are per-node *hints*, not exact figures —
+/// the planner treats them accordingly.  They can be installed by hand
+/// ([`Catalog::set_stats`]) or — with `PierConfig::auto_stats` on — arrive
+/// automatically via the statistics gossip in [`crate::stats`].
+///
+/// # Example
+///
+/// ```
+/// use pier_core::TableStats;
+///
+/// let stats = TableStats::with_rows(50_000).distinct_keys(1_000);
+/// assert_eq!(stats.rows, 50_000);
+/// assert_eq!(stats.distinct_keys, Some(1_000));
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TableStats {
     /// Estimated number of live tuples across the whole ring.
@@ -72,6 +83,31 @@ impl TableStats {
 }
 
 /// A per-node collection of table definitions.
+///
+/// # Example
+///
+/// ```
+/// use pier_core::{Catalog, TableDef, TableStats};
+/// use pier_core::tuple::Schema;
+/// use pier_core::value::DataType;
+/// use pier_simnet::Duration;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register(TableDef::new(
+///     "netstats",
+///     Schema::of(&[("host", DataType::Str), ("out_rate", DataType::Float)]),
+///     "host",
+///     Duration::from_secs(60),
+/// ));
+/// assert!(catalog.contains("NetStats")); // names are case-insensitive
+///
+/// // Every mutation bumps the version; plan caches key on it, and the
+/// // engine's mid-flight re-planner re-costs live queries when it moves.
+/// let before = catalog.version();
+/// catalog.set_stats("netstats", TableStats::with_rows(10_000).distinct_keys(300));
+/// assert!(catalog.version() > before);
+/// assert_eq!(catalog.stats("netstats").unwrap().rows, 10_000);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, TableDef>,

@@ -29,7 +29,9 @@ use crate::dataflow::ops::{sort_tuples, FilterOp, GroupAggregator, GroupKey, Pro
 use crate::payload::PierPayload;
 use crate::planner::{PlanCache, Planner};
 use crate::query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind, QuerySpec, ResultRow};
-use crate::sql::{parse, Statement};
+use crate::sql::{parse, parse_select, SelectStmt, Statement};
+use crate::stats::{apply_totals, GossipView, TableSummary};
+use crate::trace::OpTrace;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use pier_dht::{timers as dht_timers, DhtConfig, DhtMsg, DhtNode, ResourceKey, Upcall};
@@ -40,6 +42,10 @@ use std::fmt;
 /// The wire message type PIER nodes exchange (DHT messages carrying
 /// [`PierPayload`]s).
 pub type PierMsg = DhtMsg<PierPayload>;
+
+/// How many stopped queries' execution traces a node retains for late
+/// `EXPLAIN ANALYZE` trace requests.
+pub const MAX_FINISHED_TRACES: usize = 256;
 
 type Ctx<'a> = Context<'a, PierMsg>;
 
@@ -76,6 +82,22 @@ pub enum AggregationMode {
 }
 
 /// Engine configuration.
+///
+/// # Example: the batching and statistics knobs
+///
+/// ```
+/// use pier_core::engine::PierConfig;
+/// use pier_simnet::Duration;
+///
+/// let mut config = PierConfig::fast_test();
+/// // Batched wire paths are on by default; benchmarks flip this off to
+/// // measure against the one-message-per-tuple baseline.
+/// assert!(config.batching);
+/// config.batch_max = 128;          // cap tuples per batch (PIER_BATCH_MAX)
+/// config.auto_stats = true;        // gossip table statistics automatically
+/// config.stats_interval = Duration::from_secs(2);
+/// assert!(config.adaptive);        // re-plan live queries when stats move
+/// ```
 #[derive(Clone, Debug)]
 pub struct PierConfig {
     /// DHT / overlay parameters.
@@ -104,6 +126,25 @@ pub struct PierConfig {
     /// variable into this field so deployments can tune it without
     /// recompiling.
     pub batch_max: usize,
+    /// Automatic statistics: every [`PierConfig::stats_interval`] each node
+    /// summarizes the live soft state it stores per table and gossips the
+    /// summaries to ring neighbours until every catalog converges on
+    /// network-wide cardinalities (no manual
+    /// [`set_table_stats`](PierNode::set_table_stats) required).  Off by
+    /// default so measurement-sensitive benchmarks see no extra traffic.
+    pub auto_stats: bool,
+    /// How often a node re-summarizes and pushes its statistics view.
+    pub stats_interval: Duration,
+    /// How many successor-list neighbours each gossip round pushes to (the
+    /// predecessor is always included, so information spreads both ways
+    /// around the ring).
+    pub stats_fanout: usize,
+    /// Mid-flight re-planning: when a catalog change (typically gossiped
+    /// statistics) flips the cost ranking of a live continuous SQL query's
+    /// join strategy, the origin re-plans and re-disseminates the spec; every
+    /// node swaps to it at its next epoch boundary, recording the switch in
+    /// the query's execution trace.
+    pub adaptive: bool,
 }
 
 impl Default for PierConfig {
@@ -122,6 +163,10 @@ impl Default for PierConfig {
             aggregation: AggregationMode::Hierarchical,
             batching: true,
             batch_max: 512,
+            auto_stats: false,
+            stats_interval: Duration::from_millis(5_000),
+            stats_fanout: 3,
+            adaptive: true,
         }
     }
 }
@@ -140,6 +185,10 @@ impl PierConfig {
             aggregation: AggregationMode::Hierarchical,
             batching: true,
             batch_max: 512,
+            auto_stats: false,
+            stats_interval: Duration::from_millis(2_000),
+            stats_fanout: 3,
+            adaptive: true,
         }
     }
 
@@ -156,6 +205,10 @@ impl PierConfig {
             aggregation: AggregationMode::Hierarchical,
             batching: true,
             batch_max: 512,
+            auto_stats: false,
+            stats_interval: Duration::from_millis(5_000),
+            stats_fanout: 3,
+            adaptive: true,
         }
     }
 }
@@ -194,6 +247,13 @@ pub struct EngineStats {
     pub plan_cache_hits: u64,
     /// SQL submissions that ran the full planning pipeline.
     pub plan_cache_misses: u64,
+    /// Statistics-gossip messages sent.  Tracked separately from
+    /// `messages_sent` / `bytes_shipped` so the observability plane does not
+    /// pollute the query-path counters it is meant to measure.
+    pub stats_gossip_sent: u64,
+    /// Times this node swapped a live query to a re-planned spec at an epoch
+    /// boundary (mid-flight re-planning).
+    pub replans: u64,
 }
 
 impl EngineStats {
@@ -213,6 +273,8 @@ impl EngineStats {
         self.batches_sent += other.batches_sent;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.stats_gossip_sent += other.stats_gossip_sent;
+        self.replans += other.replans;
     }
 }
 
@@ -227,6 +289,8 @@ enum TimerPurpose {
     RootFinalize(QueryId, u64),
     /// Combine and broadcast Bloom filters for (query, epoch).
     BloomPhase2(QueryId, u64),
+    /// Summarize local soft state and push the statistics view to neighbours.
+    StatsGossip,
 }
 
 /// Execution state of one query at one node.
@@ -259,6 +323,13 @@ struct RunningQuery {
     combined_bloom: HashMap<u64, BloomFilter>,
     /// Recursive queries: vertices already expanded at this node.
     visited: HashSet<String>,
+    /// Producer-side per-operator counters (`EXPLAIN ANALYZE`).
+    trace: OpTrace,
+    /// A re-planned spec waiting to be applied at this node's next epoch
+    /// evaluation.  Deferring the swap to an epoch boundary keeps every
+    /// node's per-epoch evaluation on a single strategy, so a flip never
+    /// mixes strategies *within* one node-epoch.
+    pending_spec: Option<QuerySpec>,
 }
 
 impl RunningQuery {
@@ -282,6 +353,8 @@ impl RunningQuery {
             bloom_armed: HashSet::new(),
             combined_bloom: HashMap::new(),
             visited: HashSet::new(),
+            trace: OpTrace::default(),
+            pending_spec: None,
         }
     }
 }
@@ -393,6 +466,21 @@ pub struct PierNode {
     /// per-epoch row order the unbatched path would produce.
     pending_results: Vec<((QueryId, u64), Vec<Tuple>)>,
     plan_cache: PlanCache,
+    /// Origin-side trace collection (`EXPLAIN ANALYZE`): number of nodes
+    /// that reported plus the merged network-wide trace, per query.
+    trace_acc: HashMap<QueryId, (u64, OpTrace)>,
+    /// Traces of queries that were stopped, kept so a later `TraceRequest`
+    /// can still be answered.  Bounded FIFO ([`MAX_FINISHED_TRACES`]) so a
+    /// long-lived node running many short queries does not grow without
+    /// bound.
+    finished_traces: HashMap<QueryId, OpTrace>,
+    finished_trace_order: std::collections::VecDeque<QueryId>,
+    /// SQL text and the catalog version it was last planned at, for
+    /// continuous queries this node originated (mid-flight re-planning).
+    origin_sql: HashMap<QueryId, (String, u64)>,
+    /// This node's view of the gossiped per-node statistics.
+    gossip: GossipView,
+    gossip_seq: u64,
     next_token: u64,
     next_query_seq: u32,
     publish_seq: u64,
@@ -416,6 +504,12 @@ impl PierNode {
             timer_purposes: HashMap::new(),
             pending_results: Vec::new(),
             plan_cache: PlanCache::new(),
+            trace_acc: HashMap::new(),
+            finished_traces: HashMap::new(),
+            finished_trace_order: std::collections::VecDeque::new(),
+            origin_sql: HashMap::new(),
+            gossip: GossipView::new(),
+            gossip_seq: 0,
             next_token: 1_000,
             next_query_seq: 1,
             publish_seq: 0,
@@ -462,6 +556,68 @@ impl PierNode {
     fn note_send(&mut self, payload: &PierPayload) {
         self.stats.messages_sent += 1;
         self.note_payload(payload);
+    }
+
+    /// Like [`note_payload`](Self::note_payload), but also mirrors the bytes
+    /// and batch count into the query's execution trace, so `EXPLAIN ANALYZE`
+    /// totals reconcile with the engine-wide counters.
+    fn note_query_payload(&mut self, id: QueryId, payload: &PierPayload) {
+        use pier_simnet::WireSize;
+        let bytes = payload.wire_size() as u64;
+        let batch = matches!(
+            payload,
+            PierPayload::TupleBatch(_)
+                | PierPayload::JoinBatch { .. }
+                | PierPayload::ResultBatch { .. }
+        );
+        self.stats.bytes_shipped += bytes;
+        if batch {
+            self.stats.batches_sent += 1;
+        }
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.trace.bytes_shipped += bytes;
+            if batch {
+                q.trace.batches_sent += 1;
+            }
+        }
+    }
+
+    /// Like [`note_send`](Self::note_send), but query-scoped.
+    fn note_query_send(&mut self, id: QueryId, payload: &PierPayload) {
+        self.note_query_payload(id, payload);
+        self.add_query_msgs(id, 1);
+    }
+
+    /// Count wire messages against both the engine-wide counters and the
+    /// query's trace.
+    fn add_query_msgs(&mut self, id: QueryId, n: u64) {
+        self.stats.messages_sent += n;
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.trace.messages_sent += n;
+        }
+    }
+
+    /// This node's producer-side execution trace for a query, live or
+    /// finished (used by tests and the trace-collection protocol).
+    pub fn query_trace(&self, id: QueryId) -> Option<&OpTrace> {
+        self.queries.get(&id).map(|q| &q.trace).or_else(|| self.finished_traces.get(&id))
+    }
+
+    /// Origin-side `EXPLAIN ANALYZE` collection state: how many nodes have
+    /// reported so far and the merged network-wide trace.
+    pub fn collected_trace(&self, id: QueryId) -> Option<(u64, &OpTrace)> {
+        self.trace_acc.get(&id).map(|(n, t)| (*n, t))
+    }
+
+    /// Broadcast a trace request for a query this node originated.  Every
+    /// node (this one included) answers with its per-operator trace; answers
+    /// are merged into [`collected_trace`](Self::collected_trace).  Any
+    /// previously collected state for the query is reset first, so repeated
+    /// requests do not double-count.
+    pub fn request_traces(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
+        self.trace_acc.insert(id, (0, OpTrace::default()));
+        self.dht.broadcast(ctx, PierPayload::TraceRequest { query: id });
+        self.process_upcalls(ctx);
     }
 
     /// Number of queries currently installed at this node.
@@ -600,19 +756,14 @@ impl PierNode {
         // optimization entirely.  Only successfully planned SELECTs are ever
         // inserted, so a hit is known to be a SELECT without parsing.
         if let Some(planned) = self.plan_cache.lookup(sql, self.catalog.version()) {
-            return self.submit(ctx, planned.kind, planned.output_names, planned.continuous);
+            return self.submit_planned(ctx, sql, planned);
         }
         let stmt = parse(sql).map_err(|e| PierError::new(e.to_string()))?;
         match stmt {
-            Statement::Select(sel) => {
-                let planned = self
-                    .plan_cache
-                    .plan_parsed(&self.catalog, sql, &sel)
-                    .map_err(|e| PierError::new(e.to_string()))?;
-                self.submit(ctx, planned.kind, planned.output_names, planned.continuous)
-            }
-            Statement::Explain(_) => Err(PierError::new(
-                "EXPLAIN is evaluated locally, not disseminated; use explain_sql",
+            Statement::Select(sel) => self.submit_select(ctx, sql, &sel),
+            Statement::Explain { .. } => Err(PierError::new(
+                "EXPLAIN is evaluated locally, not disseminated; use explain_sql \
+                 (or PierTestbed::explain_analyze for EXPLAIN ANALYZE)",
             )),
             Statement::CreateTable(_) | Statement::Insert(_) => Err(PierError::new(
                 "only SELECT can be submitted as a distributed query; use create_table/publish",
@@ -620,13 +771,49 @@ impl PierNode {
         }
     }
 
+    /// Plan and submit an already-parsed `SELECT`.  `sql` keys the plan cache
+    /// and, for continuous queries, is kept so the origin can re-plan the
+    /// query mid-flight when the catalog (typically its gossiped statistics)
+    /// changes.  `EXPLAIN ANALYZE` drives this with the inner statement.
+    pub fn submit_select(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        sql: &str,
+        stmt: &SelectStmt,
+    ) -> Result<QueryId, PierError> {
+        let planned = self
+            .plan_cache
+            .plan_parsed(&self.catalog, sql, stmt)
+            .map_err(|e| PierError::new(e.to_string()))?;
+        self.submit_planned(ctx, sql, planned)
+    }
+
+    fn submit_planned(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        sql: &str,
+        planned: crate::planner::PlannedQuery,
+    ) -> Result<QueryId, PierError> {
+        let continuous = planned.continuous;
+        let id = self.submit(ctx, planned.kind, planned.output_names, continuous)?;
+        if continuous.is_some() {
+            // Remember the text so epoch boundaries can re-plan it against a
+            // changed catalog (mid-flight re-planning).
+            self.origin_sql.insert(id, (sql.to_string(), self.catalog.version()));
+        }
+        Ok(id)
+    }
+
     /// Run the planning pipeline over `EXPLAIN <select>` (or a bare `SELECT`)
     /// against this node's catalog and render each stage's output.  Purely
-    /// local: nothing is disseminated.
+    /// local: nothing is disseminated.  For `EXPLAIN ANALYZE` this renders
+    /// the static stages only — executing the query and collecting the
+    /// network-wide trace is the testbed's job
+    /// (`PierTestbed::explain_analyze`).
     pub fn explain_sql(&self, sql: &str) -> Result<String, PierError> {
         let stmt = parse(sql).map_err(|e| PierError::new(e.to_string()))?;
         let select = match stmt {
-            Statement::Explain(inner) => *inner,
+            Statement::Explain { select, .. } => *select,
             Statement::Select(sel) => sel,
             Statement::CreateTable(_) | Statement::Insert(_) => {
                 return Err(PierError::new("EXPLAIN supports only SELECT statements"))
@@ -703,8 +890,23 @@ impl PierNode {
         match payload {
             PierPayload::Query(spec) => self.install_query(ctx, spec),
             PierPayload::StopQuery(id) => {
-                self.queries.remove(&id);
+                // Ship buffered result rows while the trace can still account
+                // for them, then keep the trace so a later `EXPLAIN ANALYZE`
+                // trace request can still be answered.
+                self.flush_results(ctx);
+                if let Some(q) = self.queries.remove(&id) {
+                    if self.finished_traces.insert(id, q.trace).is_none() {
+                        self.finished_trace_order.push_back(id);
+                        while self.finished_trace_order.len() > MAX_FINISHED_TRACES {
+                            if let Some(oldest) = self.finished_trace_order.pop_front() {
+                                self.finished_traces.remove(&oldest);
+                            }
+                        }
+                    }
+                }
+                self.origin_sql.remove(&id);
             }
+            PierPayload::TraceRequest { query } => self.answer_trace_request(ctx, query),
             PierPayload::Bloom { query, epoch, bits, k, combined: true } => {
                 let filter = BloomFilter::from_words(bits, k);
                 if let Some(q) = self.queries.get_mut(&query) {
@@ -774,7 +976,34 @@ impl PierNode {
             PierPayload::Bloom { query, epoch, bits, k, combined: false } => {
                 self.on_bloom_summary(ctx, query, epoch, bits, k);
             }
+            PierPayload::TraceReport { query, trace, .. } => {
+                let (reporters, acc) = self.trace_acc.entry(query).or_default();
+                *reporters += 1;
+                acc.merge(&trace);
+            }
+            PierPayload::StatsGossip { entries } => {
+                let changed = self.gossip.absorb(entries);
+                if changed {
+                    let totals = self.gossip.totals();
+                    apply_totals(&mut self.catalog, &totals);
+                }
+            }
             _ => {}
+        }
+    }
+
+    /// Answer an `EXPLAIN ANALYZE` trace request: merge locally at the
+    /// origin, report directly otherwise.  Observability traffic is *not*
+    /// counted in the query-path counters it measures.
+    fn answer_trace_request(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
+        let Some(trace) = self.query_trace(id).cloned() else { return };
+        if id.origin() == self.addr {
+            let (reporters, acc) = self.trace_acc.entry(id).or_default();
+            *reporters += 1;
+            acc.merge(&trace);
+        } else {
+            let payload = PierPayload::TraceReport { query: id, node: self.addr, trace };
+            self.dht.send_direct(ctx, id.origin(), payload);
         }
     }
 
@@ -784,7 +1013,17 @@ impl PierNode {
 
     fn install_query(&mut self, ctx: &mut Ctx<'_>, spec: QuerySpec) {
         let id = spec.id;
-        if self.queries.contains_key(&id) {
+        if let Some(q) = self.queries.get_mut(&id) {
+            // Re-dissemination of a known query.  If the origin re-planned it
+            // (mid-flight adaptivity), stage the new spec; it takes effect at
+            // this node's next epoch evaluation so no single node-epoch mixes
+            // strategies.  A matching spec clears any staged one — the origin
+            // may have reverted a re-plan before this node ever applied it.
+            if q.spec.kind != spec.kind {
+                q.pending_spec = Some(spec);
+            } else {
+                q.pending_spec = None;
+            }
             return;
         }
         let continuous = spec.continuous;
@@ -811,17 +1050,41 @@ impl PierNode {
         }
     }
 
-    /// Execute the local portion of one epoch of a query.
+    /// Execute the local portion of one epoch of a query, first applying any
+    /// re-planned spec staged for this epoch boundary.
     fn run_epoch(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
-        let Some(q) = self.queries.get(&id) else { return };
-        let spec = q.spec.clone();
-        let epoch = match &spec.continuous {
-            Some(c) => continuous_epoch(ctx.now(), c),
-            None => 0,
+        let now = ctx.now();
+        let (spec, epoch, replanned) = {
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            let epoch = match &q.spec.continuous {
+                Some(c) => continuous_epoch(now, c),
+                None => 0,
+            };
+            let mut replanned = false;
+            if let Some(new_spec) = q.pending_spec.take() {
+                if new_spec.kind != q.spec.kind {
+                    q.trace.replans += 1;
+                    q.trace.switches.push(format!(
+                        "epoch {epoch}: {} -> {}",
+                        strategy_label(&q.spec.kind),
+                        strategy_label(&new_spec.kind)
+                    ));
+                    q.spec = new_spec;
+                    replanned = true;
+                }
+            }
+            q.trace.epochs_run += 1;
+            (q.spec.clone(), epoch, replanned)
         };
+        if replanned {
+            self.stats.replans += 1;
+            // The origin's result bookkeeping mirrors the live spec.
+            if let Some(res) = self.results.get_mut(&id) {
+                res.spec = spec.clone();
+            }
+        }
         self.stats.epochs_run += 1;
 
-        let now = ctx.now();
         let since = match spec.continuous {
             Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
             None => SimTime::ZERO,
@@ -829,7 +1092,7 @@ impl PierNode {
 
         match &spec.kind {
             QueryKind::Select { table, filter, project, .. } => {
-                let rows = self.scan(table, now, since);
+                let rows = self.scan_traced(id, table, now, since);
                 let filter_op = filter.clone().map(FilterOp::new);
                 let project_op = ProjectOp::new(project.clone());
                 for row in rows {
@@ -840,7 +1103,7 @@ impl PierNode {
                 }
             }
             QueryKind::Aggregate { table, filter, group_exprs, aggs, .. } => {
-                let rows = self.scan(table, now, since);
+                let rows = self.scan_traced(id, table, now, since);
                 let filter_op = filter.clone().map(FilterOp::new);
                 let mut agg = GroupAggregator::new(group_exprs.clone(), aggs.clone());
                 for row in rows {
@@ -862,15 +1125,19 @@ impl PierNode {
                 ..
             } => match strategy {
                 JoinStrategy::SymmetricHash => {
-                    let left_rows = self.scan_filtered(left_table, now, since, left_filter);
+                    let left_rows =
+                        self.scan_filtered_traced(id, left_table, now, since, left_filter);
                     self.rehash_side(ctx, &spec, epoch, 0, left_key, left_rows);
-                    let right_rows = self.scan_filtered(right_table, now, since, right_filter);
+                    let right_rows =
+                        self.scan_filtered_traced(id, right_table, now, since, right_filter);
                     self.rehash_side(ctx, &spec, epoch, 1, right_key, right_rows);
                 }
                 JoinStrategy::FetchMatches => {
-                    let left_rows = self.scan_filtered(left_table, now, since, left_filter);
+                    let left_rows =
+                        self.scan_filtered_traced(id, left_table, now, since, left_filter);
                     let right_table = right_table.clone();
                     let left_key = left_key.clone();
+                    let mut probes = 0u64;
                     for row in left_rows {
                         let key = left_key.eval(&row);
                         if key.is_null() {
@@ -881,12 +1148,17 @@ impl PierNode {
                             ResourceKey::singleton(right_table.clone(), key.partition_string()),
                         );
                         self.pending_fetch.insert(req, (id, epoch, row));
+                        probes += 1;
+                    }
+                    if let Some(q) = self.queries.get_mut(&id) {
+                        q.trace.probes_sent += probes;
                     }
                 }
                 JoinStrategy::BloomFilter => {
                     // Phase 1: summarize and rehash the left relation; the right
                     // relation waits for the combined filter.
-                    let left_rows = self.scan_filtered(left_table, now, since, left_filter);
+                    let left_rows =
+                        self.scan_filtered_traced(id, left_table, now, since, left_filter);
                     let mut bloom = BloomFilter::new(self.config.bloom_bits, 4);
                     for row in &left_rows {
                         let key = left_key.eval(row);
@@ -897,7 +1169,7 @@ impl PierNode {
                     self.rehash_side(ctx, &spec, epoch, 0, left_key, left_rows);
                     let (bits, k) = bloom.to_words();
                     let payload = PierPayload::Bloom { query: id, epoch, bits, k, combined: false };
-                    self.note_send(&payload);
+                    self.note_query_send(id, &payload);
                     self.dht.send_direct(ctx, spec.origin(), payload);
                 }
             },
@@ -918,16 +1190,34 @@ impl PierNode {
         rows
     }
 
-    /// Scan a table and apply a pushed-down predicate before any tuple is
-    /// shipped (the optimizer places per-side join filters here).
-    fn scan_filtered(
+    /// Scan on behalf of a query, mirroring the scanned-tuple count into its
+    /// execution trace.
+    fn scan_traced(
         &mut self,
+        id: QueryId,
+        table: &str,
+        now: SimTime,
+        since: SimTime,
+    ) -> Vec<Tuple> {
+        let rows = self.scan(table, now, since);
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.trace.tuples_scanned += rows.len() as u64;
+        }
+        rows
+    }
+
+    /// Scan a table and apply a pushed-down predicate before any tuple is
+    /// shipped (the optimizer places per-side join filters here).  The trace
+    /// counts the tuples *scanned*, before the filter drops any.
+    fn scan_filtered_traced(
+        &mut self,
+        id: QueryId,
         table: &str,
         now: SimTime,
         since: SimTime,
         filter: &Option<crate::expr::Expr>,
     ) -> Vec<Tuple> {
-        let rows = self.scan(table, now, since);
+        let rows = self.scan_traced(id, table, now, since);
         match filter {
             Some(f) => {
                 let op = FilterOp::new(f.clone());
@@ -939,10 +1229,14 @@ impl PierNode {
 
     fn send_result(&mut self, ctx: &mut Ctx<'_>, spec: &QuerySpec, epoch: u64, tuple: Tuple) {
         self.stats.results_sent += 1;
+        if let Some(q) = self.queries.get_mut(&spec.id) {
+            q.trace.results_sent += 1;
+            *q.trace.epoch_rows.entry(epoch).or_insert(0) += 1;
+        }
         if !self.config.batching {
             let row = ResultRow { query: spec.id, epoch, tuple };
             let payload = PierPayload::Result(row);
-            self.note_send(&payload);
+            self.note_query_send(spec.id, &payload);
             self.dht.send_direct(ctx, spec.origin(), payload);
             return;
         }
@@ -985,7 +1279,7 @@ impl PierNode {
             } else {
                 PierPayload::ResultBatch { query, epoch, rows }
             };
-            self.note_send(&payload);
+            self.note_query_send(query, &payload);
             self.dht.send_direct(ctx, origin, payload);
         }
     }
@@ -1027,6 +1321,9 @@ impl PierNode {
         }
         if from_network {
             self.stats.partials_merged += 1;
+            if let Some(q) = self.queries.get_mut(&id) {
+                q.trace.partials_merged += 1;
+            }
         }
         let is_root = match self.config.aggregation {
             AggregationMode::Direct => {
@@ -1116,8 +1413,11 @@ impl PierNode {
         match target {
             Some(next) if next != self.addr => {
                 self.stats.partials_sent += 1;
+                if let Some(q) = self.queries.get_mut(&id) {
+                    q.trace.partials_sent += 1;
+                }
                 let payload = PierPayload::Partial { query: id, epoch, groups, contributors };
-                self.note_send(&payload);
+                self.note_query_send(id, &payload);
                 self.dht.send_direct(ctx, next, payload);
             }
             _ => {
@@ -1179,7 +1479,7 @@ impl PierNode {
             self.send_result(ctx, &spec, epoch, row);
         }
         let done = PierPayload::EpochDone { query: id, epoch, contributors };
-        self.note_send(&done);
+        self.note_query_send(id, &done);
         self.dht.send_direct(ctx, spec.origin(), done);
         self.process_upcalls(ctx);
     }
@@ -1224,13 +1524,16 @@ impl PierNode {
                     key: key.clone(),
                     tuple: narrow(&row),
                 };
-                self.note_payload(&payload);
+                self.note_query_payload(spec.id, &payload);
+                if let Some(q) = self.queries.get_mut(&spec.id) {
+                    q.trace.tuples_shipped += 1;
+                }
                 let sent = self.dht.send_to_key(
                     ctx,
                     ResourceKey::singleton(namespace.clone(), key.partition_string()),
                     payload,
                 );
-                self.stats.messages_sent += sent as u64;
+                self.add_query_msgs(spec.id, sent as u64);
             }
             return;
         }
@@ -1246,10 +1549,12 @@ impl PierNode {
             Some((key, narrowed))
         }));
         let mut items = Vec::new();
+        let mut shipped = 0u64;
         for (key, group) in groups {
             let resource = ResourceKey::singleton(namespace.clone(), key.partition_string());
             for chunk in group.chunks(self.config.batch_max.max(1)) {
                 self.stats.join_tuples_sent += chunk.len() as u64;
+                shipped += chunk.len() as u64;
                 let payload = if chunk.len() == 1 {
                     PierPayload::JoinTuple {
                         query: spec.id,
@@ -1267,12 +1572,15 @@ impl PierNode {
                         tuples: chunk.to_vec(),
                     }
                 };
-                self.note_payload(&payload);
+                self.note_query_payload(spec.id, &payload);
                 items.push((resource.clone(), payload));
             }
         }
+        if let Some(q) = self.queries.get_mut(&spec.id) {
+            q.trace.tuples_shipped += shipped;
+        }
         let sent = self.dht.send_to_key_batch(ctx, items);
-        self.stats.messages_sent += sent as u64;
+        self.add_query_msgs(spec.id, sent as u64);
     }
 
     fn on_join_tuples(
@@ -1311,6 +1619,9 @@ impl PierNode {
             }
         }
         self.stats.join_matches += outputs.len() as u64;
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.trace.join_matches += outputs.len() as u64;
+        }
         for out in outputs {
             self.send_result(ctx, &spec, epoch, out);
         }
@@ -1351,6 +1662,9 @@ impl PierNode {
             }
         }
         self.stats.join_matches += outputs.len() as u64;
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.trace.join_matches += outputs.len() as u64;
+        }
         for out in outputs {
             self.send_result(ctx, &spec, epoch, out);
         }
@@ -1406,7 +1720,8 @@ impl PierNode {
             None => SimTime::ZERO,
         };
         let right_filter = right_filter.clone();
-        let rows = self.scan_filtered(right_table, now, since, &right_filter);
+        let right_table = right_table.clone();
+        let rows = self.scan_filtered_traced(id, &right_table, now, since, &right_filter);
         let survivors: Vec<Tuple> = rows
             .into_iter()
             .filter(|r| {
@@ -1420,6 +1735,93 @@ impl PierNode {
     }
 
     // ------------------------------------------------------------------
+    // Automatic statistics & mid-flight re-planning
+    // ------------------------------------------------------------------
+
+    /// One anti-entropy round: summarize the live soft state this node stores
+    /// for every cataloged table, fold the totals into the local catalog, and
+    /// push the whole epoch-stamped view to ring neighbours.
+    fn stats_gossip_round(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let tables: Vec<String> =
+            self.catalog.table_names().iter().map(|s| s.to_string()).collect();
+        let mut summaries = Vec::with_capacity(tables.len());
+        for table in tables {
+            let (rows, distinct_keys) =
+                self.dht.namespace_summary(&table, now, |p| p.tuples().len() as u64);
+            summaries.push(TableSummary { table, rows, distinct_keys });
+        }
+        // Seed the sequence from virtual time so a restarted node (fresh
+        // state, same address) immediately outranks its own pre-crash
+        // entries in every peer's view instead of being rejected as stale
+        // until its counter catches up.
+        self.gossip_seq = self.gossip_seq.max(now.as_micros()) + 1;
+        self.gossip.update_self(self.addr, self.gossip_seq, summaries);
+        let totals = self.gossip.totals();
+        apply_totals(&mut self.catalog, &totals);
+
+        // Push to the predecessor plus the first `stats_fanout` live
+        // successors, so views spread both ways around the ring.
+        let mut peers: Vec<NodeAddr> = Vec::new();
+        if let Some(p) = self.dht.predecessor() {
+            peers.push(p.addr);
+        }
+        for s in self.dht.successor_list().iter().take(self.config.stats_fanout.max(1)) {
+            peers.push(s.addr);
+        }
+        peers.retain(|&a| a != self.addr);
+        // In tiny rings the predecessor reappears in the successor list, and
+        // the duplicates are not adjacent: sort before deduplicating.
+        peers.sort_unstable_by_key(|a| a.0);
+        peers.dedup();
+        let entries = self.gossip.wire_entries();
+        for peer in peers {
+            self.stats.stats_gossip_sent += 1;
+            self.dht.send_direct(ctx, peer, PierPayload::StatsGossip { entries: entries.clone() });
+        }
+        self.process_upcalls(ctx);
+    }
+
+    /// Re-plan a continuous SQL query this node originated against the
+    /// current catalog.  Called at every epoch boundary; a no-op unless the
+    /// catalog version moved since the last planning.  When the cost ranking
+    /// flips the physical plan, the updated spec is applied locally (we *are*
+    /// at an epoch boundary) and re-disseminated so every other node swaps at
+    /// its own next boundary.
+    fn maybe_replan(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
+        if !self.config.adaptive {
+            return;
+        }
+        let Some((sql, planned_version)) = self.origin_sql.get(&id).cloned() else { return };
+        let version = self.catalog.version();
+        if version == planned_version {
+            return;
+        }
+        let Ok(stmt) = parse_select(&sql) else { return };
+        let Ok(planned) = Planner::new(&self.catalog).plan_select(&stmt) else { return };
+        self.origin_sql.insert(id, (sql, version));
+        let changed = match self.queries.get_mut(&id) {
+            Some(q) if q.spec.kind != planned.kind => {
+                q.pending_spec = Some(QuerySpec {
+                    id,
+                    kind: planned.kind,
+                    output_names: planned.output_names,
+                    continuous: q.spec.continuous,
+                });
+                true
+            }
+            _ => false,
+        };
+        if changed {
+            // The origin applies the staged spec in the epoch evaluation that
+            // follows this call; other nodes apply it at their next epoch.
+            let spec = self.queries[&id].pending_spec.clone().expect("pending spec staged above");
+            self.dht.broadcast(ctx, PierPayload::Query(spec));
+            self.process_upcalls(ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Recursive queries
     // ------------------------------------------------------------------
 
@@ -1429,11 +1831,14 @@ impl PierNode {
         let edges_table = edges_table.clone();
         let source = source.clone();
         self.stats.expands_sent += 1;
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.trace.expands_sent += 1;
+        }
         let resource = ResourceKey::singleton(edges_table, source.partition_string());
         let payload = PierPayload::Expand { query: id, vertex: source, depth: 0 };
-        self.note_payload(&payload);
+        self.note_query_payload(id, &payload);
         let sent = self.dht.send_to_key(ctx, resource, payload);
-        self.stats.messages_sent += sent as u64;
+        self.add_query_msgs(id, sent as u64);
         self.process_upcalls(ctx);
     }
 
@@ -1448,7 +1853,8 @@ impl PierNode {
             return;
         }
         let now = ctx.now();
-        let edges = self.scan(edges_table, now, SimTime::ZERO);
+        let edges_table = edges_table.clone();
+        let edges = self.scan_traced(id, &edges_table, now, SimTime::ZERO);
         let epoch = 0;
         let mut to_expand = Vec::new();
         for edge in edges {
@@ -1462,14 +1868,16 @@ impl PierNode {
                 to_expand.push(dst);
             }
         }
-        let edges_table = edges_table.clone();
         for dst in to_expand {
             self.stats.expands_sent += 1;
+            if let Some(q) = self.queries.get_mut(&id) {
+                q.trace.expands_sent += 1;
+            }
             let resource = ResourceKey::singleton(edges_table.clone(), dst.partition_string());
             let payload = PierPayload::Expand { query: id, vertex: dst, depth: depth + 1 };
-            self.note_payload(&payload);
+            self.note_query_payload(id, &payload);
             let sent = self.dht.send_to_key(ctx, resource, payload);
-            self.stats.messages_sent += sent as u64;
+            self.add_query_msgs(id, sent as u64);
         }
         self.process_upcalls(ctx);
     }
@@ -1477,6 +1885,17 @@ impl PierNode {
 
 /// Alias to keep `absorb_partials`'s signature readable.
 type AggStateVec = crate::aggregate::AggState;
+
+/// Short label of the part of a spec that re-planning can change, for the
+/// trace's switch records.
+fn strategy_label(kind: &QueryKind) -> String {
+    match kind {
+        QueryKind::Join { strategy, .. } => format!("{strategy:?}"),
+        QueryKind::Select { .. } => "Select".to_string(),
+        QueryKind::Aggregate { .. } => "Aggregate".to_string(),
+        QueryKind::Recursive { .. } => "Recursive".to_string(),
+    }
+}
 
 /// Group `items` by key, preserving first-occurrence group order (the
 /// simulator's reproducibility requires deterministic message ordering, which
@@ -1518,6 +1937,10 @@ impl Node for PierNode {
 
     fn on_start(&mut self, ctx: &mut Context<Self::Msg>) {
         self.dht.start(ctx);
+        if self.config.auto_stats {
+            let delay = self.config.stats_interval;
+            self.arm_timer(ctx, delay, TimerPurpose::StatsGossip);
+        }
         self.process_upcalls(ctx);
     }
 
@@ -1537,11 +1960,21 @@ impl Node for PierNode {
             TimerPurpose::Epoch(id) => {
                 let continuous = self.queries.get(&id).and_then(|q| q.spec.continuous);
                 if let Some(c) = continuous {
+                    // Mid-flight adaptivity: if the catalog moved since this
+                    // query was planned, re-plan it now, at the epoch
+                    // boundary, before this epoch's evaluation.
+                    if id.origin() == self.addr {
+                        self.maybe_replan(ctx, id);
+                    }
                     let (evaluations, spec) = {
                         let q = self.queries.get_mut(&id).expect("query exists");
                         q.epoch += 1;
                         q.epoch_started_at = ctx.now();
-                        (q.epoch, q.spec.clone())
+                        // A staged re-plan is about to take effect in this
+                        // epoch's evaluation; re-disseminating the stale spec
+                        // would flip remote nodes back.
+                        let spec = q.pending_spec.clone().unwrap_or_else(|| q.spec.clone());
+                        (q.epoch, spec)
                     };
                     // Continuous queries are soft state: the origin re-disseminates
                     // the plan every few epochs so nodes that joined (or rejoined
@@ -1560,6 +1993,11 @@ impl Node for PierNode {
             }
             TimerPurpose::RootFinalize(id, epoch) => self.finalize_epoch(ctx, id, epoch),
             TimerPurpose::BloomPhase2(id, epoch) => self.broadcast_combined_bloom(ctx, id, epoch),
+            TimerPurpose::StatsGossip => {
+                self.stats_gossip_round(ctx);
+                let delay = self.config.stats_interval;
+                self.arm_timer(ctx, delay, TimerPurpose::StatsGossip);
+            }
         }
     }
 }

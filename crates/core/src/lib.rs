@@ -16,8 +16,12 @@
 //!   query/result dissemination ([`engine`]);
 //! * **continuous queries** re-evaluated every epoch over a window of recent
 //!   soft state;
+//! * an **observability-and-adaptivity plane** — per-query execution traces
+//!   aggregated network-wide by `EXPLAIN ANALYZE` ([`mod@trace`]), gossiped
+//!   automatic statistics ([`mod@stats`]), and mid-flight re-planning of
+//!   continuous queries when the statistics flip the cost ranking;
 //! * a **deployment harness** ([`testbed`]) playing the role of the PlanetLab
-//!   testbed, plus a centralized [`reference`] evaluator used as ground truth
+//!   testbed, plus a centralized [`mod@reference`] evaluator used as ground truth
 //!   in tests.
 //!
 //! ## Quickstart
@@ -65,7 +69,9 @@ pub mod planner;
 pub mod query;
 pub mod reference;
 pub mod sql;
+pub mod stats;
 pub mod testbed;
+pub mod trace;
 pub mod tuple;
 pub mod value;
 
@@ -81,7 +87,9 @@ pub use plan::{AggExpr, LogicalPlan, SortKey};
 pub use planner::{Explanation, PlanCache, PlanError, PlannedQuery, Planner};
 pub use query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind, QuerySpec, ResultRow};
 pub use reference::{same_rows, MemoryDb};
+pub use stats::{GossipView, NodeStatsEntry, TableSummary};
 pub use testbed::{PierTestbed, TestbedConfig};
+pub use trace::{render_network_trace, OpTrace};
 pub use tuple::{Field, Schema, Tuple};
 pub use value::{DataType, Value};
 

@@ -9,9 +9,11 @@
 use crate::aggregate::AggState;
 use crate::dataflow::ops::GroupKey;
 use crate::query::{QueryId, QuerySpec, ResultRow};
+use crate::stats::NodeStatsEntry;
+use crate::trace::OpTrace;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use pier_simnet::WireSize;
+use pier_simnet::{NodeAddr, WireSize};
 
 /// Application-level message / stored value.
 ///
@@ -117,6 +119,28 @@ pub enum PierPayload {
         /// Depth of `vertex` from the source.
         depth: u32,
     },
+    /// `EXPLAIN ANALYZE`: the origin asks every node for its execution trace
+    /// of a query (broadcast over the dissemination tree).
+    TraceRequest {
+        /// Which query.
+        query: QueryId,
+    },
+    /// One node's per-operator execution trace, sent directly to the query
+    /// origin in answer to a [`PierPayload::TraceRequest`].
+    TraceReport {
+        /// Which query.
+        query: QueryId,
+        /// The reporting node.
+        node: NodeAddr,
+        /// Its producer-side counters for the query.
+        trace: OpTrace,
+    },
+    /// Automatic-statistics gossip: the sender's entire epoch-stamped view of
+    /// per-node table summaries, pushed to a ring neighbour (anti-entropy).
+    StatsGossip {
+        /// Newest known entry per node, including the sender's own.
+        entries: Vec<NodeStatsEntry>,
+    },
 }
 
 impl WireSize for PierPayload {
@@ -147,6 +171,11 @@ impl WireSize for PierPayload {
             }
             PierPayload::Bloom { bits, .. } => 18 + bits.len() * 8,
             PierPayload::Expand { vertex, .. } => 20 + vertex.wire_size(),
+            PierPayload::TraceRequest { .. } => 8,
+            PierPayload::TraceReport { trace, .. } => 12 + trace.wire_size(),
+            PierPayload::StatsGossip { entries } => {
+                4 + entries.iter().map(|e| e.wire_size()).sum::<usize>()
+            }
         }
     }
 }

@@ -5,7 +5,7 @@
 //! lex/parse/bind/optimize/cost pipeline for each submission is pure waste, so
 //! each [`PierNode`](crate::engine::PierNode) keeps a small [`PlanCache`]
 //! keyed by `(SQL text, catalog version)`: any change to a table definition or
-//! its statistics bumps the [`Catalog`](crate::catalog::Catalog) version and
+//! its statistics bumps the [`Catalog`] version and
 //! thereby invalidates every plan produced against the older catalog, with no
 //! explicit invalidation protocol.
 

@@ -4,7 +4,7 @@
 //! Planning runs in four distinct stages, each in its own module:
 //!
 //! 1. [`binder`] resolves table/column names against the [`Catalog`] into a
-//!    typed [`BoundSelect`](binder::BoundSelect);
+//!    typed [`BoundSelect`];
 //! 2. [`logical`] builds the initial [`LogicalPlan`] operator tree;
 //! 3. [`optimizer`] rewrites it (constant folding, predicate pushdown,
 //!    projection pruning) under a rule framework;

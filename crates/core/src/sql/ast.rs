@@ -21,8 +21,16 @@ pub enum Statement {
     /// A (possibly continuous) query.
     Select(SelectStmt),
     /// `EXPLAIN <select>`: run the planning pipeline and report each stage's
-    /// output instead of executing the query.
-    Explain(Box<SelectStmt>),
+    /// output instead of executing the query.  With `analyze` set
+    /// (`EXPLAIN ANALYZE <select>`), the query is *also* executed and every
+    /// node's per-operator execution trace is aggregated back to the origin
+    /// (see `PierTestbed::explain_analyze` in `pier-core`).
+    Explain {
+        /// `EXPLAIN ANALYZE`: execute and collect network-wide traces.
+        analyze: bool,
+        /// The statement being explained.
+        select: Box<SelectStmt>,
+    },
     /// Table definition.
     CreateTable(CreateTableStmt),
     /// Single-row insert.

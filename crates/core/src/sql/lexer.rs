@@ -29,6 +29,7 @@ pub enum Token {
 /// implicit aliases; `EXPLAIN` heads the list because it starts a statement.
 pub const RESERVED_WORDS: &[&str] = &[
     "explain",
+    "analyze",
     "select",
     "from",
     "where",

@@ -18,6 +18,11 @@
 //! -- Planner introspection: render every pipeline stage instead of executing
 //! EXPLAIN SELECT f.name FROM files f JOIN keywords k ON f.file_id = k.file_id
 //! WHERE k.keyword = 'mp3';
+//!
+//! -- Execute AND trace: run the query, aggregate every node's per-operator
+//! -- counters over the DHT, render them next to the static plan
+//! -- (driven through PierTestbed::explain_analyze)
+//! EXPLAIN ANALYZE SELECT SUM(out_rate) FROM netstats CONTINUOUS EVERY 5 SECONDS;
 //! ```
 
 pub mod ast;

@@ -134,13 +134,15 @@ impl Parser {
     fn statement(&mut self) -> Result<Statement, ParseError> {
         if self.peek().is_kw("explain") {
             self.advance();
+            let analyze = self.eat_kw("analyze");
             if !self.peek().is_kw("select") {
                 return Err(ParseError::new(format!(
-                    "EXPLAIN supports only SELECT statements, found {}",
+                    "EXPLAIN{} supports only SELECT statements, found {}",
+                    if analyze { " ANALYZE" } else { "" },
                     self.peek()
                 )));
             }
-            Ok(Statement::Explain(Box::new(self.select()?)))
+            Ok(Statement::Explain { analyze, select: Box::new(self.select()?) })
         } else if self.peek().is_kw("select") {
             Ok(Statement::Select(self.select()?))
         } else if self.peek().is_kw("create") {
@@ -764,24 +766,44 @@ mod tests {
     fn explain_select_round_trips() {
         let stmt = parse("EXPLAIN SELECT host FROM netstats WHERE out_rate > 10 LIMIT 3").unwrap();
         match stmt {
-            Statement::Explain(inner) => {
-                assert_eq!(inner.from.name, "netstats");
-                assert!(inner.where_clause.is_some());
-                assert_eq!(inner.limit, Some(3));
+            Statement::Explain { analyze, select } => {
+                assert!(!analyze);
+                assert_eq!(select.from.name, "netstats");
+                assert!(select.where_clause.is_some());
+                assert_eq!(select.limit, Some(3));
                 // The inner statement is exactly what plain parsing produces.
                 let direct = sel("SELECT host FROM netstats WHERE out_rate > 10 LIMIT 3");
-                assert_eq!(*inner, direct);
+                assert_eq!(*select, direct);
             }
             other => panic!("unexpected {other:?}"),
         }
         // Case-insensitive, tolerant of a trailing semicolon.
-        assert!(matches!(parse("explain select * from t;").unwrap(), Statement::Explain(_)));
+        assert!(matches!(
+            parse("explain select * from t;").unwrap(),
+            Statement::Explain { analyze: false, .. }
+        ));
+    }
+
+    #[test]
+    fn explain_analyze_sets_the_flag() {
+        let stmt = parse("EXPLAIN ANALYZE SELECT host FROM netstats").unwrap();
+        match stmt {
+            Statement::Explain { analyze, select } => {
+                assert!(analyze);
+                assert_eq!(select.from.name, "netstats");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // `analyze` is an ordinary identifier outside the EXPLAIN prefix.
+        assert!(parse("SELECT analyze FROM t").is_ok());
     }
 
     #[test]
     fn explain_requires_select() {
         let err = parse("EXPLAIN CREATE TABLE t (a INT)").unwrap_err();
         assert!(err.message.contains("EXPLAIN supports only SELECT"), "{}", err.message);
+        let err = parse("EXPLAIN ANALYZE INSERT INTO t VALUES (1)").unwrap_err();
+        assert!(err.message.contains("EXPLAIN ANALYZE supports only SELECT"), "{}", err.message);
         assert!(parse("EXPLAIN").is_err());
     }
 

@@ -1,0 +1,249 @@
+//! Automatic statistics — gossiped per-table cardinality summaries.
+//!
+//! PIER has no central statistics authority, and nobody hand-installs
+//! `ANALYZE` output on a planetary deployment.  Instead, every node
+//! periodically summarizes the live soft state it stores (tuples and distinct
+//! partitioning keys per table, read straight from the DHT store so TTL
+//! expiry is accounted for) and **gossips** the summaries: each node pushes
+//! its entire epoch-stamped view to a few ring neighbours, receivers keep the
+//! newest entry per node, and the per-table totals — the sum over all known
+//! nodes, exact when every node is known because base tuples are partitioned
+//! across the ring — are folded into the local
+//! [`Catalog::set_stats`](crate::catalog::Catalog::set_stats).
+//!
+//! Updating the catalog bumps [`Catalog::version`](crate::catalog::Catalog::
+//! version), which invalidates the per-node plan cache *and* arms the engine's
+//! mid-flight re-planner: a live continuous query whose cost ranking flips
+//! under the new statistics is re-planned at the next epoch boundary.  To keep
+//! the version (and therefore the plan cache) from churning on every gossip
+//! round, the catalog is only touched when an estimate moves by more than
+//! [`STATS_REL_THRESHOLD`].
+//!
+//! Known limitation: the view never expires entries, so a permanently
+//! departed node's last summary keeps contributing to the totals (its tuples
+//! also linger as soft state elsewhere until their TTLs lapse, so the two
+//! staleness windows roughly track each other).  Restarted nodes are handled:
+//! their sequence numbers are seeded from virtual time, so fresh summaries
+//! immediately outrank pre-crash ones.
+
+use crate::catalog::{Catalog, TableStats};
+use pier_simnet::{NodeAddr, WireSize};
+use std::collections::HashMap;
+
+/// Relative change in an estimate below which the catalog is left untouched
+/// (avoids plan-cache invalidation storms while gossip converges).
+pub const STATS_REL_THRESHOLD: f64 = 0.1;
+
+/// One table's local summary at one node: live tuples stored here and the
+/// number of distinct live partitioning-key values stored here.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableSummary {
+    /// Table (namespace) name.
+    pub table: String,
+    /// Live tuples this node stores for the table.
+    pub rows: u64,
+    /// Distinct live partitioning keys this node stores for the table.
+    pub distinct_keys: u64,
+}
+
+impl WireSize for TableSummary {
+    fn wire_size(&self) -> usize {
+        self.table.len() + 2 + 16
+    }
+}
+
+/// One node's epoch-stamped statistics entry, as it travels in gossip
+/// messages.  `seq` increases every time the node re-summarizes; receivers
+/// keep the highest `seq` per node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeStatsEntry {
+    /// Which node measured these summaries.
+    pub node: NodeAddr,
+    /// The node's summary sequence number (anti-entropy freshness).
+    pub seq: u64,
+    /// Per-table local summaries.
+    pub tables: Vec<TableSummary>,
+}
+
+impl WireSize for NodeStatsEntry {
+    fn wire_size(&self) -> usize {
+        4 + 8 + self.tables.iter().map(|t| t.wire_size()).sum::<usize>()
+    }
+}
+
+/// A node's view of the whole network's statistics: the newest
+/// [`NodeStatsEntry`] it has seen from every node (including itself).
+#[derive(Clone, Debug, Default)]
+pub struct GossipView {
+    entries: HashMap<NodeAddr, NodeStatsEntry>,
+}
+
+impl GossipView {
+    /// An empty view.
+    pub fn new() -> Self {
+        GossipView::default()
+    }
+
+    /// Replace this node's own entry.
+    pub fn update_self(&mut self, node: NodeAddr, seq: u64, tables: Vec<TableSummary>) {
+        self.entries.insert(node, NodeStatsEntry { node, seq, tables });
+    }
+
+    /// Fold received entries in, keeping the newest per node.  Returns `true`
+    /// if anything in the view changed.
+    pub fn absorb(&mut self, entries: Vec<NodeStatsEntry>) -> bool {
+        let mut changed = false;
+        for entry in entries {
+            match self.entries.get(&entry.node) {
+                Some(known) if known.seq >= entry.seq => {}
+                _ => {
+                    self.entries.insert(entry.node, entry);
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    /// The full view, ready to push to a gossip peer (deterministic order).
+    pub fn wire_entries(&self) -> Vec<NodeStatsEntry> {
+        let mut entries: Vec<NodeStatsEntry> = self.entries.values().cloned().collect();
+        entries.sort_by_key(|e| e.node.0);
+        entries
+    }
+
+    /// How many nodes this view has heard from.
+    pub fn nodes_known(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Network-wide per-table totals: the sum of every known node's local
+    /// summary.  Base tuples live at exactly one responsible node, so the sum
+    /// converges to the true network-wide cardinality (and the distinct-key
+    /// sum to the true key count, keys being partitioned across the ring).
+    pub fn totals(&self) -> Vec<TableSummary> {
+        let mut by_table: HashMap<String, (u64, u64)> = HashMap::new();
+        for entry in self.entries.values() {
+            for t in &entry.tables {
+                let e = by_table.entry(t.table.clone()).or_insert((0, 0));
+                e.0 += t.rows;
+                e.1 += t.distinct_keys;
+            }
+        }
+        let mut totals: Vec<TableSummary> = by_table
+            .into_iter()
+            .map(|(table, (rows, distinct_keys))| TableSummary { table, rows, distinct_keys })
+            .collect();
+        totals.sort_by(|a, b| a.table.cmp(&b.table));
+        totals
+    }
+}
+
+/// Fold network-wide totals into a catalog, touching
+/// [`Catalog::set_stats`] (and therefore the catalog version) only for tables
+/// whose estimate moved by more than [`STATS_REL_THRESHOLD`] relative to the
+/// recorded one.  Returns the number of tables updated.
+pub fn apply_totals(catalog: &mut Catalog, totals: &[TableSummary]) -> usize {
+    let mut updated = 0;
+    for t in totals {
+        if !catalog.contains(&t.table) {
+            continue;
+        }
+        let fresh = TableStats::with_rows(t.rows).distinct_keys(t.distinct_keys.max(1));
+        let stale = match catalog.stats(&t.table) {
+            None => true,
+            Some(cur) => {
+                rel_change(cur.rows, fresh.rows) > STATS_REL_THRESHOLD
+                    || rel_change(cur.distinct_keys.unwrap_or(0), t.distinct_keys.max(1))
+                        > STATS_REL_THRESHOLD
+            }
+        };
+        if stale {
+            catalog.set_stats(&t.table, fresh);
+            updated += 1;
+        }
+    }
+    updated
+}
+
+fn rel_change(old: u64, new: u64) -> f64 {
+    let old = old as f64;
+    let new = new as f64;
+    (new - old).abs() / old.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableDef;
+    use crate::tuple::Schema;
+    use crate::value::DataType;
+    use pier_simnet::Duration;
+
+    fn entry(node: u32, seq: u64, rows: u64) -> NodeStatsEntry {
+        NodeStatsEntry {
+            node: NodeAddr(node),
+            seq,
+            tables: vec![TableSummary { table: "t".into(), rows, distinct_keys: rows / 2 }],
+        }
+    }
+
+    #[test]
+    fn absorb_keeps_newest_per_node() {
+        let mut view = GossipView::new();
+        assert!(view.absorb(vec![entry(1, 1, 10), entry(2, 1, 20)]));
+        assert!(!view.absorb(vec![entry(1, 1, 99)]), "stale seq is ignored");
+        assert!(view.absorb(vec![entry(1, 2, 30)]));
+        assert_eq!(view.nodes_known(), 2);
+        let totals = view.totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].rows, 50);
+        assert_eq!(totals[0].distinct_keys, 25);
+    }
+
+    #[test]
+    fn wire_entries_are_deterministic() {
+        let mut view = GossipView::new();
+        view.absorb(vec![entry(5, 1, 1), entry(2, 1, 1), entry(9, 1, 1)]);
+        let nodes: Vec<u32> = view.wire_entries().iter().map(|e| e.node.0).collect();
+        assert_eq!(nodes, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn apply_totals_respects_threshold() {
+        let mut cat = Catalog::new();
+        cat.register(TableDef::new(
+            "t",
+            Schema::of(&[("a", DataType::Int)]),
+            "a",
+            Duration::from_secs(60),
+        ));
+        let totals = vec![TableSummary { table: "t".into(), rows: 100, distinct_keys: 50 }];
+        assert_eq!(apply_totals(&mut cat, &totals), 1, "no prior stats: always install");
+        let v1 = cat.version();
+
+        // Within the threshold: untouched, version stable.
+        let close = vec![TableSummary { table: "t".into(), rows: 105, distinct_keys: 52 }];
+        assert_eq!(apply_totals(&mut cat, &close), 0);
+        assert_eq!(cat.version(), v1);
+
+        // Beyond the threshold: updated, version bumped.
+        let far = vec![TableSummary { table: "t".into(), rows: 200, distinct_keys: 50 }];
+        assert_eq!(apply_totals(&mut cat, &far), 1);
+        assert!(cat.version() > v1);
+        assert_eq!(cat.stats("t").unwrap().rows, 200);
+
+        // Unknown tables are skipped.
+        let other = vec![TableSummary { table: "nope".into(), rows: 1, distinct_keys: 1 }];
+        assert_eq!(apply_totals(&mut cat, &other), 0);
+    }
+
+    #[test]
+    fn wire_sizes_scale() {
+        let e = entry(1, 1, 10);
+        assert!(e.wire_size() > 12);
+        let mut big = e.clone();
+        big.tables.push(TableSummary { table: "longer_name".into(), rows: 1, distinct_keys: 1 });
+        assert!(big.wire_size() > e.wire_size());
+    }
+}

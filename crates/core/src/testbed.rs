@@ -47,6 +47,31 @@ impl Default for TestbedConfig {
 }
 
 /// A running PIER deployment inside the simulator.
+///
+/// # Example
+///
+/// ```
+/// use pier_core::prelude::*;
+///
+/// // Boot a small overlay, agree on a relation, publish, query.
+/// let mut bed = PierTestbed::quick(6, 7);
+/// let def = TableDef::new(
+///     "readings",
+///     Schema::of(&[("host", DataType::Str), ("v", DataType::Int)]),
+///     "host",
+///     Duration::from_secs(300),
+/// );
+/// bed.create_table_everywhere(&def);
+/// for (i, &addr) in bed.nodes().to_vec().iter().enumerate() {
+///     bed.publish_local(addr, "readings", Tuple::new(vec![
+///         Value::str(format!("host-{i}")),
+///         Value::Int(i as i64),
+///     ]));
+/// }
+/// bed.run_for(Duration::from_secs(2));
+/// let rows = bed.query_once("SELECT COUNT(*) FROM readings", Duration::from_secs(10)).unwrap();
+/// assert_eq!(rows[0].get(0), &Value::Int(6));
+/// ```
 pub struct PierTestbed {
     sim: Simulation<PierNode>,
     nodes: Vec<NodeAddr>,
@@ -147,6 +172,76 @@ impl PierTestbed {
             .ok_or_else(|| "origin node is not alive".to_string())?
             .explain_sql(sql)
             .map_err(|e| e.to_string())
+    }
+
+    /// Run `EXPLAIN ANALYZE <select>` end to end: render the static
+    /// four-stage plan, **execute** the inner query from `from`, let it run
+    /// for `settle` of virtual time (continuous queries are then stopped),
+    /// collect every node's per-operator execution trace over the DHT, and
+    /// render the network-wide totals below the static plan.
+    ///
+    /// The merged trace is also available structurally afterwards through
+    /// [`PierNode::collected_trace`](crate::engine::PierNode::collected_trace)
+    /// on the origin node.
+    pub fn explain_analyze(
+        &mut self,
+        from: NodeAddr,
+        sql: &str,
+        settle: Duration,
+    ) -> Result<String, String> {
+        use crate::sql::{parse, Statement};
+        let stmt = parse(sql).map_err(|e| e.to_string())?;
+        let select = match stmt {
+            Statement::Explain { analyze: true, select } => *select,
+            Statement::Explain { analyze: false, .. } => {
+                return Err("EXPLAIN without ANALYZE is static; use explain()".to_string())
+            }
+            _ => return Err("expected an EXPLAIN ANALYZE <select> statement".to_string()),
+        };
+        self.ensure_tables(from);
+        let static_text = self
+            .sim
+            .node(from)
+            .ok_or_else(|| "origin node is not alive".to_string())?
+            .explain_sql(sql)
+            .map_err(|e| e.to_string())?;
+
+        // Execute the inner statement for real, keyed by the *inner* SELECT
+        // text: keying by the EXPLAIN ANALYZE wrapper would poison the plan
+        // cache with a non-SELECT key and leave the origin's re-planning
+        // state holding text that does not parse as a SELECT.
+        let sql_key = inner_select_text(sql).to_string();
+        let id = self
+            .sim
+            .invoke(from, move |node, ctx| {
+                node.submit_select(ctx, &sql_key, &select).map_err(|e| e.to_string())
+            })
+            .unwrap_or_else(|| Err("origin node is not alive".to_string()))?;
+        self.run_for(settle);
+
+        // Freeze a continuous query so its counters quiesce, then collect.
+        let continuous = self
+            .sim
+            .node(from)
+            .and_then(|n| n.results(id))
+            .map(|r| r.spec.is_continuous())
+            .unwrap_or(false);
+        if continuous {
+            self.stop_query(from, id);
+            self.run_for(Duration::from_secs(2));
+        }
+        self.sim.invoke(from, move |node, ctx| node.request_traces(ctx, id));
+        self.run_for(Duration::from_secs(3));
+
+        let node = self.sim.node(from).ok_or_else(|| "origin node is not alive".to_string())?;
+        let (reporters, trace) =
+            node.collected_trace(id).ok_or_else(|| "no traces were collected".to_string())?;
+        let kind = node
+            .results(id)
+            .map(|r| r.spec.kind.clone())
+            .ok_or_else(|| "origin lost the query's result state".to_string())?;
+        let trace_text = crate::trace::render_network_trace(reporters, trace, &kind);
+        Ok(format!("{static_text}{trace_text}"))
     }
 
     /// Re-register every known table definition on a node whose catalog lost
@@ -300,11 +395,45 @@ impl PierTestbed {
     }
 }
 
+/// The text after a leading `EXPLAIN ANALYZE` prefix (case-insensitive,
+/// whitespace-tolerant) — the inner SELECT's own text.  Falls back to the
+/// full input if the stripped remainder does not parse as a SELECT (e.g. a
+/// comment sits between the keywords), which merely widens the cache key.
+fn inner_select_text(sql: &str) -> &str {
+    fn strip_kw<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+        let t = s.trim_start();
+        if t.len() >= kw.len() && t[..kw.len()].eq_ignore_ascii_case(kw) {
+            let rest = &t[kw.len()..];
+            let boundary =
+                rest.chars().next().map(|c| !c.is_ascii_alphanumeric() && c != '_').unwrap_or(true);
+            if boundary {
+                return Some(rest);
+            }
+        }
+        None
+    }
+    let stripped = strip_kw(sql, "explain").and_then(|rest| strip_kw(rest, "analyze"));
+    match stripped {
+        Some(inner) if crate::sql::parse_select(inner).is_ok() => inner.trim_start(),
+        _ => sql,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tuple::Schema;
     use crate::value::{DataType, Value};
+
+    #[test]
+    fn inner_select_text_strips_the_wrapper() {
+        assert_eq!(inner_select_text("EXPLAIN ANALYZE SELECT a FROM t"), "SELECT a FROM t");
+        assert_eq!(inner_select_text("  explain   analyze\n select a from t"), "select a from t");
+        // Not an EXPLAIN ANALYZE: returned untouched.
+        assert_eq!(inner_select_text("SELECT a FROM t"), "SELECT a FROM t");
+        // `analyzer` is an identifier, not the keyword.
+        assert_eq!(inner_select_text("EXPLAIN analyzer"), "EXPLAIN analyzer");
+    }
 
     #[test]
     fn testbed_boots_and_answers_a_query() {

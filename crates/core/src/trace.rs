@@ -1,0 +1,228 @@
+//! Per-query execution traces — the data plane behind `EXPLAIN ANALYZE`.
+//!
+//! Every [`PierNode`](crate::engine::PierNode) keeps one [`OpTrace`] per
+//! installed query, incremented at exactly the points where the node's
+//! [`EngineStats`](crate::engine::EngineStats) counters are incremented — but
+//! scoped to that query, so the two views reconcile: in a deployment running a
+//! single query whose tables were populated with `publish_local`, the
+//! network-wide merge of the per-query traces equals the network-wide sum of
+//! the engine counters.
+//!
+//! `EXPLAIN ANALYZE` collects these traces over the DHT: the origin broadcasts
+//! a `TraceRequest`, every node answers with a `TraceReport` carrying its
+//! [`OpTrace`], and the origin folds the reports with [`OpTrace::merge`] into
+//! the network-wide totals rendered by [`render_network_trace`] next to the
+//! static [`Explanation`](crate::planner::Explanation).
+//!
+//! The trace also records the **adaptivity plane**'s actions: every mid-flight
+//! re-plan (a join-strategy switch driven by gossiped statistics) is counted in
+//! [`OpTrace::replans`] and described in [`OpTrace::switches`].
+
+use crate::query::QueryKind;
+use pier_simnet::WireSize;
+use std::collections::BTreeMap;
+
+/// Per-operator execution counters of one query at one node.
+///
+/// Counter semantics mirror the like-named fields of
+/// [`EngineStats`](crate::engine::EngineStats); all counters are
+/// *producer-side* (a node counts what it scanned, shipped, probed, or
+/// produced — never what it received), so merging the traces of every node
+/// counts each event exactly once.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OpTrace {
+    /// Epoch evaluations this node performed for the query (node-epochs).
+    pub epochs_run: u64,
+    /// Tuples read by this node's local scans for the query.
+    pub tuples_scanned: u64,
+    /// Tuples this node rehashed to join sites.
+    pub tuples_shipped: u64,
+    /// Fetch-Matches DHT probes this node issued.
+    pub probes_sent: u64,
+    /// Join output rows produced at this node (join site or probing node).
+    pub join_matches: u64,
+    /// Partial-aggregate messages this node sent toward the root.
+    pub partials_sent: u64,
+    /// Partial-aggregate messages this node merged in-network.
+    pub partials_merged: u64,
+    /// Result rows this node shipped toward the origin.
+    pub results_sent: u64,
+    /// Recursive expansion messages this node sent.
+    pub expands_sent: u64,
+    /// Wire messages this node initiated on the query's paths (rehashes,
+    /// partials, results, Bloom summaries, expansions).
+    pub messages_sent: u64,
+    /// Batch payloads (each coalescing ≥ 2 tuples) among those messages.
+    pub batches_sent: u64,
+    /// Application-payload bytes this node handed to the DHT for the query.
+    pub bytes_shipped: u64,
+    /// Times this node swapped to a re-planned spec at an epoch boundary.
+    pub replans: u64,
+    /// Human-readable strategy switches, e.g.
+    /// `"epoch 4: SymmetricHash -> BloomFilter"`.  Deduplicated on merge
+    /// (every node that applied the same switch records the same line).
+    pub switches: Vec<String>,
+    /// Result rows produced per epoch (producer-side row counts).
+    pub epoch_rows: BTreeMap<u64, u64>,
+}
+
+impl OpTrace {
+    /// Field-wise sum; `switches` are deduplicated, `epoch_rows` added per
+    /// epoch.  The origin folds every node's report with this.
+    pub fn merge(&mut self, other: &OpTrace) {
+        self.epochs_run += other.epochs_run;
+        self.tuples_scanned += other.tuples_scanned;
+        self.tuples_shipped += other.tuples_shipped;
+        self.probes_sent += other.probes_sent;
+        self.join_matches += other.join_matches;
+        self.partials_sent += other.partials_sent;
+        self.partials_merged += other.partials_merged;
+        self.results_sent += other.results_sent;
+        self.expands_sent += other.expands_sent;
+        self.messages_sent += other.messages_sent;
+        self.batches_sent += other.batches_sent;
+        self.bytes_shipped += other.bytes_shipped;
+        self.replans += other.replans;
+        for s in &other.switches {
+            if !self.switches.contains(s) {
+                self.switches.push(s.clone());
+            }
+        }
+        for (&epoch, &rows) in &other.epoch_rows {
+            *self.epoch_rows.entry(epoch).or_insert(0) += rows;
+        }
+    }
+
+    /// Has this trace recorded any activity at all?
+    pub fn is_empty(&self) -> bool {
+        *self == OpTrace::default()
+    }
+}
+
+impl WireSize for OpTrace {
+    fn wire_size(&self) -> usize {
+        // 13 fixed u64 counters + per-switch strings + per-epoch pairs.
+        13 * 8
+            + self.switches.iter().map(|s| s.len() + 2).sum::<usize>()
+            + self.epoch_rows.len() * 16
+    }
+}
+
+/// Render the network-wide merged trace as the annotated per-operator report
+/// `EXPLAIN ANALYZE` prints below the static plan.  `reporters` is the number
+/// of nodes whose traces were folded in; `kind` selects which operator lines
+/// apply to the query's plan shape.
+pub fn render_network_trace(reporters: u64, trace: &OpTrace, kind: &QueryKind) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== network-wide execution trace ({reporters} nodes reporting) ==\n"));
+    out.push_str(&format!(
+        "  epochs evaluated: {} node-epochs\n  scan: {} tuples scanned\n",
+        trace.epochs_run, trace.tuples_scanned
+    ));
+    match kind {
+        QueryKind::Join { strategy, .. } => {
+            out.push_str(&format!(
+                "  join [{strategy:?}]: {} tuples shipped, {} probes, {} matches\n",
+                trace.tuples_shipped, trace.probes_sent, trace.join_matches
+            ));
+        }
+        QueryKind::Aggregate { .. } => {
+            out.push_str(&format!(
+                "  aggregate: {} partials sent, {} merged in-network\n",
+                trace.partials_sent, trace.partials_merged
+            ));
+        }
+        QueryKind::Recursive { .. } => {
+            out.push_str(&format!("  recurse: {} expansions sent\n", trace.expands_sent));
+        }
+        QueryKind::Select { .. } => {}
+    }
+    out.push_str(&format!("  results: {} rows shipped to the origin\n", trace.results_sent));
+    out.push_str(&format!(
+        "  wire: {} messages, {} batches, {} payload bytes\n",
+        trace.messages_sent, trace.batches_sent, trace.bytes_shipped
+    ));
+    if trace.replans > 0 {
+        out.push_str(&format!(
+            "  re-planning: {} node-switches at epoch boundaries\n",
+            trace.replans
+        ));
+        for s in &trace.switches {
+            out.push_str(&format!("    {s}\n"));
+        }
+    }
+    if !trace.epoch_rows.is_empty() {
+        let per_epoch: Vec<String> =
+            trace.epoch_rows.iter().map(|(e, n)| format!("{e}:{n}")).collect();
+        out.push_str(&format!("  rows per epoch: {}\n", per_epoch.join(" ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn sample() -> OpTrace {
+        OpTrace {
+            epochs_run: 2,
+            tuples_scanned: 10,
+            tuples_shipped: 4,
+            probes_sent: 1,
+            join_matches: 3,
+            results_sent: 3,
+            messages_sent: 5,
+            batches_sent: 1,
+            bytes_shipped: 128,
+            replans: 1,
+            switches: vec!["epoch 4: SymmetricHash -> BloomFilter".into()],
+            epoch_rows: [(0, 1), (1, 2)].into_iter().collect(),
+            ..OpTrace::default()
+        }
+    }
+
+    #[test]
+    fn merge_sums_and_dedups_switches() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.tuples_scanned, 20);
+        assert_eq!(a.replans, 2);
+        assert_eq!(a.switches.len(), 1, "identical switch lines fold");
+        assert_eq!(a.epoch_rows[&1], 4);
+        assert!(!a.is_empty());
+        assert!(OpTrace::default().is_empty());
+    }
+
+    #[test]
+    fn wire_size_scales_with_contents() {
+        let small = OpTrace::default();
+        let big = sample();
+        assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn render_mentions_the_operators() {
+        let kind = QueryKind::Join {
+            left_table: "l".into(),
+            right_table: "r".into(),
+            left_key: Expr::col(0),
+            right_key: Expr::col(0),
+            left_filter: None,
+            right_filter: None,
+            post_filter: None,
+            project: vec![Expr::col(0)],
+            left_ship_cols: vec![0],
+            right_ship_cols: vec![0],
+            strategy: crate::query::JoinStrategy::SymmetricHash,
+            order_by: vec![],
+            limit: None,
+        };
+        let text = render_network_trace(7, &sample(), &kind);
+        assert!(text.contains("7 nodes reporting"), "{text}");
+        assert!(text.contains("tuples scanned"), "{text}");
+        assert!(text.contains("join [SymmetricHash]"), "{text}");
+        assert!(text.contains("re-planning"), "{text}");
+        assert!(text.contains("rows per epoch: 0:1 1:2"), "{text}");
+    }
+}

@@ -375,6 +375,17 @@ impl<P: Clone + WireSize> DhtNode<P> {
             .collect()
     }
 
+    /// Summarize the live local contents of one namespace: total item weight
+    /// (per the caller's `weight` measure, e.g. tuples per stored batch) and
+    /// distinct live resources.  See
+    /// [`SoftStateStore::namespace_summary`](crate::storage::SoftStateStore::namespace_summary).
+    pub fn namespace_summary<F>(&self, namespace: &str, now: SimTime, weight: F) -> (u64, u64)
+    where
+        F: Fn(&P) -> u64,
+    {
+        self.store.namespace_summary(namespace, now, weight)
+    }
+
     /// Store an item directly at this node, bypassing routing.  PIER uses
     /// this for data that is *about* the local node (e.g. its own monitoring
     /// readings) when partitioning by publisher is desired.

@@ -115,6 +115,36 @@ impl<V: Clone> SoftStateStore<V> {
             .unwrap_or_default()
     }
 
+    /// Summarize the live contents of one namespace: the total *weight* of
+    /// live items (as measured by `weight` — PIER passes the number of tuples
+    /// a stored item carries, so batched and unbatched storage summarize
+    /// identically) and the number of distinct live resources.  This is the
+    /// local input to PIER's gossiped automatic statistics: summed over all
+    /// nodes it yields the namespace's network-wide cardinality, because every
+    /// item lives at exactly one responsible node.
+    pub fn namespace_summary<F>(&self, namespace: &str, now: SimTime, weight: F) -> (u64, u64)
+    where
+        F: Fn(&V) -> u64,
+    {
+        let Some(ns) = self.namespaces.get(namespace) else { return (0, 0) };
+        let mut total = 0u64;
+        let mut distinct = 0u64;
+        let mut last_resource: Option<&str> = None;
+        for ((resource, _), item) in ns.iter() {
+            if item.is_expired(now) {
+                continue;
+            }
+            total += weight(&item.value);
+            // Items are ordered by (resource, instance), so a resource change
+            // in iteration order is a new distinct resource.
+            if last_resource != Some(resource.as_str()) {
+                distinct += 1;
+                last_resource = Some(resource.as_str());
+            }
+        }
+        (total, distinct)
+    }
+
     /// All live items across every namespace (used when handing data over to a
     /// new ring neighbor).
     pub fn all_items(&self, now: SimTime) -> Vec<&Item<V>> {

@@ -17,7 +17,7 @@
 //! * **metrics** (message/byte counters, per-tag histograms) used by the
 //!   benchmark harness to reproduce the paper's measurements.
 //!
-//! Higher layers ([`pier-dht`] and `pier-core`) implement protocol logic as
+//! Higher layers (`pier-dht` and `pier-core`) implement protocol logic as
 //! [`Node`] state machines; the simulator owns them and drives the event loop.
 //!
 //! The simulation is fully deterministic: the same seed and the same schedule

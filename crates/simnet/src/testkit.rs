@@ -1,10 +1,10 @@
-//! Test support: run protocol state machines outside a full [`Simulation`].
+//! Test support: run protocol state machines outside a full [`Simulation`](crate::Simulation).
 //!
 //! Unit tests of protocol layers (the DHT, PIER's engine) often want to poke a
 //! single node directly — hand it one message, then assert on its state and on
 //! what it tried to send — without building an entire simulated network.
 //! [`TestContext`] provides exactly that: it manufactures the same
-//! [`Context`](crate::Context) the simulator would, and collects the actions
+//! [`Context`] the simulator would, and collects the actions
 //! the handler requested so the test can inspect them.
 
 use crate::node::{Action, Context, NodeAddr, TimerId};

@@ -1,6 +1,19 @@
-//! EXPLAIN demo: render every stage of the layered planning pipeline for the
-//! filesharing keyword search, showing cost-based join-strategy selection
-//! from catalog cardinality hints.
+//! EXPLAIN / EXPLAIN ANALYZE demo — planner and executor introspection.
+//!
+//! **Paper workload**: the keyword filesharing search (a two-way distributed
+//! equi-join, Section "Applications"), used here to show (1) the four-stage
+//! planning pipeline with cost-based join-strategy selection from catalog
+//! cardinality hints, and (2) `EXPLAIN ANALYZE`, which *executes* the query
+//! and aggregates every node's per-operator execution trace over the DHT back
+//! to the origin.
+//!
+//! **Expected output shape**: two static `EXPLAIN` reports (binder → logical
+//! plan → optimized plan → distributed physical plan; the probe-shaped search
+//! chooses Fetch-Matches, the rehash-shaped one symmetric rehash), followed by
+//! an `EXPLAIN ANALYZE` report that ends with a
+//! `== network-wide execution trace (N nodes reporting) ==` section listing
+//! tuples scanned/shipped, probes, matches, wire messages/batches/bytes, and
+//! per-epoch row counts.
 //!
 //! Run with: `cargo run --example explain_demo`
 
@@ -28,4 +41,13 @@ fn main() {
     let sql = format!("EXPLAIN {}", FileCorpus::search_sql("linux"));
     println!("$ {sql}\n");
     println!("{}", bed.explain(origin, &sql).unwrap());
+
+    // EXPLAIN ANALYZE: actually run the search over a published corpus and
+    // render the network-wide per-operator totals below the static plan.
+    let corpus = FileCorpus::generate(300, 20, 42);
+    corpus.publish(&mut bed);
+    bed.run_for(Duration::from_secs(8));
+    let sql = format!("EXPLAIN ANALYZE {}", FileCorpus::search_sql("linux"));
+    println!("$ {sql}\n");
+    println!("{}", bed.explain_analyze(origin, &sql, Duration::from_secs(15)).unwrap());
 }

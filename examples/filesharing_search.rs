@@ -1,6 +1,15 @@
 //! Keyword-based filesharing search: a distributed equi-join between the file
 //! catalog and its inverted keyword index.
 //!
+//! **Paper workload**: the filesharing application from the demo's
+//! application list — keyword search expressed as a two-way distributed
+//! equi-join (`files ⋈ keywords ON file_id`), exercising the rehash join
+//! machinery over DHT-partitioned relations.
+//!
+//! **Expected output shape**: the corpus size, then for each searched keyword
+//! the number of matching files (equal to the corpus ground truth) and a few
+//! sample rows (name, owner, size).
+//!
 //! Run with: `cargo run --example filesharing_search`
 
 use pier::apps::filesharing::{files_table, keywords_table, FileCorpus};

@@ -1,8 +1,13 @@
 //! Network-wide intrusion detection — the scenario behind the paper's Table 1.
 //!
-//! Every node publishes its local Snort rule-hit counts; a single distributed
-//! GROUP BY / top-k query ranks the rules network-wide.  The output reproduces
-//! the shape of Table 1 of the paper (same rules, same ordering).
+//! **Paper workload**: Table 1's "network-wide top ten intrusion detection
+//! rules".  Every node publishes its local Snort rule-hit counts; a single
+//! distributed GROUP BY / ORDER BY SUM(hits) DESC LIMIT 10 query ranks the
+//! rules network-wide with hierarchical in-network aggregation.
+//!
+//! **Expected output shape**: a ten-row table (rule id, description, total
+//! hits) in descending hit order — the shape of the paper's Table 1 — plus
+//! the number of reporting nodes.
 //!
 //! Run with: `cargo run --example intrusion_detection`
 

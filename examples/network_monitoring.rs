@@ -1,10 +1,14 @@
 //! Network monitoring — the scenario behind the paper's Figure 1.
 //!
-//! A continuous query `SELECT SUM(out_rate) FROM netstats CONTINUOUS EVERY 5
-//! SECONDS WINDOW 10 SECONDS` runs while every node publishes fresh traffic
-//! readings; partway through, a slice of the network fails and later recovers,
-//! and the per-epoch sums plus "responding nodes" counts show the system
-//! riding through the churn.
+//! **Paper workload**: Figure 1's continuous aggregation.  A query
+//! `SELECT SUM(out_rate) FROM netstats CONTINUOUS EVERY 5 SECONDS WINDOW 10
+//! SECONDS` runs while every node publishes fresh traffic readings; partway
+//! through, a slice of the network fails and later recovers.
+//!
+//! **Expected output shape**: one line per epoch with the network-wide
+//! `SUM(out_rate)` and the "responding nodes" count — the two series of
+//! Figure 1, with the responding-nodes dip and recovery during the churn
+//! window clearly visible.
 //!
 //! Run with: `cargo run --example network_monitoring`
 

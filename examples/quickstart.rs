@@ -1,6 +1,14 @@
 //! Quickstart: boot a small PIER overlay, publish a relation, and run both a
 //! one-shot aggregate and a filtered selection from an arbitrary node.
 //!
+//! **Paper workload**: none specifically — this is the "hello, PIER" tour of
+//! the client API the paper's demo proxy exposes (create table, publish,
+//! SELECT from any node).
+//!
+//! **Expected output shape**: the node count and virtual time after boot,
+//! then a one-row aggregate (COUNT/AVG/MAX over every node's reading) and a
+//! short list of hosts matching a filtered selection.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use pier::prelude::*;

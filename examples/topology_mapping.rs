@@ -1,9 +1,15 @@
 //! Overlay-topology mapping with a recursive query.
 //!
-//! Each node publishes its own overlay adjacency (successor links) into a
-//! `links` relation; a recursive query then walks the graph from one host,
-//! streaming every traversed edge back to the origin — the paper's "network
-//! topology analysis … using recursive queries".
+//! **Paper workload**: "network topology analysis and routing using recursive
+//! queries".  Each node publishes its own overlay adjacency (successor links)
+//! into a `links` relation; a recursive query walks the graph from one host,
+//! streaming every traversed edge back to the origin (distributed semi-naïve
+//! evaluation over the partitioned edge relation).
+//!
+//! **Expected output shape**: the published link count, then the traversal
+//! summary — edges traversed, distinct hosts reached (the whole overlay, as
+//! successor rings are connected), deepest hop — and a few sample edges with
+//! their depths.
 //!
 //! Run with: `cargo run --example topology_mapping`
 
