@@ -244,8 +244,8 @@ mod tests {
         let stmt = pier_core::sql::parse_select(&FileCorpus::probe_search_sql("linux")).unwrap();
         let planned = pier_core::Planner::new(&cat).plan_select(&stmt).unwrap();
         match &planned.kind {
-            pier_core::QueryKind::Join { strategy, .. } => {
-                assert_eq!(*strategy, pier_core::JoinStrategy::FetchMatches)
+            pier_core::QueryKind::Join { stages, .. } => {
+                assert_eq!(stages[0].strategy, pier_core::JoinStrategy::FetchMatches)
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -255,8 +255,8 @@ mod tests {
         let stmt = pier_core::sql::parse_select(&FileCorpus::search_sql("linux")).unwrap();
         let planned = pier_core::Planner::new(&cat).plan_select(&stmt).unwrap();
         match &planned.kind {
-            pier_core::QueryKind::Join { strategy, .. } => {
-                assert_eq!(*strategy, pier_core::JoinStrategy::SymmetricHash)
+            pier_core::QueryKind::Join { stages, .. } => {
+                assert_eq!(stages[0].strategy, pier_core::JoinStrategy::SymmetricHash)
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -43,6 +43,9 @@ use std::fmt;
 /// [`PierPayload`]s).
 pub type PierMsg = DhtMsg<PierPayload>;
 
+/// Key of a deferred intermediate-rehash buffer: (query, stage, epoch).
+type RehashBufKey = (QueryId, u8, u64);
+
 /// How many stopped queries' execution traces a node retains for late
 /// `EXPLAIN ANALYZE` trace requests.
 pub const MAX_FINISHED_TRACES: usize = 256;
@@ -126,6 +129,14 @@ pub struct PierConfig {
     /// variable into this field so deployments can tune it without
     /// recompiling.
     pub batch_max: usize,
+    /// Time-based flush: with a value `n > 0`, result buffers and
+    /// intermediate join-rehash buffers may span up to `n` engine ticks
+    /// (upcall-processing drains) before flushing, letting chatty operators
+    /// — the stages of a multi-way join above all — coalesce output across
+    /// ticks instead of flushing every tick.  A hold-down-length timer
+    /// bounds the added latency when the node goes quiet.  `0` (the
+    /// default) preserves the classic flush-every-tick behaviour.
+    pub batch_flush_ticks: u32,
     /// Automatic statistics: every [`PierConfig::stats_interval`] each node
     /// summarizes the live soft state it stores per table and gossips the
     /// summaries to ring neighbours until every catalog converges on
@@ -139,6 +150,13 @@ pub struct PierConfig {
     /// predecessor is always included, so information spreads both ways
     /// around the ring).
     pub stats_fanout: usize,
+    /// Gossip entry expiry: a node's statistics entry is evicted from the
+    /// local view after this many gossip intervals without a fresher
+    /// sequence number, so a permanently departed node stops inflating the
+    /// network-wide cardinality totals.  Restarted nodes re-enter
+    /// immediately (their sequence numbers are time-seeded).  `0` disables
+    /// expiry.
+    pub stats_ttl_intervals: u32,
     /// Mid-flight re-planning: when a catalog change (typically gossiped
     /// statistics) flips the cost ranking of a live continuous SQL query's
     /// join strategy, the origin re-plans and re-disseminates the spec; every
@@ -163,9 +181,11 @@ impl Default for PierConfig {
             aggregation: AggregationMode::Hierarchical,
             batching: true,
             batch_max: 512,
+            batch_flush_ticks: 0,
             auto_stats: false,
             stats_interval: Duration::from_millis(5_000),
             stats_fanout: 3,
+            stats_ttl_intervals: 8,
             adaptive: true,
         }
     }
@@ -185,9 +205,11 @@ impl PierConfig {
             aggregation: AggregationMode::Hierarchical,
             batching: true,
             batch_max: 512,
+            batch_flush_ticks: 0,
             auto_stats: false,
             stats_interval: Duration::from_millis(2_000),
             stats_fanout: 3,
+            stats_ttl_intervals: 8,
             adaptive: true,
         }
     }
@@ -205,9 +227,11 @@ impl PierConfig {
             aggregation: AggregationMode::Hierarchical,
             batching: true,
             batch_max: 512,
+            batch_flush_ticks: 0,
             auto_stats: false,
             stats_interval: Duration::from_millis(5_000),
             stats_fanout: 3,
+            stats_ttl_intervals: 8,
             adaptive: true,
         }
     }
@@ -291,6 +315,9 @@ enum TimerPurpose {
     BloomPhase2(QueryId, u64),
     /// Summarize local soft state and push the statistics view to neighbours.
     StatsGossip,
+    /// Deadline flush of deferred result / rehash buffers (only armed when
+    /// `PierConfig::batch_flush_ticks` lets buffers span ticks).
+    BatchFlush,
 }
 
 /// Execution state of one query at one node.
@@ -313,9 +340,9 @@ struct RunningQuery {
     root_last_update: HashMap<u64, SimTime>,
     /// How many times finalization has been postponed, per epoch.
     root_extensions: HashMap<u64, u32>,
-    /// Join site hash tables: (epoch, key) -> tuples.
-    join_left: HashMap<(u64, Value), Vec<Tuple>>,
-    join_right: HashMap<(u64, Value), Vec<Tuple>>,
+    /// Join site hash tables: (stage, epoch, key) -> tuples.
+    join_left: HashMap<(u8, u64, Value), Vec<Tuple>>,
+    join_right: HashMap<(u8, u64, Value), Vec<Tuple>>,
     /// Origin-side Bloom collection per epoch.
     blooms: HashMap<u64, BloomFilter>,
     bloom_armed: HashSet<u64>,
@@ -451,8 +478,9 @@ pub struct PierNode {
     catalog: Catalog,
     queries: HashMap<QueryId, RunningQuery>,
     results: HashMap<QueryId, QueryResults>,
-    /// Pending Fetch-Matches probes: DHT get request id -> (query, epoch, left tuple).
-    pending_fetch: HashMap<u64, (QueryId, u64, Tuple)>,
+    /// Pending Fetch-Matches probes: DHT get request id -> (query, stage,
+    /// epoch, left/intermediate tuple).
+    pending_fetch: HashMap<u64, (QueryId, u8, u64, Tuple)>,
     /// Operator input (rehashed join tuples, recursive expansions) that
     /// arrived before this node received the query plan.  PIER stores such
     /// tuples as soft state in the DHT; we buffer them and replay them when
@@ -465,6 +493,14 @@ pub struct PierNode {
     /// from the query id).  First-come order, so flushing preserves the
     /// per-epoch row order the unbatched path would produce.
     pending_results: Vec<((QueryId, u64), Vec<Tuple>)>,
+    /// Intermediate join-rehash tuples deferred by the time-based flush
+    /// (`batch_flush_ticks > 0`), per (query, stage, epoch); flushed with
+    /// the same cadence as `pending_results`.
+    pending_rehash: Vec<(RehashBufKey, Vec<(Value, Tuple)>)>,
+    /// Upcall-processing drains since the deferred buffers last flushed.
+    ticks_since_flush: u32,
+    /// A `BatchFlush` deadline timer is in flight.
+    flush_timer_armed: bool,
     plan_cache: PlanCache,
     /// Origin-side trace collection (`EXPLAIN ANALYZE`): number of nodes
     /// that reported plus the merged network-wide trace, per query.
@@ -503,6 +539,9 @@ impl PierNode {
             early_arrivals: HashMap::new(),
             timer_purposes: HashMap::new(),
             pending_results: Vec::new(),
+            pending_rehash: Vec::new(),
+            ticks_since_flush: 0,
+            flush_timer_armed: false,
             plan_cache: PlanCache::new(),
             trace_acc: HashMap::new(),
             finished_traces: HashMap::new(),
@@ -866,11 +905,16 @@ impl PierNode {
 
     fn process_upcalls(&mut self, ctx: &mut Ctx<'_>) {
         loop {
-            let upcalls = self.dht.take_upcalls();
+            let mut upcalls = self.dht.take_upcalls();
             if upcalls.is_empty() {
-                // The tick has quiesced: ship whatever results it produced.
+                // The tick has quiesced: ship whatever results it produced
+                // (or defer, when the time-based flush allows spanning
+                // ticks), then drain anything the flush itself enqueued.
                 self.flush_results(ctx);
-                break;
+                upcalls = self.dht.take_upcalls();
+                if upcalls.is_empty() {
+                    break;
+                }
             }
             for up in upcalls {
                 match up {
@@ -938,11 +982,11 @@ impl PierNode {
             }
         }
         match payload {
-            PierPayload::JoinTuple { query, epoch, side, key, tuple } => {
-                self.on_join_tuples(ctx, query, epoch, side, key, vec![tuple])
+            PierPayload::JoinTuple { query, stage, epoch, side, key, tuple } => {
+                self.on_join_tuples(ctx, query, stage, epoch, side, key, vec![tuple])
             }
-            PierPayload::JoinBatch { query, epoch, side, key, tuples } => {
-                self.on_join_tuples(ctx, query, epoch, side, key, tuples)
+            PierPayload::JoinBatch { query, stage, epoch, side, key, tuples } => {
+                self.on_join_tuples(ctx, query, stage, epoch, side, key, tuples)
             }
             PierPayload::Expand { query, vertex, depth } => {
                 self.on_expand(ctx, query, vertex, depth)
@@ -982,7 +1026,7 @@ impl PierNode {
                 acc.merge(&trace);
             }
             PierPayload::StatsGossip { entries } => {
-                let changed = self.gossip.absorb(entries);
+                let changed = self.gossip.absorb(entries, ctx.now().as_micros());
                 if changed {
                     let totals = self.gossip.totals();
                     apply_totals(&mut self.catalog, &totals);
@@ -1114,65 +1158,88 @@ impl PierNode {
                 let partials = agg.take_partials();
                 self.absorb_partials(ctx, id, epoch, partials, 1, false);
             }
-            QueryKind::Join {
-                left_table,
-                right_table,
-                left_key,
-                right_key,
-                left_filter,
-                right_filter,
-                strategy,
-                ..
-            } => match strategy {
-                JoinStrategy::SymmetricHash => {
-                    let left_rows =
-                        self.scan_filtered_traced(id, left_table, now, since, left_filter);
-                    self.rehash_side(ctx, &spec, epoch, 0, left_key, left_rows);
-                    let right_rows =
-                        self.scan_filtered_traced(id, right_table, now, since, right_filter);
-                    self.rehash_side(ctx, &spec, epoch, 1, right_key, right_rows);
-                }
-                JoinStrategy::FetchMatches => {
-                    let left_rows =
-                        self.scan_filtered_traced(id, left_table, now, since, left_filter);
-                    let right_table = right_table.clone();
-                    let left_key = left_key.clone();
-                    let mut probes = 0u64;
-                    for row in left_rows {
-                        let key = left_key.eval(&row);
-                        if key.is_null() {
-                            continue;
-                        }
-                        let req = self.dht.get(
-                            ctx,
-                            ResourceKey::singleton(right_table.clone(), key.partition_string()),
+            QueryKind::Join { left_table, left_filter, stages, .. } => {
+                // Right sides first: every symmetric-hash stage's right
+                // relation is scanned and rehashed into that stage's
+                // namespace.  Fetch-Matches stages are probed on demand and
+                // the (stage-0-only) Bloom stage's right side waits for the
+                // combined filter.
+                let stages = stages.clone();
+                let left_table = left_table.clone();
+                let left_filter = left_filter.clone();
+                for (k, stage) in stages.iter().enumerate() {
+                    if stage.strategy == JoinStrategy::SymmetricHash {
+                        let rows = self.scan_filtered_traced(
+                            id,
+                            &stage.right_table,
+                            now,
+                            since,
+                            &stage.right_filter,
                         );
-                        self.pending_fetch.insert(req, (id, epoch, row));
-                        probes += 1;
-                    }
-                    if let Some(q) = self.queries.get_mut(&id) {
-                        q.trace.probes_sent += probes;
+                        self.rehash_stage(
+                            ctx,
+                            &spec,
+                            k as u8,
+                            epoch,
+                            1,
+                            &stage.right_key,
+                            Some(&stage.right_ship_cols),
+                            rows,
+                            false,
+                        );
                     }
                 }
-                JoinStrategy::BloomFilter => {
-                    // Phase 1: summarize and rehash the left relation; the right
-                    // relation waits for the combined filter.
-                    let left_rows =
-                        self.scan_filtered_traced(id, left_table, now, since, left_filter);
-                    let mut bloom = BloomFilter::new(self.config.bloom_bits, 4);
-                    for row in &left_rows {
-                        let key = left_key.eval(row);
-                        if !key.is_null() {
-                            bloom.insert(&key);
+                // Driving side: the stage-0 left input is a base-table scan.
+                let rows = self.scan_filtered_traced(id, &left_table, now, since, &left_filter);
+                let stage0 = &stages[0];
+                match stage0.strategy {
+                    JoinStrategy::SymmetricHash => {
+                        self.rehash_stage(
+                            ctx,
+                            &spec,
+                            0,
+                            epoch,
+                            0,
+                            &stage0.left_key,
+                            Some(&stage0.left_ship_cols),
+                            rows,
+                            false,
+                        );
+                    }
+                    JoinStrategy::FetchMatches => {
+                        let left_key = stage0.left_key.clone();
+                        let right_table = stage0.right_table.clone();
+                        self.probe_stage(ctx, id, 0, epoch, &left_key, &right_table, rows);
+                    }
+                    JoinStrategy::BloomFilter => {
+                        // Phase 1: summarize and rehash the left relation;
+                        // the right relation waits for the combined filter.
+                        let mut bloom = BloomFilter::new(self.config.bloom_bits, 4);
+                        for row in &rows {
+                            let key = stage0.left_key.eval(row);
+                            if !key.is_null() {
+                                bloom.insert(&key);
+                            }
                         }
+                        self.rehash_stage(
+                            ctx,
+                            &spec,
+                            0,
+                            epoch,
+                            0,
+                            &stage0.left_key,
+                            Some(&stage0.left_ship_cols),
+                            rows,
+                            false,
+                        );
+                        let (bits, k) = bloom.to_words();
+                        let payload =
+                            PierPayload::Bloom { query: id, epoch, bits, k, combined: false };
+                        self.note_query_send(id, &payload);
+                        self.dht.send_direct(ctx, spec.origin(), payload);
                     }
-                    self.rehash_side(ctx, &spec, epoch, 0, left_key, left_rows);
-                    let (bits, k) = bloom.to_words();
-                    let payload = PierPayload::Bloom { query: id, epoch, bits, k, combined: false };
-                    self.note_query_send(id, &payload);
-                    self.dht.send_direct(ctx, spec.origin(), payload);
                 }
-            },
+            }
             QueryKind::Recursive { .. } => {
                 // Recursive queries are driven by Expand messages, not scans.
             }
@@ -1255,18 +1322,37 @@ impl PierNode {
             rows.len() >= self.config.batch_max.max(1)
         };
         if flush_now {
-            self.flush_results(ctx);
+            self.force_flush(ctx);
         }
     }
 
-    /// Ship every buffered result row, one message per (query, epoch): a
-    /// plain `Result` for a single row, a `ResultBatch` otherwise.  Called
-    /// whenever an engine tick finishes processing (and from `send_result`
-    /// when a buffer hits `batch_max`).
+    /// Tick-drain flush: ship the deferred buffers now, unless the
+    /// time-based flush (`batch_flush_ticks > 0`) lets them span more
+    /// ticks — in which case a hold-down-length deadline timer is armed so
+    /// buffered rows cannot starve on a quiescent node.
     fn flush_results(&mut self, ctx: &mut Ctx<'_>) {
-        if self.pending_results.is_empty() {
+        if self.pending_results.is_empty() && self.pending_rehash.is_empty() {
             return;
         }
+        if self.config.batch_flush_ticks > 0 {
+            self.ticks_since_flush += 1;
+            if self.ticks_since_flush < self.config.batch_flush_ticks {
+                if !self.flush_timer_armed {
+                    self.flush_timer_armed = true;
+                    let delay = self.config.holddown;
+                    self.arm_timer(ctx, delay, TimerPurpose::BatchFlush);
+                }
+                return;
+            }
+        }
+        self.force_flush(ctx);
+    }
+
+    /// Ship every buffered result row (one message per (query, epoch): a
+    /// plain `Result` for a single row, a `ResultBatch` otherwise) and every
+    /// deferred intermediate rehash buffer.
+    fn force_flush(&mut self, ctx: &mut Ctx<'_>) {
+        self.ticks_since_flush = 0;
         let pending = std::mem::take(&mut self.pending_results);
         for ((query, epoch), mut rows) in pending {
             let origin = query.origin();
@@ -1281,6 +1367,11 @@ impl PierNode {
             };
             self.note_query_send(query, &payload);
             self.dht.send_direct(ctx, origin, payload);
+        }
+        let pending = std::mem::take(&mut self.pending_rehash);
+        for ((query, stage, epoch), pairs) in pending {
+            let namespace = join_namespace(query, stage);
+            self.send_rehash(ctx, query, stage, epoch, 0, namespace, pairs);
         }
     }
 
@@ -1488,24 +1579,25 @@ impl PierNode {
     // Joins
     // ------------------------------------------------------------------
 
-    fn rehash_side(
+    /// Rehash one side of a join stage into the stage's DHT namespace.  The
+    /// join key is evaluated over the full input tuple, then only
+    /// `ship_cols` ship (join-side projection pushdown).  `deferrable`
+    /// marks intermediate rehashes that the time-based flush
+    /// (`batch_flush_ticks`) may buffer across engine ticks.
+    #[allow(clippy::too_many_arguments)]
+    fn rehash_stage(
         &mut self,
         ctx: &mut Ctx<'_>,
         spec: &QuerySpec,
+        stage: u8,
         epoch: u64,
         side: u8,
         key_expr: &crate::expr::Expr,
+        ship_cols: Option<&[usize]>,
         rows: Vec<Tuple>,
+        deferrable: bool,
     ) {
-        let namespace = format!("pier:join:{}", spec.id);
-        // Join-side projection pushdown: the join key is evaluated over the
-        // full base tuple, then only the columns the join site consumes ship.
-        let ship_cols: Option<&[usize]> = match &spec.kind {
-            QueryKind::Join { left_ship_cols, right_ship_cols, .. } => {
-                Some(if side == 0 { left_ship_cols } else { right_ship_cols })
-            }
-            _ => None,
-        };
+        let namespace = join_namespace(spec.id, stage);
         let narrow = |row: &Tuple| match ship_cols {
             Some(cols) => row.project(cols),
             None => row.clone(),
@@ -1519,6 +1611,7 @@ impl PierNode {
                 self.stats.join_tuples_sent += 1;
                 let payload = PierPayload::JoinTuple {
                     query: spec.id,
+                    stage,
                     epoch,
                     side,
                     key: key.clone(),
@@ -1527,6 +1620,7 @@ impl PierNode {
                 self.note_query_payload(spec.id, &payload);
                 if let Some(q) = self.queries.get_mut(&spec.id) {
                     q.trace.tuples_shipped += 1;
+                    *q.trace.stage_shipped.entry(stage).or_insert(0) += 1;
                 }
                 let sent = self.dht.send_to_key(
                     ctx,
@@ -1537,17 +1631,53 @@ impl PierNode {
             }
             return;
         }
-        // Coalesce per join-key value: every tuple with the same key value
-        // travels to the same site, so one JoinBatch per (destination, query,
-        // epoch) replaces one message per tuple.
-        let groups = group_by_key(rows.into_iter().filter_map(|row| {
-            let key = key_expr.eval(&row);
-            if key.is_null() {
-                return None;
+        let pairs: Vec<(Value, Tuple)> = rows
+            .into_iter()
+            .filter_map(|row| {
+                let key = key_expr.eval(&row);
+                if key.is_null() {
+                    return None;
+                }
+                let narrowed = narrow(&row);
+                Some((key, narrowed))
+            })
+            .collect();
+        if deferrable && self.config.batch_flush_ticks > 0 {
+            // Buffer across ticks; the shared flush cadence (or the
+            // hold-down deadline timer) ships it.
+            let bufkey = (spec.id, stage, epoch);
+            let buf = match self.pending_rehash.iter_mut().find(|(k, _)| *k == bufkey) {
+                Some((_, buf)) => buf,
+                None => {
+                    self.pending_rehash.push((bufkey, Vec::new()));
+                    &mut self.pending_rehash.last_mut().expect("just pushed").1
+                }
+            };
+            buf.extend(pairs);
+            if buf.len() >= self.config.batch_max.max(1) {
+                self.force_flush(ctx);
             }
-            let narrowed = narrow(&row);
-            Some((key, narrowed))
-        }));
+            return;
+        }
+        self.send_rehash(ctx, spec.id, stage, epoch, side, namespace, pairs);
+    }
+
+    /// Ship pre-keyed rehash tuples: coalesce per join-key value — every
+    /// tuple with the same key value travels to the same site, so one
+    /// `JoinBatch` per (destination, query, stage, epoch) replaces one
+    /// message per tuple.
+    #[allow(clippy::too_many_arguments)]
+    fn send_rehash(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: QueryId,
+        stage: u8,
+        epoch: u64,
+        side: u8,
+        namespace: String,
+        pairs: Vec<(Value, Tuple)>,
+    ) {
+        let groups = group_by_key(pairs);
         let mut items = Vec::new();
         let mut shipped = 0u64;
         for (key, group) in groups {
@@ -1557,7 +1687,8 @@ impl PierNode {
                 shipped += chunk.len() as u64;
                 let payload = if chunk.len() == 1 {
                     PierPayload::JoinTuple {
-                        query: spec.id,
+                        query: id,
+                        stage,
                         epoch,
                         side,
                         key: key.clone(),
@@ -1565,28 +1696,125 @@ impl PierNode {
                     }
                 } else {
                     PierPayload::JoinBatch {
-                        query: spec.id,
+                        query: id,
+                        stage,
                         epoch,
                         side,
                         key: key.clone(),
                         tuples: chunk.to_vec(),
                     }
                 };
-                self.note_query_payload(spec.id, &payload);
+                self.note_query_payload(id, &payload);
                 items.push((resource.clone(), payload));
             }
         }
-        if let Some(q) = self.queries.get_mut(&spec.id) {
+        if let Some(q) = self.queries.get_mut(&id) {
             q.trace.tuples_shipped += shipped;
+            *q.trace.stage_shipped.entry(stage).or_insert(0) += shipped;
         }
         let sent = self.dht.send_to_key_batch(ctx, items);
-        self.add_query_msgs(spec.id, sent as u64);
+        self.add_query_msgs(id, sent as u64);
     }
 
+    /// Issue one Fetch-Matches DHT probe per input tuple against a stage's
+    /// (join-key-partitioned) right table.  The tuples never leave this
+    /// node; probe answers continue in [`on_get_result`](Self::on_get_result).
+    #[allow(clippy::too_many_arguments)]
+    fn probe_stage(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: QueryId,
+        stage: u8,
+        epoch: u64,
+        left_key: &crate::expr::Expr,
+        right_table: &str,
+        rows: Vec<Tuple>,
+    ) {
+        let mut probes = 0u64;
+        for row in rows {
+            let key = left_key.eval(&row);
+            if key.is_null() {
+                continue;
+            }
+            let req = self
+                .dht
+                .get(ctx, ResourceKey::singleton(right_table.to_string(), key.partition_string()));
+            self.pending_fetch.insert(req, (id, stage, epoch, row));
+            probes += 1;
+        }
+        if let Some(q) = self.queries.get_mut(&id) {
+            q.trace.probes_sent += probes;
+            *q.trace.stage_probes.entry(stage).or_insert(0) += probes;
+        }
+        // A probe is a routed request plus its response: two wire messages
+        // the engine initiates.  Counting them keeps Fetch-Matches honest in
+        // the message counters the cost model optimizes (a probe's
+        // FETCH_PROBE_COST is priced against exactly this traffic).
+        if probes > 0 {
+            self.add_query_msgs(id, probes * 2);
+        }
+    }
+
+    /// Continue with a stage's matched (post-filtered) concat rows: the
+    /// final stage projects and streams results to the origin; inner stages
+    /// narrow to their `out_cols` and hand the intermediates to the next
+    /// stage — rehashed by that stage's key into its namespace, or probed
+    /// directly when the next stage runs Fetch-Matches.
+    fn emit_stage_rows(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        spec: &QuerySpec,
+        stage: u8,
+        epoch: u64,
+        rows: Vec<Tuple>,
+    ) {
+        let QueryKind::Join { stages, project, .. } = &spec.kind else { return };
+        self.stats.join_matches += rows.len() as u64;
+        if let Some(q) = self.queries.get_mut(&spec.id) {
+            q.trace.join_matches += rows.len() as u64;
+            *q.trace.stage_matches.entry(stage).or_insert(0) += rows.len() as u64;
+        }
+        if stage as usize + 1 == stages.len() {
+            let project_op = ProjectOp::new(project.clone());
+            for row in rows {
+                let out = project_op.apply_one(&row);
+                self.send_result(ctx, spec, epoch, out);
+            }
+            return;
+        }
+        let st = &stages[stage as usize];
+        let next = &stages[stage as usize + 1];
+        let outs: Vec<Tuple> = rows.iter().map(|r| r.project(&st.out_cols)).collect();
+        match next.strategy {
+            JoinStrategy::FetchMatches => {
+                let left_key = next.left_key.clone();
+                let right_table = next.right_table.clone();
+                self.probe_stage(ctx, spec.id, stage + 1, epoch, &left_key, &right_table, outs);
+            }
+            _ => {
+                let left_key = next.left_key.clone();
+                let ship = next.left_ship_cols.clone();
+                self.rehash_stage(
+                    ctx,
+                    spec,
+                    stage + 1,
+                    epoch,
+                    0,
+                    &left_key,
+                    Some(&ship),
+                    outs,
+                    true,
+                );
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn on_join_tuples(
         &mut self,
         ctx: &mut Ctx<'_>,
         id: QueryId,
+        stage: u8,
         epoch: u64,
         side: u8,
         key: Value,
@@ -1594,37 +1822,50 @@ impl PierNode {
     ) {
         let Some(q) = self.queries.get_mut(&id) else { return };
         let spec = q.spec.clone();
-        let QueryKind::Join { post_filter, project, .. } = &spec.kind else { return };
+        let Some(st) = spec.kind.join_stages().and_then(|s| s.get(stage as usize)) else {
+            return;
+        };
+        // Tuples produced under a superseded spec (mid-flight re-planning
+        // briefly mixes layouts across nodes) may not match this stage's
+        // column layout; drop them rather than join garbage.  The same
+        // guard applies below to tuples *stored* before this node swapped
+        // specs — the hash tables are never purged on a swap.
+        let expect = if side == 0 { st.left_ship_cols.len() } else { st.right_ship_cols.len() };
+        let other_expect =
+            if side == 0 { st.right_ship_cols.len() } else { st.left_ship_cols.len() };
+        let tuples: Vec<Tuple> = tuples.into_iter().filter(|t| t.arity() == expect).collect();
+        if tuples.is_empty() {
+            return;
+        }
 
         // Store the whole batch, then probe the other side once per arrival
         // (matches already stored locally pair with every incoming tuple,
         // exactly as a sequence of single-tuple deliveries would).
         let matches: Vec<Tuple> = if side == 0 {
-            q.join_left.entry((epoch, key.clone())).or_default().extend(tuples.iter().cloned());
-            q.join_right.get(&(epoch, key)).cloned().unwrap_or_default()
+            q.join_left
+                .entry((stage, epoch, key.clone()))
+                .or_default()
+                .extend(tuples.iter().cloned());
+            q.join_right.get(&(stage, epoch, key)).cloned().unwrap_or_default()
         } else {
-            q.join_right.entry((epoch, key.clone())).or_default().extend(tuples.iter().cloned());
-            q.join_left.get(&(epoch, key)).cloned().unwrap_or_default()
+            q.join_right
+                .entry((stage, epoch, key.clone()))
+                .or_default()
+                .extend(tuples.iter().cloned());
+            q.join_left.get(&(stage, epoch, key)).cloned().unwrap_or_default()
         };
 
-        let filter_op = post_filter.clone().map(FilterOp::new);
-        let project_op = ProjectOp::new(project.clone());
+        let filter_op = st.post_filter.clone().map(FilterOp::new);
         let mut outputs = Vec::new();
         for tuple in &tuples {
-            for m in &matches {
+            for m in matches.iter().filter(|m| m.arity() == other_expect) {
                 let joined = if side == 0 { tuple.concat(m) } else { m.concat(tuple) };
                 if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
-                    outputs.push(project_op.apply_one(&joined));
+                    outputs.push(joined);
                 }
             }
         }
-        self.stats.join_matches += outputs.len() as u64;
-        if let Some(q) = self.queries.get_mut(&id) {
-            q.trace.join_matches += outputs.len() as u64;
-        }
-        for out in outputs {
-            self.send_result(ctx, &spec, epoch, out);
-        }
+        self.emit_stage_rows(ctx, &spec, stage, epoch, outputs);
         self.process_upcalls(ctx);
     }
 
@@ -1634,22 +1875,21 @@ impl PierNode {
         req_id: u64,
         items: Vec<(ResourceKey, PierPayload)>,
     ) {
-        let Some((id, epoch, left_tuple)) = self.pending_fetch.remove(&req_id) else { return };
-        let Some(q) = self.queries.get(&id) else { return };
-        let spec = q.spec.clone();
-        let QueryKind::Join { right_key, right_filter, post_filter, project, left_key, .. } =
-            &spec.kind
-        else {
+        let Some((id, stage, epoch, left_tuple)) = self.pending_fetch.remove(&req_id) else {
             return;
         };
-        let probe_key = left_key.eval(&left_tuple);
-        let right_filter_op = right_filter.clone().map(FilterOp::new);
-        let filter_op = post_filter.clone().map(FilterOp::new);
-        let project_op = ProjectOp::new(project.clone());
+        let Some(q) = self.queries.get(&id) else { return };
+        let spec = q.spec.clone();
+        let Some(st) = spec.kind.join_stages().and_then(|s| s.get(stage as usize)) else {
+            return;
+        };
+        let probe_key = st.left_key.eval(&left_tuple);
+        let right_filter_op = st.right_filter.clone().map(FilterOp::new);
+        let filter_op = st.post_filter.clone().map(FilterOp::new);
         let mut outputs = Vec::new();
         for (_, payload) in items {
             for right_tuple in payload.tuples() {
-                if !right_key.eval(right_tuple).sql_eq(&probe_key) {
+                if !st.right_key.eval(right_tuple).sql_eq(&probe_key) {
                     continue;
                 }
                 if !right_filter_op.as_ref().map(|f| f.accepts(right_tuple)).unwrap_or(true) {
@@ -1657,17 +1897,11 @@ impl PierNode {
                 }
                 let joined = left_tuple.concat(right_tuple);
                 if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
-                    outputs.push(project_op.apply_one(&joined));
+                    outputs.push(joined);
                 }
             }
         }
-        self.stats.join_matches += outputs.len() as u64;
-        if let Some(q) = self.queries.get_mut(&id) {
-            q.trace.join_matches += outputs.len() as u64;
-        }
-        for out in outputs {
-            self.send_result(ctx, &spec, epoch, out);
-        }
+        self.emit_stage_rows(ctx, &spec, stage, epoch, outputs);
         self.process_upcalls(ctx);
     }
 
@@ -1703,34 +1937,38 @@ impl PierNode {
     fn run_bloom_phase2(&mut self, ctx: &mut Ctx<'_>, id: QueryId, epoch: u64) {
         let Some(q) = self.queries.get(&id) else { return };
         let spec = q.spec.clone();
-        let QueryKind::Join {
-            right_table,
-            right_key,
-            right_filter,
-            strategy: JoinStrategy::BloomFilter,
-            ..
-        } = &spec.kind
-        else {
+        // The Bloom protocol only ever runs at stage 0, whose two sides are
+        // base tables (later stages' left inputs are streamed intermediates
+        // that cannot wait for a filter phase).
+        let Some(st) = spec.kind.join_stages().map(|s| s[0].clone()) else { return };
+        if st.strategy != JoinStrategy::BloomFilter {
             return;
-        };
+        }
         let Some(filter) = self.queries[&id].combined_bloom.get(&epoch).cloned() else { return };
         let now = ctx.now();
         let since = match spec.continuous {
             Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
             None => SimTime::ZERO,
         };
-        let right_filter = right_filter.clone();
-        let right_table = right_table.clone();
-        let rows = self.scan_filtered_traced(id, &right_table, now, since, &right_filter);
+        let rows = self.scan_filtered_traced(id, &st.right_table, now, since, &st.right_filter);
         let survivors: Vec<Tuple> = rows
             .into_iter()
             .filter(|r| {
-                let k = right_key.eval(r);
+                let k = st.right_key.eval(r);
                 !k.is_null() && filter.may_contain(&k)
             })
             .collect();
-        let right_key = right_key.clone();
-        self.rehash_side(ctx, &spec, epoch, 1, &right_key, survivors);
+        self.rehash_stage(
+            ctx,
+            &spec,
+            0,
+            epoch,
+            1,
+            &st.right_key,
+            Some(&st.right_ship_cols),
+            survivors,
+            false,
+        );
         self.process_upcalls(ctx);
     }
 
@@ -1756,7 +1994,17 @@ impl PierNode {
         // entries in every peer's view instead of being rejected as stale
         // until its counter catches up.
         self.gossip_seq = self.gossip_seq.max(now.as_micros()) + 1;
-        self.gossip.update_self(self.addr, self.gossip_seq, summaries);
+        self.gossip.update_self(self.addr, self.gossip_seq, summaries, now.as_micros());
+        // Gossip entry expiry: a node whose summaries stopped refreshing for
+        // `stats_ttl_intervals` gossip rounds is permanently gone (restarts
+        // re-enter with fresher time-seeded sequence numbers) — evict it so
+        // it stops inflating the network-wide totals.
+        let ttl = self
+            .config
+            .stats_interval
+            .as_micros()
+            .saturating_mul(self.config.stats_ttl_intervals as u64);
+        self.gossip.expire(now.as_micros(), ttl);
         let totals = self.gossip.totals();
         apply_totals(&mut self.catalog, &totals);
 
@@ -1890,11 +2138,21 @@ type AggStateVec = crate::aggregate::AggState;
 /// trace's switch records.
 fn strategy_label(kind: &QueryKind) -> String {
     match kind {
-        QueryKind::Join { strategy, .. } => format!("{strategy:?}"),
+        QueryKind::Join { stages, .. } => {
+            let labels: Vec<String> = stages.iter().map(|s| format!("{:?}", s.strategy)).collect();
+            labels.join("+")
+        }
         QueryKind::Select { .. } => "Select".to_string(),
         QueryKind::Aggregate { .. } => "Aggregate".to_string(),
         QueryKind::Recursive { .. } => "Recursive".to_string(),
     }
+}
+
+/// The query-and-stage-scoped DHT namespace a join stage's tuples rehash
+/// into.  Scoping by stage keeps the chain's intermediate shipments of one
+/// key value from colliding across stages.
+fn join_namespace(id: QueryId, stage: u8) -> String {
+    format!("pier:join:{id}:{stage}")
 }
 
 /// Group `items` by key, preserving first-occurrence group order (the
@@ -1993,6 +2251,11 @@ impl Node for PierNode {
             }
             TimerPurpose::RootFinalize(id, epoch) => self.finalize_epoch(ctx, id, epoch),
             TimerPurpose::BloomPhase2(id, epoch) => self.broadcast_combined_bloom(ctx, id, epoch),
+            TimerPurpose::BatchFlush => {
+                self.flush_timer_armed = false;
+                self.force_flush(ctx);
+                self.process_upcalls(ctx);
+            }
             TimerPurpose::StatsGossip => {
                 self.stats_gossip_round(ctx);
                 let delay = self.config.stats_interval;

@@ -57,13 +57,17 @@ pub enum PierPayload {
         /// nodes", the lower series of the paper's Figure 1).
         contributors: u64,
     },
-    /// A tuple rehashed to its join site (symmetric-hash and Bloom joins).
+    /// A tuple rehashed to its join site (symmetric-hash and Bloom joins,
+    /// plus intermediate tuples flowing between the stages of a multi-way
+    /// join chain).
     JoinTuple {
         /// Which query.
         query: QueryId,
+        /// Which join stage of the query's chain (0 for two-way joins).
+        stage: u8,
         /// Which epoch.
         epoch: u64,
-        /// 0 = left relation, 1 = right relation.
+        /// 0 = left/intermediate input, 1 = right relation.
         side: u8,
         /// The join-key value (also determines the site).
         key: Value,
@@ -76,9 +80,11 @@ pub enum PierPayload {
     JoinBatch {
         /// Which query.
         query: QueryId,
+        /// Which join stage of the query's chain (0 for two-way joins).
+        stage: u8,
         /// Which epoch.
         epoch: u64,
-        /// 0 = left relation, 1 = right relation.
+        /// 0 = left/intermediate input, 1 = right relation.
         side: u8,
         /// The shared join-key value (also determines the site).
         key: Value,
@@ -162,9 +168,9 @@ impl WireSize for PierPayload {
             }
             PierPayload::Result(r) => r.wire_size(),
             PierPayload::EpochDone { .. } => 24,
-            PierPayload::JoinTuple { key, tuple, .. } => 18 + key.wire_size() + tuple.wire_size(),
+            PierPayload::JoinTuple { key, tuple, .. } => 19 + key.wire_size() + tuple.wire_size(),
             PierPayload::JoinBatch { key, tuples, .. } => {
-                18 + 4 + key.wire_size() + tuples.iter().map(|t| t.wire_size()).sum::<usize>()
+                19 + 4 + key.wire_size() + tuples.iter().map(|t| t.wire_size()).sum::<usize>()
             }
             PierPayload::ResultBatch { rows, .. } => {
                 16 + 4 + rows.iter().map(|t| t.wire_size()).sum::<usize>()

@@ -32,6 +32,15 @@ pub struct SortKey {
     pub desc: bool,
 }
 
+/// The index of the relation a global (concatenated-schema) column belongs
+/// to, given each relation's starting offset (ascending, first entry 0; a
+/// trailing total-arity sentinel is tolerated for columns in range).  This
+/// is the one column-space mapping every multi-join layer — binder,
+/// optimizer pushdown, physical lowering, reference evaluation — shares.
+pub fn relation_of_column(offsets: &[usize], col: usize) -> usize {
+    offsets.iter().rposition(|&o| o <= col).expect("offsets start at 0")
+}
+
 /// A resolved logical plan.
 #[derive(Clone, Debug, PartialEq)]
 pub enum LogicalPlan {
@@ -69,6 +78,17 @@ pub enum LogicalPlan {
         /// Join key over the right schema.
         right_key: Expr,
     },
+    /// N-ary equi-join: all inputs joined under a predicate graph.  The
+    /// optimizer's join-order enumerator decides the execution order; the
+    /// node itself is order-free (inputs appear in the query's declared
+    /// order, and its schema is their concatenation in that order).
+    MultiJoin {
+        /// One input per relation, in declared (bound) order.
+        inputs: Vec<LogicalPlan>,
+        /// Equi-join predicates as `(left, right)` column pairs over the
+        /// concatenated schema of `inputs`.
+        preds: Vec<(usize, usize)>,
+    },
     /// Grouped (or global) aggregation.
     Aggregate {
         /// Input plan.
@@ -104,6 +124,13 @@ impl LogicalPlan {
             LogicalPlan::Filter { input, .. } => input.schema(),
             LogicalPlan::Project { schema, .. } => schema.clone(),
             LogicalPlan::Join { left, right, .. } => left.schema().concat(&right.schema()),
+            LogicalPlan::MultiJoin { inputs, .. } => {
+                let mut schema = Schema::empty();
+                for input in inputs {
+                    schema = schema.concat(&input.schema());
+                }
+                schema
+            }
             LogicalPlan::Aggregate { schema, .. } => schema.clone(),
             LogicalPlan::Sort { input, .. } | LogicalPlan::Limit { input, .. } => input.schema(),
         }
@@ -122,6 +149,9 @@ impl LogicalPlan {
                 let mut t = left.input_tables();
                 t.extend(right.input_tables());
                 t
+            }
+            LogicalPlan::MultiJoin { inputs, .. } => {
+                inputs.iter().flat_map(|i| i.input_tables()).collect()
             }
         }
     }
@@ -147,6 +177,18 @@ impl LogicalPlan {
                     out.push_str(&format!("{pad}Join on {left_key} = {right_key}\n"));
                     rec(left, depth + 1, out);
                     rec(right, depth + 1, out);
+                }
+                LogicalPlan::MultiJoin { inputs, preds } => {
+                    let rendered: Vec<String> =
+                        preds.iter().map(|(l, r)| format!("#{l} = #{r}")).collect();
+                    out.push_str(&format!(
+                        "{pad}MultiJoin [{} relations] on {}\n",
+                        inputs.len(),
+                        rendered.join(" AND ")
+                    ));
+                    for input in inputs {
+                        rec(input, depth + 1, out);
+                    }
                 }
                 LogicalPlan::Aggregate { input, group_exprs, aggs, .. } => {
                     out.push_str(&format!(

@@ -30,15 +30,44 @@ pub struct BoundTable {
     pub schema: Schema,
 }
 
-/// A resolved two-way equi-join.
-#[derive(Clone, Debug, PartialEq)]
-pub struct BoundJoin {
-    /// The right-hand relation.
-    pub right: BoundTable,
-    /// Join key over the *left* table's schema.
-    pub left_key: Expr,
-    /// Join key over the *right* table's schema.
-    pub right_key: Expr,
+/// One resolved equi-join predicate between two bound relations: an edge of
+/// the query's predicate graph.  Column indexes are *local* to each
+/// relation's schema; `left_rel < right_rel` canonically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EquiPred {
+    /// Index of the first relation in [`BoundSelect::relations`].
+    pub left_rel: usize,
+    /// Column within the first relation's schema.
+    pub left_col: usize,
+    /// Index of the second relation.
+    pub right_rel: usize,
+    /// Column within the second relation's schema.
+    pub right_col: usize,
+}
+
+impl EquiPred {
+    /// The predicate's column pair as global indexes over the concatenated
+    /// schema, given per-relation offsets.
+    pub fn global(&self, offsets: &[usize]) -> (usize, usize) {
+        (offsets[self.left_rel] + self.left_col, offsets[self.right_rel] + self.right_col)
+    }
+
+    /// The column this predicate contributes on relation `rel`, if any.
+    pub fn col_on(&self, rel: usize) -> Option<usize> {
+        if self.left_rel == rel {
+            Some(self.left_col)
+        } else if self.right_rel == rel {
+            Some(self.right_col)
+        } else {
+            None
+        }
+    }
+
+    /// Does this predicate connect relation `rel` to any relation in `set`?
+    pub fn connects(&self, rel: usize, set: &[usize]) -> bool {
+        (self.left_rel == rel && set.contains(&self.right_rel))
+            || (self.right_rel == rel && set.contains(&self.left_rel))
+    }
 }
 
 /// Resolved grouped (or global) aggregation.
@@ -63,12 +92,16 @@ pub struct BoundAggregate {
 /// logical planner.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BoundSelect {
-    /// The main (left) relation.
-    pub from: BoundTable,
-    /// Optional equi-join.
-    pub join: Option<BoundJoin>,
-    /// `WHERE` predicate over the scan schema (the concatenated schema for
-    /// joins).
+    /// All bound relations in declared order (`FROM` list, then each
+    /// chained `JOIN`).  Exactly one for non-join statements.
+    pub relations: Vec<BoundTable>,
+    /// The equi-join predicate graph over `relations` (empty for
+    /// single-relation statements).  Every relation is connected to the rest
+    /// through these edges — the binder rejects cross products.
+    pub join_preds: Vec<EquiPred>,
+    /// `WHERE` predicate over the scan schema (the concatenated schema, in
+    /// `relations` order, for joins), with equi-join conjuncts already
+    /// extracted into `join_preds`.
     pub filter: Option<Expr>,
     /// Aggregation, when the statement groups or calls aggregate functions.
     pub aggregate: Option<BoundAggregate>,
@@ -94,20 +127,49 @@ impl BoundSelect {
         self.aggregate.is_some()
     }
 
+    /// Is this a join (more than one relation)?
+    pub fn is_join(&self) -> bool {
+        self.relations.len() > 1
+    }
+
+    /// The primary (first `FROM`) relation.
+    pub fn primary(&self) -> &BoundTable {
+        &self.relations[0]
+    }
+
+    /// Per-relation column offsets within the concatenated schema, plus the
+    /// total arity as a final sentinel entry.
+    pub fn offsets(&self) -> Vec<usize> {
+        let mut offsets = Vec::with_capacity(self.relations.len() + 1);
+        let mut acc = 0;
+        for rel in &self.relations {
+            offsets.push(acc);
+            acc += rel.schema.arity();
+        }
+        offsets.push(acc);
+        offsets
+    }
+
     /// One-line-per-table rendering for `EXPLAIN`.
     pub fn describe(&self) -> String {
         let mut out = String::new();
-        let table_line = |t: &BoundTable| {
+        for t in &self.relations {
             let cols: Vec<String> =
                 t.schema.fields().iter().map(|f| format!("{}:{:?}", f.name, f.dtype)).collect();
-            format!("table {} ({})\n", t.name, cols.join(", "))
-        };
-        out.push_str(&table_line(&self.from));
-        if let Some(join) = &self.join {
-            out.push_str(&table_line(&join.right));
+            out.push_str(&format!("table {} ({})\n", t.name, cols.join(", ")));
+        }
+        for p in &self.join_preds {
+            let col = |rel: usize, c: usize| -> String {
+                self.relations[rel]
+                    .schema
+                    .field(c)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|| format!("#{c}"))
+            };
             out.push_str(&format!(
-                "join keys: left {} = right {}\n",
-                join.left_key, join.right_key
+                "join pred: {} = {}\n",
+                col(p.left_rel, p.left_col),
+                col(p.right_rel, p.right_col)
             ));
         }
         out.push_str(&format!("output: [{}]\n", self.output_names.join(", ")));
@@ -134,7 +196,7 @@ impl<'a> Binder<'a> {
             ContinuousSpec { period, window }
         });
 
-        if stmt.join.is_some() {
+        if stmt.relation_count() > 1 {
             self.bind_join(stmt, continuous)
         } else if stmt.is_aggregate() {
             self.bind_aggregate(stmt, continuous)
@@ -159,7 +221,8 @@ impl<'a> Binder<'a> {
         stmt: &SelectStmt,
         continuous: Option<ContinuousSpec>,
     ) -> Result<BoundSelect, PlanError> {
-        let schema = self.table_schema(&stmt.from.name, None)?;
+        let primary = stmt.primary();
+        let schema = self.table_schema(&primary.name, None)?;
         let filter = match &stmt.where_clause {
             Some(ast) => Some(resolve_expr(ast, &schema)?),
             None => None,
@@ -168,8 +231,8 @@ impl<'a> Binder<'a> {
         let order_by = resolve_order_by(stmt, &out_schema)?;
 
         Ok(BoundSelect {
-            from: BoundTable { name: stmt.from.name.clone(), schema },
-            join: None,
+            relations: vec![BoundTable { name: primary.name.clone(), schema }],
+            join_preds: Vec::new(),
             filter,
             aggregate: None,
             projections: exprs,
@@ -186,7 +249,8 @@ impl<'a> Binder<'a> {
         stmt: &SelectStmt,
         continuous: Option<ContinuousSpec>,
     ) -> Result<BoundSelect, PlanError> {
-        let schema = self.table_schema(&stmt.from.name, None)?;
+        let primary = stmt.primary();
+        let schema = self.table_schema(&primary.name, None)?;
         let filter = match &stmt.where_clause {
             Some(ast) => Some(resolve_expr(ast, &schema)?),
             None => None,
@@ -318,8 +382,8 @@ impl<'a> Binder<'a> {
             .collect();
 
         Ok(BoundSelect {
-            from: BoundTable { name: stmt.from.name.clone(), schema },
-            join: None,
+            relations: vec![BoundTable { name: primary.name.clone(), schema }],
+            join_preds: Vec::new(),
             filter,
             aggregate: Some(BoundAggregate {
                 group_exprs,
@@ -337,6 +401,12 @@ impl<'a> Binder<'a> {
         })
     }
 
+    /// Bind a join over any number of relations: the `FROM` list plus every
+    /// chained `JOIN`.  Each `ON` clause contributes one edge of the
+    /// equi-predicate graph; equality conjuncts between two relations'
+    /// columns in `WHERE` contribute the rest (that is how comma-listed
+    /// `FROM a, b` tables are joined).  The graph must connect all relations
+    /// — cross products are rejected.
     fn bind_join(
         &self,
         stmt: &SelectStmt,
@@ -345,47 +415,142 @@ impl<'a> Binder<'a> {
         if stmt.is_aggregate() {
             return Err(PlanError::new("aggregation over joins is not supported"));
         }
-        let join = stmt.join.as_ref().expect("bind_join requires a join clause");
-        let left_qualifier = stmt.from.qualifier().to_string();
-        let right_qualifier = join.table.qualifier().to_string();
-        let left_schema = self.table_schema(&stmt.from.name, Some(&left_qualifier))?;
-        let right_schema = self.table_schema(&join.table.name, Some(&right_qualifier))?;
 
-        // Resolve the equi-join keys; accept them written in either order.
-        let (left_key, right_key) = match (
-            left_schema.index_of(&join.left_column),
-            right_schema.index_of(&join.right_column),
-        ) {
-            (Some(l), Some(r)) => (Expr::col(l), Expr::col(r)),
-            _ => match (
-                left_schema.index_of(&join.right_column),
-                right_schema.index_of(&join.left_column),
-            ) {
-                (Some(l), Some(r)) => (Expr::col(l), Expr::col(r)),
-                _ => {
-                    return Err(PlanError::new(format!(
-                        "cannot resolve join columns '{}' / '{}'",
-                        join.left_column, join.right_column
-                    )))
+        // Resolve every relation, alias-qualified so `a.x` style references
+        // work across the concatenated schema.
+        let refs: Vec<&crate::sql::TableRef> =
+            stmt.from.iter().chain(stmt.joins.iter().map(|j| &j.table)).collect();
+        let mut relations = Vec::with_capacity(refs.len());
+        for r in &refs {
+            let schema = self.table_schema(&r.name, Some(r.qualifier()))?;
+            relations.push(BoundTable { name: r.name.clone(), schema });
+        }
+        let mut joined_schema = Schema::empty();
+        let mut offsets = Vec::with_capacity(relations.len());
+        for rel in &relations {
+            offsets.push(joined_schema.arity());
+            joined_schema = joined_schema.concat(&rel.schema);
+        }
+        let rel_of = |global: usize| -> (usize, usize) {
+            let rel = crate::plan::relation_of_column(&offsets, global);
+            (rel, global - offsets[rel])
+        };
+        let make_pred = |a: usize, b: usize| -> Result<EquiPred, PlanError> {
+            let (ra, ca) = rel_of(a);
+            let (rb, cb) = rel_of(b);
+            if ra == rb {
+                return Err(PlanError::new(format!(
+                    "join predicate must relate two different relations, \
+                     both columns are in '{}'",
+                    relations[ra].name
+                )));
+            }
+            Ok(if ra < rb {
+                EquiPred { left_rel: ra, left_col: ca, right_rel: rb, right_col: cb }
+            } else {
+                EquiPred { left_rel: rb, left_col: cb, right_rel: ra, right_col: ca }
+            })
+        };
+
+        // ON clauses: one predicate each.  A name may match several columns
+        // of the concatenated schema (e.g. an unqualified `file_id` on both
+        // sides); an exact (qualified) match pins the column outright —
+        // mirroring `Schema::index_of` — and only otherwise do all
+        // suffix matches compete.  Among candidates, prefer an
+        // interpretation that relates the newly joined table to an earlier
+        // one, then any pair of distinct relations.
+        let candidates = |name: &str| -> Vec<usize> {
+            let lname = name.to_ascii_lowercase();
+            let fields = joined_schema.fields();
+            if let Some(i) = fields.iter().position(|f| f.name == lname) {
+                return vec![i];
+            }
+            let suffix = lname.rsplit('.').next().unwrap_or(&lname).to_string();
+            fields
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.name == suffix || f.name.ends_with(&format!(".{suffix}")))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let mut join_preds = Vec::new();
+        for (j, join) in stmt.joins.iter().enumerate() {
+            let new_rel = stmt.from.len() + j;
+            let ls = candidates(&join.left_column);
+            let rs = candidates(&join.right_column);
+            let mut preferred: Option<(usize, usize)> = None;
+            let mut fallback: Option<(usize, usize)> = None;
+            for &l in &ls {
+                for &r in &rs {
+                    let (rl, rr) = (rel_of(l).0, rel_of(r).0);
+                    if rl == rr {
+                        continue;
+                    }
+                    if rl == new_rel || rr == new_rel {
+                        preferred = preferred.or(Some((l, r)));
+                    } else {
+                        fallback = fallback.or(Some((l, r)));
+                    }
                 }
-            },
-        };
+            }
+            let Some((l, r)) = preferred.or(fallback) else {
+                return Err(PlanError::new(format!(
+                    "cannot resolve join columns '{}' / '{}'",
+                    join.left_column, join.right_column
+                )));
+            };
+            join_preds.push(make_pred(l, r)?);
+        }
 
-        let joined_schema = left_schema.concat(&right_schema);
-        let filter = match &stmt.where_clause {
-            Some(ast) => Some(resolve_expr(ast, &joined_schema)?),
-            None => None,
-        };
+        // WHERE: extract cross-relation equality conjuncts into the
+        // predicate graph; the rest stays as the (pushable) filter.
+        let mut residual = Vec::new();
+        if let Some(ast) = &stmt.where_clause {
+            let resolved = resolve_expr(ast, &joined_schema)?;
+            let mut conjuncts = Vec::new();
+            crate::planner::optimizer::split_conjuncts(resolved, &mut conjuncts);
+            for c in conjuncts {
+                if let Expr::Binary { op: crate::expr::BinaryOp::Eq, left, right } = &c {
+                    if let (Expr::Column(a), Expr::Column(b)) = (&**left, &**right) {
+                        if rel_of(*a).0 != rel_of(*b).0 {
+                            join_preds.push(make_pred(*a, *b)?);
+                            continue;
+                        }
+                    }
+                }
+                residual.push(c);
+            }
+        }
+        let filter = crate::planner::optimizer::conjoin(residual);
+
+        // Connectivity: every relation must be reachable through the
+        // predicate graph, or some stage would degenerate to a cross product.
+        let mut placed = vec![0usize];
+        while placed.len() < relations.len() {
+            let next = (0..relations.len()).find(|r| {
+                !placed.contains(r) && join_preds.iter().any(|p| p.connects(*r, &placed))
+            });
+            match next {
+                Some(r) => placed.push(r),
+                None => {
+                    let missing = (0..relations.len())
+                        .find(|r| !placed.contains(r))
+                        .expect("some relation is unplaced");
+                    return Err(PlanError::new(format!(
+                        "relation '{}' is not connected to the rest of the query by an \
+                         equi-join predicate (cross joins are not supported)",
+                        relations[missing].name
+                    )));
+                }
+            }
+        }
+
         let (project, names, out_schema) = resolve_projections(&stmt.projections, &joined_schema)?;
         let order_by = resolve_order_by(stmt, &out_schema)?;
 
         Ok(BoundSelect {
-            from: BoundTable { name: stmt.from.name.clone(), schema: left_schema },
-            join: Some(BoundJoin {
-                right: BoundTable { name: join.table.name.clone(), schema: right_schema },
-                left_key,
-                right_key,
-            }),
+            relations,
+            join_preds,
             filter,
             aggregate: None,
             projections: project,

@@ -1,0 +1,456 @@
+//! Join-order enumeration for multi-way joins.
+//!
+//! Given the binder's relation list and equi-predicate graph plus per-scan
+//! pushed-down filters, this module picks the **left-deep join order** the
+//! staged distributed execution will run, costed from [`Catalog`]
+//! [`TableStats`](crate::catalog::TableStats) — the very cardinalities the
+//! PR 3 statistics gossip keeps converged network-wide.  Up to
+//! [`DP_MAX_RELATIONS`] relations the search is exact (dynamic programming
+//! over connected subsets, the classic System-R construction restricted to
+//! left-deep trees, which is the shape the stage chain executes); above
+//! that, a greedy heuristic grows the chain by the cheapest connected
+//! extension.
+//!
+//! Each stage also gets its [`JoinStrategy`] — symmetric rehash,
+//! Fetch-Matches, or (for the first stage only, whose sides are both base
+//! tables) the Bloom-filter semi-join — using the same cost rules the
+//! two-way planner has always applied.
+//!
+//! Cost proxy: tuples shipped over the wire, the quantity PIER actually
+//! pays for.  A symmetric-rehash stage ships both sides; a Fetch-Matches
+//! stage pays `FETCH_PROBE_COST` routed messages per probing tuple.
+
+use crate::catalog::Catalog;
+use crate::expr::Expr;
+use crate::query::JoinStrategy;
+
+use super::binder::{BoundTable, EquiPred};
+use super::physical::{
+    selectivity, DEFAULT_ROW_ESTIMATE, FETCH_PROBE_COST, {BLOOM_MIN_RIGHT, BLOOM_SKEW},
+};
+
+/// Exact (dynamic-programming) search is used up to this many relations;
+/// larger queries fall back to the greedy heuristic.
+pub const DP_MAX_RELATIONS: usize = 6;
+
+/// Default distinct-value guess for a column without statistics: one tenth
+/// of the relation's rows (a flat System-R style assumption).
+const DEFAULT_DISTINCT_FRACTION: f64 = 0.1;
+
+/// One stage of a chosen join order.
+#[derive(Clone, Debug)]
+pub struct StageChoice {
+    /// The relation (index into the bound relation list) joined in here.
+    pub rel: usize,
+    /// Index (into the bound predicate list) of the predicate used as the
+    /// stage's rehash/probe key.
+    pub key_pred: usize,
+    /// Other predicates connecting `rel` to the accumulated relations; they
+    /// run as stage post-filters.
+    pub extra_preds: Vec<usize>,
+    /// Estimated rows of the stage's left input (the accumulated
+    /// intermediate, or the filtered driving table for stage 0).
+    pub left_est: f64,
+    /// Estimated rows of the filtered right side.
+    pub right_est: f64,
+    /// Estimated rows of the stage's output.
+    pub out_est: f64,
+    /// The stage's join algorithm.
+    pub strategy: JoinStrategy,
+    /// Human-readable rationale (surfaced by `EXPLAIN`).
+    pub note: String,
+}
+
+/// A complete join order: the relation permutation and per-stage choices.
+#[derive(Clone, Debug)]
+pub struct OrderPlan {
+    /// Relation indexes in execution order (`order[0]` drives the chain).
+    pub order: Vec<usize>,
+    /// One entry per stage (`order.len() - 1`).
+    pub stages: Vec<StageChoice>,
+}
+
+/// Everything the enumerator knows about the query, precomputed.
+struct SearchContext<'a> {
+    relations: &'a [BoundTable],
+    preds: &'a [EquiPred],
+    catalog: &'a Catalog,
+    /// Filtered base-cardinality estimate per relation.
+    base_est: Vec<f64>,
+    /// Unfiltered base rows per relation (for EXPLAIN notes).
+    base_rows: Vec<f64>,
+    forced: Option<JoinStrategy>,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Estimated distinct values of `col` of relation `rel`: the gossiped
+    /// partition-key count when the column is the partitioning column,
+    /// otherwise a flat fraction of the row estimate.
+    fn distinct(&self, rel: usize, col: usize) -> f64 {
+        let name = &self.relations[rel].name;
+        let partition = self.catalog.get(name).map(|d| d.partition_column);
+        let keys = self.catalog.stats(name).and_then(|s| s.distinct_keys);
+        match (partition, keys) {
+            (Some(p), Some(k)) if p == col => (k as f64).max(1.0),
+            _ => (self.base_rows[rel] * DEFAULT_DISTINCT_FRACTION).max(1.0),
+        }
+    }
+
+    /// Is relation `rel` partitioned on `col` (a Fetch-Matches probe can
+    /// answer with a single DHT `get`)?
+    fn partitioned_on(&self, rel: usize, col: usize) -> bool {
+        self.catalog.get(&self.relations[rel].name).map(|d| d.partition_column) == Some(col)
+    }
+
+    /// Cost and cardinality of extending the accumulated set `placed`
+    /// (estimated at `card`) with relation `rel`.
+    fn extend(&self, placed: &[usize], card: f64, rel: usize) -> Option<Extension> {
+        let connecting: Vec<usize> =
+            (0..self.preds.len()).filter(|&i| self.preds[i].connects(rel, placed)).collect();
+        if connecting.is_empty() {
+            return None;
+        }
+        let right_est = self.base_est[rel];
+
+        // Output estimate: every connecting predicate divides by the larger
+        // distinct-value count of its two columns.
+        let mut out_est = card * right_est;
+        let mut divisors: Vec<(usize, f64)> = Vec::with_capacity(connecting.len());
+        for &i in &connecting {
+            let p = &self.preds[i];
+            let (other_rel, other_col, rel_col) = if p.left_rel == rel {
+                (p.right_rel, p.right_col, p.left_col)
+            } else {
+                (p.left_rel, p.left_col, p.right_col)
+            };
+            let d = self.distinct(other_rel, other_col).max(self.distinct(rel, rel_col));
+            divisors.push((i, d));
+            out_est /= d;
+        }
+        let out_est = out_est.max(1.0);
+
+        // Key predicate: a probe-enabling predicate when probing is what
+        // the executor would actually run (the gate is the *same* rule
+        // `assign_strategies` applies, so the search prices exactly the
+        // plan that executes), else the most selective one.
+        let sym_cost = card + right_est;
+        let fetch = divisors
+            .iter()
+            .find(|(i, _)| {
+                let col = self.preds[*i].col_on(rel).expect("pred connects rel");
+                self.partitioned_on(rel, col)
+            })
+            .map(|&(i, _)| i)
+            .filter(|_| card * FETCH_PROBE_COST <= right_est);
+        let (key_pred, cost) = match fetch {
+            Some(i) => (i, card * FETCH_PROBE_COST),
+            None => {
+                let best = divisors
+                    .iter()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("connecting is non-empty");
+                (best.0, sym_cost)
+            }
+        };
+        let extra_preds = connecting.into_iter().filter(|&i| i != key_pred).collect();
+        Some(Extension { key_pred, extra_preds, cost, out_est, right_est })
+    }
+
+    /// Final per-stage strategy selection for a fixed order (the same rules
+    /// the two-way planner applies, generalized to stage position).
+    fn assign_strategies(&self, order: &[usize]) -> Vec<StageChoice> {
+        let mut stages = Vec::with_capacity(order.len() - 1);
+        let mut card = self.base_est[order[0]];
+        let mut placed = vec![order[0]];
+        for (k, &rel) in order.iter().enumerate().skip(1) {
+            let ext = self
+                .extend(&placed, card, rel)
+                .expect("orders are built from connected extensions");
+            let left_est = card;
+            let right_est = ext.right_est;
+            let key_col = self.preds[ext.key_pred].col_on(rel).expect("key pred touches rel");
+            let fetch_eligible = self.partitioned_on(rel, key_col);
+            let name = &self.relations[rel].name;
+            let left_rows = if k == 1 { self.base_rows[order[0]] } else { left_est };
+
+            let (strategy, note) = match self.forced {
+                Some(s) => {
+                    let actual = match s {
+                        JoinStrategy::FetchMatches if !fetch_eligible => {
+                            JoinStrategy::SymmetricHash
+                        }
+                        // The Bloom protocol's phase structure needs both
+                        // sides to be base tables, which only stage 0 has.
+                        JoinStrategy::BloomFilter if k != 1 => JoinStrategy::SymmetricHash,
+                        s => s,
+                    };
+                    if actual == s {
+                        (actual, format!("{s:?} (forced by caller)"))
+                    } else {
+                        (actual, format!("{actual:?} (forced {s:?} not eligible here)"))
+                    }
+                }
+                None => {
+                    if fetch_eligible && left_est * FETCH_PROBE_COST <= right_est {
+                        (
+                            JoinStrategy::FetchMatches,
+                            format!(
+                                "Fetch-Matches: ~{left_est:.0} probing tuples (of \
+                                 ~{left_rows:.0}) vs ~{right_est:.0} inner tuples; '{name}' \
+                                 is partitioned on the join key"
+                            ),
+                        )
+                    } else if k == 1
+                        && right_est >= BLOOM_MIN_RIGHT
+                        && right_est >= BLOOM_SKEW * left_est
+                    {
+                        (
+                            JoinStrategy::BloomFilter,
+                            format!(
+                                "Bloom semi-join: right side ~{right_est:.0} tuples dwarfs \
+                                 left ~{left_est:.0}; a key summary prunes the rehash"
+                            ),
+                        )
+                    } else {
+                        (
+                            JoinStrategy::SymmetricHash,
+                            format!(
+                                "symmetric rehash: comparable cardinalities (~{left_est:.0} \
+                                 left vs ~{right_est:.0} right), both sides ship to the \
+                                 key's node"
+                            ),
+                        )
+                    }
+                }
+            };
+            stages.push(StageChoice {
+                rel,
+                key_pred: ext.key_pred,
+                extra_preds: ext.extra_preds,
+                left_est,
+                right_est,
+                out_est: ext.out_est,
+                strategy,
+                note,
+            });
+            card = ext.out_est;
+            placed.push(rel);
+        }
+        stages
+    }
+}
+
+struct Extension {
+    key_pred: usize,
+    extra_preds: Vec<usize>,
+    cost: f64,
+    out_est: f64,
+    right_est: f64,
+}
+
+/// Choose the join order and per-stage strategies for a bound join.
+///
+/// Two-way joins (and any join planned with a forced strategy, which
+/// benchmarks use for apples-to-apples comparisons) keep the declared
+/// relation order; three relations and up are reordered by cost.
+pub fn choose_order(
+    catalog: &Catalog,
+    relations: &[BoundTable],
+    preds: &[EquiPred],
+    rel_filters: &[Option<Expr>],
+    forced: Option<JoinStrategy>,
+) -> OrderPlan {
+    let n = relations.len();
+    let mut base_rows = Vec::with_capacity(n);
+    let mut base_est = Vec::with_capacity(n);
+    for (i, rel) in relations.iter().enumerate() {
+        let rows = catalog.stats(&rel.name).map(|s| s.rows as f64).unwrap_or(DEFAULT_ROW_ESTIMATE);
+        let partition = catalog.get(&rel.name).map(|d| d.partition_column);
+        let distinct = catalog.stats(&rel.name).and_then(|s| s.distinct_keys);
+        let eq_sel = move |col: usize| match (partition, distinct) {
+            (Some(p), Some(k)) if p == col => (1.0 / k.max(1) as f64).clamp(1e-6, 1.0),
+            _ => super::physical::DEFAULT_EQ_SELECTIVITY,
+        };
+        base_rows.push(rows);
+        base_est.push((rows * selectivity(&rel_filters[i], &eq_sel)).max(1.0));
+    }
+    let ctx = SearchContext { relations, preds, catalog, base_est, base_rows, forced };
+
+    let order = if n == 2 || forced.is_some() {
+        (0..n).collect()
+    } else if n <= DP_MAX_RELATIONS {
+        dp_order(&ctx, n)
+    } else {
+        greedy_order(&ctx, n)
+    };
+    let stages = ctx.assign_strategies(&order);
+    OrderPlan { order, stages }
+}
+
+/// Exact left-deep search: dynamic programming over connected subsets.
+fn dp_order(ctx: &SearchContext<'_>, n: usize) -> Vec<usize> {
+    // dp[mask] = best (cost, card, order) reaching exactly `mask`.
+    let full = (1usize << n) - 1;
+    let mut dp: Vec<Option<(f64, f64, Vec<usize>)>> = vec![None; full + 1];
+    for r in 0..n {
+        dp[1 << r] = Some((0.0, ctx.base_est[r], vec![r]));
+    }
+    for mask in 1..=full {
+        let Some((cost, card, order)) = dp[mask].clone() else { continue };
+        for rel in 0..n {
+            if mask & (1 << rel) != 0 {
+                continue;
+            }
+            let Some(ext) = ctx.extend(&order, card, rel) else { continue };
+            let next_mask = mask | (1 << rel);
+            let next_cost = cost + ext.cost;
+            let better = match &dp[next_mask] {
+                None => true,
+                Some((c, ..)) => next_cost < *c,
+            };
+            if better {
+                let mut next_order = order.clone();
+                next_order.push(rel);
+                dp[next_mask] = Some((next_cost, ext.out_est, next_order));
+            }
+        }
+    }
+    dp[full].clone().expect("the binder guarantees a connected predicate graph").2
+}
+
+/// Greedy fallback for wide joins: start from the smallest filtered
+/// relation, repeatedly add the connected relation with the cheapest stage.
+fn greedy_order(ctx: &SearchContext<'_>, n: usize) -> Vec<usize> {
+    let start = (0..n)
+        .min_by(|&a, &b| ctx.base_est[a].total_cmp(&ctx.base_est[b]))
+        .expect("at least one relation");
+    let mut order = vec![start];
+    let mut card = ctx.base_est[start];
+    while order.len() < n {
+        let best = (0..n)
+            .filter(|r| !order.contains(r))
+            .filter_map(|r| ctx.extend(&order, card, r).map(|e| (r, e)))
+            .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost));
+        let Some((rel, ext)) = best else {
+            // Disconnected remainder cannot happen for binder-produced
+            // graphs; bail to declared order defensively.
+            for r in 0..n {
+                if !order.contains(&r) {
+                    order.push(r);
+                }
+            }
+            break;
+        };
+        card = ext.out_est;
+        order.push(rel);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{TableDef, TableStats};
+    use crate::tuple::Schema;
+    use crate::value::DataType;
+    use pier_simnet::Duration;
+
+    fn rel(name: &str) -> BoundTable {
+        BoundTable {
+            name: name.into(),
+            schema: Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+        }
+    }
+
+    fn catalog(rows: &[(&str, u64)]) -> Catalog {
+        let mut cat = Catalog::new();
+        for (name, n) in rows {
+            cat.register(TableDef::new(
+                *name,
+                Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
+                "k",
+                Duration::from_secs(60),
+            ));
+            cat.set_stats(name, TableStats::with_rows(*n));
+        }
+        cat
+    }
+
+    fn chain_preds() -> Vec<EquiPred> {
+        // a.v = b.k, b.v = c.k — a linear chain.
+        vec![
+            EquiPred { left_rel: 0, left_col: 1, right_rel: 1, right_col: 0 },
+            EquiPred { left_rel: 1, left_col: 1, right_rel: 2, right_col: 0 },
+        ]
+    }
+
+    #[test]
+    fn dp_starts_from_the_smallest_relation() {
+        let cat = catalog(&[("a", 100_000), ("b", 1_000), ("c", 10)]);
+        let rels = [rel("a"), rel("b"), rel("c")];
+        let plan = choose_order(&cat, &rels, &chain_preds(), &[None, None, None], None);
+        assert_eq!(plan.order[2], 0, "the 100k-row relation must join last: {:?}", plan.order);
+        assert_ne!(plan.order[0], 0, "the 100k-row relation must not drive: {:?}", plan.order);
+        assert_eq!(plan.stages.len(), 2);
+    }
+
+    #[test]
+    fn order_flips_with_the_statistics() {
+        let rels = [rel("a"), rel("b"), rel("c")];
+        let cat1 = catalog(&[("a", 10), ("b", 1_000), ("c", 100_000)]);
+        let p1 = choose_order(&cat1, &rels, &chain_preds(), &[None, None, None], None);
+        let cat2 = catalog(&[("a", 100_000), ("b", 1_000), ("c", 10)]);
+        let p2 = choose_order(&cat2, &rels, &chain_preds(), &[None, None, None], None);
+        assert_ne!(p1.order, p2.order, "flipping cardinalities must flip the order");
+        assert_eq!(p1.order[0], 0, "{:?}", p1.order);
+        assert_eq!(*p2.order.last().unwrap(), 0, "{:?}", p2.order);
+    }
+
+    #[test]
+    fn two_way_joins_keep_declared_order() {
+        let cat = catalog(&[("a", 100_000), ("b", 10)]);
+        let rels = [rel("a"), rel("b")];
+        let preds = vec![EquiPred { left_rel: 0, left_col: 1, right_rel: 1, right_col: 0 }];
+        let plan = choose_order(&cat, &rels, &preds, &[None, None], None);
+        assert_eq!(plan.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn forced_strategy_applies_where_eligible() {
+        let cat = catalog(&[("a", 100), ("b", 100), ("c", 100)]);
+        let rels = [rel("a"), rel("b"), rel("c")];
+        let plan = choose_order(
+            &cat,
+            &rels,
+            &chain_preds(),
+            &[None, None, None],
+            Some(JoinStrategy::BloomFilter),
+        );
+        assert_eq!(plan.order, vec![0, 1, 2], "forced plans keep the declared order");
+        assert_eq!(plan.stages[0].strategy, JoinStrategy::BloomFilter);
+        assert_eq!(
+            plan.stages[1].strategy,
+            JoinStrategy::SymmetricHash,
+            "Bloom needs two base-table sides, which only stage 0 has"
+        );
+    }
+
+    #[test]
+    fn greedy_handles_wide_joins() {
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        let rows: Vec<(&str, u64)> = names.iter().map(|n| (*n, 1_000)).collect();
+        let cat = catalog(&rows);
+        let rels: Vec<BoundTable> = names.iter().map(|n| rel(n)).collect();
+        // A chain a-b-c-…-h.
+        let preds: Vec<EquiPred> = (0..7)
+            .map(|i| EquiPred { left_rel: i, left_col: 1, right_rel: i + 1, right_col: 0 })
+            .collect();
+        let filters: Vec<Option<Expr>> = vec![None; 8];
+        let plan = choose_order(&cat, &rels, &preds, &filters, None);
+        assert_eq!(plan.order.len(), 8);
+        assert_eq!(plan.stages.len(), 7);
+        let mut sorted = plan.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -12,20 +12,24 @@ use crate::plan::LogicalPlan;
 use super::binder::BoundSelect;
 
 /// Build the initial (unoptimized) logical plan for a bound statement.
+///
+/// Joins become a single n-ary [`LogicalPlan::MultiJoin`] node over the
+/// bound relation list — two-way joins included, so the optimizer and the
+/// join-order enumerator see one uniform shape.
 pub fn build_logical(bound: &BoundSelect) -> LogicalPlan {
-    let mut plan =
-        LogicalPlan::Scan { table: bound.from.name.clone(), schema: bound.from.schema.clone() };
-
-    if let Some(join) = &bound.join {
-        let right =
-            LogicalPlan::Scan { table: join.right.name.clone(), schema: join.right.schema.clone() };
-        plan = LogicalPlan::Join {
-            left: Box::new(plan),
-            right: Box::new(right),
-            left_key: join.left_key.clone(),
-            right_key: join.right_key.clone(),
-        };
-    }
+    let scan = |t: &crate::planner::binder::BoundTable| LogicalPlan::Scan {
+        table: t.name.clone(),
+        schema: t.schema.clone(),
+    };
+    let mut plan = if bound.is_join() {
+        let offsets = bound.offsets();
+        LogicalPlan::MultiJoin {
+            inputs: bound.relations.iter().map(scan).collect(),
+            preds: bound.join_preds.iter().map(|p| p.global(&offsets)).collect(),
+        }
+    } else {
+        scan(bound.primary())
+    };
 
     if let Some(predicate) = &bound.filter {
         plan = LogicalPlan::Filter { input: Box::new(plan), predicate: predicate.clone() };

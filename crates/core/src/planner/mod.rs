@@ -17,12 +17,14 @@
 
 pub mod binder;
 pub mod cache;
+pub mod joinorder;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
 
-pub use binder::{resolve_expr, Binder, BoundSelect};
+pub use binder::{resolve_expr, Binder, BoundSelect, EquiPred};
 pub use cache::PlanCache;
+pub use joinorder::{OrderPlan, StageChoice};
 pub use optimizer::{Optimized, Optimizer, Rule};
 pub use physical::{PhysicalPlan, PhysicalPlanner};
 
@@ -215,44 +217,49 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
             }
             push_order_limit(&mut out, order_by, *limit);
         }
-        QueryKind::Join {
-            left_table,
-            right_table,
-            left_key,
-            right_key,
-            left_filter,
-            right_filter,
-            post_filter,
-            left_ship_cols,
-            right_ship_cols,
-            strategy,
-            order_by,
-            limit,
-            ..
-        } => {
+        QueryKind::Join { left_table, left_filter, stages, order_by, limit, .. } => {
+            let tables: Vec<String> = std::iter::once(format!("'{left_table}'"))
+                .chain(stages.iter().map(|s| format!("'{}'", s.right_table)))
+                .collect();
             out.push_str(&format!(
-                "distributed join '{left_table}' ⋈ '{right_table}' on {left_key} = {right_key}\n"
+                "distributed join {} ({} stage{})\n",
+                tables.join(" ⋈ "),
+                stages.len(),
+                if stages.len() == 1 { "" } else { "s" }
             ));
-            out.push_str(&format!("  strategy: {strategy:?}\n"));
             if let Some(note) = strategy_note {
-                out.push_str(&format!("  chosen because: {note}\n"));
+                for line in note.lines() {
+                    out.push_str(&format!("  chosen because: {line}\n"));
+                }
             }
             if let Some(f) = left_filter {
-                out.push_str(&format!("  left-side filter (before shipping): {f}\n"));
-            }
-            if let Some(f) = right_filter {
-                out.push_str(&format!("  right-side filter (before shipping): {f}\n"));
+                out.push_str(&format!("  driving-side filter (before shipping): {f}\n"));
             }
             let fmt_cols = |cols: &[usize]| {
                 cols.iter().map(|c| format!("#{c}")).collect::<Vec<_>>().join(", ")
             };
-            out.push_str(&format!(
-                "  shipped columns: left [{}], right [{}]\n",
-                fmt_cols(left_ship_cols),
-                fmt_cols(right_ship_cols)
-            ));
-            if let Some(f) = post_filter {
-                out.push_str(&format!("  residual filter (at join site): {f}\n"));
+            for (k, s) in stages.iter().enumerate() {
+                out.push_str(&format!(
+                    "  stage {k}: ⋈ '{}' on {} = {}\n    strategy: {:?}\n",
+                    s.right_table, s.left_key, s.right_key, s.strategy
+                ));
+                if let Some(f) = &s.right_filter {
+                    out.push_str(&format!("    right-side filter (before shipping): {f}\n"));
+                }
+                out.push_str(&format!(
+                    "    shipped columns: left [{}], right [{}]\n",
+                    fmt_cols(&s.left_ship_cols),
+                    fmt_cols(&s.right_ship_cols)
+                ));
+                if let Some(f) = &s.post_filter {
+                    out.push_str(&format!("    residual filter (at join site): {f}\n"));
+                }
+                if !s.out_cols.is_empty() {
+                    out.push_str(&format!(
+                        "    rehash to next stage: [{}]\n",
+                        fmt_cols(&s.out_cols)
+                    ));
+                }
             }
             push_order_limit(&mut out, order_by, *limit);
         }
@@ -451,34 +458,23 @@ mod tests {
              WHERE k.keyword = 'mp3'",
         );
         match &p.kind {
-            QueryKind::Join {
-                left_table,
-                right_table,
-                left_key,
-                right_key,
-                left_filter,
-                right_filter,
-                post_filter,
-                project,
-                left_ship_cols,
-                right_ship_cols,
-                ..
-            } => {
+            QueryKind::Join { left_table, left_filter, stages, project, .. } => {
                 assert_eq!(left_table, "files");
-                assert_eq!(right_table, "keywords");
-                assert_eq!(left_key, &Expr::col(0));
-                assert_eq!(right_key, &Expr::col(1));
+                assert_eq!(stages.len(), 1);
+                let s = &stages[0];
+                assert_eq!(s.right_table, "keywords");
+                assert_eq!(s.left_key, Expr::col(0));
+                assert_eq!(s.right_key, Expr::col(1));
                 // The keyword predicate referenced only the right side, so
                 // the optimizer pushed it below the join.
                 assert!(left_filter.is_none());
-                assert!(right_filter.is_some());
-                assert!(post_filter.is_none());
-                assert_eq!(right_filter.as_ref().unwrap(), &Expr::col(0).eq(Expr::lit("mp3")));
+                assert!(s.post_filter.is_none());
+                assert_eq!(s.right_filter.as_ref().unwrap(), &Expr::col(0).eq(Expr::lit("mp3")));
                 // Join-side projection pushdown: only f.name (left column 1)
                 // and k.keyword (right column 0) ship; the projection is
                 // renumbered over the narrowed concatenated schema.
-                assert_eq!(left_ship_cols, &vec![1]);
-                assert_eq!(right_ship_cols, &vec![0]);
+                assert_eq!(s.left_ship_cols, vec![1]);
+                assert_eq!(s.right_ship_cols, vec![0]);
                 assert_eq!(project, &vec![Expr::col(0), Expr::col(1)]);
             }
             other => panic!("unexpected kind {other:?}"),
@@ -490,13 +486,9 @@ mod tests {
     #[test]
     fn join_keys_accept_reversed_order() {
         let p = plan("SELECT f.name FROM files f JOIN keywords k ON k.file_id = f.file_id");
-        match &p.kind {
-            QueryKind::Join { left_key, right_key, .. } => {
-                assert_eq!(left_key, &Expr::col(0));
-                assert_eq!(right_key, &Expr::col(1));
-            }
-            other => panic!("unexpected kind {other:?}"),
-        }
+        let stages = p.kind.join_stages().expect("join plan");
+        assert_eq!(stages[0].left_key, Expr::col(0));
+        assert_eq!(stages[0].right_key, Expr::col(1));
     }
 
     #[test]
@@ -508,22 +500,28 @@ mod tests {
         let p = Planner::with_join_strategy(&cat, JoinStrategy::FetchMatches)
             .plan_select(&stmt)
             .unwrap();
-        match p.kind {
-            QueryKind::Join { strategy, .. } => assert_eq!(strategy, JoinStrategy::FetchMatches),
-            other => panic!("unexpected kind {other:?}"),
-        }
+        // keywords is not partitioned on file_id, so a forced Fetch-Matches
+        // is not executable there and degrades to symmetric rehash…
+        let stages = p.kind.join_stages().expect("join plan");
+        assert_eq!(stages[0].strategy, JoinStrategy::SymmetricHash);
+        assert!(p.strategy_note.unwrap().contains("forced"));
+        // …while the probe-shaped direction accepts the forced strategy.
+        let stmt =
+            parse_select("SELECT f.name FROM keywords k JOIN files f ON k.file_id = f.file_id")
+                .unwrap();
+        let p = Planner::with_join_strategy(&cat, JoinStrategy::FetchMatches)
+            .plan_select(&stmt)
+            .unwrap();
+        let stages = p.kind.join_stages().expect("join plan");
+        assert_eq!(stages[0].strategy, JoinStrategy::FetchMatches);
         assert!(p.strategy_note.unwrap().contains("forced"));
     }
 
     #[test]
     fn join_strategy_defaults_to_symmetric_without_stats() {
         let p = plan("SELECT f.name FROM files f JOIN keywords k ON f.file_id = k.file_id");
-        match p.kind {
-            QueryKind::Join { strategy, .. } => {
-                assert_eq!(strategy, JoinStrategy::SymmetricHash)
-            }
-            other => panic!("unexpected kind {other:?}"),
-        }
+        let stages = p.kind.join_stages().expect("join plan");
+        assert_eq!(stages[0].strategy, JoinStrategy::SymmetricHash);
     }
 
     #[test]
@@ -540,8 +538,8 @@ mod tests {
         .unwrap();
         let p = Planner::new(&cat).plan_select(&stmt).unwrap();
         match &p.kind {
-            QueryKind::Join { strategy, left_filter, .. } => {
-                assert_eq!(*strategy, JoinStrategy::FetchMatches);
+            QueryKind::Join { left_filter, stages, .. } => {
+                assert_eq!(stages[0].strategy, JoinStrategy::FetchMatches);
                 assert!(left_filter.is_some(), "keyword filter must sit on the probing side");
             }
             other => panic!("unexpected kind {other:?}"),
@@ -559,12 +557,8 @@ mod tests {
             parse_select("SELECT f.name FROM keywords k JOIN files f ON k.file_id = f.file_id")
                 .unwrap();
         let p = Planner::new(&cat).plan_select(&stmt).unwrap();
-        match &p.kind {
-            QueryKind::Join { strategy, .. } => {
-                assert_eq!(*strategy, JoinStrategy::SymmetricHash)
-            }
-            other => panic!("unexpected kind {other:?}"),
-        }
+        let stages = p.kind.join_stages().expect("join plan");
+        assert_eq!(stages[0].strategy, JoinStrategy::SymmetricHash);
     }
 
     #[test]
@@ -579,10 +573,8 @@ mod tests {
             parse_select("SELECT f.name FROM files f JOIN keywords k ON f.file_id = k.file_id")
                 .unwrap();
         let p = Planner::new(&cat).plan_select(&stmt).unwrap();
-        match &p.kind {
-            QueryKind::Join { strategy, .. } => assert_eq!(*strategy, JoinStrategy::BloomFilter),
-            other => panic!("unexpected kind {other:?}"),
-        }
+        let stages = p.kind.join_stages().expect("join plan");
+        assert_eq!(stages[0].strategy, JoinStrategy::BloomFilter);
     }
 
     #[test]
@@ -624,12 +616,8 @@ mod tests {
         )
         .unwrap();
         let p = Planner::new(&cat).plan_select(&stmt).unwrap();
-        match &p.kind {
-            QueryKind::Join { strategy, .. } => {
-                assert_eq!(*strategy, JoinStrategy::SymmetricHash, "{:?}", p.strategy_note)
-            }
-            other => panic!("unexpected kind {other:?}"),
-        }
+        let stages = p.kind.join_stages().expect("join plan");
+        assert_eq!(stages[0].strategy, JoinStrategy::SymmetricHash, "{:?}", p.strategy_note);
 
         // Equality on a non-partition column must NOT borrow the partition
         // key's distinct count: file_id is not keywords' partition column,

@@ -228,6 +228,10 @@ fn fold_plan(plan: &LogicalPlan) -> LogicalPlan {
             left_key: fold_expr(left_key),
             right_key: fold_expr(right_key),
         },
+        LogicalPlan::MultiJoin { inputs, preds } => LogicalPlan::MultiJoin {
+            inputs: inputs.iter().map(fold_plan).collect(),
+            preds: preds.clone(),
+        },
         LogicalPlan::Aggregate { input, group_exprs, aggs, schema } => LogicalPlan::Aggregate {
             input: Box::new(fold_plan(input)),
             group_exprs: group_exprs.iter().map(fold_expr).collect(),
@@ -337,6 +341,52 @@ fn push_plan(plan: LogicalPlan) -> LogicalPlan {
                         None => join,
                     }
                 }
+                LogicalPlan::MultiJoin { inputs, preds } => {
+                    // Conjuncts that reference a single input sink onto that
+                    // input (rebased to its local schema); the rest stays
+                    // above the join.
+                    let mut offsets = Vec::with_capacity(inputs.len() + 1);
+                    let mut acc = 0;
+                    for input in &inputs {
+                        offsets.push(acc);
+                        acc += input.schema().arity();
+                    }
+                    offsets.push(acc);
+                    let input_of = |col: usize| crate::plan::relation_of_column(&offsets, col);
+                    let mut conjuncts = Vec::new();
+                    split_conjuncts(predicate, &mut conjuncts);
+                    let mut per_input: Vec<Vec<Expr>> = vec![Vec::new(); inputs.len()];
+                    let mut residual = Vec::new();
+                    for c in conjuncts {
+                        let cols = c.referenced_columns();
+                        match cols.split_first() {
+                            Some((&first, rest)) => {
+                                let i = input_of(first);
+                                if rest.iter().all(|&col| input_of(col) == i) {
+                                    per_input[i].push(
+                                        c.substitute_columns(&|col| Expr::Column(col - offsets[i])),
+                                    );
+                                } else {
+                                    residual.push(c);
+                                }
+                            }
+                            None => residual.push(c),
+                        }
+                    }
+                    let inputs = inputs
+                        .into_iter()
+                        .zip(per_input)
+                        .map(|(input, parts)| match conjoin(parts) {
+                            Some(p) => LogicalPlan::Filter { input: Box::new(input), predicate: p },
+                            None => input,
+                        })
+                        .collect();
+                    let join = LogicalPlan::MultiJoin { inputs, preds };
+                    match conjoin(residual) {
+                        Some(p) => LogicalPlan::Filter { input: Box::new(join), predicate: p },
+                        None => join,
+                    }
+                }
                 LogicalPlan::Aggregate { input: agg_in, group_exprs, aggs, schema } => {
                     // A HAVING conjunct that only touches group-by columns
                     // whose grouping expressions are plain column references
@@ -365,6 +415,9 @@ fn push_plan(plan: LogicalPlan) -> LogicalPlan {
             left_key,
             right_key,
         },
+        LogicalPlan::MultiJoin { inputs, preds } => {
+            LogicalPlan::MultiJoin { inputs: inputs.into_iter().map(push_plan).collect(), preds }
+        }
         LogicalPlan::Aggregate { input, group_exprs, aggs, schema } => {
             LogicalPlan::Aggregate { input: Box::new(push_plan(*input)), group_exprs, aggs, schema }
         }
@@ -460,6 +513,10 @@ fn prune_plan(plan: LogicalPlan) -> LogicalPlan {
             left_key,
             right_key,
         },
+        // Scans under a MultiJoin keep their full width: narrowing is the
+        // distributed planner's job (per-stage ship columns), and a local
+        // projection here would invalidate the global predicate numbering.
+        LogicalPlan::MultiJoin { .. } => plan,
         LogicalPlan::Aggregate { input, group_exprs, aggs, schema } => {
             let input = prune_plan(*input);
             let mut outer_cols = Vec::new();

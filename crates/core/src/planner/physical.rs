@@ -4,22 +4,30 @@
 //! [`QueryKind`] spec that is disseminated over the DHT.  This is the layer
 //! that makes *distributed* decisions:
 //!
-//! * join-strategy selection (symmetric rehash vs Fetch-Matches vs
-//!   Bloom-filter semi-join) is **costed from catalog cardinality hints**
-//!   ([`TableStats`](crate::catalog::TableStats)) and filter selectivities,
-//!   instead of a hard-coded default;
+//! * multi-way joins are lowered into a **chain of distributed join stages**
+//!   in the order picked by the [join-order enumerator](super::joinorder)
+//!   — each stage's output is rehashed by the next stage's key into that
+//!   stage's DHT namespace (PIER's multihop joins composed);
+//! * per-stage join-strategy selection (symmetric rehash vs Fetch-Matches
+//!   vs Bloom-filter semi-join) is **costed from catalog cardinality hints**
+//!   ([`TableStats`](crate::catalog::TableStats)) and filter selectivities;
 //! * predicates the optimizer pushed below the join are carried as per-side
 //!   filters so every node filters *before* shipping tuples;
-//! * Fetch-Matches is only eligible when the inner relation is partitioned on
-//!   the join key (the DHT can then answer probes with a single `get`).
+//! * join-side projection pushdown runs per stage: each stage ships only
+//!   the columns that survive to later stages, the final projection, or a
+//!   stage residual filter;
+//! * Fetch-Matches is only eligible when the inner relation is partitioned
+//!   on the join key (the DHT can then answer probes with a single `get`).
 
 use crate::catalog::Catalog;
 use crate::expr::Expr;
 use crate::plan::LogicalPlan;
-use crate::query::{JoinStrategy, QueryKind};
+use crate::query::{JoinStage, JoinStrategy, QueryKind};
+use std::collections::BTreeSet;
 
 use super::binder::BoundSelect;
-use super::optimizer::{fold_expr, split_group_having};
+use super::joinorder::{choose_order, OrderPlan};
+use super::optimizer::{conjoin, fold_expr, split_conjuncts, split_group_having};
 use super::PlanError;
 
 /// Row-count estimate used when the catalog has no statistics for a table.
@@ -27,26 +35,27 @@ pub const DEFAULT_ROW_ESTIMATE: f64 = 1024.0;
 
 /// Relative cost of one Fetch-Matches DHT probe versus rehashing one tuple
 /// (a probe is a routed request *and* a response).
-const FETCH_PROBE_COST: f64 = 4.0;
+pub(crate) const FETCH_PROBE_COST: f64 = 4.0;
 
 /// Fallback selectivity of an equality predicate when the catalog has no
 /// distinct-key estimate for the table.
-const DEFAULT_EQ_SELECTIVITY: f64 = 0.05;
+pub(crate) const DEFAULT_EQ_SELECTIVITY: f64 = 0.05;
 
 /// A Bloom join only pays off when the prunable side is at least this large.
-const BLOOM_MIN_RIGHT: f64 = 512.0;
+pub(crate) const BLOOM_MIN_RIGHT: f64 = 512.0;
 
 /// How much bigger the right side must be (relative to the left) before the
 /// two-phase Bloom protocol beats plain symmetric rehashing.
-const BLOOM_SKEW: f64 = 4.0;
+pub(crate) const BLOOM_SKEW: f64 = 4.0;
 
 /// The physical planner's output: the distributed spec plus a human-readable
-/// note on the join-strategy decision (surfaced by `EXPLAIN`).
+/// note on the join decisions (surfaced by `EXPLAIN`).
 #[derive(Clone, Debug)]
 pub struct PhysicalPlan {
     /// Per-node work description.
     pub kind: QueryKind,
-    /// Why the join strategy was chosen (`None` for non-join queries).
+    /// Why the join order and per-stage strategies were chosen (`None` for
+    /// non-join queries; one line per stage for joins).
     pub strategy_note: Option<String>,
 }
 
@@ -62,8 +71,8 @@ impl<'a> PhysicalPlanner<'a> {
         PhysicalPlanner { catalog, forced_strategy: None }
     }
 
-    /// A planner that always uses `strategy` for joins (benchmarks and tests
-    /// compare strategies this way).
+    /// A planner that always uses `strategy` for joins wherever it is
+    /// executable (benchmarks and tests compare strategies this way).
     pub fn with_forced_strategy(catalog: &'a Catalog, strategy: JoinStrategy) -> Self {
         PhysicalPlanner { catalog, forced_strategy: Some(strategy) }
     }
@@ -75,7 +84,7 @@ impl<'a> PhysicalPlanner<'a> {
         bound: &BoundSelect,
         optimized: &LogicalPlan,
     ) -> Result<PhysicalPlan, PlanError> {
-        if bound.join.is_some() {
+        if bound.is_join() {
             self.plan_join(bound, optimized)
         } else if let Some(agg) = &bound.aggregate {
             // HAVING conjuncts over plain group columns run before
@@ -94,7 +103,7 @@ impl<'a> PhysicalPlanner<'a> {
             };
             Ok(PhysicalPlan {
                 kind: QueryKind::Aggregate {
-                    table: bound.from.name.clone(),
+                    table: bound.primary().name.clone(),
                     filter: filter.as_ref().map(fold_expr),
                     group_exprs: agg.group_exprs.clone(),
                     aggs: agg.aggs.clone(),
@@ -108,7 +117,7 @@ impl<'a> PhysicalPlanner<'a> {
         } else {
             Ok(PhysicalPlan {
                 kind: QueryKind::Select {
-                    table: bound.from.name.clone(),
+                    table: bound.primary().name.clone(),
                     filter: bound.filter.as_ref().map(fold_expr),
                     project: bound.projections.iter().map(fold_expr).collect(),
                     order_by: bound.order_by.clone(),
@@ -119,174 +128,232 @@ impl<'a> PhysicalPlanner<'a> {
         }
     }
 
+    /// Lower a bound join into the staged distributed spec: pick the join
+    /// order, then thread the needed-column sets backward through the chain
+    /// so every stage ships only what later stages (or the final
+    /// projection) consume.
     fn plan_join(
         &self,
         bound: &BoundSelect,
         optimized: &LogicalPlan,
     ) -> Result<PhysicalPlan, PlanError> {
-        let join = bound.join.as_ref().expect("plan_join requires a bound join");
-        let pieces = extract_join_pieces(optimized);
-        let (strategy, note) =
-            self.choose_join_strategy(bound, &pieces.left_filter, &pieces.right_filter);
+        let n = bound.relations.len();
+        let offsets = bound.offsets();
+        let pieces = extract_multijoin_pieces(optimized, n);
+        let order_plan = choose_order(
+            self.catalog,
+            &bound.relations,
+            &bound.join_preds,
+            &pieces.rel_filters,
+            self.forced_strategy,
+        );
+        let OrderPlan { order, stages: choices } = &order_plan;
+        let num_stages = n - 1;
 
-        let left_arity = bound.from.schema.arity();
-        let right_arity = join.right.schema.arity();
-        let project: Vec<Expr> = bound.projections.iter().map(fold_expr).collect();
-        let narrowed =
-            narrow_join_sides(strategy, left_arity, right_arity, project, pieces.post_filter);
+        // Position of each relation in the chosen order, and the relation a
+        // global column belongs to.
+        let mut pos = vec![0usize; n];
+        for (i, &r) in order.iter().enumerate() {
+            pos[r] = i;
+        }
+        let rel_of = |g: usize| crate::plan::relation_of_column(&offsets[..n], g);
+
+        // Assign the residual WHERE conjuncts to the earliest stage where
+        // every referenced relation is available.
+        let mut stage_posts: Vec<Vec<Expr>> = vec![Vec::new(); num_stages];
+        if let Some(residual) = &pieces.residual {
+            let mut conjuncts = Vec::new();
+            split_conjuncts(residual.clone(), &mut conjuncts);
+            for c in conjuncts {
+                let stage = c
+                    .referenced_columns()
+                    .iter()
+                    .map(|&g| pos[rel_of(g)])
+                    .max()
+                    .unwrap_or(1)
+                    .saturating_sub(1)
+                    .min(num_stages - 1);
+                stage_posts[stage].push(c);
+            }
+        }
+        // Non-key equi-predicates run as post-filters at the stage that
+        // joins in their later relation.
+        for (k, choice) in choices.iter().enumerate() {
+            for &pi in &choice.extra_preds {
+                let (gl, gr) = bound.join_preds[pi].global(&offsets);
+                stage_posts[k].push(Expr::col(gl).eq(Expr::col(gr)));
+            }
+        }
+
+        // Per-stage key columns in global numbering: the key predicate's
+        // endpoint on the joined relation is the right key, the other
+        // endpoint (always on an earlier relation) the left key.
+        let mut key_left_global = Vec::with_capacity(num_stages);
+        let mut key_right_local = Vec::with_capacity(num_stages);
+        for choice in choices {
+            let p = &bound.join_preds[choice.key_pred];
+            if p.left_rel == choice.rel {
+                key_right_local.push(p.left_col);
+                key_left_global.push(offsets[p.right_rel] + p.right_col);
+            } else {
+                key_right_local.push(p.right_col);
+                key_left_global.push(offsets[p.left_rel] + p.left_col);
+            }
+        }
+
+        // Backward pass: the global columns needed *after* each stage — by
+        // later stages' keys and post-filters and by the final projection.
+        let final_cols: BTreeSet<usize> =
+            bound.projections.iter().flat_map(|e| e.referenced_columns()).collect();
+        let available = |k: usize| -> BTreeSet<usize> {
+            order[..=k + 1]
+                .iter()
+                .flat_map(|&r| offsets[r]..offsets[r] + bound.relations[r].schema.arity())
+                .collect()
+        };
+        let mut needed = final_cols;
+        let mut need_after: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); num_stages];
+        for k in (0..num_stages).rev() {
+            need_after[k] = needed.intersection(&available(k)).copied().collect();
+            for c in &stage_posts[k] {
+                needed.extend(c.referenced_columns());
+            }
+            needed.insert(key_left_global[k]);
+        }
+
+        // Forward pass: build the stage specs, tracking the left input as a
+        // list of global column ids (`left_map`).
+        let drv = order[0];
+        let mut left_map: Vec<usize> =
+            (offsets[drv]..offsets[drv] + bound.relations[drv].schema.arity()).collect();
+        let mut stages = Vec::with_capacity(num_stages);
+        let mut last_concat_map: Vec<usize> = Vec::new();
+        for k in 0..num_stages {
+            let choice = &choices[k];
+            let q = choice.rel;
+            let q_arity = bound.relations[q].schema.arity();
+            // Fetch-Matches keeps full schemas: its right tuples are read
+            // whole from DHT storage and its left tuples never ship.
+            let is_fetch = choice.strategy == JoinStrategy::FetchMatches;
+            let mut want: BTreeSet<usize> = need_after[k].clone();
+            for c in &stage_posts[k] {
+                want.extend(c.referenced_columns());
+            }
+            let (left_ship_cols, right_ship_cols): (Vec<usize>, Vec<usize>) = if is_fetch {
+                ((0..left_map.len()).collect(), (0..q_arity).collect())
+            } else {
+                (
+                    (0..left_map.len()).filter(|&i| want.contains(&left_map[i])).collect(),
+                    (0..q_arity).filter(|&c| want.contains(&(offsets[q] + c))).collect(),
+                )
+            };
+            let concat_map: Vec<usize> = left_ship_cols
+                .iter()
+                .map(|&i| left_map[i])
+                .chain(right_ship_cols.iter().map(|&c| offsets[q] + c))
+                .collect();
+            let remap = |g: usize| -> Expr {
+                Expr::col(
+                    concat_map
+                        .iter()
+                        .position(|&x| x == g)
+                        .expect("every needed column is shipped"),
+                )
+            };
+            let post_filter = conjoin(
+                stage_posts[k].iter().map(|c| fold_expr(c).substitute_columns(&remap)).collect(),
+            );
+            let left_key = Expr::col(
+                left_map
+                    .iter()
+                    .position(|&g| g == key_left_global[k])
+                    .expect("key column is part of the stage input"),
+            );
+            let right_key = Expr::col(key_right_local[k]);
+            let out_cols: Vec<usize> = if k + 1 == num_stages {
+                last_concat_map = concat_map.clone();
+                Vec::new()
+            } else {
+                let next_map: Vec<usize> = need_after[k].iter().copied().collect();
+                let outs = next_map
+                    .iter()
+                    .map(|&g| {
+                        concat_map
+                            .iter()
+                            .position(|&x| x == g)
+                            .expect("stage output columns are shipped")
+                    })
+                    .collect();
+                left_map = next_map;
+                outs
+            };
+            stages.push(JoinStage {
+                right_table: bound.relations[q].name.clone(),
+                left_key,
+                right_key,
+                right_filter: pieces.rel_filters[q].clone(),
+                post_filter,
+                left_ship_cols,
+                right_ship_cols,
+                out_cols,
+                strategy: choice.strategy,
+            });
+        }
+
+        let final_remap = |g: usize| -> Expr {
+            Expr::col(
+                last_concat_map
+                    .iter()
+                    .position(|&x| x == g)
+                    .expect("projected columns reach the final stage"),
+            )
+        };
+        let project: Vec<Expr> = bound
+            .projections
+            .iter()
+            .map(|e| fold_expr(e).substitute_columns(&final_remap))
+            .collect();
+
+        // EXPLAIN note: the chosen order plus one rationale line per stage.
+        let order_names: Vec<&str> =
+            order.iter().map(|&r| bound.relations[r].name.as_str()).collect();
+        let mut note = String::new();
+        if n > 2 {
+            note.push_str(&format!("join order: {}\n", order_names.join(" ⋈ ")));
+        }
+        for (k, choice) in choices.iter().enumerate() {
+            if n > 2 {
+                note.push_str(&format!(
+                    "stage {k} (⋈ '{}', ~{:.0} ⋈ ~{:.0} → ~{:.0} rows): {}\n",
+                    bound.relations[choice.rel].name,
+                    choice.left_est,
+                    choice.right_est,
+                    choice.out_est,
+                    choice.note
+                ));
+            } else {
+                note.push_str(&choice.note);
+            }
+        }
 
         Ok(PhysicalPlan {
             kind: QueryKind::Join {
-                left_table: bound.from.name.clone(),
-                right_table: join.right.name.clone(),
-                left_key: join.left_key.clone(),
-                right_key: join.right_key.clone(),
-                left_filter: pieces.left_filter,
-                right_filter: pieces.right_filter,
-                post_filter: narrowed.post_filter,
-                project: narrowed.project,
-                left_ship_cols: narrowed.left_ship_cols,
-                right_ship_cols: narrowed.right_ship_cols,
-                strategy,
+                left_table: bound.relations[drv].name.clone(),
+                left_filter: pieces.rel_filters[drv].clone(),
+                stages,
+                project,
                 order_by: bound.order_by.clone(),
                 limit: bound.limit,
             },
             strategy_note: Some(note),
         })
     }
-
-    /// Cost-based join-strategy selection from catalog cardinality hints.
-    fn choose_join_strategy(
-        &self,
-        bound: &BoundSelect,
-        left_filter: &Option<Expr>,
-        right_filter: &Option<Expr>,
-    ) -> (JoinStrategy, String) {
-        if let Some(s) = self.forced_strategy {
-            return (s, format!("{s:?} (forced by caller)"));
-        }
-        let join = bound.join.as_ref().expect("join strategy needs a join");
-
-        let base = |name: &str| {
-            self.catalog.stats(name).map(|s| s.rows as f64).unwrap_or(DEFAULT_ROW_ESTIMATE)
-        };
-        // An equality predicate on the *partitioning column* keeps
-        // ~1/distinct_keys of the rows when the catalog knows the key count;
-        // equality on any other column falls back to the flat System-R
-        // guess (key-count statistics are tracked per partition key only).
-        let eq_sel = |name: &str| {
-            let partition_column = self.catalog.get(name).map(|d| d.partition_column);
-            let distinct = self.catalog.stats(name).and_then(|s| s.distinct_keys);
-            move |col: usize| match (partition_column, distinct) {
-                (Some(p), Some(k)) if p == col => (1.0 / k.max(1) as f64).clamp(1e-6, 1.0),
-                _ => DEFAULT_EQ_SELECTIVITY,
-            }
-        };
-        let left_rows = base(&bound.from.name);
-        let right_rows = base(&join.right.name);
-        let left_est = (left_rows * selectivity(left_filter, &eq_sel(&bound.from.name))).max(1.0);
-        let right_est =
-            (right_rows * selectivity(right_filter, &eq_sel(&join.right.name))).max(1.0);
-
-        // Fetch-Matches probes the inner relation by its DHT resource id, so
-        // the inner table must be partitioned on the join key column.
-        let fetch_eligible = match (&join.right_key, self.catalog.get(&join.right.name)) {
-            (Expr::Column(c), Some(def)) => def.partition_column == *c,
-            _ => false,
-        };
-
-        if fetch_eligible && left_est * FETCH_PROBE_COST <= right_est {
-            return (
-                JoinStrategy::FetchMatches,
-                format!(
-                    "Fetch-Matches: ~{left_est:.0} probing tuples (of ~{left_rows:.0}) vs \
-                     ~{right_est:.0} inner tuples; '{}' is partitioned on the join key",
-                    join.right.name
-                ),
-            );
-        }
-        if right_est >= BLOOM_MIN_RIGHT && right_est >= BLOOM_SKEW * left_est {
-            return (
-                JoinStrategy::BloomFilter,
-                format!(
-                    "Bloom semi-join: right side ~{right_est:.0} tuples dwarfs left \
-                     ~{left_est:.0}; a key summary prunes the rehash"
-                ),
-            );
-        }
-        (
-            JoinStrategy::SymmetricHash,
-            format!(
-                "symmetric rehash: comparable cardinalities (~{left_est:.0} left vs \
-                 ~{right_est:.0} right), both sides ship to the key's node"
-            ),
-        )
-    }
-}
-
-/// Join sides narrowed to the columns the join site actually consumes, with
-/// the site-side expressions renumbered to the narrowed concatenated schema.
-struct NarrowedJoin {
-    left_ship_cols: Vec<usize>,
-    right_ship_cols: Vec<usize>,
-    post_filter: Option<Expr>,
-    project: Vec<Expr>,
-}
-
-/// Join-side projection pushdown: rehash strategies ship only the columns the
-/// join site's residual filter and projection reference, cutting
-/// [`JoinBatch`](crate::payload::PierPayload) bytes at the source.
-/// Fetch-Matches keeps the full schemas — its right tuples are read from DHT
-/// storage (which holds whole tuples) and its left tuples never leave the
-/// probing node.
-fn narrow_join_sides(
-    strategy: JoinStrategy,
-    left_arity: usize,
-    right_arity: usize,
-    project: Vec<Expr>,
-    post_filter: Option<Expr>,
-) -> NarrowedJoin {
-    if strategy == JoinStrategy::FetchMatches {
-        return NarrowedJoin {
-            left_ship_cols: (0..left_arity).collect(),
-            right_ship_cols: (0..right_arity).collect(),
-            post_filter,
-            project,
-        };
-    }
-    let mut used: Vec<usize> = project.iter().flat_map(|e| e.referenced_columns()).collect();
-    if let Some(f) = &post_filter {
-        used.extend(f.referenced_columns());
-    }
-    used.sort_unstable();
-    used.dedup();
-    let left_ship_cols: Vec<usize> = used.iter().copied().filter(|&c| c < left_arity).collect();
-    let right_ship_cols: Vec<usize> =
-        used.iter().copied().filter(|&c| c >= left_arity).map(|c| c - left_arity).collect();
-    let remap = |c: usize| -> Expr {
-        let new = if c < left_arity {
-            left_ship_cols.iter().position(|&x| x == c).expect("used left column is shipped")
-        } else {
-            left_ship_cols.len()
-                + right_ship_cols
-                    .iter()
-                    .position(|&x| x == c - left_arity)
-                    .expect("used right column is shipped")
-        };
-        Expr::col(new)
-    };
-    NarrowedJoin {
-        post_filter: post_filter.map(|f| f.substitute_columns(&remap)),
-        project: project.into_iter().map(|e| e.substitute_columns(&remap)).collect(),
-        left_ship_cols,
-        right_ship_cols,
-    }
 }
 
 /// Estimated fraction of rows surviving a predicate (System-R style guesses);
 /// `eq_sel` maps a column index to the selectivity of an equality predicate
 /// on that column (1/distinct_keys for a partition key the catalog knows).
-fn selectivity(filter: &Option<Expr>, eq_sel: &dyn Fn(usize) -> f64) -> f64 {
+pub(crate) fn selectivity(filter: &Option<Expr>, eq_sel: &dyn Fn(usize) -> f64) -> f64 {
     match filter {
         None => 1.0,
         Some(e) => expr_selectivity(e, eq_sel),
@@ -319,47 +386,45 @@ fn expr_selectivity(e: &Expr, eq_sel: &dyn Fn(usize) -> f64) -> f64 {
     }
 }
 
-/// The join-relevant filters of an optimized plan: the predicates sitting
-/// directly on each side's scan (placed there by predicate pushdown) and the
-/// residual predicate directly above the join.
-struct JoinPieces {
-    left_filter: Option<Expr>,
-    right_filter: Option<Expr>,
-    post_filter: Option<Expr>,
+/// The join-relevant filters of an optimized plan: the predicate sitting
+/// directly on each relation's scan (placed there by predicate pushdown)
+/// and the residual predicate directly above the n-ary join.
+struct MultiJoinPieces {
+    /// Per-relation pushed-down filter, over each relation's local schema.
+    rel_filters: Vec<Option<Expr>>,
+    /// Residual predicate over the concatenated (global) schema.
+    residual: Option<Expr>,
 }
 
-fn extract_join_pieces(plan: &LogicalPlan) -> JoinPieces {
+fn extract_multijoin_pieces(plan: &LogicalPlan, n: usize) -> MultiJoinPieces {
     let mut cur = plan;
-    let mut post = None;
+    let mut residual = None;
     loop {
         match cur {
             LogicalPlan::Limit { input, .. }
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Project { input, .. } => cur = input,
             LogicalPlan::Filter { input, predicate } => {
-                if matches!(**input, LogicalPlan::Join { .. }) {
-                    post = Some(predicate.clone());
+                if matches!(**input, LogicalPlan::MultiJoin { .. }) {
+                    residual = Some(predicate.clone());
                 }
                 cur = input;
             }
-            LogicalPlan::Join { left, right, .. } => {
-                let side_filter = |side: &LogicalPlan| match side {
-                    LogicalPlan::Filter { input, predicate }
-                        if matches!(**input, LogicalPlan::Scan { .. }) =>
-                    {
-                        Some(predicate.clone())
-                    }
-                    _ => None,
-                };
-                return JoinPieces {
-                    left_filter: side_filter(left),
-                    right_filter: side_filter(right),
-                    post_filter: post,
-                };
+            LogicalPlan::MultiJoin { inputs, .. } => {
+                let rel_filters = inputs
+                    .iter()
+                    .map(|side| match side {
+                        LogicalPlan::Filter { input, predicate }
+                            if matches!(**input, LogicalPlan::Scan { .. }) =>
+                        {
+                            Some(predicate.clone())
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                return MultiJoinPieces { rel_filters, residual };
             }
-            LogicalPlan::Scan { .. } | LogicalPlan::Aggregate { .. } => {
-                return JoinPieces { left_filter: None, right_filter: None, post_filter: post }
-            }
+            _ => return MultiJoinPieces { rel_filters: vec![None; n], residual },
         }
     }
 }

@@ -81,6 +81,49 @@ pub enum JoinStrategy {
     BloomFilter,
 }
 
+/// One stage of a staged multi-way join: the accumulated intermediate
+/// relation (or, for stage 0, the driving base table) joined against
+/// `right_table`, producing either the next intermediate (rehashed by the
+/// next stage's key into that stage's DHT namespace — PIER's multihop joins
+/// composed) or, at the last stage, the query's projected output.
+///
+/// Column spaces: the stage's *left input schema* is the driving table's
+/// base schema for stage 0 and the previous stage's `out_cols` output
+/// otherwise.  `left_key` is evaluated over that schema; `left_ship_cols`
+/// narrows it before shipping (full for Fetch-Matches stages, whose left
+/// tuples never leave the probing node).  `right_key` / `right_filter` are
+/// over `right_table`'s base schema; `right_ship_cols` narrows shipped (or
+/// probed) right tuples.  `post_filter`, `out_cols` and — at the final stage
+/// — [`QueryKind::Join`]'s `project` are over the *stage concat schema*:
+/// `left_ship_cols ++ right_ship_cols`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinStage {
+    /// The base table joined in at this stage.
+    pub right_table: String,
+    /// Join key over the stage's left input schema.
+    pub left_key: Expr,
+    /// Join key over `right_table`'s base schema.
+    pub right_key: Expr,
+    /// Pushed-down predicate over `right_table`'s base schema, applied
+    /// before its tuples are shipped or probed.
+    pub right_filter: Option<Expr>,
+    /// Residual predicate over the stage concat schema (conjuncts that need
+    /// columns of both sides, e.g. a second equi-predicate between the same
+    /// relations).
+    pub post_filter: Option<Expr>,
+    /// Columns of the left input shipped to the join site.
+    pub left_ship_cols: Vec<usize>,
+    /// Columns of `right_table` shipped to the join site (or read from
+    /// probed tuples).
+    pub right_ship_cols: Vec<usize>,
+    /// Columns of the stage concat schema forming the stage's output — the
+    /// intermediate handed to the next stage.  Empty for the final stage,
+    /// whose output goes through the query-level projection instead.
+    pub out_cols: Vec<usize>,
+    /// Which join algorithm this stage runs.
+    pub strategy: JoinStrategy,
+}
+
 /// The per-node work of a query.
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryKind {
@@ -118,38 +161,20 @@ pub enum QueryKind {
         /// column order.
         final_project: Vec<usize>,
     },
-    /// Distributed equi-join of two tables.
+    /// Distributed equi-join of two or more tables, executed as a chain of
+    /// [`JoinStage`]s in the optimizer's chosen join order (one stage for a
+    /// classic two-way join).
     Join {
-        /// Left (probe/outer) table.
+        /// The driving (leftmost) table of the chosen join order.
         left_table: String,
-        /// Right (build/inner) table.
-        right_table: String,
-        /// Join key over the left table schema.
-        left_key: Expr,
-        /// Join key over the right table schema.
-        right_key: Expr,
-        /// Predicate over the left table schema, applied at each node before
-        /// its tuples are shipped (the optimizer's predicate pushdown).
+        /// Predicate over the driving table's schema, applied at each node
+        /// before its tuples are shipped (the optimizer's predicate
+        /// pushdown).
         left_filter: Option<Expr>,
-        /// Predicate over the right table schema, applied at each node before
-        /// its tuples are shipped or probed.
-        right_filter: Option<Expr>,
-        /// Residual predicate over the concatenated schema (conjuncts that
-        /// reference both sides).
-        post_filter: Option<Expr>,
-        /// Projection over the concatenated schema.
+        /// The join stages, in execution order (at least one).
+        stages: Vec<JoinStage>,
+        /// Projection over the final stage's concat schema.
         project: Vec<Expr>,
-        /// Columns of the left relation each node ships to the join site
-        /// (join-side projection pushdown).  `post_filter` and `project` are
-        /// expressed over `left_ship_cols ++ right_ship_cols`; the join keys
-        /// and per-side filters stay over the full base schemas because they
-        /// are evaluated before narrowing.
-        left_ship_cols: Vec<usize>,
-        /// Columns of the right relation each node ships (or, for
-        /// Fetch-Matches, reads from the probed tuples).
-        right_ship_cols: Vec<usize>,
-        /// Which join algorithm to run.
-        strategy: JoinStrategy,
         /// Sort keys over the projected output (origin-side).
         order_by: Vec<SortKey>,
         /// Row limit (origin-side).
@@ -186,6 +211,27 @@ impl QueryKind {
     /// Is this an aggregation query?
     pub fn is_aggregate(&self) -> bool {
         matches!(self, QueryKind::Aggregate { .. })
+    }
+
+    /// The join stages, for join queries.
+    pub fn join_stages(&self) -> Option<&[JoinStage]> {
+        match self {
+            QueryKind::Join { stages, .. } => Some(stages),
+            _ => None,
+        }
+    }
+
+    /// All tables this query reads, in join order (single-element for
+    /// non-join queries).
+    pub fn tables(&self) -> Vec<&str> {
+        match self {
+            QueryKind::Join { left_table, stages, .. } => {
+                let mut t = vec![left_table.as_str()];
+                t.extend(stages.iter().map(|s| s.right_table.as_str()));
+                t
+            }
+            other => vec![other.primary_table()],
+        }
     }
 }
 
@@ -233,25 +279,23 @@ impl WireSize for QuerySpec {
                         .sum::<usize>()
                     + having.as_ref().map(|f| f.wire_size()).unwrap_or(0)
             }
-            QueryKind::Join {
-                left_key,
-                right_key,
-                left_filter,
-                right_filter,
-                post_filter,
-                project,
-                left_ship_cols,
-                right_ship_cols,
-                ..
-            } => {
-                left_ship_cols.len()
-                    + right_ship_cols.len()
-                    + left_key.wire_size()
-                    + right_key.wire_size()
-                    + left_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
-                    + right_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
-                    + post_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
+            QueryKind::Join { left_filter, stages, project, .. } => {
+                left_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
                     + project.iter().map(|e| e.wire_size()).sum::<usize>()
+                    + stages
+                        .iter()
+                        .map(|s| {
+                            s.right_table.len()
+                                + s.left_ship_cols.len()
+                                + s.right_ship_cols.len()
+                                + s.out_cols.len()
+                                + s.left_key.wire_size()
+                                + s.right_key.wire_size()
+                                + s.right_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
+                                + s.post_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
+                                + 1
+                        })
+                        .sum::<usize>()
             }
             QueryKind::Recursive { source, .. } => 16 + source.wire_size(),
         };

@@ -78,6 +78,7 @@ impl MemoryDb {
                 }
                 out
             }
+            LogicalPlan::MultiJoin { inputs, preds } => self.execute_multijoin(inputs, preds),
             LogicalPlan::Aggregate { input, group_exprs, aggs, .. } => {
                 let rows = self.execute(input);
                 let mut agg = GroupAggregator::new(group_exprs.clone(), aggs.clone());
@@ -97,6 +98,112 @@ impl MemoryDb {
                 rows
             }
         }
+    }
+    /// Evaluate an n-ary equi-join.  Relations are folded in left-to-right
+    /// as long as a predicate connects the next one (hash join on the first
+    /// connecting predicate, the rest filtered); unconnected relations are
+    /// deferred until a predicate links them.  The result columns are
+    /// permuted back to declared input order, which is the schema every
+    /// parent operator was resolved against.
+    fn execute_multijoin(&self, inputs: &[LogicalPlan], preds: &[(usize, usize)]) -> Vec<Tuple> {
+        let offsets: Vec<usize> = {
+            let mut acc = 0;
+            inputs
+                .iter()
+                .map(|i| {
+                    let o = acc;
+                    acc += i.schema().arity();
+                    o
+                })
+                .collect()
+        };
+        let arities: Vec<usize> = inputs.iter().map(|i| i.schema().arity()).collect();
+        let input_of = |g: usize| crate::plan::relation_of_column(&offsets, g);
+
+        // `placed_cols[i]` = position of global column i in the accumulated
+        // tuple, once its relation has been folded in.
+        let total: usize = arities.iter().sum();
+        let mut placed_cols: Vec<Option<usize>> = vec![None; total];
+        let mut acc_rows = self.execute(&inputs[0]);
+        for (c, slot) in placed_cols.iter_mut().enumerate().take(arities[0]) {
+            *slot = Some(c);
+        }
+        let mut placed = vec![0usize];
+        let mut width = arities[0];
+
+        while placed.len() < inputs.len() {
+            // Next declared relation with a predicate into the placed set
+            // (falling back to a cross product only if none connects, which
+            // the binder prevents for its own plans).
+            let next = (0..inputs.len())
+                .find(|i| {
+                    !placed.contains(i)
+                        && preds.iter().any(|&(a, b)| {
+                            (input_of(a) == *i && placed.contains(&input_of(b)))
+                                || (input_of(b) == *i && placed.contains(&input_of(a)))
+                        })
+                })
+                .or_else(|| (0..inputs.len()).find(|i| !placed.contains(i)))
+                .expect("some relation remains");
+            let rel_rows = self.execute(&inputs[next]);
+            // Predicates between the accumulated tuple and `next`, rewritten
+            // as (accumulated position, local position) pairs.
+            let links: Vec<(usize, usize)> = preds
+                .iter()
+                .filter_map(|&(a, b)| {
+                    if input_of(a) == next && placed_cols[b].is_some() {
+                        Some((placed_cols[b].expect("checked"), a - offsets[next]))
+                    } else if input_of(b) == next && placed_cols[a].is_some() {
+                        Some((placed_cols[a].expect("checked"), b - offsets[next]))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let mut out = Vec::new();
+            match links.split_first() {
+                Some((&(acc_col, rel_col), rest)) => {
+                    let mut index: HashMap<crate::value::Value, Vec<&Tuple>> = HashMap::new();
+                    for r in &rel_rows {
+                        let k = r.get(rel_col).clone();
+                        if !k.is_null() {
+                            index.entry(k).or_default().push(r);
+                        }
+                    }
+                    for l in &acc_rows {
+                        let k = l.get(acc_col);
+                        if k.is_null() {
+                            continue;
+                        }
+                        if let Some(matches) = index.get(k) {
+                            for r in matches {
+                                if rest.iter().all(|&(ac, rc)| l.get(ac).sql_eq(r.get(rc))) {
+                                    out.push(l.concat(r));
+                                }
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for l in &acc_rows {
+                        for r in &rel_rows {
+                            out.push(l.concat(r));
+                        }
+                    }
+                }
+            }
+            for c in 0..arities[next] {
+                placed_cols[offsets[next] + c] = Some(width + c);
+            }
+            width += arities[next];
+            placed.push(next);
+            acc_rows = out;
+        }
+
+        // Permute back to declared column order.
+        let perm: Vec<usize> =
+            (0..total).map(|g| placed_cols[g].expect("all relations placed")).collect();
+        acc_rows.iter().map(|t| t.project(&perm)).collect()
     }
 }
 

@@ -1,7 +1,8 @@
 //! Abstract syntax tree for PIER's SQL dialect.
 //!
 //! The dialect covers what the paper demonstrates: single-table selections and
-//! projections, two-way equi-joins, grouped aggregation with `HAVING`,
+//! projections, multi-way equi-joins (`FROM a, b, c WHERE a.x = b.x AND …` or
+//! chained `JOIN … ON …` clauses), grouped aggregation with `HAVING`,
 //! `ORDER BY … LIMIT` (top-k), and **continuous queries** — the same `SELECT`
 //! re-evaluated every *period* seconds over the most recent *window* of data,
 //! which is how the Figure 1 monitoring query runs.  `CREATE TABLE` and
@@ -157,14 +158,14 @@ impl AstExpr {
     }
 }
 
-/// `JOIN table ON left = right`.
+/// `JOIN table ON left = right` — one link of a (possibly chained) join.
 #[derive(Clone, Debug, PartialEq)]
 pub struct JoinClause {
-    /// The right-hand table.
+    /// The newly joined table.
     pub table: TableRef,
-    /// Column of the left table in the equality predicate.
+    /// One column of the equality predicate (usually of an earlier table).
     pub left_column: String,
-    /// Column of the right table in the equality predicate.
+    /// The other column of the equality predicate (usually of `table`).
     pub right_column: String,
 }
 
@@ -192,10 +193,13 @@ pub struct ContinuousClause {
 pub struct SelectStmt {
     /// Items in the select list.
     pub projections: Vec<SelectItem>,
-    /// The main (left) table.
-    pub from: TableRef,
-    /// Optional equi-join against a second table.
-    pub join: Option<JoinClause>,
+    /// Comma-listed `FROM` tables (at least one; the first is the primary
+    /// relation).  Equi-join predicates between comma-listed tables are
+    /// written in `WHERE` and extracted by the binder.
+    pub from: Vec<TableRef>,
+    /// Chained `JOIN … ON …` clauses, each adding one table plus one
+    /// equality predicate.
+    pub joins: Vec<JoinClause>,
     /// `WHERE` predicate.
     pub where_clause: Option<AstExpr>,
     /// `GROUP BY` column names.
@@ -218,6 +222,16 @@ impl SelectStmt {
                 SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
                 SelectItem::Wildcard => false,
             })
+    }
+
+    /// The primary (first `FROM`) relation.
+    pub fn primary(&self) -> &TableRef {
+        &self.from[0]
+    }
+
+    /// Total number of relations referenced (`FROM` list plus `JOIN`s).
+    pub fn relation_count(&self) -> usize {
+        self.from.len() + self.joins.len()
     }
 }
 
@@ -288,8 +302,8 @@ mod tests {
     fn select_is_aggregate() {
         let base = SelectStmt {
             projections: vec![SelectItem::Wildcard],
-            from: TableRef { name: "t".into(), alias: None },
-            join: None,
+            from: vec![TableRef { name: "t".into(), alias: None }],
+            joins: vec![],
             where_clause: None,
             group_by: vec![],
             having: None,

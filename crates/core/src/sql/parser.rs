@@ -161,18 +161,23 @@ impl Parser {
         self.expect_kw("select")?;
         let projections = self.select_list()?;
         self.expect_kw("from")?;
-        let from = self.table_ref()?;
+        // Comma-listed FROM tables (`FROM a, b, c` — join predicates between
+        // them live in WHERE and are extracted by the binder).
+        let mut from = vec![self.table_ref()?];
+        while self.eat_sym(",") {
+            from.push(self.table_ref()?);
+        }
 
-        let join = if self.eat_kw("join") {
+        // Chained `JOIN t ON l = r` clauses, each adding one table.
+        let mut joins = Vec::new();
+        while self.eat_kw("join") {
             let table = self.table_ref()?;
             self.expect_kw("on")?;
             let left_column = self.qualified_name()?;
             self.expect_sym("=")?;
             let right_column = self.qualified_name()?;
-            Some(JoinClause { table, left_column, right_column })
-        } else {
-            None
-        };
+            joins.push(JoinClause { table, left_column, right_column });
+        }
 
         let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
 
@@ -230,7 +235,7 @@ impl Parser {
         Ok(SelectStmt {
             projections,
             from,
-            join,
+            joins,
             where_clause,
             group_by,
             having,
@@ -558,7 +563,7 @@ mod tests {
     fn simple_select_star() {
         let s = sel("SELECT * FROM netstats");
         assert_eq!(s.projections, vec![SelectItem::Wildcard]);
-        assert_eq!(s.from.name, "netstats");
+        assert_eq!(s.primary().name, "netstats");
         assert!(s.where_clause.is_none());
         assert!(!s.is_aggregate());
     }
@@ -638,12 +643,39 @@ mod tests {
     #[test]
     fn join_on_clause() {
         let s = sel("SELECT f.name, k.keyword FROM files f JOIN keywords k ON f.file_id = k.file_id WHERE k.keyword = 'mp3'");
-        let j = s.join.unwrap();
+        let j = &s.joins[0];
         assert_eq!(j.table.name, "keywords");
         assert_eq!(j.table.alias.as_deref(), Some("k"));
         assert_eq!(j.left_column, "f.file_id");
         assert_eq!(j.right_column, "k.file_id");
         assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn chained_joins_and_from_lists() {
+        // Three-way chained JOIN.
+        let s = sel("SELECT n.host FROM netstats n JOIN links l ON n.host = l.src \
+             JOIN intrusions i ON l.dst = i.host");
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.joins.len(), 2);
+        assert_eq!(s.relation_count(), 3);
+        assert_eq!(s.joins[0].table.name, "links");
+        assert_eq!(s.joins[1].table.name, "intrusions");
+        assert_eq!(s.joins[1].left_column, "l.dst");
+
+        // Comma-listed FROM tables; predicates stay in WHERE for the binder.
+        let s = sel("SELECT * FROM a, b, c WHERE a.x = b.x AND b.y = c.y");
+        assert_eq!(s.from.len(), 3);
+        assert!(s.joins.is_empty());
+        assert_eq!(s.relation_count(), 3);
+        assert_eq!(s.from[1].name, "b");
+        assert!(s.where_clause.is_some());
+
+        // Mixed: FROM list plus a chained JOIN.
+        let s = sel("SELECT * FROM a x, b y JOIN c z ON y.k = z.k WHERE x.k = y.k");
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.joins.len(), 1);
+        assert_eq!(s.joins[0].table.alias.as_deref(), Some("z"));
     }
 
     #[test]
@@ -768,7 +800,7 @@ mod tests {
         match stmt {
             Statement::Explain { analyze, select } => {
                 assert!(!analyze);
-                assert_eq!(select.from.name, "netstats");
+                assert_eq!(select.primary().name, "netstats");
                 assert!(select.where_clause.is_some());
                 assert_eq!(select.limit, Some(3));
                 // The inner statement is exactly what plain parsing produces.
@@ -790,7 +822,7 @@ mod tests {
         match stmt {
             Statement::Explain { analyze, select } => {
                 assert!(analyze);
-                assert_eq!(select.from.name, "netstats");
+                assert_eq!(select.primary().name, "netstats");
             }
             other => panic!("unexpected {other:?}"),
         }

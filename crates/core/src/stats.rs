@@ -19,12 +19,15 @@
 //! round, the catalog is only touched when an estimate moves by more than
 //! [`STATS_REL_THRESHOLD`].
 //!
-//! Known limitation: the view never expires entries, so a permanently
-//! departed node's last summary keeps contributing to the totals (its tuples
-//! also linger as soft state elsewhere until their TTLs lapse, so the two
-//! staleness windows roughly track each other).  Restarted nodes are handled:
-//! their sequence numbers are seeded from virtual time, so fresh summaries
-//! immediately outrank pre-crash ones.
+//! Entries **expire**: every absorbed entry is stamped with the local time
+//! it was last *refreshed* (a strictly newer sequence number arrived), and
+//! [`GossipView::expire`] evicts entries stale for longer than a TTL — so a
+//! permanently departed node's last summary stops inflating the totals
+//! after `PierConfig::stats_ttl_intervals` missed gossip rounds.  Evicted
+//! nodes leave a tombstone holding their last sequence number; peers keep
+//! re-gossiping the stale entry, and only a strictly fresher summary (a
+//! genuine restart — sequence numbers are seeded from virtual time) may
+//! re-enter the view, so expired entries cannot flap back in.
 
 use crate::catalog::{Catalog, TableStats};
 use pier_simnet::{NodeAddr, WireSize};
@@ -72,10 +75,17 @@ impl WireSize for NodeStatsEntry {
 }
 
 /// A node's view of the whole network's statistics: the newest
-/// [`NodeStatsEntry`] it has seen from every node (including itself).
+/// [`NodeStatsEntry`] it has seen from every node (including itself), each
+/// stamped with the local virtual time it was last refreshed.
 #[derive(Clone, Debug, Default)]
 pub struct GossipView {
-    entries: HashMap<NodeAddr, NodeStatsEntry>,
+    /// Newest entry per node plus the local time (µs) a strictly fresher
+    /// sequence number last arrived.
+    entries: HashMap<NodeAddr, (NodeStatsEntry, u64)>,
+    /// Expired nodes and the highest sequence number seen from them.
+    /// Re-gossiped stale copies of an evicted entry are rejected; only a
+    /// strictly fresher summary (a restarted node) re-enters the view.
+    tombstones: HashMap<NodeAddr, u64>,
 }
 
 impl GossipView {
@@ -84,20 +94,35 @@ impl GossipView {
         GossipView::default()
     }
 
-    /// Replace this node's own entry.
-    pub fn update_self(&mut self, node: NodeAddr, seq: u64, tables: Vec<TableSummary>) {
-        self.entries.insert(node, NodeStatsEntry { node, seq, tables });
+    /// Replace this node's own entry (refreshed at local time `now_micros`).
+    pub fn update_self(
+        &mut self,
+        node: NodeAddr,
+        seq: u64,
+        tables: Vec<TableSummary>,
+        now_micros: u64,
+    ) {
+        self.tombstones.remove(&node);
+        self.entries.insert(node, (NodeStatsEntry { node, seq, tables }, now_micros));
     }
 
     /// Fold received entries in, keeping the newest per node.  Returns `true`
-    /// if anything in the view changed.
-    pub fn absorb(&mut self, entries: Vec<NodeStatsEntry>) -> bool {
+    /// if anything in the view changed.  Entries whose node was expired are
+    /// only accepted with a strictly fresher sequence number than the
+    /// tombstone records.
+    pub fn absorb(&mut self, entries: Vec<NodeStatsEntry>, now_micros: u64) -> bool {
         let mut changed = false;
         for entry in entries {
+            if let Some(&dead_seq) = self.tombstones.get(&entry.node) {
+                if entry.seq <= dead_seq {
+                    continue;
+                }
+                self.tombstones.remove(&entry.node);
+            }
             match self.entries.get(&entry.node) {
-                Some(known) if known.seq >= entry.seq => {}
+                Some((known, _)) if known.seq >= entry.seq => {}
                 _ => {
-                    self.entries.insert(entry.node, entry);
+                    self.entries.insert(entry.node, (entry, now_micros));
                     changed = true;
                 }
             }
@@ -105,9 +130,31 @@ impl GossipView {
         changed
     }
 
+    /// Evict entries not refreshed for `ttl_micros` (a `ttl_micros` of 0
+    /// disables expiry).  Evicted nodes leave tombstones.  Returns how many
+    /// entries were evicted.
+    pub fn expire(&mut self, now_micros: u64, ttl_micros: u64) -> usize {
+        if ttl_micros == 0 {
+            return 0;
+        }
+        let dead: Vec<NodeAddr> = self
+            .entries
+            .iter()
+            .filter(|(_, (_, seen))| now_micros.saturating_sub(*seen) > ttl_micros)
+            .map(|(&node, _)| node)
+            .collect();
+        for node in &dead {
+            if let Some((entry, _)) = self.entries.remove(node) {
+                self.tombstones.insert(*node, entry.seq);
+            }
+        }
+        dead.len()
+    }
+
     /// The full view, ready to push to a gossip peer (deterministic order).
     pub fn wire_entries(&self) -> Vec<NodeStatsEntry> {
-        let mut entries: Vec<NodeStatsEntry> = self.entries.values().cloned().collect();
+        let mut entries: Vec<NodeStatsEntry> =
+            self.entries.values().map(|(e, _)| e.clone()).collect();
         entries.sort_by_key(|e| e.node.0);
         entries
     }
@@ -123,7 +170,7 @@ impl GossipView {
     /// sum to the true key count, keys being partitioned across the ring).
     pub fn totals(&self) -> Vec<TableSummary> {
         let mut by_table: HashMap<String, (u64, u64)> = HashMap::new();
-        for entry in self.entries.values() {
+        for (entry, _) in self.entries.values() {
             for t in &entry.tables {
                 let e = by_table.entry(t.table.clone()).or_insert((0, 0));
                 e.0 += t.rows;
@@ -191,9 +238,9 @@ mod tests {
     #[test]
     fn absorb_keeps_newest_per_node() {
         let mut view = GossipView::new();
-        assert!(view.absorb(vec![entry(1, 1, 10), entry(2, 1, 20)]));
-        assert!(!view.absorb(vec![entry(1, 1, 99)]), "stale seq is ignored");
-        assert!(view.absorb(vec![entry(1, 2, 30)]));
+        assert!(view.absorb(vec![entry(1, 1, 10), entry(2, 1, 20)], 0));
+        assert!(!view.absorb(vec![entry(1, 1, 99)], 1), "stale seq is ignored");
+        assert!(view.absorb(vec![entry(1, 2, 30)], 2));
         assert_eq!(view.nodes_known(), 2);
         let totals = view.totals();
         assert_eq!(totals.len(), 1);
@@ -204,9 +251,36 @@ mod tests {
     #[test]
     fn wire_entries_are_deterministic() {
         let mut view = GossipView::new();
-        view.absorb(vec![entry(5, 1, 1), entry(2, 1, 1), entry(9, 1, 1)]);
+        view.absorb(vec![entry(5, 1, 1), entry(2, 1, 1), entry(9, 1, 1)], 0);
         let nodes: Vec<u32> = view.wire_entries().iter().map(|e| e.node.0).collect();
         assert_eq!(nodes, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn expiry_evicts_silent_nodes_and_tombstones_block_stale_reentry() {
+        let mut view = GossipView::new();
+        view.update_self(NodeAddr(0), 5, vec![], 0);
+        view.absorb(vec![entry(1, 10, 40)], 0);
+        // Node 1 keeps being re-gossiped at the same seq: not a refresh.
+        assert!(!view.absorb(vec![entry(1, 10, 40)], 500));
+        assert_eq!(view.expire(400, 1_000), 0, "within TTL nothing expires");
+        // Our own entry refreshes every round; node 1 has gone silent.
+        view.update_self(NodeAddr(0), 6, vec![], 1_500);
+        assert_eq!(view.expire(2_000, 1_000), 1, "node 1 missed its refreshes");
+        assert_eq!(view.nodes_known(), 1, "only our own entry remains");
+        assert_eq!(view.totals().first().map(|t| t.rows), None);
+
+        // A re-gossiped stale copy must NOT resurrect the entry…
+        assert!(!view.absorb(vec![entry(1, 10, 40)], 2_100));
+        assert_eq!(view.nodes_known(), 1);
+        // …but a restarted node 1 (strictly fresher seq) re-enters.
+        assert!(view.absorb(vec![entry(1, 11, 7)], 2_200));
+        assert_eq!(view.nodes_known(), 2);
+        assert_eq!(view.totals()[0].rows, 7);
+
+        // TTL 0 disables expiry entirely.
+        assert_eq!(view.expire(u64::MAX, 0), 0);
+        assert_eq!(view.nodes_known(), 2);
     }
 
     #[test]

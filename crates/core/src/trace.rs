@@ -64,6 +64,16 @@ pub struct OpTrace {
     pub switches: Vec<String>,
     /// Result rows produced per epoch (producer-side row counts).
     pub epoch_rows: BTreeMap<u64, u64>,
+    /// Tuples shipped per join stage (base-table rehashes at stage 0 and
+    /// 1-side rehashes at every stage; intermediate tuples count against the
+    /// stage that *receives* them).  Sums to [`OpTrace::tuples_shipped`].
+    pub stage_shipped: BTreeMap<u8, u64>,
+    /// Fetch-Matches probes per join stage.  Sums to
+    /// [`OpTrace::probes_sent`].
+    pub stage_probes: BTreeMap<u8, u64>,
+    /// Join output rows produced per stage (the last stage's rows are the
+    /// query's result rows).  Sums to [`OpTrace::join_matches`].
+    pub stage_matches: BTreeMap<u8, u64>,
 }
 
 impl OpTrace {
@@ -91,6 +101,15 @@ impl OpTrace {
         for (&epoch, &rows) in &other.epoch_rows {
             *self.epoch_rows.entry(epoch).or_insert(0) += rows;
         }
+        for (&stage, &n) in &other.stage_shipped {
+            *self.stage_shipped.entry(stage).or_insert(0) += n;
+        }
+        for (&stage, &n) in &other.stage_probes {
+            *self.stage_probes.entry(stage).or_insert(0) += n;
+        }
+        for (&stage, &n) in &other.stage_matches {
+            *self.stage_matches.entry(stage).or_insert(0) += n;
+        }
     }
 
     /// Has this trace recorded any activity at all?
@@ -101,10 +120,12 @@ impl OpTrace {
 
 impl WireSize for OpTrace {
     fn wire_size(&self) -> usize {
-        // 13 fixed u64 counters + per-switch strings + per-epoch pairs.
+        // 13 fixed u64 counters + per-switch strings + per-epoch and
+        // per-stage pairs.
         13 * 8
             + self.switches.iter().map(|s| s.len() + 2).sum::<usize>()
             + self.epoch_rows.len() * 16
+            + (self.stage_shipped.len() + self.stage_probes.len() + self.stage_matches.len()) * 9
     }
 }
 
@@ -120,11 +141,29 @@ pub fn render_network_trace(reporters: u64, trace: &OpTrace, kind: &QueryKind) -
         trace.epochs_run, trace.tuples_scanned
     ));
     match kind {
-        QueryKind::Join { strategy, .. } => {
-            out.push_str(&format!(
-                "  join [{strategy:?}]: {} tuples shipped, {} probes, {} matches\n",
-                trace.tuples_shipped, trace.probes_sent, trace.join_matches
-            ));
+        QueryKind::Join { stages, .. } => {
+            if stages.len() == 1 {
+                out.push_str(&format!(
+                    "  join [{:?}]: {} tuples shipped, {} probes, {} matches\n",
+                    stages[0].strategy, trace.tuples_shipped, trace.probes_sent, trace.join_matches
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  staged join: {} tuples shipped, {} probes, {} matches\n",
+                    trace.tuples_shipped, trace.probes_sent, trace.join_matches
+                ));
+                for (k, s) in stages.iter().enumerate() {
+                    let stage = k as u8;
+                    let shipped = trace.stage_shipped.get(&stage).copied().unwrap_or(0);
+                    let probes = trace.stage_probes.get(&stage).copied().unwrap_or(0);
+                    let matches = trace.stage_matches.get(&stage).copied().unwrap_or(0);
+                    out.push_str(&format!(
+                        "    stage {k} [{:?}] ⋈ '{}': {shipped} shipped, {probes} probes, \
+                         {matches} matches\n",
+                        s.strategy, s.right_table
+                    ));
+                }
+            }
         }
         QueryKind::Aggregate { .. } => {
             out.push_str(&format!(
@@ -203,18 +242,22 @@ mod tests {
 
     #[test]
     fn render_mentions_the_operators() {
-        let kind = QueryKind::Join {
-            left_table: "l".into(),
-            right_table: "r".into(),
+        let stage = |table: &str| crate::query::JoinStage {
+            right_table: table.into(),
             left_key: Expr::col(0),
             right_key: Expr::col(0),
-            left_filter: None,
             right_filter: None,
             post_filter: None,
-            project: vec![Expr::col(0)],
             left_ship_cols: vec![0],
             right_ship_cols: vec![0],
+            out_cols: vec![],
             strategy: crate::query::JoinStrategy::SymmetricHash,
+        };
+        let kind = QueryKind::Join {
+            left_table: "l".into(),
+            left_filter: None,
+            stages: vec![stage("r")],
+            project: vec![Expr::col(0)],
             order_by: vec![],
             limit: None,
         };
@@ -224,5 +267,22 @@ mod tests {
         assert!(text.contains("join [SymmetricHash]"), "{text}");
         assert!(text.contains("re-planning"), "{text}");
         assert!(text.contains("rows per epoch: 0:1 1:2"), "{text}");
+
+        // Multi-stage joins get a per-stage section.
+        let kind = QueryKind::Join {
+            left_table: "l".into(),
+            left_filter: None,
+            stages: vec![stage("r"), stage("s")],
+            project: vec![Expr::col(0)],
+            order_by: vec![],
+            limit: None,
+        };
+        let mut t = sample();
+        t.stage_shipped = [(0u8, 3u64), (1, 1)].into_iter().collect();
+        t.stage_matches = [(0u8, 2u64), (1, 1)].into_iter().collect();
+        let text = render_network_trace(7, &t, &kind);
+        assert!(text.contains("staged join"), "{text}");
+        assert!(text.contains("stage 0 [SymmetricHash] ⋈ 'r': 3 shipped"), "{text}");
+        assert!(text.contains("stage 1 [SymmetricHash] ⋈ 's': 1 shipped"), "{text}");
     }
 }

@@ -42,6 +42,23 @@ fn main() {
     println!("$ {sql}\n");
     println!("{}", bed.explain(origin, &sql).unwrap());
 
+    // Multi-way: a third relation turns the plan into a staged chain; the
+    // report leads with the statistics-driven join order and renders each
+    // stage's strategy, shipped columns, and rehash-to-next-stage mapping.
+    let mirrors = TableDef::new(
+        "mirrors",
+        Schema::of(&[("owner", DataType::Str), ("site", DataType::Str)]),
+        "owner",
+        Duration::from_secs(600),
+    );
+    bed.create_table_everywhere(&mirrors);
+    bed.set_table_stats_everywhere("mirrors", TableStats::with_rows(40));
+    let sql = "EXPLAIN SELECT f.name, m.site FROM keywords k \
+               JOIN files f ON k.file_id = f.file_id JOIN mirrors m ON f.owner = m.owner \
+               WHERE k.keyword = 'linux'";
+    println!("$ {sql}\n");
+    println!("{}", bed.explain(origin, sql).unwrap());
+
     // EXPLAIN ANALYZE: actually run the search over a published corpus and
     // render the network-wide per-operator totals below the static plan.
     let corpus = FileCorpus::generate(300, 20, 42);

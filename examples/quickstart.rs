@@ -68,6 +68,57 @@ fn main() {
         println!("  {:<16} {}", row.get(0).to_string(), row.get(1));
     }
 
+    // 6. Multi-way joins: relate each reading to its host's site and the
+    //    site's region — a 3-way join the optimizer lowers into a chain of
+    //    distributed join stages (order picked from catalog statistics).
+    let hostinfo = TableDef::new(
+        "hostinfo",
+        Schema::of(&[("host", DataType::Str), ("site", DataType::Str)]),
+        "host",
+        Duration::from_secs(300),
+    );
+    let sites = TableDef::new(
+        "sites",
+        Schema::of(&[("sname", DataType::Str), ("region", DataType::Str)]),
+        "sname",
+        Duration::from_secs(300),
+    );
+    bed.create_table_everywhere(&hostinfo);
+    bed.create_table_everywhere(&sites);
+    for (i, &addr) in bed.nodes().to_vec().iter().enumerate() {
+        bed.publish(
+            addr,
+            "hostinfo",
+            Tuple::new(vec![
+                Value::str(format!("planetlab-{i:03}")),
+                Value::str(format!("site-{}", i % 4)),
+            ]),
+        );
+    }
+    for s in 0..4 {
+        bed.publish(
+            bed.nodes()[0],
+            "sites",
+            Tuple::new(vec![
+                Value::str(format!("site-{s}")),
+                Value::str(if s < 2 { "us-west" } else { "eu-central" }),
+            ]),
+        );
+    }
+    bed.run_for(Duration::from_secs(5));
+    let rows = bed
+        .query_once(
+            "SELECT r.host, h.site, s.region FROM readings r \
+             JOIN hostinfo h ON r.host = h.host JOIN sites s ON h.site = s.sname \
+             WHERE r.cpu_load > 1.0 ORDER BY r.host LIMIT 5",
+            Duration::from_secs(10),
+        )
+        .expect("3-way join failed");
+    println!("\nbusy hosts with site and region (3-way join):");
+    for row in &rows {
+        println!("  {:<16} {:<8} {}", row.get(0).to_string(), row.get(1).to_string(), row.get(2));
+    }
+
     println!(
         "\nsimulator totals: {} messages delivered, {} bytes",
         bed.metrics().messages_delivered(),

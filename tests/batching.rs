@@ -255,9 +255,12 @@ fn join_projection_pushdown_narrows_shipped_bytes() {
         .plan_select(&stmt)
         .unwrap();
     match &planned.kind {
-        QueryKind::Join { left_ship_cols, right_ship_cols, .. } => {
-            assert!(left_ship_cols.is_empty(), "no left column is consumed at the join site");
-            assert_eq!(right_ship_cols, &vec![0]);
+        QueryKind::Join { stages, .. } => {
+            assert!(
+                stages[0].left_ship_cols.is_empty(),
+                "no left column is consumed at the join site"
+            );
+            assert_eq!(stages[0].right_ship_cols, vec![0]);
         }
         other => panic!("unexpected kind {other:?}"),
     }

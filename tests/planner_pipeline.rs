@@ -28,10 +28,10 @@ fn stats_pick_fetch_matches_and_distributed_run_agrees() {
     let sql = FileCorpus::probe_search_sql("music");
     let stmt = pier::core::sql::parse_select(&sql).unwrap();
     let planned = Planner::new(&catalog).plan_select(&stmt).unwrap();
-    let QueryKind::Join { strategy, .. } = &planned.kind else {
+    let QueryKind::Join { stages, .. } = &planned.kind else {
         panic!("expected a join plan");
     };
-    assert_eq!(*strategy, JoinStrategy::FetchMatches, "{:?}", planned.strategy_note);
+    assert_eq!(stages[0].strategy, JoinStrategy::FetchMatches, "{:?}", planned.strategy_note);
 
     // Run it distributed, exactly as planned (no forced strategy).
     let mut bed = PierTestbed::new(TestbedConfig { nodes: 20, seed: 1606, ..Default::default() });
@@ -66,12 +66,12 @@ fn stats_pick_symmetric_rehash_and_distributed_run_agrees() {
     let sql = FileCorpus::search_sql("video");
     let stmt = pier::core::sql::parse_select(&sql).unwrap();
     let planned = Planner::new(&catalog).plan_select(&stmt).unwrap();
-    let QueryKind::Join { strategy, right_filter, .. } = &planned.kind else {
+    let QueryKind::Join { stages, .. } = &planned.kind else {
         panic!("expected a join plan");
     };
-    assert_eq!(*strategy, JoinStrategy::SymmetricHash, "{:?}", planned.strategy_note);
+    assert_eq!(stages[0].strategy, JoinStrategy::SymmetricHash, "{:?}", planned.strategy_note);
     // The keyword predicate was pushed to the keywords side by the optimizer.
-    assert!(right_filter.is_some(), "keyword filter should ship with the right side");
+    assert!(stages[0].right_filter.is_some(), "keyword filter should ship with the right side");
 
     let mut bed = PierTestbed::new(TestbedConfig { nodes: 20, seed: 1607, ..Default::default() });
     bed.create_table_everywhere(&files_table());

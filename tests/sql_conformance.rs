@@ -25,6 +25,12 @@ fn fixture() -> (Catalog, MemoryDb) {
         "name",
         Duration::from_secs(60),
     ));
+    catalog.register(TableDef::new(
+        "sites",
+        Schema::of(&[("sname", DataType::Str), ("region", DataType::Str)]),
+        "sname",
+        Duration::from_secs(60),
+    ));
     let mut db = MemoryDb::new();
     let rows = [
         ("h1", "scan", 3, 120.0),
@@ -46,6 +52,12 @@ fn fixture() -> (Catalog, MemoryDb) {
         [("h1", "berkeley"), ("h2", "seattle"), ("h3", "berkeley")]
             .iter()
             .map(|(n, s)| Tuple::new(vec![Value::str(*n), Value::str(*s)])),
+    );
+    db.insert(
+        "sites",
+        [("berkeley", "west"), ("seattle", "northwest")]
+            .iter()
+            .map(|(n, r)| Tuple::new(vec![Value::str(*n), Value::str(*r)])),
     );
     (catalog, db)
 }
@@ -129,6 +141,111 @@ fn join_with_qualified_columns_and_filter() {
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0].get(0), &Value::str("h3"));
     assert_eq!(rows[0].get(1), &Value::str("berkeley"));
+}
+
+#[test]
+fn three_way_join_with_chained_on_clauses() {
+    let rows = run("SELECT e.host, h.site, s.region FROM events e \
+         JOIN hosts h ON e.host = h.name JOIN sites s ON h.site = s.sname \
+         WHERE e.kind = 'worm' ORDER BY e.host");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(
+        rows[0],
+        Tuple::new(vec![Value::str("h2"), Value::str("seattle"), Value::str("northwest")])
+    );
+    assert_eq!(
+        rows[1],
+        Tuple::new(vec![Value::str("h3"), Value::str("berkeley"), Value::str("west")])
+    );
+}
+
+#[test]
+fn three_way_join_with_from_list_where_predicates() {
+    // The comma-list form: join predicates live in WHERE and are extracted
+    // into the predicate graph by the binder.
+    let rows = run("SELECT e.host, s.region FROM events e, hosts h, sites s \
+         WHERE e.host = h.name AND h.site = s.sname AND e.severity >= 7 ORDER BY e.host");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0], Tuple::new(vec![Value::str("h2"), Value::str("northwest")]));
+    assert_eq!(rows[1], Tuple::new(vec![Value::str("h3"), Value::str("west")]));
+}
+
+#[test]
+fn mixed_from_list_and_join_clause() {
+    let rows = run("SELECT e.host, s.region FROM events e, hosts h \
+         JOIN sites s ON h.site = s.sname WHERE e.host = h.name AND e.kind = 'worm' \
+         ORDER BY e.host");
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].get(1), &Value::str("northwest"));
+    assert_eq!(rows[1].get(1), &Value::str("west"));
+}
+
+#[test]
+fn three_way_results_match_manual_composition() {
+    // The 3-way answer must equal joining the 2-way answer against the
+    // third relation by hand (associativity of the equi-join).
+    let three = run("SELECT e.host, e.bytes, s.region FROM events e \
+         JOIN hosts h ON e.host = h.name JOIN sites s ON h.site = s.sname");
+    let two = run("SELECT e.host, e.bytes, h.site FROM events e JOIN hosts h ON e.host = h.name");
+    let sites = [("berkeley", "west"), ("seattle", "northwest")];
+    let manual: Vec<Tuple> = two
+        .iter()
+        .flat_map(|t| {
+            let site = t.get(2).as_str().unwrap().to_string();
+            sites
+                .iter()
+                .filter(move |(s, _)| *s == site)
+                .map(|(_, r)| Tuple::new(vec![t.get(0).clone(), t.get(1).clone(), Value::str(*r)]))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert_eq!(three.len(), 7, "every event resolves through hosts and sites");
+    assert!(pier::core::same_rows(&three, &manual));
+}
+
+#[test]
+fn qualified_on_columns_bind_to_their_own_relation() {
+    // Every relation here has a same-named `host` column; the qualified
+    // `b.host` in the second ON clause must bind to b's column — not to an
+    // earlier relation's same-suffix column (binding it to a.host would
+    // silently produce zero rows, since c only lists b's host values).
+    let mut catalog = Catalog::new();
+    catalog.register(TableDef::new(
+        "a",
+        Schema::of(&[("id", DataType::Int), ("host", DataType::Str)]),
+        "id",
+        Duration::from_secs(60),
+    ));
+    catalog.register(TableDef::new(
+        "b",
+        Schema::of(&[("id", DataType::Int), ("host", DataType::Str)]),
+        "id",
+        Duration::from_secs(60),
+    ));
+    catalog.register(TableDef::new(
+        "c",
+        Schema::of(&[("host", DataType::Str), ("region", DataType::Str)]),
+        "host",
+        Duration::from_secs(60),
+    ));
+    let mut db = MemoryDb::new();
+    db.insert("a", vec![Tuple::new(vec![Value::Int(1), Value::str("a-host")])]);
+    db.insert("b", vec![Tuple::new(vec![Value::Int(1), Value::str("b-host")])]);
+    db.insert("c", vec![Tuple::new(vec![Value::str("b-host"), Value::str("west")])]);
+
+    let sql = "SELECT c.region FROM a JOIN b ON a.id = b.id JOIN c ON b.host = c.host";
+    let stmt = pier::core::sql::parse_select(sql).expect("parse");
+    let planned = Planner::new(&catalog).plan_select(&stmt).expect("plan");
+    let rows = db.execute(&planned.logical);
+    assert_eq!(rows, vec![Tuple::new(vec![Value::str("west")])]);
+}
+
+#[test]
+fn cross_joins_are_rejected() {
+    let err = run_err("SELECT * FROM events, hosts");
+    assert!(err.contains("cross joins are not supported"), "{err}");
+    let err = run_err("SELECT * FROM events e, hosts h, sites s WHERE e.host = h.name");
+    assert!(err.contains("not connected"), "{err}");
 }
 
 #[test]

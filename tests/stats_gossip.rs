@@ -81,8 +81,8 @@ fn gossip_converges_to_true_cardinalities_on_every_node() {
     let catalog = bed.node(bed.nodes()[5]).unwrap().catalog();
     let stmt = pier::core::sql::parse_select(&FileCorpus::probe_search_sql("music")).unwrap();
     let planned = Planner::new(catalog).plan_select(&stmt).unwrap();
-    let QueryKind::Join { strategy, .. } = &planned.kind else { panic!("expected a join") };
-    assert_eq!(*strategy, JoinStrategy::FetchMatches, "{:?}", planned.strategy_note);
+    let QueryKind::Join { stages, .. } = &planned.kind else { panic!("expected a join") };
+    assert_eq!(stages[0].strategy, JoinStrategy::FetchMatches, "{:?}", planned.strategy_note);
 
     // The gossip plane reports its own traffic separately from the
     // query-path counters.
@@ -195,4 +195,76 @@ fn stats_driven_flip_replans_mid_flight_with_identical_epoch_results() {
     // invalidates cached plans network-wide (the PR 2 cache keys on it).
     let totals = bed.engine_totals();
     assert!(totals.replans >= 1, "nodes must have applied the re-planned spec");
+}
+
+#[test]
+fn departed_node_summaries_expire_after_ttl_of_missed_epochs() {
+    // A node holding the lion's share of a table crashes permanently.  Its
+    // last gossiped summary keeps circulating among the survivors, but no
+    // fresher sequence number ever arrives — so after
+    // `stats_ttl_intervals` gossip rounds every survivor evicts the entry
+    // and the catalogs stop counting the departed node's tuples.
+    let nodes = 10;
+    let mut pier = auto_stats_config(2_000);
+    pier.stats_ttl_intervals = 4; // 8s of virtual time
+    let mut bed = PierTestbed::new(TestbedConfig { nodes, seed: 1611, pier, ..Default::default() });
+    let readings = TableDef::new(
+        "readings",
+        Schema::of(&[("host", DataType::Str), ("v", DataType::Int)]),
+        "host",
+        Duration::from_secs(3_600),
+    );
+    bed.create_table_everywhere(&readings);
+
+    let victim = bed.nodes()[3];
+    for i in 0..200 {
+        bed.publish_local(
+            victim,
+            "readings",
+            Tuple::new(vec![Value::str(format!("v-{i}")), Value::Int(i)]),
+        );
+    }
+    for (i, &addr) in bed.nodes().to_vec().iter().enumerate() {
+        if addr != victim {
+            bed.publish_local(
+                addr,
+                "readings",
+                Tuple::new(vec![Value::str(format!("h-{i}")), Value::Int(i as i64)]),
+            );
+        }
+    }
+    bed.run_for(Duration::from_secs(25));
+
+    let survivor = bed.nodes()[7];
+    let before = bed.node(survivor).unwrap().catalog().stats("readings").unwrap().rows;
+    assert!(
+        close(before, 209, 0.1),
+        "gossip must converge on all 209 live rows first, saw {before}"
+    );
+
+    bed.kill_node(victim);
+    bed.run_for(Duration::from_secs(30));
+
+    let after = bed.node(survivor).unwrap().catalog().stats("readings").unwrap().rows;
+    assert!(
+        close(after, 9, 0.35),
+        "the departed node's 200-row summary must be evicted, saw {after}"
+    );
+
+    // A genuine restart re-enters the view: its time-seeded sequence number
+    // outranks the tombstone, so fresh summaries count again.
+    bed.restart_node(victim);
+    for i in 0..50 {
+        bed.publish_local(
+            victim,
+            "readings",
+            Tuple::new(vec![Value::str(format!("r-{i}")), Value::Int(i)]),
+        );
+    }
+    bed.run_for(Duration::from_secs(25));
+    let back = bed.node(survivor).unwrap().catalog().stats("readings").unwrap().rows;
+    assert!(
+        close(back, 59, 0.25),
+        "the restarted node's fresh summaries must re-enter the totals, saw {back}"
+    );
 }
