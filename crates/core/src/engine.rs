@@ -348,6 +348,10 @@ struct RunningQuery {
     bloom_armed: HashSet<u64>,
     /// Combined filter received (Bloom join phase 2).
     combined_bloom: HashMap<u64, BloomFilter>,
+    /// Epochs for which this node already counted itself as an aggregation
+    /// contributor (aggregates over joins produce partials incrementally as
+    /// matches arrive, so the first batch of an epoch counts the node).
+    agg_contributed: HashSet<u64>,
     /// Recursive queries: vertices already expanded at this node.
     visited: HashSet<String>,
     /// Producer-side per-operator counters (`EXPLAIN ANALYZE`).
@@ -379,6 +383,7 @@ impl RunningQuery {
             blooms: HashMap::new(),
             bloom_armed: HashSet::new(),
             combined_bloom: HashMap::new(),
+            agg_contributed: HashSet::new(),
             visited: HashSet::new(),
             trace: OpTrace::default(),
             pending_spec: None,
@@ -414,9 +419,40 @@ impl QueryResults {
     }
 
     /// Rows for an epoch with the query's ORDER BY / LIMIT applied (for
-    /// streaming SELECT/JOIN queries the origin performs the final top-k).
+    /// streaming SELECT/JOIN queries the origin performs the final top-k;
+    /// for aggregates over joins the origin finishes the aggregation).
     pub fn rows(&self, epoch: u64) -> Vec<Tuple> {
         let mut rows = self.raw_rows(epoch).to_vec();
+        if let QueryKind::Join { aggregate: Some(agg), order_by, limit, .. } = &self.spec.kind {
+            if !agg.hierarchical {
+                // Raw-row streaming baseline: the matched rows arrived
+                // unaggregated; the origin runs the whole GROUP BY here.
+                let mut acc = GroupAggregator::new(agg.group_exprs.clone(), agg.aggs.clone());
+                for r in &rows {
+                    acc.update(r);
+                }
+                rows = acc.finalize();
+            }
+            // Hierarchical mode ships finalized aggregate-output rows from
+            // the root (pre-projection, hidden aggregates included), so both
+            // modes converge here: HAVING (already applied at the root in
+            // hierarchical mode, idempotent on its output), re-sort in
+            // network-arrival-independent order, limit, then the final
+            // projection to the client's column order.
+            if let Some(h) = &agg.having {
+                rows.retain(|r| h.matches(r));
+            }
+            if !order_by.is_empty() {
+                sort_tuples(&mut rows, order_by);
+            }
+            if let Some(n) = limit {
+                rows.truncate(*n);
+            }
+            let project = ProjectOp::new(
+                agg.final_project.iter().map(|&i| crate::expr::Expr::col(i)).collect(),
+            );
+            return rows.iter().map(|r| project.apply_one(r)).collect();
+        }
         let (order_by, limit) = match &self.spec.kind {
             QueryKind::Select { order_by, limit, .. } | QueryKind::Join { order_by, limit, .. } => {
                 (order_by.clone(), *limit)
@@ -934,10 +970,16 @@ impl PierNode {
         match payload {
             PierPayload::Query(spec) => self.install_query(ctx, spec),
             PierPayload::StopQuery(id) => {
-                // Ship buffered result rows while the trace can still account
-                // for them, then keep the trace so a later `EXPLAIN ANALYZE`
-                // trace request can still be answered.
-                self.flush_results(ctx);
+                // Ship this query's buffered result rows while the trace can
+                // still account for them, then keep the trace so a later
+                // `EXPLAIN ANALYZE` trace request can still be answered.
+                // This must *force* the flush: with `batch_flush_ticks > 0`
+                // the tick-drain flush may defer, and a deferred buffer
+                // shipped after the query is removed would count
+                // bytes/messages the (frozen) trace can no longer mirror —
+                // breaking reconciliation.  Per-query, so co-resident
+                // queries' deferral windows stay intact.
+                self.flush_query(ctx, id);
                 if let Some(q) = self.queries.remove(&id) {
                     if self.finished_traces.insert(id, q.trace).is_none() {
                         self.finished_trace_order.push_back(id);
@@ -1239,6 +1281,24 @@ impl PierNode {
                         self.dht.send_direct(ctx, spec.origin(), payload);
                     }
                 }
+                // Hierarchical aggregate over the join: the origin seeds an
+                // empty partial for the epoch so the aggregation root always
+                // finalizes it — a global aggregate over a matchless epoch
+                // still reports its one "empty" row (COUNT = 0), and the
+                // epoch's contributor summary reaches the origin.  Nodes
+                // with actual matches contribute through the final stage.
+                if spec.origin() == self.addr {
+                    if let Some(agg) = spec.kind.join_aggregate() {
+                        if agg.hierarchical {
+                            let contributors = self
+                                .queries
+                                .get_mut(&id)
+                                .map(|q| u64::from(q.agg_contributed.insert(epoch)))
+                                .unwrap_or(0);
+                            self.absorb_partials(ctx, id, epoch, Vec::new(), contributors, false);
+                        }
+                    }
+                }
             }
             QueryKind::Recursive { .. } => {
                 // Recursive queries are driven by Expand messages, not scans.
@@ -1353,8 +1413,33 @@ impl PierNode {
     /// deferred intermediate rehash buffer.
     fn force_flush(&mut self, ctx: &mut Ctx<'_>) {
         self.ticks_since_flush = 0;
-        let pending = std::mem::take(&mut self.pending_results);
-        for ((query, epoch), mut rows) in pending {
+        let results = std::mem::take(&mut self.pending_results);
+        let rehashes = std::mem::take(&mut self.pending_rehash);
+        self.ship_deferred(ctx, results, rehashes);
+    }
+
+    /// Ship only `id`'s deferred buffers, leaving other queries' deferral
+    /// windows intact (a StopQuery must flush the dying query's buffers
+    /// while its trace can still account for them, but co-resident queries
+    /// keep coalescing).
+    fn flush_query(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
+        let (results, rest): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut self.pending_results).into_iter().partition(|((q, _), _)| *q == id);
+        self.pending_results = rest;
+        let (rehashes, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending_rehash)
+            .into_iter()
+            .partition(|((q, _, _), _)| *q == id);
+        self.pending_rehash = rest;
+        self.ship_deferred(ctx, results, rehashes);
+    }
+
+    fn ship_deferred(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        results: Vec<((QueryId, u64), Vec<Tuple>)>,
+        rehashes: Vec<(RehashBufKey, Vec<(Value, Tuple)>)>,
+    ) {
+        for ((query, epoch), mut rows) in results {
             let origin = query.origin();
             let payload = if rows.len() == 1 {
                 PierPayload::Result(ResultRow {
@@ -1368,8 +1453,7 @@ impl PierNode {
             self.note_query_send(query, &payload);
             self.dht.send_direct(ctx, origin, payload);
         }
-        let pending = std::mem::take(&mut self.pending_rehash);
-        for ((query, stage, epoch), pairs) in pending {
+        for ((query, stage, epoch), pairs) in rehashes {
             let namespace = join_namespace(query, stage);
             self.send_rehash(ctx, query, stage, epoch, 0, namespace, pairs);
         }
@@ -1426,9 +1510,10 @@ impl PierNode {
             }
         };
 
-        let (group_exprs, aggs) = match &self.queries[&id].spec.kind {
-            QueryKind::Aggregate { group_exprs, aggs, .. } => (group_exprs.clone(), aggs.clone()),
-            _ => return,
+        let Some((group_exprs, aggs)) =
+            self.queries[&id].spec.kind.partial_agg_parts().map(|(g, a)| (g.to_vec(), a.to_vec()))
+        else {
+            return;
         };
 
         let mode = self.config.aggregation;
@@ -1549,8 +1634,14 @@ impl PierNode {
         let contributors = q.root_contrib.remove(&epoch).unwrap_or(0);
         let spec = q.spec.clone();
 
-        let QueryKind::Aggregate { having, order_by, limit, .. } = &spec.kind else {
-            return;
+        // Both aggregation shapes finalize here: the classic single-table
+        // aggregate, and the hierarchical aggregate terminating a join.
+        let (having, order_by, limit) = match &spec.kind {
+            QueryKind::Aggregate { having, order_by, limit, .. } => (having, order_by, limit),
+            QueryKind::Join { aggregate: Some(agg), order_by, limit, .. } => {
+                (&agg.having, order_by, limit)
+            }
+            _ => return,
         };
 
         let mut rows = acc.finalize();
@@ -1768,13 +1859,41 @@ impl PierNode {
         epoch: u64,
         rows: Vec<Tuple>,
     ) {
-        let QueryKind::Join { stages, project, .. } = &spec.kind else { return };
+        let QueryKind::Join { stages, project, aggregate, .. } = &spec.kind else { return };
         self.stats.join_matches += rows.len() as u64;
         if let Some(q) = self.queries.get_mut(&spec.id) {
             q.trace.join_matches += rows.len() as u64;
             *q.trace.stage_matches.entry(stage).or_insert(0) += rows.len() as u64;
         }
         if stage as usize + 1 == stages.len() {
+            // An aggregate terminating the chain: fold this node's matched
+            // rows into a per-(query, epoch) partial state and hand it to
+            // the hierarchical aggregation plane — partials climb toward the
+            // aggregation root, combining at every hop, instead of raw rows
+            // streaming to the origin.  The raw-row baseline
+            // (`hierarchical: false`) falls through to the streaming path
+            // below; the origin aggregates there.
+            if let Some(agg) = aggregate {
+                if agg.hierarchical {
+                    if rows.is_empty() {
+                        return;
+                    }
+                    let mut acc = GroupAggregator::new(agg.group_exprs.clone(), agg.aggs.clone());
+                    for row in &rows {
+                        acc.update(row);
+                    }
+                    let partials = acc.take_partials();
+                    // A node counts itself as a contributor once per epoch,
+                    // however many final-stage batches it produces.
+                    let contributors = self
+                        .queries
+                        .get_mut(&spec.id)
+                        .map(|q| u64::from(q.agg_contributed.insert(epoch)))
+                        .unwrap_or(0);
+                    self.absorb_partials(ctx, spec.id, epoch, partials, contributors, false);
+                    return;
+                }
+            }
             let project_op = ProjectOp::new(project.clone());
             for row in rows {
                 let out = project_op.apply_one(&row);
@@ -2138,9 +2257,15 @@ type AggStateVec = crate::aggregate::AggState;
 /// trace's switch records.
 fn strategy_label(kind: &QueryKind) -> String {
     match kind {
-        QueryKind::Join { stages, .. } => {
+        QueryKind::Join { stages, aggregate, .. } => {
             let labels: Vec<String> = stages.iter().map(|s| format!("{:?}", s.strategy)).collect();
-            labels.join("+")
+            let mut label = labels.join("+");
+            match aggregate {
+                Some(a) if a.hierarchical => label.push_str("+HierAgg"),
+                Some(_) => label.push_str("+OriginAgg"),
+                None => {}
+            }
+            label
         }
         QueryKind::Select { .. } => "Select".to_string(),
         QueryKind::Aggregate { .. } => "Aggregate".to_string(),

@@ -255,147 +255,17 @@ impl<'a> Binder<'a> {
             Some(ast) => Some(resolve_expr(ast, &schema)?),
             None => None,
         };
-
-        // Group-by expressions.
-        let mut group_exprs = Vec::new();
-        let mut group_fields = Vec::new();
-        for name in &stmt.group_by {
-            let idx = schema
-                .index_of(name)
-                .ok_or_else(|| PlanError::new(format!("unknown GROUP BY column '{name}'")))?;
-            group_exprs.push(Expr::col(idx));
-            let f = schema.field(idx).expect("index_of returned valid index");
-            group_fields.push(Field::new(name.clone(), f.dtype));
-        }
-
-        // Select list: group columns and aggregates.  Track, for each select
-        // item, which aggregate-output column it maps to.
-        let mut aggs: Vec<AggExpr> = Vec::new();
-        let mut final_project = Vec::new();
-        let mut output_names = Vec::new();
-
-        for (i, item) in stmt.projections.iter().enumerate() {
-            match item {
-                SelectItem::Wildcard => {
-                    return Err(PlanError::new("SELECT * cannot be combined with aggregation"))
-                }
-                SelectItem::Expr { expr, alias } => {
-                    if let AstExpr::Agg { func, arg } = expr {
-                        let resolved_arg = match arg {
-                            Some(a) => Some(resolve_expr(a, &schema)?),
-                            None => None,
-                        };
-                        let name = alias.clone().unwrap_or_else(|| default_agg_name(*func, arg));
-                        let col = group_exprs.len()
-                            + push_agg(&mut aggs, *func, resolved_arg, name.clone());
-                        final_project.push(col);
-                        output_names.push(name);
-                    } else if expr.contains_aggregate() {
-                        return Err(PlanError::new(
-                            "expressions over aggregates in SELECT are not supported; \
-                             use the aggregate directly",
-                        ));
-                    } else {
-                        // Must be (equivalent to) a grouping column.
-                        let cols = expr.referenced_columns();
-                        let name = alias.clone().unwrap_or_else(|| {
-                            cols.first().cloned().unwrap_or_else(|| format!("col{i}"))
-                        });
-                        let resolved = resolve_expr(expr, &schema)?;
-                        let pos =
-                            group_exprs.iter().position(|g| *g == resolved).ok_or_else(|| {
-                                PlanError::new(format!(
-                                    "non-aggregate select item '{name}' must appear in GROUP BY"
-                                ))
-                            })?;
-                        final_project.push(pos);
-                        output_names.push(name);
-                    }
-                }
-            }
-        }
-
-        // HAVING and ORDER BY are resolved over the aggregate output
-        // (group columns ++ aggregate columns); aggregates they mention that
-        // are not already computed are appended as hidden columns.
-        let having = match &stmt.having {
-            Some(ast) => Some(resolve_agg_output_expr(
-                ast,
-                &schema,
-                &group_exprs,
-                &stmt.group_by,
-                &mut aggs,
-            )?),
-            None => None,
-        };
-
-        let mut order_by = Vec::new();
-        for item in &stmt.order_by {
-            let expr = resolve_agg_output_expr(
-                &item.expr,
-                &schema,
-                &group_exprs,
-                &stmt.group_by,
-                &mut aggs,
-            )?;
-            let column = match expr {
-                Expr::Column(c) => c,
-                _ => {
-                    return Err(PlanError::new(
-                        "ORDER BY in aggregate queries must be a group column or an aggregate",
-                    ))
-                }
-            };
-            order_by.push(SortKey { column, desc: item.desc });
-        }
-
-        // Output schema of the aggregate operator.
-        let mut agg_fields = group_fields.clone();
-        for a in &aggs {
-            let dtype = match a.func {
-                AggFunc::Count => DataType::Int,
-                AggFunc::Avg => DataType::Float,
-                AggFunc::Sum => DataType::Float,
-                AggFunc::Min | AggFunc::Max => a
-                    .arg
-                    .as_ref()
-                    .and_then(|e| match e {
-                        Expr::Column(i) => schema.field(*i).map(|f| f.dtype),
-                        _ => None,
-                    })
-                    .unwrap_or(DataType::Float),
-            };
-            agg_fields.push(Field::new(a.name.clone(), dtype));
-        }
-        let agg_schema = Schema::new(agg_fields);
-
-        // The final projected schema, in select-list order.
-        let proj_fields: Vec<Field> = final_project
-            .iter()
-            .zip(&output_names)
-            .map(|(&i, name)| {
-                Field::new(
-                    name.clone(),
-                    agg_schema.field(i).map(|f| f.dtype).unwrap_or(DataType::Float),
-                )
-            })
-            .collect();
+        let parts = resolve_aggregate_parts(stmt, &schema)?;
 
         Ok(BoundSelect {
             relations: vec![BoundTable { name: primary.name.clone(), schema }],
             join_preds: Vec::new(),
             filter,
-            aggregate: Some(BoundAggregate {
-                group_exprs,
-                aggs,
-                having,
-                schema: agg_schema,
-                final_project,
-            }),
+            aggregate: Some(parts.aggregate),
             projections: Vec::new(),
-            project_schema: Schema::new(proj_fields),
-            output_names,
-            order_by,
+            project_schema: parts.project_schema,
+            output_names: parts.output_names,
+            order_by: parts.order_by,
             limit: stmt.limit,
             continuous,
         })
@@ -406,16 +276,14 @@ impl<'a> Binder<'a> {
     /// equi-predicate graph; equality conjuncts between two relations'
     /// columns in `WHERE` contribute the rest (that is how comma-listed
     /// `FROM a, b` tables are joined).  The graph must connect all relations
-    /// — cross products are rejected.
+    /// — cross products are rejected.  A `GROUP BY` (or global aggregate)
+    /// over the join resolves its grouping and aggregate expressions against
+    /// the concatenated join-output schema.
     fn bind_join(
         &self,
         stmt: &SelectStmt,
         continuous: Option<ContinuousSpec>,
     ) -> Result<BoundSelect, PlanError> {
-        if stmt.is_aggregate() {
-            return Err(PlanError::new("aggregation over joins is not supported"));
-        }
-
         // Resolve every relation, alias-qualified so `a.x` style references
         // work across the concatenated schema.
         let refs: Vec<&crate::sql::TableRef> =
@@ -545,6 +413,25 @@ impl<'a> Binder<'a> {
             }
         }
 
+        if stmt.is_aggregate() {
+            // GROUP BY over the join: grouping and aggregate expressions
+            // resolve against the concatenated join-output schema, exactly
+            // as for a single relation.
+            let parts = resolve_aggregate_parts(stmt, &joined_schema)?;
+            return Ok(BoundSelect {
+                relations,
+                join_preds,
+                filter,
+                aggregate: Some(parts.aggregate),
+                projections: Vec::new(),
+                project_schema: parts.project_schema,
+                output_names: parts.output_names,
+                order_by: parts.order_by,
+                limit: stmt.limit,
+                continuous,
+            });
+        }
+
         let (project, names, out_schema) = resolve_projections(&stmt.projections, &joined_schema)?;
         let order_by = resolve_order_by(stmt, &out_schema)?;
 
@@ -561,6 +448,146 @@ impl<'a> Binder<'a> {
             continuous,
         })
     }
+}
+
+/// The binder's resolution of everything aggregate-shaped in a statement,
+/// against a given input schema (a base table's, or the concatenated schema
+/// of a join): the [`BoundAggregate`], the client-visible output, and the
+/// `ORDER BY` keys over the aggregate output.
+struct AggregateParts {
+    aggregate: BoundAggregate,
+    output_names: Vec<String>,
+    project_schema: Schema,
+    order_by: Vec<SortKey>,
+}
+
+/// Resolve the `GROUP BY` list, the aggregate select list, `HAVING`, and
+/// `ORDER BY` of an aggregate statement against `schema`.
+fn resolve_aggregate_parts(
+    stmt: &SelectStmt,
+    schema: &Schema,
+) -> Result<AggregateParts, PlanError> {
+    // Group-by expressions.
+    let mut group_exprs = Vec::new();
+    let mut group_fields = Vec::new();
+    for name in &stmt.group_by {
+        let idx = schema
+            .index_of(name)
+            .ok_or_else(|| PlanError::new(format!("unknown GROUP BY column '{name}'")))?;
+        group_exprs.push(Expr::col(idx));
+        let f = schema.field(idx).expect("index_of returned valid index");
+        group_fields.push(Field::new(name.clone(), f.dtype));
+    }
+
+    // Select list: group columns and aggregates.  Track, for each select
+    // item, which aggregate-output column it maps to.
+    let mut aggs: Vec<AggExpr> = Vec::new();
+    let mut final_project = Vec::new();
+    let mut output_names = Vec::new();
+
+    for (i, item) in stmt.projections.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(PlanError::new("SELECT * cannot be combined with aggregation"))
+            }
+            SelectItem::Expr { expr, alias } => {
+                if let AstExpr::Agg { func, arg } = expr {
+                    let resolved_arg = match arg {
+                        Some(a) => Some(resolve_expr(a, schema)?),
+                        None => None,
+                    };
+                    let name = alias.clone().unwrap_or_else(|| default_agg_name(*func, arg));
+                    let col =
+                        group_exprs.len() + push_agg(&mut aggs, *func, resolved_arg, name.clone());
+                    final_project.push(col);
+                    output_names.push(name);
+                } else if expr.contains_aggregate() {
+                    return Err(PlanError::new(
+                        "expressions over aggregates in SELECT are not supported; \
+                         use the aggregate directly",
+                    ));
+                } else {
+                    // Must be (equivalent to) a grouping column.
+                    let cols = expr.referenced_columns();
+                    let name = alias.clone().unwrap_or_else(|| {
+                        cols.first().cloned().unwrap_or_else(|| format!("col{i}"))
+                    });
+                    let resolved = resolve_expr(expr, schema)?;
+                    let pos = group_exprs.iter().position(|g| *g == resolved).ok_or_else(|| {
+                        PlanError::new(format!(
+                            "non-aggregate select item '{name}' must appear in GROUP BY"
+                        ))
+                    })?;
+                    final_project.push(pos);
+                    output_names.push(name);
+                }
+            }
+        }
+    }
+
+    // HAVING and ORDER BY are resolved over the aggregate output
+    // (group columns ++ aggregate columns); aggregates they mention that
+    // are not already computed are appended as hidden columns.
+    let having = match &stmt.having {
+        Some(ast) => {
+            Some(resolve_agg_output_expr(ast, schema, &group_exprs, &stmt.group_by, &mut aggs)?)
+        }
+        None => None,
+    };
+
+    let mut order_by = Vec::new();
+    for item in &stmt.order_by {
+        let expr =
+            resolve_agg_output_expr(&item.expr, schema, &group_exprs, &stmt.group_by, &mut aggs)?;
+        let column = match expr {
+            Expr::Column(c) => c,
+            _ => {
+                return Err(PlanError::new(
+                    "ORDER BY in aggregate queries must be a group column or an aggregate",
+                ))
+            }
+        };
+        order_by.push(SortKey { column, desc: item.desc });
+    }
+
+    // Output schema of the aggregate operator.
+    let mut agg_fields = group_fields.clone();
+    for a in &aggs {
+        let dtype = match a.func {
+            AggFunc::Count => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum => DataType::Float,
+            AggFunc::Min | AggFunc::Max => a
+                .arg
+                .as_ref()
+                .and_then(|e| match e {
+                    Expr::Column(i) => schema.field(*i).map(|f| f.dtype),
+                    _ => None,
+                })
+                .unwrap_or(DataType::Float),
+        };
+        agg_fields.push(Field::new(a.name.clone(), dtype));
+    }
+    let agg_schema = Schema::new(agg_fields);
+
+    // The final projected schema, in select-list order.
+    let proj_fields: Vec<Field> = final_project
+        .iter()
+        .zip(&output_names)
+        .map(|(&i, name)| {
+            Field::new(
+                name.clone(),
+                agg_schema.field(i).map(|f| f.dtype).unwrap_or(DataType::Float),
+            )
+        })
+        .collect();
+
+    Ok(AggregateParts {
+        aggregate: BoundAggregate { group_exprs, aggs, having, schema: agg_schema, final_project },
+        output_names,
+        project_schema: Schema::new(proj_fields),
+        order_by,
+    })
 }
 
 /// Resolve a select list against an input schema (non-aggregate case).

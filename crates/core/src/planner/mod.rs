@@ -217,7 +217,7 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
             }
             push_order_limit(&mut out, order_by, *limit);
         }
-        QueryKind::Join { left_table, left_filter, stages, order_by, limit, .. } => {
+        QueryKind::Join { left_table, left_filter, stages, aggregate, order_by, limit, .. } => {
             let tables: Vec<String> = std::iter::once(format!("'{left_table}'"))
                 .chain(stages.iter().map(|s| format!("'{}'", s.right_table)))
                 .collect();
@@ -258,6 +258,32 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
                     out.push_str(&format!(
                         "    rehash to next stage: [{}]\n",
                         fmt_cols(&s.out_cols)
+                    ));
+                }
+            }
+            if let Some(agg) = aggregate {
+                out.push_str(&format!(
+                    "  aggregate above the final stage ({} groups, {} aggregates): {}\n",
+                    agg.group_exprs.len(),
+                    agg.aggs.len(),
+                    if agg.hierarchical {
+                        "hierarchical in-network partials"
+                    } else {
+                        "raw rows streamed to the origin"
+                    }
+                ));
+                for a in &agg.aggs {
+                    match &a.arg {
+                        Some(arg) => {
+                            out.push_str(&format!("    agg {}({arg}) AS {}\n", a.func, a.name))
+                        }
+                        None => out.push_str(&format!("    agg {}(*) AS {}\n", a.func, a.name)),
+                    }
+                }
+                if let Some(h) = &agg.having {
+                    out.push_str(&format!(
+                        "    having (at {}): {h}\n",
+                        if agg.hierarchical { "root" } else { "origin" }
                     ));
                 }
             }

@@ -21,8 +21,8 @@
 
 use crate::catalog::Catalog;
 use crate::expr::Expr;
-use crate::plan::LogicalPlan;
-use crate::query::{JoinStage, JoinStrategy, QueryKind};
+use crate::plan::{AggExpr, LogicalPlan};
+use crate::query::{JoinAggregate, JoinStage, JoinStrategy, QueryKind};
 use std::collections::BTreeSet;
 
 use super::binder::BoundSelect;
@@ -202,9 +202,19 @@ impl<'a> PhysicalPlanner<'a> {
         }
 
         // Backward pass: the global columns needed *after* each stage — by
-        // later stages' keys and post-filters and by the final projection.
-        let final_cols: BTreeSet<usize> =
-            bound.projections.iter().flat_map(|e| e.referenced_columns()).collect();
+        // later stages' keys and post-filters and by the final projection
+        // (for aggregates: by the grouping expressions and aggregate
+        // arguments, which is what narrows every stage's shipments down to
+        // exactly what the aggregate consumes).
+        let final_cols: BTreeSet<usize> = match &bound.aggregate {
+            Some(agg) => agg
+                .group_exprs
+                .iter()
+                .chain(agg.aggs.iter().filter_map(|a| a.arg.as_ref()))
+                .flat_map(|e| e.referenced_columns())
+                .collect(),
+            None => bound.projections.iter().flat_map(|e| e.referenced_columns()).collect(),
+        };
         let available = |k: usize| -> BTreeSet<usize> {
             order[..=k + 1]
                 .iter()
@@ -308,11 +318,6 @@ impl<'a> PhysicalPlanner<'a> {
                     .expect("projected columns reach the final stage"),
             )
         };
-        let project: Vec<Expr> = bound
-            .projections
-            .iter()
-            .map(|e| fold_expr(e).substitute_columns(&final_remap))
-            .collect();
 
         // EXPLAIN note: the chosen order plus one rationale line per stage.
         let order_names: Vec<&str> =
@@ -333,8 +338,104 @@ impl<'a> PhysicalPlanner<'a> {
                 ));
             } else {
                 note.push_str(&choice.note);
+                note.push('\n');
             }
         }
+
+        // Terminal operator: the final projection for plain joins, or the
+        // aggregate whose placement (hierarchical partials vs raw-row
+        // streaming to the origin) is costed from the estimated group count
+        // versus the estimated matched-row count.
+        let (project, aggregate) = match &bound.aggregate {
+            Some(agg) => {
+                let group_exprs: Vec<Expr> = agg
+                    .group_exprs
+                    .iter()
+                    .map(|e| fold_expr(e).substitute_columns(&final_remap))
+                    .collect();
+                let aggs: Vec<AggExpr> = agg
+                    .aggs
+                    .iter()
+                    .map(|a| AggExpr {
+                        func: a.func,
+                        arg: a.arg.as_ref().map(|e| fold_expr(e).substitute_columns(&final_remap)),
+                        name: a.name.clone(),
+                    })
+                    .collect();
+                // HAVING conjuncts over plain group columns were already
+                // pushed below the join by the optimizer (they reach the
+                // stages through `rel_filters` / the residual); only the
+                // conjuncts that need finalized aggregates stay here.
+                let having_above = match &agg.having {
+                    Some(h) => split_group_having(h, &agg.group_exprs).1,
+                    None => None,
+                };
+                // Placement cost: hierarchical partials ship at most one
+                // state per (group, node) and combine in-network, so they
+                // win whenever groups compress the matched rows; a
+                // group-per-row aggregate (distinct keys ≥ rows) would ship
+                // as many partial states as the raw rows, for no saving.
+                let est_matches = choices.last().map(|c| c.out_est).unwrap_or(DEFAULT_ROW_ESTIMATE);
+                let distinct_of = |g: usize| -> f64 {
+                    let rel = crate::plan::relation_of_column(&offsets[..n], g);
+                    let col = g - offsets[rel];
+                    let name = &bound.relations[rel].name;
+                    let partition = self.catalog.get(name).map(|d| d.partition_column);
+                    let keys = self.catalog.stats(name).and_then(|s| s.distinct_keys);
+                    let rows = self
+                        .catalog
+                        .stats(name)
+                        .map(|s| s.rows as f64)
+                        .unwrap_or(DEFAULT_ROW_ESTIMATE);
+                    match (partition, keys) {
+                        (Some(p), Some(k)) if p == col => (k as f64).max(1.0),
+                        _ => (rows * 0.1).max(1.0),
+                    }
+                };
+                let est_groups: f64 = agg
+                    .group_exprs
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Column(g) => distinct_of(*g),
+                        _ => 32.0,
+                    })
+                    .product::<f64>()
+                    .clamp(1.0, est_matches.max(1.0));
+                let hierarchical = est_groups < est_matches.max(1.0);
+                note.push_str(&if hierarchical {
+                    format!(
+                        "aggregation: hierarchical in-network partials \
+                         (~{est_groups:.0} groups compress ~{est_matches:.0} matched rows)"
+                    )
+                } else {
+                    format!(
+                        "aggregation: at origin over raw rows \
+                         (~{est_groups:.0} groups ≈ ~{est_matches:.0} matched rows, \
+                         partials would not compress)"
+                    )
+                });
+                note.push('\n');
+                // Identity projection over the final concat schema: the
+                // raw-row streaming baseline ships these rows whole.
+                let project: Vec<Expr> = (0..last_concat_map.len()).map(Expr::col).collect();
+                let aggregate = JoinAggregate {
+                    group_exprs,
+                    aggs,
+                    having: having_above.as_ref().map(fold_expr),
+                    final_project: agg.final_project.clone(),
+                    hierarchical,
+                };
+                (project, Some(aggregate))
+            }
+            None => {
+                let project: Vec<Expr> = bound
+                    .projections
+                    .iter()
+                    .map(|e| fold_expr(e).substitute_columns(&final_remap))
+                    .collect();
+                (project, None)
+            }
+        };
 
         Ok(PhysicalPlan {
             kind: QueryKind::Join {
@@ -342,6 +443,7 @@ impl<'a> PhysicalPlanner<'a> {
                 left_filter: pieces.rel_filters[drv].clone(),
                 stages,
                 project,
+                aggregate,
                 order_by: bound.order_by.clone(),
                 limit: bound.limit,
             },
@@ -403,7 +505,8 @@ fn extract_multijoin_pieces(plan: &LogicalPlan, n: usize) -> MultiJoinPieces {
         match cur {
             LogicalPlan::Limit { input, .. }
             | LogicalPlan::Sort { input, .. }
-            | LogicalPlan::Project { input, .. } => cur = input,
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => cur = input,
             LogicalPlan::Filter { input, predicate } => {
                 if matches!(**input, LogicalPlan::MultiJoin { .. }) {
                     residual = Some(predicate.clone());

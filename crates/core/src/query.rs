@@ -124,6 +124,38 @@ pub struct JoinStage {
     pub strategy: JoinStrategy,
 }
 
+/// Grouped (or global) aggregation terminating a staged join: the final
+/// stage's matched rows feed the hierarchical aggregation plane instead of
+/// streaming raw to the origin.
+///
+/// Column spaces: `group_exprs` and each aggregate's argument are over the
+/// **final stage's concat schema** (`left_ship_cols ++ right_ship_cols` of
+/// the last [`JoinStage`]).  `having`, [`QueryKind::Join`]'s `order_by`, and
+/// `final_project` are over the *aggregate output* schema (group columns
+/// then aggregate columns, hidden aggregates included).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinAggregate {
+    /// Grouping expressions over the final stage's concat schema.
+    pub group_exprs: Vec<Expr>,
+    /// Aggregates over the final stage's concat schema (select-list plus
+    /// hidden ones appended for `HAVING` / `ORDER BY`).
+    pub aggs: Vec<AggExpr>,
+    /// `HAVING` predicate over the aggregate output, applied where the
+    /// groups are finalized (the aggregation root, or the origin when
+    /// `hierarchical` is off).
+    pub having: Option<Expr>,
+    /// Final projection over the aggregate output, mapping to the client's
+    /// column order.
+    pub final_project: Vec<usize>,
+    /// `true`: every node partially aggregates its final-stage matches per
+    /// (query, epoch) and the partials combine in-network over the DHT
+    /// toward the aggregation root (PIER's in-network aggregation composed
+    /// over the join).  `false`: the final stage streams its raw matched
+    /// rows to the origin, which performs the whole GROUP BY — the baseline
+    /// the optimizer costs against (and benchmarks measure).
+    pub hierarchical: bool,
+}
+
 /// The per-node work of a query.
 #[derive(Clone, Debug, PartialEq)]
 pub enum QueryKind {
@@ -173,9 +205,15 @@ pub enum QueryKind {
         left_filter: Option<Expr>,
         /// The join stages, in execution order (at least one).
         stages: Vec<JoinStage>,
-        /// Projection over the final stage's concat schema.
+        /// Projection over the final stage's concat schema.  With an
+        /// `aggregate`, this is the identity over the concat schema (used
+        /// only by the raw-row streaming baseline).
         project: Vec<Expr>,
-        /// Sort keys over the projected output (origin-side).
+        /// Grouped aggregation over the final stage's output, when the query
+        /// is a `GROUP BY` over the join.
+        aggregate: Option<JoinAggregate>,
+        /// Sort keys over the projected output (origin-side); with an
+        /// `aggregate`, over the aggregate output schema.
         order_by: Vec<SortKey>,
         /// Row limit (origin-side).
         limit: Option<usize>,
@@ -208,15 +246,40 @@ impl QueryKind {
         }
     }
 
-    /// Is this an aggregation query?
+    /// Is this an aggregation query (single-table, or an aggregate
+    /// terminating a join)?
     pub fn is_aggregate(&self) -> bool {
         matches!(self, QueryKind::Aggregate { .. })
+            || matches!(self, QueryKind::Join { aggregate: Some(_), .. })
     }
 
     /// The join stages, for join queries.
     pub fn join_stages(&self) -> Option<&[JoinStage]> {
         match self {
             QueryKind::Join { stages, .. } => Some(stages),
+            _ => None,
+        }
+    }
+
+    /// The aggregate terminating a join, if any.
+    pub fn join_aggregate(&self) -> Option<&JoinAggregate> {
+        match self {
+            QueryKind::Join { aggregate, .. } => aggregate.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The grouping and aggregate expressions this query's partial-aggregate
+    /// plane combines, for both aggregation shapes (`Aggregate`, and `Join`
+    /// with a hierarchical aggregate).
+    pub fn partial_agg_parts(&self) -> Option<(&[Expr], &[AggExpr])> {
+        match self {
+            QueryKind::Aggregate { group_exprs, aggs, .. } => {
+                Some((group_exprs.as_slice(), aggs.as_slice()))
+            }
+            QueryKind::Join { aggregate: Some(agg), .. } if agg.hierarchical => {
+                Some((agg.group_exprs.as_slice(), agg.aggs.as_slice()))
+            }
             _ => None,
         }
     }
@@ -279,9 +342,22 @@ impl WireSize for QuerySpec {
                         .sum::<usize>()
                     + having.as_ref().map(|f| f.wire_size()).unwrap_or(0)
             }
-            QueryKind::Join { left_filter, stages, project, .. } => {
+            QueryKind::Join { left_filter, stages, project, aggregate, .. } => {
                 left_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
                     + project.iter().map(|e| e.wire_size()).sum::<usize>()
+                    + aggregate
+                        .as_ref()
+                        .map(|a| {
+                            a.group_exprs.iter().map(|e| e.wire_size()).sum::<usize>()
+                                + a.aggs
+                                    .iter()
+                                    .map(|x| x.arg.as_ref().map(|e| e.wire_size()).unwrap_or(1) + 8)
+                                    .sum::<usize>()
+                                + a.having.as_ref().map(|h| h.wire_size()).unwrap_or(0)
+                                + a.final_project.len()
+                                + 1
+                        })
+                        .unwrap_or(0)
                     + stages
                         .iter()
                         .map(|s| {

@@ -141,7 +141,7 @@ pub fn render_network_trace(reporters: u64, trace: &OpTrace, kind: &QueryKind) -
         trace.epochs_run, trace.tuples_scanned
     ));
     match kind {
-        QueryKind::Join { stages, .. } => {
+        QueryKind::Join { stages, aggregate, .. } => {
             if stages.len() == 1 {
                 out.push_str(&format!(
                     "  join [{:?}]: {} tuples shipped, {} probes, {} matches\n",
@@ -163,6 +163,17 @@ pub fn render_network_trace(reporters: u64, trace: &OpTrace, kind: &QueryKind) -
                         s.strategy, s.right_table
                     ));
                 }
+            }
+            match aggregate {
+                Some(agg) if agg.hierarchical => out.push_str(&format!(
+                    "  aggregate over the join (hierarchical): {} partials sent, \
+                     {} merged in-network\n",
+                    trace.partials_sent, trace.partials_merged
+                )),
+                Some(_) => out.push_str(
+                    "  aggregate over the join: raw matched rows streamed to the origin\n",
+                ),
+                None => {}
             }
         }
         QueryKind::Aggregate { .. } => {
@@ -258,6 +269,7 @@ mod tests {
             left_filter: None,
             stages: vec![stage("r")],
             project: vec![Expr::col(0)],
+            aggregate: None,
             order_by: vec![],
             limit: None,
         };
@@ -274,6 +286,7 @@ mod tests {
             left_filter: None,
             stages: vec![stage("r"), stage("s")],
             project: vec![Expr::col(0)],
+            aggregate: None,
             order_by: vec![],
             limit: None,
         };

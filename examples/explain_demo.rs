@@ -7,10 +7,12 @@
 //! and aggregates every node's per-operator execution trace over the DHT back
 //! to the origin.
 //!
-//! **Expected output shape**: two static `EXPLAIN` reports (binder → logical
+//! **Expected output shape**: static `EXPLAIN` reports (binder → logical
 //! plan → optimized plan → distributed physical plan; the probe-shaped search
-//! chooses Fetch-Matches, the rehash-shaped one symmetric rehash), followed by
-//! an `EXPLAIN ANALYZE` report that ends with a
+//! chooses Fetch-Matches, the rehash-shaped one symmetric rehash, the 3-way
+//! query a staged chain, and the `GROUP BY` over the join an
+//! `aggregate above the final stage` placement line), followed by an
+//! `EXPLAIN ANALYZE` report that ends with a
 //! `== network-wide execution trace (N nodes reporting) ==` section listing
 //! tuples scanned/shipped, probes, matches, wire messages/batches/bytes, and
 //! per-epoch row counts.
@@ -56,6 +58,18 @@ fn main() {
     let sql = "EXPLAIN SELECT f.name, m.site FROM keywords k \
                JOIN files f ON k.file_id = f.file_id JOIN mirrors m ON f.owner = m.owner \
                WHERE k.keyword = 'linux'";
+    println!("$ {sql}\n");
+    println!("{}", bed.explain(origin, sql).unwrap());
+
+    // Aggregation over the join: the GROUP BY terminates the stage chain in
+    // the hierarchical aggregation plane — each node partially aggregates its
+    // final-stage matches and the partials combine in-network toward the
+    // aggregation root instead of raw rows streaming to the origin.  The
+    // report shows the costed placement decision.
+    let sql = "EXPLAIN SELECT m.site, COUNT(*) AS files, MAX(f.size_kb) AS biggest \
+               FROM keywords k JOIN files f ON k.file_id = f.file_id \
+               JOIN mirrors m ON f.owner = m.owner \
+               WHERE k.keyword = 'linux' GROUP BY m.site HAVING COUNT(*) >= 2";
     println!("$ {sql}\n");
     println!("{}", bed.explain(origin, sql).unwrap());
 

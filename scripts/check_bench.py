@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares the ratio fields of freshly generated ``BENCH_*.json`` files against
+the committed baselines in ``scripts/bench_baselines.json`` and fails (exit
+code 1) when any ratio regresses by more than the tolerance, or when a run
+reports non-identical results.  The simulator is deterministic per (seed,
+config), so at the pinned CI smoke configuration the ratios are stable; the
+tolerance exists to absorb intentional workload tweaks, not noise.
+
+Usage:
+    python3 scripts/check_bench.py [--dir .] [--tolerance 0.2]
+        [--baselines scripts/bench_baselines.json] [--update]
+
+``--update`` rewrites the baselines file from the fresh JSON files instead of
+checking (run it after an intentional performance change, at the CI smoke
+configuration, and commit the result).  Coverage is derived from the fresh
+files themselves — every ``BENCH_*.json`` in the directory and every field
+ending in ``_ratio`` — so newly added benchmarks and metrics enter the gate
+automatically; a run reporting ``results_identical: false`` refuses to become
+a baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"check_bench: missing {path} — generate it first")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench: {path} is not valid JSON: {e}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--dir", default=".", help="directory holding the fresh BENCH_*.json files")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed relative regression below baseline (default 0.2 = 20%%)")
+    ap.add_argument("--baselines", default="scripts/bench_baselines.json")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baselines from the fresh files instead of checking")
+    args = ap.parse_args()
+
+    baselines_path = Path(args.baselines)
+    bench_dir = Path(args.dir)
+
+    if args.update:
+        # Coverage comes from the fresh files: every BENCH_*.json and every
+        # *_ratio field becomes a gated baseline.  Refuse to record a run
+        # that changed an answer.
+        fresh_files = sorted(bench_dir.glob("BENCH_*.json"))
+        if not fresh_files:
+            sys.exit(f"check_bench: no BENCH_*.json files in {bench_dir}")
+        updated: dict[str, dict] = {}
+        bad: list[str] = []
+        for path in fresh_files:
+            fresh = load(path)
+            if fresh.get("results_identical") is not True:
+                bad.append(f"{path.name}: results_identical is "
+                           f"{fresh.get('results_identical')!r}")
+                continue
+            metrics = {k: round(float(v), 3) for k, v in fresh.items()
+                       if k.endswith("_ratio") and isinstance(v, (int, float))}
+            if not metrics:
+                bad.append(f"{path.name}: no *_ratio metrics found")
+                continue
+            updated[path.name] = metrics
+        if bad:
+            print("check_bench: refusing to rewrite baselines from a broken run:")
+            for b in bad:
+                print(f"  - {b}")
+            return 1
+        baselines_path.write_text(json.dumps(updated, indent=2, sort_keys=True) + "\n")
+        print(f"check_bench: baselines rewritten to {baselines_path} "
+              f"({sum(len(m) for m in updated.values())} metrics across "
+              f"{len(updated)} files)")
+        return 0
+
+    baselines = load(baselines_path)
+    failures: list[str] = []
+    report: list[str] = []
+
+    for bench_file, metrics in sorted(baselines.items()):
+        fresh = load(bench_dir / bench_file)
+        if fresh.get("results_identical") is not True:
+            failures.append(f"{bench_file}: results_identical is "
+                            f"{fresh.get('results_identical')!r} — the optimization changed "
+                            f"an answer")
+        for metric, baseline in sorted(metrics.items()):
+            value = fresh.get(metric)
+            if value is None:
+                failures.append(f"{bench_file}: metric '{metric}' missing from fresh output")
+                continue
+            floor = baseline * (1.0 - args.tolerance)
+            status = "ok" if value >= floor else "REGRESSION"
+            report.append(f"  {bench_file:24s} {metric:28s} "
+                          f"fresh {value:8.3f}  baseline {baseline:8.3f}  "
+                          f"floor {floor:8.3f}  {status}")
+            if value < floor:
+                failures.append(
+                    f"{bench_file}: {metric} regressed to {value:.3f}x "
+                    f"(baseline {baseline:.3f}x, floor {floor:.3f}x at "
+                    f"{args.tolerance:.0%} tolerance)")
+
+    # Coverage check: a fresh benchmark file or ratio metric that the
+    # baselines do not gate is a silent hole — fail so the author runs
+    # --update and commits the widened baselines.
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        fresh = load(path)
+        gated = baselines.get(path.name, {})
+        for metric, value in sorted(fresh.items()):
+            if metric.endswith("_ratio") and isinstance(value, (int, float)) \
+                    and metric not in gated:
+                failures.append(f"{path.name}: metric '{metric}' ({value}) is not gated — "
+                                f"run check_bench.py --update and commit the baselines")
+
+    print(f"check_bench: tolerance {args.tolerance:.0%}")
+    print("\n".join(report))
+    if failures:
+        print("\ncheck_bench: FAILED")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\ncheck_bench: all benchmark ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -179,6 +179,115 @@ fn batching_cuts_wire_messages() {
 }
 
 #[test]
+fn deferred_flush_across_stop_keeps_counters_reconciled() {
+    // Regression: with `batch_flush_ticks > 0`, result rows and intermediate
+    // join-rehash buffers may span engine ticks.  A StopQuery arriving while
+    // buffers are deferred used to leave them for the deadline timer, which
+    // shipped them *after* the query (and its frozen trace) was removed — the
+    // engine counted those messages/bytes, the trace could not, and the two
+    // views stopped reconciling.  The stop now forces the flush while the
+    // trace can still account for it.  Exercised for both stage shapes:
+    // symmetric rehash (deferred intermediate rehashes) and Fetch-Matches
+    // (probe responses continuing into deferred result buffers).
+    use pier::apps::netmon::netstats_table;
+    use pier::apps::snort::intrusions_table;
+    use pier::apps::topology::links_table;
+
+    let three_way = "SELECT i.host, COUNT(*) AS n, SUM(n.out_rate) AS total \
+         FROM netstats n JOIN links l ON n.host = l.src JOIN intrusions i ON l.dst = i.host \
+         GROUP BY i.host";
+
+    for strategy in [JoinStrategy::SymmetricHash, JoinStrategy::FetchMatches] {
+        let nodes = 12;
+        let mut pier = PierConfig::fast_test();
+        // Buffers may span effectively unboundedly many ticks — only the
+        // long (2 s) deadline timer flushes them — so a deterministically
+        // large window exists where a stop races a deferred buffer.
+        pier.batch_flush_ticks = 1_000_000;
+        pier.holddown = Duration::from_millis(2_000);
+        let mut bed =
+            PierTestbed::new(TestbedConfig { nodes, seed: 0xF1A7, pier, ..Default::default() });
+        bed.create_table_everywhere(&netstats_table());
+        bed.create_table_everywhere(&links_table());
+        bed.create_table_everywhere(&intrusions_table());
+        // publish_local keeps every non-query wire path silent, so the
+        // query's trace must equal the engine-wide counters exactly.
+        for (i, &addr) in bed.nodes().to_vec().iter().enumerate() {
+            let host = |k: usize| format!("host-{}", k % nodes);
+            bed.publish_local(
+                addr,
+                "netstats",
+                Tuple::new(vec![Value::str(host(i)), Value::Float(4.0), Value::Float(1.0)]),
+            );
+            bed.publish_local(
+                addr,
+                "links",
+                Tuple::new(vec![
+                    Value::str(host(i)),
+                    Value::str(host(i + 1)),
+                    Value::str("successor"),
+                ]),
+            );
+            bed.publish_local(
+                addr,
+                "intrusions",
+                Tuple::new(vec![
+                    Value::str(host(i)),
+                    Value::Int(1400),
+                    Value::str("rule"),
+                    Value::Int(2),
+                ]),
+            );
+        }
+        bed.run_for(Duration::from_secs(2));
+
+        let mut catalog = Catalog::new();
+        catalog.register(netstats_table());
+        catalog.register(links_table());
+        catalog.register(intrusions_table());
+        let stmt = pier::core::sql::parse_select(three_way).unwrap();
+        let mut planned =
+            Planner::with_join_strategy(&catalog, strategy).plan_select(&stmt).unwrap();
+        // Raw-row streaming keeps the final stage on the (deferrable) result
+        // path, which is where the regression lived.
+        if let QueryKind::Join { aggregate: Some(agg), .. } = &mut planned.kind {
+            agg.hierarchical = false;
+        }
+        let origin = bed.nodes()[1];
+        let q = bed
+            .submit_query(origin, planned.kind.clone(), planned.output_names.clone(), None)
+            .unwrap();
+        // Stop while intermediate/result buffers are still deferred (matches
+        // are produced well before the 2 s flush deadline fires).
+        bed.run_for(Duration::from_millis(1_500));
+        bed.stop_query(origin, q);
+        bed.run_for(Duration::from_secs(6));
+
+        bed.sim().invoke(origin, move |node, ctx| node.request_traces(ctx, q));
+        bed.run_for(Duration::from_secs(3));
+
+        let node = bed.node(origin).unwrap();
+        let (reporters, trace) = {
+            let (r, t) = node.collected_trace(q).unwrap();
+            (r, t.clone())
+        };
+        assert_eq!(reporters, nodes as u64, "{strategy:?}: every node must report");
+        let totals = bed.engine_totals();
+        assert_eq!(
+            trace.messages_sent, totals.messages_sent,
+            "{strategy:?}: deferred flush must neither double-count nor orphan messages"
+        );
+        assert_eq!(
+            trace.bytes_shipped, totals.bytes_shipped,
+            "{strategy:?}: deferred flush must neither double-count nor orphan bytes"
+        );
+        assert_eq!(trace.tuples_shipped, totals.join_tuples_sent, "{strategy:?}");
+        assert_eq!(trace.results_sent, totals.results_sent, "{strategy:?}");
+        assert!(totals.messages_sent > 0, "{strategy:?}: the query must have produced traffic");
+    }
+}
+
+#[test]
 fn engine_totals_sync_simnet_tags() {
     let (mut bed, _, _) = corpus_testbed(8, 42, 60, true, 512);
     let totals = bed.engine_totals();

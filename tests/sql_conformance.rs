@@ -241,6 +241,83 @@ fn qualified_on_columns_bind_to_their_own_relation() {
 }
 
 #[test]
+fn group_by_over_a_join_aggregates_the_join_output() {
+    // Newly accepted: GROUP BY (with aggregates and HAVING) over joins.
+    let rows = run("SELECT h.site, COUNT(*) AS n, SUM(e.bytes) AS total FROM events e \
+         JOIN hosts h ON e.host = h.name GROUP BY h.site ORDER BY h.site");
+    assert_eq!(rows.len(), 2);
+    // berkeley: h1 (2 events, 160 bytes) + h3 (3 events, 1644 bytes).
+    assert_eq!(
+        rows[0],
+        Tuple::new(vec![Value::str("berkeley"), Value::Int(5), Value::Float(1804.0)])
+    );
+    assert_eq!(
+        rows[1],
+        Tuple::new(vec![Value::str("seattle"), Value::Int(2), Value::Float(4100.0)])
+    );
+}
+
+#[test]
+fn group_by_over_a_three_way_join_with_having_and_topk() {
+    let rows = run("SELECT s.region, COUNT(*) AS n, MAX(e.severity) AS worst, \
+         MIN(e.severity) AS mildest, AVG(e.bytes) AS avg_bytes FROM events e \
+         JOIN hosts h ON e.host = h.name JOIN sites s ON h.site = s.sname \
+         GROUP BY s.region HAVING COUNT(*) >= 2 ORDER BY n DESC LIMIT 1");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(0), &Value::str("west"));
+    assert_eq!(rows[0].get(1), &Value::Int(5));
+    assert_eq!(rows[0].get(2), &Value::Int(7));
+    assert_eq!(rows[0].get(3), &Value::Int(1));
+}
+
+#[test]
+fn global_aggregate_over_a_join() {
+    let rows = run("SELECT COUNT(*), SUM(e.bytes) FROM events e \
+         JOIN hosts h ON e.host = h.name WHERE h.site = 'seattle'");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get(0), &Value::Int(2));
+    assert_eq!(rows[0].get(1), &Value::Float(4100.0));
+}
+
+#[test]
+fn aggregate_over_join_group_having_pushes_below_the_join() {
+    // A HAVING conjunct over a plain group column runs before the join
+    // (predicate pushdown through the aggregate), not at the root.
+    let rows = run("SELECT h.site, COUNT(*) AS n FROM events e \
+         JOIN hosts h ON e.host = h.name GROUP BY h.site HAVING h.site = 'berkeley'");
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0], Tuple::new(vec![Value::str("berkeley"), Value::Int(5)]));
+}
+
+#[test]
+fn still_rejected_aggregate_forms_over_joins() {
+    // Clear errors for the forms the dialect still refuses.
+    let err = run_err(
+        "SELECT *, COUNT(*) FROM events e JOIN hosts h ON e.host = h.name \
+         GROUP BY h.site",
+    );
+    assert!(err.contains("SELECT *"), "{err}");
+    let err = run_err(
+        "SELECT h.site, COUNT(*) + 1 FROM events e JOIN hosts h ON e.host = h.name \
+         GROUP BY h.site",
+    );
+    assert!(err.contains("expressions over aggregates"), "{err}");
+    let err = run_err(
+        "SELECT e.kind, COUNT(*) FROM events e JOIN hosts h ON e.host = h.name \
+         GROUP BY h.site",
+    );
+    assert!(err.contains("must appear in GROUP BY"), "{err}");
+    let err = run_err(
+        "SELECT COUNT(*) FROM events e JOIN hosts h ON e.host = h.name \
+         GROUP BY nothere",
+    );
+    assert!(err.contains("unknown GROUP BY column"), "{err}");
+    // Aggregation does not legalize a cross join.
+    let err = run_err("SELECT COUNT(*) FROM events, hosts");
+    assert!(err.contains("cross joins are not supported"), "{err}");
+}
+
+#[test]
 fn cross_joins_are_rejected() {
     let err = run_err("SELECT * FROM events, hosts");
     assert!(err.contains("cross joins are not supported"), "{err}");
