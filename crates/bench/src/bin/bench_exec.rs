@@ -1,0 +1,394 @@
+//! Measures the vectorized execution kernels against the scalar row-at-a-time
+//! interpreter, and the columnar wire encoding against the plain row wire, and
+//! emits a machine-readable `BENCH_exec.json` so future changes have a perf
+//! trajectory to compare against.
+//!
+//! **Phase 1 — execution.**  PIER's target workload is *many concurrent
+//! monitoring queries* over the same published readings, so the benchmark
+//! runs `PIER_EXEC_QUERIES` distinct scan → filter → `GROUP BY` pipelines
+//! (differing filters, shared input) over the same generated scan delta:
+//!
+//! * **scalar** — per query, `Expr::matches` per row and
+//!   `GroupAggregator::update` per surviving row (the interpreter the engine
+//!   used before kernels);
+//! * **vectorized** — each chunk is pivoted into a `ColumnarBatch` **once**
+//!   (conversion inside the timed region — this is exactly what the engine's
+//!   shared scan-batch memo does across queries), then every query runs its
+//!   compiled `Kernel` filter and `GroupAggregator::update_batch` folds
+//!   typed column slices.
+//!
+//! Each side is timed best-of-`PIER_REPS`, and every query must finalize
+//! identical groups on both sides.  The headline `exec_speedup_ratio` is
+//! vectorized row-scans/sec over scalar row-scans/sec (a row-scan is one row
+//! evaluated on behalf of one query).
+//!
+//! **Phase 2 — wire.**  The Figure-1 monitoring deployment (every node
+//! publishing `netstats` readings and Snort `intrusions` reports each round,
+//! then a distributed symmetric-rehash join) runs twice with the same seed —
+//! once with `columnar_wire` off (batch payloads carry plain row vectors) and
+//! once with it on (`TupleBlock`s dict/RLE-encode per column, falling back to
+//! plain when a block would not shrink).  Join answers must be identical;
+//! `wire_bytes_ratio` (engine `bytes_shipped`) and `wire_sim_bytes_ratio`
+//! (per-hop simulator bytes) are plain over columnar, so >1.0 means the
+//! encoding saves bytes.
+//!
+//! Environment knobs: `PIER_EXEC_ROWS` (default 400 000), `PIER_BATCH_ROWS`
+//! (default 8 192), `PIER_REPS` (default 5), `PIER_EXEC_QUERIES` (default
+//! 16), `PIER_NODES` (default 120), `PIER_EPOCHS` (default 6), `PIER_SEED`
+//! (default 1), `PIER_MIN_SPEEDUP` (assert at least this execution speedup;
+//! default 3.0 — the tighter bound is the CI baseline gate on
+//! `exec_speedup_ratio`).
+//!
+//! Run with: `cargo run --release -p pier-bench --bin bench_exec`
+
+use pier_apps::netmon::{netstats_stats, NetworkMonitor};
+use pier_apps::snort::{intrusions_stats, SnortSimulator};
+use pier_bench::{experiment_config, fmt_thousands, monitoring_testbed};
+use pier_core::dataflow::ops::GroupAggregator;
+use pier_core::prelude::*;
+use pier_core::{
+    same_rows, AggExpr, AggFunc, BinaryOp, Catalog, ColumnarBatch, Expr, JoinStrategy, Kernel,
+    Planner,
+};
+use pier_simnet::DetRng;
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: scalar vs vectorized scan-filter-aggregate
+// ---------------------------------------------------------------------
+
+/// Generated scan input: all-numeric monitoring readings — (node id, packet
+/// count, out-rate, error rate) — with NULLs sprinkled into the two sampled
+/// metrics, as a reading with a failed probe would publish them.
+fn exec_rows(n: usize, seed: u64) -> Vec<Tuple> {
+    let mut rng = DetRng::new(seed).stream(0xE8EC);
+    (0..n)
+        .map(|_| {
+            Tuple::new(vec![
+                Value::Int(rng.range_u64(0, 48) as i64),
+                if rng.chance(0.04) {
+                    Value::Null
+                } else {
+                    Value::Int(rng.range_u64(0, 1_000) as i64)
+                },
+                if rng.chance(0.04) {
+                    Value::Null
+                } else {
+                    Value::Float(rng.range_u64(0, 5_000) as f64 / 100.0)
+                },
+                Value::Float(rng.range_u64(0, 100) as f64 / 10.0),
+            ])
+        })
+        .collect()
+}
+
+/// The concurrent query mix: `q` distinct `WHERE … GROUP BY node` pipelines
+/// whose filters sweep different columns and thresholds (some alerting
+/// queries keep a few percent of rows, some dashboards keep most).
+fn exec_queries(q: usize) -> Vec<(Expr, Vec<Expr>, Vec<AggExpr>)> {
+    (0..q)
+        .map(|i| {
+            let filter = match i % 4 {
+                // Alerting: packet count above a high-water mark (keeps a few %).
+                0 => Expr::col(1).gt(Expr::lit(Value::Int(880 + ((i as i64) * 13) % 100))),
+                // Dashboard: out-rate below a saturation cutoff (keeps most).
+                1 => Expr::col(2)
+                    .binary(BinaryOp::Lt, Expr::lit(Value::Float(45.0 - (i as f64) % 10.0))),
+                // Dashboard: error rate at or above a pan threshold (keeps most).
+                _ => Expr::col(3)
+                    .binary(BinaryOp::GtEq, Expr::lit(Value::Float((i as f64 * 0.7) % 3.0))),
+            };
+            let group = vec![Expr::col(0)];
+            // The classic per-node dashboard panel: row count, total packets,
+            // mean out-rate — with the aggregated columns rotated per query.
+            let specs = vec![
+                AggExpr { func: AggFunc::Count, arg: None, name: "n".into() },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::col(1 + (i % 3))),
+                    name: "total".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Avg,
+                    arg: Some(Expr::col(1 + ((i + 1) % 3))),
+                    name: "mean".into(),
+                },
+            ];
+            (filter, group, specs)
+        })
+        .collect()
+}
+
+fn run_scalar(rows: &[Tuple], chunk: usize, q: usize) -> (std::time::Duration, Vec<Vec<Tuple>>) {
+    let queries = exec_queries(q);
+    let started = std::time::Instant::now();
+    let mut aggs: Vec<GroupAggregator> = queries
+        .iter()
+        .map(|(_, group, specs)| GroupAggregator::new(group.clone(), specs.clone()))
+        .collect();
+    for block in rows.chunks(chunk) {
+        for ((filter, _, _), agg) in queries.iter().zip(aggs.iter_mut()) {
+            for row in block {
+                if filter.matches(row) {
+                    agg.update(row);
+                }
+            }
+        }
+    }
+    let wall = started.elapsed();
+    (wall, aggs.iter().map(|a| a.finalize()).collect())
+}
+
+fn run_vectorized(
+    rows: &[Tuple],
+    chunk: usize,
+    q: usize,
+) -> (std::time::Duration, Vec<Vec<Tuple>>) {
+    let queries = exec_queries(q);
+    let started = std::time::Instant::now();
+    let kernels: Vec<Kernel> = queries.iter().map(|(f, _, _)| Kernel::compile(f)).collect();
+    let mut aggs: Vec<GroupAggregator> = queries
+        .iter()
+        .map(|(_, group, specs)| GroupAggregator::new(group.clone(), specs.clone()))
+        .collect();
+    for block in rows.chunks(chunk) {
+        // Row→column conversion is part of the price of the vectorized path
+        // (inside the timed region) — but it happens once per scan delta and
+        // is shared by every concurrent query, as in the engine.
+        let batch = ColumnarBatch::from_rows(block);
+        let full = batch.full_selection();
+        for (kernel, agg) in kernels.iter().zip(aggs.iter_mut()) {
+            let sel = kernel.filter(&batch, &full);
+            agg.update_batch(&batch, &sel);
+        }
+    }
+    let wall = started.elapsed();
+    (wall, aggs.iter().map(|a| a.finalize()).collect())
+}
+
+struct ExecOutcome {
+    scalar_rows_per_sec: f64,
+    vectorized_rows_per_sec: f64,
+    speedup: f64,
+    identical: bool,
+    group_rows: usize,
+}
+
+fn bench_exec_phase(n: usize, chunk: usize, reps: usize, seed: u64, q: usize) -> ExecOutcome {
+    let rows = exec_rows(n, seed);
+    // Interleave the reps so cache warm-up and machine noise hit both sides
+    // alike; keep the best (least-disturbed) wall time of each.
+    let mut best_scalar = std::time::Duration::MAX;
+    let mut best_vec = std::time::Duration::MAX;
+    let mut scalar_groups = Vec::new();
+    let mut vec_groups = Vec::new();
+    for _ in 0..reps.max(1) {
+        let (wall, groups) = run_scalar(&rows, chunk, q);
+        best_scalar = best_scalar.min(wall);
+        scalar_groups = groups;
+        let (wall, groups) = run_vectorized(&rows, chunk, q);
+        best_vec = best_vec.min(wall);
+        vec_groups = groups;
+    }
+    // A "row-scan" is one row evaluated on behalf of one query.
+    let per_sec = |wall: std::time::Duration| (n * q) as f64 / wall.as_secs_f64().max(1e-9);
+    let scalar_rows_per_sec = per_sec(best_scalar);
+    let vectorized_rows_per_sec = per_sec(best_vec);
+    let identical = scalar_groups.len() == vec_groups.len()
+        && scalar_groups.iter().zip(&vec_groups).all(|(a, b)| same_rows(a, b));
+    ExecOutcome {
+        scalar_rows_per_sec,
+        vectorized_rows_per_sec,
+        speedup: vectorized_rows_per_sec / scalar_rows_per_sec.max(1e-9),
+        identical,
+        group_rows: scalar_groups.iter().map(Vec::len).sum(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: plain vs columnar wire on the Figure-1 deployment
+// ---------------------------------------------------------------------
+
+struct WireOutcome {
+    bytes_shipped: u64,
+    messages_sent: u64,
+    sim_bytes: u64,
+    sim_messages: u64,
+    join_rows: Vec<Tuple>,
+    wall_ms: u128,
+}
+
+fn run_wire_mode(nodes: usize, epochs: usize, seed: u64, columnar: bool) -> WireOutcome {
+    let started = std::time::Instant::now();
+    let mut pier = experiment_config();
+    pier.batching = true;
+    pier.columnar_wire = columnar;
+    let mut bed = monitoring_testbed(nodes, seed, pier);
+    bed.set_table_stats_everywhere("netstats", netstats_stats(nodes));
+    bed.set_table_stats_everywhere("intrusions", intrusions_stats(nodes));
+
+    let mut monitor = NetworkMonitor::new(nodes, seed);
+    let mut snort = SnortSimulator::new(nodes, 710_000, seed);
+
+    let hostinfo = TableDef::new(
+        "hostinfo",
+        Schema::of(&[("host", DataType::Str), ("region", DataType::Str)]),
+        "host",
+        Duration::from_secs(3_600),
+    );
+    bed.create_table_everywhere(&hostinfo);
+    for addr in bed.alive_nodes() {
+        let node = addr.0 as usize;
+        let row = Tuple::new(vec![
+            Value::str(NetworkMonitor::host_name(node)),
+            Value::str(format!("region-{}", node % 5)),
+        ]);
+        bed.publish_batch(addr, "hostinfo", vec![row]);
+    }
+
+    // The publication workload: every node ships its reading and its
+    // multi-row Snort report through the DHT each round — the TupleBatch
+    // traffic the columnar encoding compresses.
+    for _ in 0..epochs {
+        for addr in bed.alive_nodes() {
+            let node = addr.0 as usize;
+            if node >= nodes {
+                continue;
+            }
+            bed.publish_batch(addr, "netstats", vec![monitor.sample(node)]);
+            bed.publish_batch(addr, "intrusions", snort.node_report(node));
+        }
+        bed.run_for(Duration::from_secs(5));
+    }
+
+    // A distributed symmetric-rehash join adds JoinBatch and ResultBatch
+    // traffic on top; its answer is the exact-equality correctness gate.
+    let mut catalog = Catalog::new();
+    catalog.register(hostinfo);
+    catalog.register(pier_apps::snort::intrusions_table());
+    let join_sql = "SELECT h.host, h.region, i.rule_id, i.hits FROM hostinfo h \
+                    JOIN intrusions i ON h.host = i.host WHERE i.rule_id = 1322";
+    let stmt = pier_core::sql::parse_select(join_sql).expect("join SQL parses");
+    let planned = Planner::with_join_strategy(&catalog, JoinStrategy::SymmetricHash)
+        .plan_select(&stmt)
+        .expect("join SQL plans");
+    let origin = bed.nodes()[0];
+    let join_query = bed
+        .submit_query(origin, planned.kind, planned.output_names, planned.continuous)
+        .expect("join submits");
+    bed.run_for(Duration::from_secs(20));
+
+    let stats = bed.engine_totals();
+    WireOutcome {
+        bytes_shipped: stats.bytes_shipped,
+        messages_sent: stats.messages_sent,
+        sim_bytes: bed.metrics().bytes_sent(),
+        sim_messages: bed.metrics().messages_sent(),
+        join_rows: bed.results(origin, join_query, 0),
+        wall_ms: started.elapsed().as_millis(),
+    }
+}
+
+fn wire_json(r: &WireOutcome) -> String {
+    format!(
+        "{{\"bytes_shipped\": {}, \"messages_sent\": {}, \"sim_bytes\": {}, \
+         \"sim_messages\": {}, \"join_rows\": {}, \"wall_clock_ms\": {}}}",
+        r.bytes_shipped,
+        r.messages_sent,
+        r.sim_bytes,
+        r.sim_messages,
+        r.join_rows.len(),
+        r.wall_ms,
+    )
+}
+
+fn main() {
+    let exec_rows_n: usize = env_parse("PIER_EXEC_ROWS", 400_000);
+    let batch_rows: usize = env_parse("PIER_BATCH_ROWS", 8_192);
+    let reps: usize = env_parse("PIER_REPS", 5);
+    let queries: usize = env_parse("PIER_EXEC_QUERIES", 16);
+    let nodes: usize = env_parse("PIER_NODES", 120);
+    let epochs: usize = env_parse("PIER_EPOCHS", 6);
+    let seed: u64 = env_parse("PIER_SEED", 1);
+    let min_speedup: f64 = env_parse("PIER_MIN_SPEEDUP", 3.0);
+
+    eprintln!(
+        "[exec] {queries} concurrent scan-filter-aggregate queries over {} rows \
+         (batches of {batch_rows}, best of {reps}) …",
+        fmt_thousands(exec_rows_n as f64)
+    );
+    let exec = bench_exec_phase(exec_rows_n, batch_rows, reps, seed, queries);
+
+    eprintln!("[exec] wire: {nodes} nodes × {epochs} rounds, seed {seed}; plain row wire …");
+    let plain = run_wire_mode(nodes, epochs, seed, false);
+    eprintln!("[exec] wire: columnar encoding …");
+    let columnar = run_wire_mode(nodes, epochs, seed, true);
+
+    let join_identical = same_rows(&plain.join_rows, &columnar.join_rows);
+    let identical = exec.identical && join_identical;
+    let wire_bytes_ratio = plain.bytes_shipped as f64 / columnar.bytes_shipped.max(1) as f64;
+    let wire_sim_bytes_ratio = plain.sim_bytes as f64 / columnar.sim_bytes.max(1) as f64;
+
+    println!();
+    println!("Vectorized execution vs scalar interpreter");
+    println!();
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "row-scans/sec",
+        fmt_thousands(exec.scalar_rows_per_sec),
+        fmt_thousands(exec.vectorized_rows_per_sec)
+    );
+    println!("{:<28} {:>16.2}x", "execution speedup", exec.speedup);
+    println!("{:<28} {:>16}", "group rows", exec.group_rows);
+    println!();
+    println!("Columnar wire vs plain row wire ({nodes} nodes, {epochs} rounds)");
+    println!();
+    println!("{:<28} {:>16} {:>16}", "", "plain", "columnar");
+    let row = |label: &str, a: u64, b: u64| {
+        println!("{:<28} {:>16} {:>16}", label, fmt_thousands(a as f64), fmt_thousands(b as f64));
+    };
+    row("engine bytes shipped", plain.bytes_shipped, columnar.bytes_shipped);
+    row("engine messages sent", plain.messages_sent, columnar.messages_sent);
+    row("simnet bytes (all hops)", plain.sim_bytes, columnar.sim_bytes);
+    row("simnet messages (total)", plain.sim_messages, columnar.sim_messages);
+    row("join rows", plain.join_rows.len() as u64, columnar.join_rows.len() as u64);
+    println!();
+    println!("bytes-shipped improvement : {wire_bytes_ratio:.2}x");
+    println!("simnet-bytes improvement  : {wire_sim_bytes_ratio:.2}x");
+    println!("results identical         : {identical}");
+
+    let json = format!(
+        "{{\n  \"workload\": {{\"exec_rows\": {exec_rows_n}, \"batch_rows\": {batch_rows}, \
+         \"reps\": {reps}, \"queries\": {queries}, \"nodes\": {nodes}, \"epochs\": {epochs}, \
+         \"seed\": {seed}}},\n  \
+         \"scalar_rows_per_sec\": {:.0},\n  \"vectorized_rows_per_sec\": {:.0},\n  \
+         \"exec_speedup_ratio\": {:.3},\n  \"plain\": {},\n  \"columnar\": {},\n  \
+         \"wire_bytes_ratio\": {wire_bytes_ratio:.3},\n  \
+         \"wire_sim_bytes_ratio\": {wire_sim_bytes_ratio:.3},\n  \
+         \"results_identical\": {identical}\n}}\n",
+        exec.scalar_rows_per_sec,
+        exec.vectorized_rows_per_sec,
+        exec.speedup,
+        wire_json(&plain),
+        wire_json(&columnar),
+    );
+    std::fs::write("BENCH_exec.json", &json).expect("write BENCH_exec.json");
+    eprintln!("[exec] wrote BENCH_exec.json");
+
+    assert!(exec.identical, "vectorized execution changed the aggregate answer");
+    assert!(join_identical, "the columnar wire encoding changed the join answer");
+    assert!(
+        columnar.bytes_shipped <= plain.bytes_shipped,
+        "columnar must never ship more bytes ({} vs {})",
+        columnar.bytes_shipped,
+        plain.bytes_shipped
+    );
+    assert!(
+        exec.speedup >= min_speedup,
+        "execution speedup {:.2}x below required {min_speedup:.2}x",
+        exec.speedup
+    );
+}

@@ -168,59 +168,35 @@ impl Expr {
                 let r = right.eval(tuple);
                 eval_binary(*op, &l, &r)
             }
-            Expr::Unary { op, expr } => {
-                let v = expr.eval(tuple);
-                match op {
-                    UnaryOp::Not => match v {
-                        Value::Bool(b) => Value::Bool(!b),
-                        Value::Null => Value::Null,
-                        _ => Value::Null,
-                    },
-                    UnaryOp::Neg => match v {
-                        Value::Int(i) => Value::Int(-i),
-                        Value::Float(f) => Value::Float(-f),
-                        _ => Value::Null,
-                    },
-                    UnaryOp::IsNull => Value::Bool(v.is_null()),
-                    UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
-                }
-            }
-            Expr::Func { func, arg } => {
-                let v = arg.eval(tuple);
-                match func {
-                    ScalarFunc::Lower => match v {
-                        Value::Str(s) => Value::Str(s.to_ascii_lowercase()),
-                        _ => Value::Null,
-                    },
-                    ScalarFunc::Upper => match v {
-                        Value::Str(s) => Value::Str(s.to_ascii_uppercase()),
-                        _ => Value::Null,
-                    },
-                    ScalarFunc::Length => match v {
-                        Value::Str(s) => Value::Int(s.len() as i64),
-                        _ => Value::Null,
-                    },
-                    ScalarFunc::Abs => match v {
-                        Value::Int(i) => Value::Int(i.abs()),
-                        Value::Float(f) => Value::Float(f.abs()),
-                        _ => Value::Null,
-                    },
-                }
-            }
-            Expr::Like { expr, pattern } => {
-                let v = expr.eval(tuple);
-                match v {
-                    Value::Str(s) => Value::Bool(like_match(&s, pattern)),
-                    Value::Null => Value::Null,
-                    _ => Value::Bool(false),
-                }
-            }
+            Expr::Unary { op, expr } => eval_unary(*op, expr.eval(tuple)),
+            Expr::Func { func, arg } => eval_func(*func, arg.eval(tuple)),
+            Expr::Like { expr, pattern } => eval_like(expr.eval(tuple), pattern),
         }
     }
 
     /// Evaluate as a predicate: true only if the result is boolean true.
     pub fn matches(&self, tuple: &Tuple) -> bool {
-        self.eval(tuple).is_truthy()
+        self.eval_cow(tuple).is_truthy()
+    }
+
+    /// Evaluate against a tuple, borrowing from it where possible.
+    ///
+    /// The two leaf shapes that dominate real plans — column references and
+    /// literals — return `Cow::Borrowed`, so predicates and hash-key
+    /// evaluations over them are clone-free; only computed interior nodes
+    /// allocate.  Semantically identical to [`Expr::eval`].
+    pub fn eval_cow<'a>(&'a self, tuple: &'a Tuple) -> std::borrow::Cow<'a, Value> {
+        use std::borrow::Cow;
+        match self {
+            Expr::Column(i) => Cow::Borrowed(tuple.get(*i)),
+            Expr::Literal(v) => Cow::Borrowed(v),
+            Expr::Binary { op, left, right } => {
+                let l = left.eval_cow(tuple);
+                let r = right.eval_cow(tuple);
+                Cow::Owned(eval_binary(*op, &l, &r))
+            }
+            _ => Cow::Owned(self.eval(tuple)),
+        }
     }
 
     /// The highest column index referenced (used for sanity checks).
@@ -316,7 +292,59 @@ impl fmt::Display for Expr {
     }
 }
 
-fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Value {
+/// Scalar unary-operator semantics, shared with the vectorized kernels.
+pub(crate) fn eval_unary(op: UnaryOp, v: Value) -> Value {
+    match op {
+        UnaryOp::Not => match v {
+            Value::Bool(b) => Value::Bool(!b),
+            _ => Value::Null,
+        },
+        UnaryOp::Neg => match v {
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            _ => Value::Null,
+        },
+        UnaryOp::IsNull => Value::Bool(v.is_null()),
+        UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
+    }
+}
+
+/// Scalar function semantics, shared with the vectorized kernels.
+pub(crate) fn eval_func(func: ScalarFunc, v: Value) -> Value {
+    match func {
+        ScalarFunc::Lower => match v {
+            Value::Str(s) => Value::Str(s.to_ascii_lowercase()),
+            _ => Value::Null,
+        },
+        ScalarFunc::Upper => match v {
+            Value::Str(s) => Value::Str(s.to_ascii_uppercase()),
+            _ => Value::Null,
+        },
+        ScalarFunc::Length => match v {
+            Value::Str(s) => Value::Int(s.len() as i64),
+            _ => Value::Null,
+        },
+        ScalarFunc::Abs => match v {
+            Value::Int(i) => Value::Int(i.abs()),
+            Value::Float(f) => Value::Float(f.abs()),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// Scalar `LIKE` semantics, shared with the vectorized kernels.
+pub(crate) fn eval_like(v: Value, pattern: &str) -> Value {
+    match v {
+        Value::Str(s) => Value::Bool(like_match(&s, pattern)),
+        Value::Null => Value::Null,
+        _ => Value::Bool(false),
+    }
+}
+
+/// Scalar binary-operator semantics — the single source of truth the
+/// vectorized kernels in [`kernel`](crate::kernel) fall back to (and are
+/// property-tested against), so the two paths cannot drift.
+pub(crate) fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Value {
     use BinaryOp::*;
     match op {
         And => match (l, r) {
@@ -396,7 +424,7 @@ fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Value {
 
 /// SQL `LIKE` matching with `%` (any run) and `_` (any single char),
 /// case-insensitive (which is what the filesharing keyword search wants).
-fn like_match(s: &str, pattern: &str) -> bool {
+pub(crate) fn like_match(s: &str, pattern: &str) -> bool {
     fn rec(s: &[u8], p: &[u8]) -> bool {
         match p.first() {
             None => s.is_empty(),

@@ -60,9 +60,12 @@
 pub mod aggregate;
 pub mod bloom;
 pub mod catalog;
+pub mod column;
 pub mod dataflow;
+pub mod encoding;
 pub mod engine;
 pub mod expr;
+pub mod kernel;
 pub mod payload;
 pub mod plan;
 pub mod planner;
@@ -78,10 +81,13 @@ pub mod value;
 pub use aggregate::{AggFunc, AggState};
 pub use bloom::BloomFilter;
 pub use catalog::{Catalog, TableDef, TableStats};
+pub use column::{Column, ColumnData, ColumnarBatch};
+pub use encoding::{ColumnarWire, TupleBlock, WireColumn};
 pub use engine::{
     AggregationMode, EngineStats, PierConfig, PierError, PierMsg, PierNode, QueryResults,
 };
 pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
+pub use kernel::Kernel;
 pub use payload::PierPayload;
 pub use plan::{AggExpr, LogicalPlan, SortKey};
 pub use planner::{Explanation, PlanCache, PlanError, PlannedQuery, Planner};

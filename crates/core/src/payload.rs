@@ -8,6 +8,7 @@
 
 use crate::aggregate::AggState;
 use crate::dataflow::ops::GroupKey;
+use crate::encoding::TupleBlock;
 use crate::query::{QueryId, QuerySpec, ResultRow};
 use crate::stats::NodeStatsEntry;
 use crate::trace::OpTrace;
@@ -28,8 +29,9 @@ pub enum PierPayload {
     /// key, stored in the DHT as a single item.  Publishers coalesce
     /// same-destination tuples into one routed `put`; local scans and
     /// Fetch-Matches probes unbatch transparently via
-    /// [`PierPayload::tuples`].
-    TupleBatch(Vec<Tuple>),
+    /// [`PierPayload::tuples`].  The block carries its wire encoding (plain
+    /// row-major or compressed columnar) and sizes itself accordingly.
+    TupleBatch(TupleBlock),
     /// A query plan being disseminated to all nodes.
     Query(QuerySpec),
     /// Tear down a (continuous) query everywhere.
@@ -88,8 +90,8 @@ pub enum PierPayload {
         side: u8,
         /// The shared join-key value (also determines the site).
         key: Value,
-        /// The tuples themselves.
-        tuples: Vec<Tuple>,
+        /// The tuples themselves, in the block's chosen wire encoding.
+        tuples: TupleBlock,
     },
     /// Several result rows of one (query, epoch) streamed to the origin in a
     /// single message.  Producers buffer rows while evaluating an epoch tick
@@ -99,8 +101,9 @@ pub enum PierPayload {
         query: QueryId,
         /// Which epoch.
         epoch: u64,
-        /// The rows, in production order.
-        rows: Vec<Tuple>,
+        /// The rows, in production order, in the block's chosen wire
+        /// encoding.
+        rows: TupleBlock,
     },
     /// A Bloom-filter summary of one node's left-relation join keys (phase 1,
     /// sent to the origin) or the combined filter (phase 2, broadcast).
@@ -153,7 +156,9 @@ impl WireSize for PierPayload {
     fn wire_size(&self) -> usize {
         1 + match self {
             PierPayload::Tuple(t) => t.wire_size(),
-            PierPayload::TupleBatch(ts) => 4 + ts.iter().map(|t| t.wire_size()).sum::<usize>(),
+            // Blocks size themselves from their actual encoded form (the
+            // plain encoding reproduces the legacy `4 + Σ tuple` accounting).
+            PierPayload::TupleBatch(block) => block.wire_size(),
             PierPayload::Query(q) => q.wire_size(),
             PierPayload::StopQuery(_) => 8,
             PierPayload::Partial { groups, .. } => {
@@ -169,12 +174,8 @@ impl WireSize for PierPayload {
             PierPayload::Result(r) => r.wire_size(),
             PierPayload::EpochDone { .. } => 24,
             PierPayload::JoinTuple { key, tuple, .. } => 19 + key.wire_size() + tuple.wire_size(),
-            PierPayload::JoinBatch { key, tuples, .. } => {
-                19 + 4 + key.wire_size() + tuples.iter().map(|t| t.wire_size()).sum::<usize>()
-            }
-            PierPayload::ResultBatch { rows, .. } => {
-                16 + 4 + rows.iter().map(|t| t.wire_size()).sum::<usize>()
-            }
+            PierPayload::JoinBatch { key, tuples, .. } => 19 + key.wire_size() + tuples.wire_size(),
+            PierPayload::ResultBatch { rows, .. } => 16 + rows.wire_size(),
             PierPayload::Bloom { bits, .. } => 18 + bits.len() * 8,
             PierPayload::Expand { vertex, .. } => 20 + vertex.wire_size(),
             PierPayload::TraceRequest { .. } => 8,
@@ -202,7 +203,7 @@ impl PierPayload {
     pub fn tuples(&self) -> &[Tuple] {
         match self {
             PierPayload::Tuple(t) => std::slice::from_ref(t),
-            PierPayload::TupleBatch(ts) => ts,
+            PierPayload::TupleBatch(block) => block.rows(),
             _ => &[],
         }
     }

@@ -415,6 +415,33 @@ impl<'a> PhysicalPlanner<'a> {
                     )
                 });
                 note.push('\n');
+                // Aggregate-aware stage keys: if the (single) grouping
+                // column *is* the final stage's join key — either endpoint,
+                // they are equal on every match — the symmetric rehash has
+                // already partitioned each group wholly onto one join site.
+                // Sites then finalize their own groups in place and the
+                // partial climb up the aggregation tree is skipped.
+                let last = stages.last().expect("at least one stage");
+                let key_pos = |key: &Expr, ship: &[usize], base: usize| -> Option<usize> {
+                    match key {
+                        Expr::Column(i) => ship.iter().position(|c| c == i).map(|p| base + p),
+                        _ => None,
+                    }
+                };
+                let left_pos = key_pos(&last.left_key, &last.left_ship_cols, 0);
+                let right_pos =
+                    key_pos(&last.right_key, &last.right_ship_cols, last.left_ship_cols.len());
+                let colocated = hierarchical
+                    && last.strategy == JoinStrategy::SymmetricHash
+                    && matches!(group_exprs.as_slice(),
+                        [Expr::Column(g)] if Some(*g) == left_pos || Some(*g) == right_pos);
+                if colocated {
+                    note.push_str(
+                        "aggregation: colocated with the final join stage \
+                         (GROUP BY = stage key; groups finalize at their join sites, \
+                         no partial climb)\n",
+                    );
+                }
                 // Identity projection over the final concat schema: the
                 // raw-row streaming baseline ships these rows whole.
                 let project: Vec<Expr> = (0..last_concat_map.len()).map(Expr::col).collect();
@@ -424,6 +451,7 @@ impl<'a> PhysicalPlanner<'a> {
                     having: having_above.as_ref().map(fold_expr),
                     final_project: agg.final_project.clone(),
                     hierarchical,
+                    colocated,
                 };
                 (project, Some(aggregate))
             }

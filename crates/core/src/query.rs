@@ -154,6 +154,12 @@ pub struct JoinAggregate {
     /// rows to the origin, which performs the whole GROUP BY — the baseline
     /// the optimizer costs against (and benchmarks measure).
     pub hierarchical: bool,
+    /// Aggregate-aware stage keys: `true` when the grouping column *is* the
+    /// final stage's join key, so every row of a group already lives at one
+    /// join site (the DHT partitioned matches by that very value).  Join
+    /// sites then finalize their own groups in place instead of rehashing
+    /// partials into the aggregation tree — the climb is skipped entirely.
+    pub colocated: bool,
 }
 
 /// The per-node work of a query.
@@ -355,7 +361,7 @@ impl WireSize for QuerySpec {
                                     .sum::<usize>()
                                 + a.having.as_ref().map(|h| h.wire_size()).unwrap_or(0)
                                 + a.final_project.len()
-                                + 1
+                                + 2
                         })
                         .unwrap_or(0)
                     + stages

@@ -351,6 +351,12 @@ impl<P: Clone + WireSize> DhtNode<P> {
         self.handle_broadcast(ctx, payload, range_end, 0);
     }
 
+    /// Count of local store mutations so far — see
+    /// [`SoftStateStore::mutation_count`](crate::storage::SoftStateStore::mutation_count).
+    pub fn store_mutations(&self) -> u64 {
+        self.store.mutation_count()
+    }
+
     /// Locally stored items of `namespace` that are still live at `now`.
     pub fn lscan(&self, namespace: &str, now: SimTime) -> Vec<(ResourceKey, P)> {
         self.store

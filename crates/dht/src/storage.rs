@@ -81,6 +81,14 @@ impl<V: Clone> SoftStateStore<V> {
         !existed
     }
 
+    /// Count of store mutations so far (every insert and renewal).  Two reads
+    /// at the same `now`/`since` with the same mutation count see identical
+    /// contents — expiry is a pure function of `now` — so this stamps
+    /// scan-result caches.
+    pub fn mutation_count(&self) -> u64 {
+        self.total_puts
+    }
+
     /// All live items for a `(namespace, resource)` pair (any instance).
     pub fn get(&self, namespace: &str, resource: &str, now: SimTime) -> Vec<&Item<V>> {
         self.namespaces

@@ -5,8 +5,10 @@
 //!   3-way `netstats ⋈ links ⋈ intrusions` chain matches the centralized
 //!   reference under **every** join-strategy mix, in both aggregation
 //!   placements (hierarchical partials and the raw-row streaming baseline).
-//! * Hierarchical partials ship measurably fewer result-path rows than the
-//!   raw-row baseline at identical answers.
+//! * The workload groups by the final stage's join key, so the aggregate is
+//!   *colocated*: join sites finalize their own groups in place, no partial
+//!   states climb the tree, and the result path still ships measurably
+//!   fewer rows than the raw-row baseline at identical answers.
 //! * `EXPLAIN ANALYZE` renders the per-stage *and* aggregation trace
 //!   sections, and the totals reconcile field-for-field with
 //!   `engine_totals()`.
@@ -180,7 +182,11 @@ fn hierarchical_partials_ship_fewer_result_rows_than_raw_streaming() {
     let (hier, hier_rows) = run(true);
     let (raw, raw_rows) = run(false);
     assert!(same_rows(&hier_rows, &raw_rows), "placement must not change the answer");
-    assert!(hier.partials_sent > 0, "hierarchical mode must ship partial states");
+    // This workload groups by the final stage's join key, so the planner
+    // marks the aggregate *colocated*: every group's rows already live at
+    // one join site and the sites finalize in place — the hierarchical mode
+    // ships NO partial states at all, not merely fewer.
+    assert_eq!(hier.partials_sent, 0, "colocated aggregation must skip the partial climb");
     assert_eq!(raw.partials_sent, 0, "raw streaming must not produce partials");
     assert!(
         hier.results_sent < raw.results_sent,
@@ -240,7 +246,9 @@ fn explain_analyze_renders_aggregation_section_that_reconciles() {
     assert_eq!(trace.messages_sent, totals.messages_sent);
     assert_eq!(trace.batches_sent, totals.batches_sent);
     assert_eq!(trace.bytes_shipped, totals.bytes_shipped);
-    assert!(trace.partials_sent > 0, "the aggregation plane must have carried partials");
+    // GROUP BY i.host = the final stage's join key, so the aggregate is
+    // colocated with the join sites and no partials climb the tree.
+    assert_eq!(trace.partials_sent, 0, "colocated aggregation must skip the partial climb");
 
     // The per-stage sections still partition the join-side totals exactly.
     let shipped: u64 = trace.stage_shipped.values().sum();
