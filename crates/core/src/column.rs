@@ -327,6 +327,95 @@ impl Column {
         }
     }
 
+    /// Gather rows by index into a new column: output row `p` holds this
+    /// column's row `idx[p]`.  The workhorse of the vectorized join probe —
+    /// cross products are expressed as two gathers (an outer repeat of the
+    /// probe side and an inner tile of the build side) instead of per-row
+    /// `Value` clones and tuple concatenations.
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        let mut validity = Bitmap::all_valid(idx.len());
+        for (p, &i) in idx.iter().enumerate() {
+            if !self.validity.get(i as usize) {
+                validity.set(p, false);
+            }
+        }
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Bool(v) => ColumnData::Bool(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+            ColumnData::Mixed(v) => {
+                // Mixed columns carry NULLs in the values; keep that invariant.
+                validity = Bitmap::all_valid(idx.len());
+                ColumnData::Mixed(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        };
+        Column { data, validity }
+    }
+
+    /// Concatenate columns end to end.  Homogeneous typed parts stay typed;
+    /// anything else falls back to `Mixed` via row materialization (exactly
+    /// what `from_values` over the materialized rows would produce).
+    pub fn concat(parts: &[&Column]) -> Column {
+        let total: usize = parts.iter().map(|c| c.len()).sum();
+        let same_variant = |a: &ColumnData, b: &ColumnData| {
+            matches!(
+                (a, b),
+                (ColumnData::Int(_), ColumnData::Int(_))
+                    | (ColumnData::Float(_), ColumnData::Float(_))
+                    | (ColumnData::Bool(_), ColumnData::Bool(_))
+                    | (ColumnData::Str(_), ColumnData::Str(_))
+            )
+        };
+        let homogeneous = parts
+            .split_first()
+            .map(|(first, rest)| {
+                !matches!(first.data, ColumnData::Mixed(_))
+                    && rest.iter().all(|c| same_variant(&first.data, &c.data))
+            })
+            .unwrap_or(false);
+        if !homogeneous {
+            let mut values = Vec::with_capacity(total);
+            for part in parts {
+                for i in 0..part.len() {
+                    values.push(part.value_at(i));
+                }
+            }
+            return Column::from_values(values);
+        }
+        let mut validity = Bitmap::all_valid(total);
+        let mut at = 0usize;
+        for part in parts {
+            for i in 0..part.len() {
+                if !part.validity.get(i) {
+                    validity.set(at + i, false);
+                }
+            }
+            at += part.len();
+        }
+        macro_rules! splice {
+            ($variant:ident) => {{
+                let mut out = Vec::with_capacity(total);
+                for part in parts {
+                    if let ColumnData::$variant(v) = &part.data {
+                        out.extend(v.iter().cloned());
+                    }
+                }
+                ColumnData::$variant(out)
+            }};
+        }
+        let data = match &parts[0].data {
+            ColumnData::Int(_) => splice!(Int),
+            ColumnData::Float(_) => splice!(Float),
+            ColumnData::Bool(_) => splice!(Bool),
+            ColumnData::Str(_) => splice!(Str),
+            ColumnData::Mixed(_) => unreachable!("mixed parts take the materializing path"),
+        };
+        Column { data, validity }
+    }
+
     /// Do rows `i` and `j` hold equal values, under `Value`'s equality
     /// (NULL == NULL here — this is grouping equality, not SQL `=`)?
     #[inline]
@@ -495,6 +584,15 @@ impl ColumnarBatch {
             }
         }
         ColumnarBatch { columns: builders.into_iter().map(|b| b.finish()).collect(), rows: n }
+    }
+
+    /// Assemble a batch directly from columns (all the same length).  The
+    /// vectorized join probe builds its cross-product output this way —
+    /// gathered columns side by side, no intermediate row materialization.
+    pub fn from_columns(columns: Vec<Column>) -> ColumnarBatch {
+        let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        debug_assert!(columns.iter().all(|c| c.len() == rows), "ragged columns");
+        ColumnarBatch { columns, rows }
     }
 
     /// Number of rows.

@@ -3,6 +3,7 @@
 //! graphs).
 
 pub mod graph;
+pub mod join;
 pub mod ops;
 
 pub use graph::{

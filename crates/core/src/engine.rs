@@ -26,6 +26,7 @@
 use crate::bloom::BloomFilter;
 use crate::catalog::{Catalog, TableDef};
 use crate::column::ColumnarBatch;
+use crate::dataflow::join::{probe_joined, JoinBuild};
 use crate::dataflow::ops::{sort_tuples, FilterOp, GroupAggregator, GroupKey, ProjectOp, TopK};
 use crate::encoding::TupleBlock;
 use crate::kernel::Kernel;
@@ -47,8 +48,25 @@ use std::rc::Rc;
 /// [`PierPayload`]s).
 pub type PierMsg = DhtMsg<PierPayload>;
 
-/// Key of a deferred intermediate-rehash buffer: (query, stage, epoch).
-type RehashBufKey = (QueryId, u8, u64);
+/// Key of a deferred join-rehash buffer: (query, stage, epoch, side).
+/// Scan-side (side 1 and stage-0 side 0) and intermediate (side 0, stage
+/// ≥ 1) rehashes all defer under the same time-based flush, so concurrent
+/// queries' rehash traffic can share `RouteBatch` frames.
+type RehashBufKey = (QueryId, u8, u64, u8);
+
+/// Accounting stream of a staged point-to-point payload: which counters pay
+/// for its wire frame.  `Query` traffic bills the per-query message counters
+/// (and the producer-side trace), `Engine` bills only the node-level
+/// counters (e.g. partial relays for queries this node never installed), and
+/// `Gossip` is observability traffic kept out of the query counters
+/// entirely.  A frame that coalesces ≥ 2 distinct streams is a shared
+/// frame: exactly one stream pays for it and the rest ride free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum DirectStream {
+    Query(QueryId),
+    Engine,
+    Gossip,
+}
 
 /// How many stopped queries' execution traces a node retains for late
 /// `EXPLAIN ANALYZE` trace requests.
@@ -117,8 +135,34 @@ pub struct PierConfig {
     /// How long the origin collects per-node Bloom filters before
     /// broadcasting the combined filter.
     pub bloom_collect_delay: Duration,
-    /// Bits in each Bloom filter.
+    /// Bits in each Bloom filter (the default geometry, used when the
+    /// planner did not suggest a statistics-sized one).
     pub bloom_bits: usize,
+    /// Lower clamp for planner-suggested per-stage Bloom geometry
+    /// ([`JoinStage::bloom_bits`](crate::query::JoinStage)).
+    pub bloom_bits_min: usize,
+    /// Upper clamp for planner-suggested per-stage Bloom geometry.
+    pub bloom_bits_max: usize,
+    /// Inner-stage Bloom semi-joins: when the planner marks a symmetric-hash
+    /// stage past the first as filterable, its join sites summarize the
+    /// intermediate keys that reached them, the origin combines and
+    /// broadcasts the filter, and right-relation scan sites prune their
+    /// rehash through it — the stage-0 Bloom protocol generalized to a
+    /// per-(query, stage, epoch) handshake.  `false` rehashes inner right
+    /// sides eagerly and unfiltered, as before.
+    pub inner_bloom: bool,
+    /// Hold-down deadline at inner right-relation scan sites: if the
+    /// combined filter has not arrived this long after the epoch started,
+    /// ship the right side unfiltered.  A lost summary therefore degrades to
+    /// extra traffic, never to missing results the filter would have kept.
+    pub bloom_fallback_delay: Duration,
+    /// Cross-query piggybacking: point-to-point payloads (results, partials,
+    /// pending statistics gossip) and deferred intermediate rehashes from
+    /// *different* queries that share a destination or next hop within one
+    /// flush window ride a single wire frame (`DirectBatch` /
+    /// `RouteBatch`).  Single-query traffic is unaffected — frames merge
+    /// only across ≥ 2 concurrent streams.
+    pub piggyback: bool,
     /// Aggregation routing mode.
     pub aggregation: AggregationMode,
     /// Coalesce hot wire paths into batch messages (`TupleBatch`,
@@ -195,6 +239,11 @@ impl Default for PierConfig {
             collect_delay: Duration::from_millis(4_000),
             bloom_collect_delay: Duration::from_millis(1_500),
             bloom_bits: 4096,
+            bloom_bits_min: 1024,
+            bloom_bits_max: 65_536,
+            inner_bloom: true,
+            bloom_fallback_delay: Duration::from_millis(8_000),
+            piggyback: true,
             aggregation: AggregationMode::Hierarchical,
             batching: true,
             batch_max: 512,
@@ -221,6 +270,11 @@ impl PierConfig {
             collect_delay: Duration::from_millis(3_000),
             bloom_collect_delay: Duration::from_millis(800),
             bloom_bits: 2048,
+            bloom_bits_min: 512,
+            bloom_bits_max: 16_384,
+            inner_bloom: true,
+            bloom_fallback_delay: Duration::from_millis(3_000),
+            piggyback: true,
             aggregation: AggregationMode::Hierarchical,
             batching: true,
             batch_max: 512,
@@ -245,6 +299,11 @@ impl PierConfig {
             collect_delay: Duration::from_millis(5_000),
             bloom_collect_delay: Duration::from_millis(2_000),
             bloom_bits: 8192,
+            bloom_bits_min: 2048,
+            bloom_bits_max: 131_072,
+            inner_bloom: true,
+            bloom_fallback_delay: Duration::from_millis(10_000),
+            piggyback: true,
             aggregation: AggregationMode::Hierarchical,
             batching: true,
             batch_max: 512,
@@ -301,6 +360,20 @@ pub struct EngineStats {
     /// Times this node swapped a live query to a re-planned spec at an epoch
     /// boundary (mid-flight re-planning).
     pub replans: u64,
+    /// Right-relation tuples tested against a combined Bloom filter before
+    /// rehash (stage 0 and inner stages alike).
+    pub bloom_tested: u64,
+    /// Of those, tuples the filter passed (and were therefore rehashed).
+    pub bloom_passed: u64,
+    /// Inner-stage epochs whose combined filter missed the hold-down deadline
+    /// and shipped the right side unfiltered.
+    pub bloom_fallbacks: u64,
+    /// Point-to-point payloads that rode an existing frame to the same
+    /// destination (or next hop) instead of paying for their own message.
+    pub piggybacked_payloads: u64,
+    /// Wire frames that carried payloads from ≥ 2 distinct streams
+    /// (different queries, or a query plus engine/gossip traffic).
+    pub shared_frames: u64,
 }
 
 impl EngineStats {
@@ -322,6 +395,11 @@ impl EngineStats {
         self.plan_cache_misses += other.plan_cache_misses;
         self.stats_gossip_sent += other.stats_gossip_sent;
         self.replans += other.replans;
+        self.bloom_tested += other.bloom_tested;
+        self.bloom_passed += other.bloom_passed;
+        self.bloom_fallbacks += other.bloom_fallbacks;
+        self.piggybacked_payloads += other.piggybacked_payloads;
+        self.shared_frames += other.shared_frames;
     }
 }
 
@@ -334,8 +412,14 @@ enum TimerPurpose {
     Holddown(QueryId, u64),
     /// Finalize (query, epoch) at the aggregation root.
     RootFinalize(QueryId, u64),
-    /// Combine and broadcast Bloom filters for (query, epoch).
-    BloomPhase2(QueryId, u64),
+    /// Combine and broadcast Bloom filters for (query, stage, epoch).
+    BloomPhase2(QueryId, u8, u64),
+    /// Quiescence check on an inner-stage Bloom summary under construction:
+    /// ship it to the origin once intermediate arrivals go quiet.
+    InnerBloomSummary(QueryId, u8, u64),
+    /// Hold-down deadline for an inner stage's combined filter: if it has
+    /// not arrived, rehash the right relation unfiltered.
+    BloomFallback(QueryId, u8, u64),
     /// Summarize local soft state and push the statistics view to neighbours.
     StatsGossip,
     /// Deadline flush of deferred result / rehash buffers (only armed when
@@ -366,11 +450,30 @@ struct RunningQuery {
     /// Join site hash tables: (stage, epoch, key) -> tuples.
     join_left: HashMap<(u8, u64, Value), Vec<Tuple>>,
     join_right: HashMap<(u8, u64, Value), Vec<Tuple>>,
-    /// Origin-side Bloom collection per epoch.
-    blooms: HashMap<u64, BloomFilter>,
-    bloom_armed: HashSet<u64>,
-    /// Combined filter received (Bloom join phase 2).
-    combined_bloom: HashMap<u64, BloomFilter>,
+    /// Vectorized join state per (stage, epoch): columnar build sides with a
+    /// typed key-vector hash index, replacing `join_left` / `join_right`
+    /// when `PierConfig::vectorized` is on.
+    vec_join: HashMap<(u8, u64), JoinBuild>,
+    /// Origin-side Bloom collection per (stage, epoch).
+    blooms: HashMap<(u8, u64), BloomFilter>,
+    bloom_armed: HashSet<(u8, u64)>,
+    /// Origin-side: the last combined filter broadcast per inner (stage,
+    /// epoch), so a supplementary summary that adds nothing new (already
+    /// covered bits) does not trigger a redundant re-broadcast.
+    bloom_sent: HashMap<(u8, u64), (Vec<u64>, u8)>,
+    /// Combined filter received (Bloom join phase 2), per (stage, epoch).
+    combined_bloom: HashMap<(u8, u64), BloomFilter>,
+    /// Join-site summaries of intermediate keys for inner-stage Bloom
+    /// semi-joins, per (stage, epoch).
+    inner_summaries: HashMap<(u8, u64), InnerSummary>,
+    /// Inner (stage, epoch) pairs whose right relation this node has already
+    /// rehashed — filtered through a combined filter or via the hold-down
+    /// fallback, whichever fired first.
+    bloom_phase2_done: HashSet<(u8, u64)>,
+    /// Scan-site rows pruned by an inner-stage combined filter, retained so
+    /// a refreshed filter (late intermediate keys reopen the handshake) can
+    /// re-test and ship them.  Dropped with the query's soft state.
+    held_rows: HashMap<(u8, u64), Vec<Tuple>>,
     /// Epochs for which this node already counted itself as an aggregation
     /// contributor (aggregates over joins produce partials incrementally as
     /// matches arrive, so the first batch of an epoch counts the node).
@@ -409,6 +512,21 @@ struct CompiledKernels {
 struct StageKernels {
     keys: [Kernel; 2],
     right_filter: Option<Kernel>,
+    /// The stage's residual (non-equi) predicate, applied to joined rows.
+    post: Option<Kernel>,
+}
+
+/// One node's in-progress Bloom summary of the intermediate keys that
+/// reached it for an inner join stage (phase 1 of the inner-stage semi-join
+/// handshake).
+struct InnerSummary {
+    filter: BloomFilter,
+    /// Last time an intermediate key was folded in (quiescence check).
+    last_update: SimTime,
+    /// How many times shipping has been postponed for late arrivals.
+    extensions: u32,
+    /// Sent to the origin; later arrivals no longer make the filter.
+    shipped: bool,
 }
 
 impl CompiledKernels {
@@ -431,6 +549,7 @@ impl CompiledKernels {
                     .map(|s| StageKernels {
                         keys: [Kernel::compile(&s.left_key), Kernel::compile(&s.right_key)],
                         right_filter: s.right_filter.as_ref().map(Kernel::compile),
+                        post: s.post_filter.as_ref().map(Kernel::compile),
                     })
                     .collect(),
             },
@@ -461,9 +580,14 @@ impl RunningQuery {
             root_extensions: HashMap::new(),
             join_left: HashMap::new(),
             join_right: HashMap::new(),
+            vec_join: HashMap::new(),
             blooms: HashMap::new(),
             bloom_armed: HashSet::new(),
+            bloom_sent: HashMap::new(),
             combined_bloom: HashMap::new(),
+            inner_summaries: HashMap::new(),
+            bloom_phase2_done: HashSet::new(),
+            held_rows: HashMap::new(),
             agg_contributed: HashSet::new(),
             visited: HashSet::new(),
             trace: OpTrace::default(),
@@ -616,10 +740,17 @@ pub struct PierNode {
     /// from the query id).  First-come order, so flushing preserves the
     /// per-epoch row order the unbatched path would produce.
     pending_results: Vec<((QueryId, u64), Vec<Tuple>)>,
-    /// Intermediate join-rehash tuples deferred by the time-based flush
-    /// (`batch_flush_ticks > 0`), per (query, stage, epoch); flushed with
-    /// the same cadence as `pending_results`.
+    /// Join-rehash tuples deferred by the time-based flush
+    /// (`batch_flush_ticks > 0`), per (query, stage, epoch, side); flushed
+    /// with the same cadence as `pending_results`.
     pending_rehash: Vec<(RehashBufKey, Vec<(Value, Tuple)>)>,
+    /// Point-to-point payloads (results, partials, statistics gossip) staged
+    /// during the current engine tick.  Flushed at every upcall drain —
+    /// never deferred across ticks — so staging adds no latency; entries to
+    /// the same destination from ≥ 2 distinct streams share one
+    /// `DirectBatch` frame (cross-query piggybacking).  Empty whenever
+    /// `PierConfig::piggyback` is off.
+    pending_direct: Vec<(NodeAddr, DirectStream, PierPayload)>,
     /// Upcall-processing drains since the deferred buffers last flushed.
     ticks_since_flush: u32,
     /// A `BatchFlush` deadline timer is in flight.
@@ -668,6 +799,7 @@ impl PierNode {
             timer_purposes: HashMap::new(),
             pending_results: Vec::new(),
             pending_rehash: Vec::new(),
+            pending_direct: Vec::new(),
             ticks_since_flush: 0,
             flush_timer_armed: false,
             plan_cache: PlanCache::new(),
@@ -1089,12 +1221,16 @@ impl PierNode {
                 self.origin_sql.remove(&id);
             }
             PierPayload::TraceRequest { query } => self.answer_trace_request(ctx, query),
-            PierPayload::Bloom { query, epoch, bits, k, combined: true } => {
+            PierPayload::Bloom { query, stage, epoch, bits, k, combined: true } => {
                 let filter = BloomFilter::from_words(bits, k);
-                if let Some(q) = self.queries.get_mut(&query) {
-                    q.combined_bloom.insert(epoch, filter);
+                if stage == 0 {
+                    if let Some(q) = self.queries.get_mut(&query) {
+                        q.combined_bloom.insert((0, epoch), filter);
+                    }
+                    self.run_bloom_phase2(ctx, query, epoch);
+                } else {
+                    self.run_inner_phase2(ctx, query, stage, epoch, Some(&filter));
                 }
-                self.run_bloom_phase2(ctx, query, epoch);
             }
             _ => {}
         }
@@ -1168,8 +1304,8 @@ impl PierNode {
                     res.rows.entry(epoch).or_default();
                 }
             }
-            PierPayload::Bloom { query, epoch, bits, k, combined: false } => {
-                self.on_bloom_summary(ctx, query, epoch, bits, k);
+            PierPayload::Bloom { query, stage, epoch, bits, k, combined: false } => {
+                self.on_bloom_summary(ctx, query, stage, epoch, bits, k);
             }
             PierPayload::TraceReport { query, trace, .. } => {
                 let (reporters, acc) = self.trace_acc.entry(query).or_default();
@@ -1349,6 +1485,18 @@ impl PierNode {
                 let kern = self.query_kernels(id);
                 for (k, stage) in stages.iter().enumerate() {
                     if stage.strategy == JoinStrategy::SymmetricHash {
+                        if k > 0 && stage.inner_bloom && self.config.inner_bloom {
+                            // Inner-stage Bloom semi-join: the right relation
+                            // waits for the stage's combined filter (or the
+                            // hold-down fallback) instead of rehashing now.
+                            let delay = self.config.bloom_fallback_delay;
+                            self.arm_timer(
+                                ctx,
+                                delay,
+                                TimerPurpose::BloomFallback(id, k as u8, epoch),
+                            );
+                            continue;
+                        }
                         let rows = self.scan_filtered_traced(
                             id,
                             &stage.right_table,
@@ -1368,7 +1516,6 @@ impl PierNode {
                             &stage.right_key,
                             Some(&stage.right_ship_cols),
                             rows,
-                            false,
                         );
                     }
                 }
@@ -1393,7 +1540,6 @@ impl PierNode {
                             &stage0.left_key,
                             Some(&stage0.left_ship_cols),
                             rows,
-                            false,
                         );
                     }
                     JoinStrategy::FetchMatches => {
@@ -1404,7 +1550,8 @@ impl PierNode {
                     JoinStrategy::BloomFilter => {
                         // Phase 1: summarize and rehash the left relation;
                         // the right relation waits for the combined filter.
-                        let mut bloom = BloomFilter::new(self.config.bloom_bits, 4);
+                        let mut bloom =
+                            BloomFilter::new(self.clamped_bloom_bits(stage0.bloom_bits), 4);
                         for row in &rows {
                             let key = stage0.left_key.eval(row);
                             if !key.is_null() {
@@ -1420,11 +1567,16 @@ impl PierNode {
                             &stage0.left_key,
                             Some(&stage0.left_ship_cols),
                             rows,
-                            false,
                         );
                         let (bits, k) = bloom.to_words();
-                        let payload =
-                            PierPayload::Bloom { query: id, epoch, bits, k, combined: false };
+                        let payload = PierPayload::Bloom {
+                            query: id,
+                            stage: 0,
+                            epoch,
+                            bits,
+                            k,
+                            combined: false,
+                        };
                         self.note_query_send(id, &payload);
                         self.dht.send_direct(ctx, spec.origin(), payload);
                     }
@@ -1594,6 +1746,7 @@ impl PierNode {
     /// buffered rows cannot starve on a quiescent node.
     fn flush_results(&mut self, ctx: &mut Ctx<'_>) {
         if self.pending_results.is_empty() && self.pending_rehash.is_empty() {
+            self.flush_direct(ctx);
             return;
         }
         if self.config.batch_flush_ticks > 0 {
@@ -1604,6 +1757,9 @@ impl PierNode {
                     let delay = self.config.holddown;
                     self.arm_timer(ctx, delay, TimerPurpose::BatchFlush);
                 }
+                // Results and rehashes may span ticks, but staged direct
+                // sends (partials, gossip) always ship in their own tick.
+                self.flush_direct(ctx);
                 return;
             }
         }
@@ -1630,7 +1786,7 @@ impl PierNode {
         self.pending_results = rest;
         let (rehashes, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending_rehash)
             .into_iter()
-            .partition(|((q, _, _), _)| *q == id);
+            .partition(|((q, _, _, _), _)| *q == id);
         self.pending_rehash = rest;
         self.ship_deferred(ctx, results, rehashes);
     }
@@ -1656,13 +1812,180 @@ impl PierNode {
                     rows: TupleBlock::new(rows, self.config.columnar_wire),
                 }
             };
-            self.note_query_send(query, &payload);
-            self.dht.send_direct(ctx, origin, payload);
+            if self.config.piggyback {
+                self.note_query_payload(query, &payload);
+                self.pending_direct.push((origin, DirectStream::Query(query), payload));
+            } else {
+                self.note_query_send(query, &payload);
+                self.dht.send_direct(ctx, origin, payload);
+            }
         }
-        for ((query, stage, epoch), pairs) in rehashes {
+        // Results ship before rehashes, as the unbatched paths would.
+        self.flush_direct(ctx);
+        let multi_query =
+            rehashes.iter().map(|((q, _, _, _), _)| *q).collect::<HashSet<_>>().len() >= 2;
+        if self.config.piggyback && multi_query {
+            self.ship_rehash_merged(ctx, rehashes);
+        } else {
+            for ((query, stage, epoch, side), pairs) in rehashes {
+                let namespace = join_namespace(query, stage);
+                self.send_rehash(ctx, query, stage, epoch, side, namespace, pairs);
+            }
+        }
+    }
+
+    /// Drain the staged point-to-point payloads.  Per destination (in
+    /// staging order): a run from a single accounting stream replays the
+    /// exact unstaged sends; payloads from ≥ 2 distinct streams merge into
+    /// one `DirectBatch` frame, charged to the first query stream aboard
+    /// (or the engine stream if no query rides) — every other payload is
+    /// counted as piggybacked.
+    fn flush_direct(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pending_direct.is_empty() {
+            return;
+        }
+        let staged = std::mem::take(&mut self.pending_direct);
+        let groups = group_by_key(
+            staged.into_iter().map(|(dest, stream, payload)| (dest, (stream, payload))),
+        );
+        for (dest, entries) in groups {
+            let distinct = {
+                let mut streams: Vec<DirectStream> = entries.iter().map(|(s, _)| *s).collect();
+                streams.sort_unstable();
+                streams.dedup();
+                streams.len()
+            };
+            if distinct < 2 {
+                for (stream, payload) in entries {
+                    match stream {
+                        DirectStream::Query(q) => self.add_query_msgs(q, 1),
+                        DirectStream::Engine => self.stats.messages_sent += 1,
+                        DirectStream::Gossip => {}
+                    }
+                    self.dht.send_direct(ctx, dest, payload);
+                }
+                continue;
+            }
+            self.stats.shared_frames += 1;
+            let charged = entries
+                .iter()
+                .position(|(s, _)| matches!(s, DirectStream::Query(_)))
+                .or_else(|| entries.iter().position(|(s, _)| matches!(s, DirectStream::Engine)));
+            match charged.map(|i| entries[i].0) {
+                Some(DirectStream::Query(q)) => self.add_query_msgs(q, 1),
+                Some(DirectStream::Engine) => self.stats.messages_sent += 1,
+                _ => {}
+            }
+            for (i, (stream, _)) in entries.iter().enumerate() {
+                if Some(i) == charged {
+                    continue;
+                }
+                self.stats.piggybacked_payloads += 1;
+                if let DirectStream::Query(q) = stream {
+                    if let Some(rq) = self.queries.get_mut(q) {
+                        rq.trace.piggybacked_payloads += 1;
+                    }
+                }
+            }
+            let payloads: Vec<PierPayload> = entries.into_iter().map(|(_, p)| p).collect();
+            self.dht.send_direct_batch(ctx, dest, payloads);
+        }
+    }
+
+    /// Ship deferred intermediate rehashes from several queries through one
+    /// `send_to_key_batch` call, so tuples bound for the same next hop share
+    /// a `RouteBatch` frame across query boundaries.  Mirrors the DHT's
+    /// next-hop grouping ([`DhtNode::route_next_hop`]) to attribute each
+    /// predicted frame: the first payload's query pays for it, co-riding
+    /// payloads from other queries count as piggybacked.
+    fn ship_rehash_merged(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        rehashes: Vec<(RehashBufKey, Vec<(Value, Tuple)>)>,
+    ) {
+        let mut items: Vec<(ResourceKey, PierPayload)> = Vec::new();
+        let mut owners: Vec<(QueryId, u8, u8)> = Vec::new();
+        for ((query, stage, epoch, side), pairs) in rehashes {
             let namespace = join_namespace(query, stage);
-            self.send_rehash(ctx, query, stage, epoch, 0, namespace, pairs);
+            let mut shipped = 0u64;
+            for (key, group) in group_by_key(pairs) {
+                let resource = ResourceKey::singleton(&namespace, key.partition_string());
+                for chunk in group.chunks(self.config.batch_max.max(1)) {
+                    self.stats.join_tuples_sent += chunk.len() as u64;
+                    shipped += chunk.len() as u64;
+                    let payload = if chunk.len() == 1 {
+                        PierPayload::JoinTuple {
+                            query,
+                            stage,
+                            epoch,
+                            side,
+                            key: key.clone(),
+                            tuple: chunk[0].clone(),
+                        }
+                    } else {
+                        PierPayload::JoinBatch {
+                            query,
+                            stage,
+                            epoch,
+                            side,
+                            key: key.clone(),
+                            tuples: TupleBlock::new(chunk.to_vec(), self.config.columnar_wire),
+                        }
+                    };
+                    self.note_query_payload(query, &payload);
+                    items.push((resource.clone(), payload));
+                    owners.push((query, stage, side));
+                }
+            }
+            if let Some(q) = self.queries.get_mut(&query) {
+                q.trace.tuples_shipped += shipped;
+                *q.trace.stage_shipped.entry(stage).or_insert(0) += shipped;
+            }
         }
+        // Predict the DHT's per-next-hop frame grouping (first-occurrence
+        // order, local deliveries free) to attribute messages per query.
+        let mut hop_index: HashMap<NodeAddr, usize> = HashMap::new();
+        let mut hop_groups: Vec<Vec<usize>> = Vec::new();
+        for (i, (resource, _)) in items.iter().enumerate() {
+            let Some(peer) = self.dht.route_next_hop(&resource.routing_id()) else {
+                continue;
+            };
+            match hop_index.get(&peer.addr) {
+                Some(&g) => hop_groups[g].push(i),
+                None => {
+                    hop_index.insert(peer.addr, hop_groups.len());
+                    hop_groups.push(vec![i]);
+                }
+            }
+        }
+        let mut predicted = 0usize;
+        for group in &hop_groups {
+            predicted += 1;
+            let (head_query, head_stage, head_side) = owners[group[0]];
+            self.add_query_msgs(head_query, 1);
+            if head_side == 1 {
+                // The frame is attributed to the head payload's query, so
+                // its per-stage rehash-message counter pays for it too.
+                if let Some(q) = self.queries.get_mut(&head_query) {
+                    *q.trace.stage_rehash_msgs.entry(head_stage).or_insert(0) += 1;
+                }
+            }
+            let mut shared = false;
+            for &i in &group[1..] {
+                if owners[i].0 != head_query {
+                    shared = true;
+                    self.stats.piggybacked_payloads += 1;
+                    if let Some(q) = self.queries.get_mut(&owners[i].0) {
+                        q.trace.piggybacked_payloads += 1;
+                    }
+                }
+            }
+            if shared {
+                self.stats.shared_frames += 1;
+            }
+        }
+        let sent = self.dht.send_to_key_batch(ctx, items);
+        debug_assert_eq!(sent, predicted, "next-hop prediction drifted from route_many");
     }
 
     // ------------------------------------------------------------------
@@ -1694,8 +2017,13 @@ impl PierNode {
                 if let Some(next) = self.dht.route_next_hop(&Self::agg_root_id(id)) {
                     self.stats.partials_sent += 1;
                     let payload = PierPayload::Partial { query: id, epoch, groups, contributors };
-                    self.note_send(&payload);
-                    self.dht.send_direct(ctx, next.addr, payload);
+                    if self.config.piggyback {
+                        self.note_payload(&payload);
+                        self.pending_direct.push((next.addr, DirectStream::Engine, payload));
+                    } else {
+                        self.note_send(&payload);
+                        self.dht.send_direct(ctx, next.addr, payload);
+                    }
                 }
             }
             return;
@@ -1808,8 +2136,13 @@ impl PierNode {
                     q.trace.partials_sent += 1;
                 }
                 let payload = PierPayload::Partial { query: id, epoch, groups, contributors };
-                self.note_query_send(id, &payload);
-                self.dht.send_direct(ctx, next, payload);
+                if self.config.piggyback {
+                    self.note_query_payload(id, &payload);
+                    self.pending_direct.push((next, DirectStream::Query(id), payload));
+                } else {
+                    self.note_query_send(id, &payload);
+                    self.dht.send_direct(ctx, next, payload);
+                }
             }
             _ => {
                 // We became the root in the meantime: absorb locally.
@@ -1887,9 +2220,10 @@ impl PierNode {
 
     /// Rehash one side of a join stage into the stage's DHT namespace.  The
     /// join key is evaluated over the full input tuple, then only
-    /// `ship_cols` ship (join-side projection pushdown).  `deferrable`
-    /// marks intermediate rehashes that the time-based flush
-    /// (`batch_flush_ticks`) may buffer across engine ticks.
+    /// `ship_cols` ship (join-side projection pushdown).  With the
+    /// time-based flush on (`batch_flush_ticks > 0`), batched rehashes of
+    /// every side buffer across engine ticks, so concurrent queries'
+    /// rehash traffic meets in one flush window.
     #[allow(clippy::too_many_arguments)]
     fn rehash_stage(
         &mut self,
@@ -1901,7 +2235,6 @@ impl PierNode {
         key_expr: &crate::expr::Expr,
         ship_cols: Option<&[usize]>,
         rows: Vec<Tuple>,
-        deferrable: bool,
     ) {
         let namespace = join_namespace(spec.id, stage);
         let narrow = |row: &Tuple| match ship_cols {
@@ -1949,6 +2282,11 @@ impl PierNode {
                     payload,
                 );
                 self.add_query_msgs(spec.id, sent as u64);
+                if side == 1 {
+                    if let Some(q) = self.queries.get_mut(&spec.id) {
+                        *q.trace.stage_rehash_msgs.entry(stage).or_insert(0) += sent as u64;
+                    }
+                }
             }
             return;
         }
@@ -1962,10 +2300,10 @@ impl PierNode {
                 Some((key, narrow(row)))
             })
             .collect();
-        if deferrable && self.config.batch_flush_ticks > 0 {
+        if self.config.batch_flush_ticks > 0 {
             // Buffer across ticks; the shared flush cadence (or the
             // hold-down deadline timer) ships it.
-            let bufkey = (spec.id, stage, epoch);
+            let bufkey = (spec.id, stage, epoch, side);
             let buf = match self.pending_rehash.iter_mut().find(|(k, _)| *k == bufkey) {
                 Some((_, buf)) => buf,
                 None => {
@@ -2034,6 +2372,13 @@ impl PierNode {
         }
         let sent = self.dht.send_to_key_batch(ctx, items);
         self.add_query_msgs(id, sent as u64);
+        if side == 1 {
+            // Right-relation rehash wire messages per stage: the numerator of
+            // the inner-stage Bloom win (`EXPLAIN ANALYZE` renders the rate).
+            if let Some(q) = self.queries.get_mut(&id) {
+                *q.trace.stage_rehash_msgs.entry(stage).or_insert(0) += sent as u64;
+            }
+        }
     }
 
     /// Issue one Fetch-Matches DHT probe per input tuple against a stage's
@@ -2147,17 +2492,7 @@ impl PierNode {
             _ => {
                 let left_key = next.left_key.clone();
                 let ship = next.left_ship_cols.clone();
-                self.rehash_stage(
-                    ctx,
-                    spec,
-                    stage + 1,
-                    epoch,
-                    0,
-                    &left_key,
-                    Some(&ship),
-                    outs,
-                    true,
-                );
+                self.rehash_stage(ctx, spec, stage + 1, epoch, 0, &left_key, Some(&ship), outs);
             }
         }
     }
@@ -2173,7 +2508,7 @@ impl PierNode {
         key: Value,
         tuples: Vec<Tuple>,
     ) {
-        let Some(q) = self.queries.get_mut(&id) else { return };
+        let Some(q) = self.queries.get(&id) else { return };
         let spec = q.spec.clone();
         let Some(st) = spec.kind.join_stages().and_then(|s| s.get(stage as usize)) else {
             return;
@@ -2191,33 +2526,68 @@ impl PierNode {
             return;
         }
 
-        // Store the whole batch, then probe the other side once per arrival
-        // (matches already stored locally pair with every incoming tuple,
-        // exactly as a sequence of single-tuple deliveries would).
-        let matches: Vec<Tuple> = if side == 0 {
-            q.join_left
-                .entry((stage, epoch, key.clone()))
-                .or_default()
-                .extend(tuples.iter().cloned());
-            q.join_right.get(&(stage, epoch, key)).cloned().unwrap_or_default()
-        } else {
-            q.join_right
-                .entry((stage, epoch, key.clone()))
-                .or_default()
-                .extend(tuples.iter().cloned());
-            q.join_left.get(&(stage, epoch, key)).cloned().unwrap_or_default()
-        };
+        // Inner-stage Bloom phase 1: every intermediate key that reaches
+        // this join site makes the stage's summary (the batch shares one
+        // key, so this is one filter insertion per delivery).
+        if side == 0 && stage > 0 && st.inner_bloom && self.config.inner_bloom {
+            let suggested = st.bloom_bits;
+            self.note_inner_key(ctx, id, stage, epoch, suggested, &key);
+        }
 
-        let filter_op = st.post_filter.clone().map(FilterOp::new);
-        let mut outputs = Vec::new();
-        for tuple in &tuples {
-            for m in matches.iter().filter(|m| m.arity() == other_expect) {
-                let joined = if side == 0 { tuple.concat(m) } else { m.concat(tuple) };
-                if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
-                    outputs.push(joined);
+        let outputs: Vec<Tuple> = if self.config.vectorized {
+            // Vectorized build/probe: the batch pivots into the stage's
+            // columnar build side once, and the probe runs as a single-pass
+            // kernel over the other side's stored chunks — no per-row
+            // `Value` clones, no per-tuple hash lookups.  Output order
+            // matches the scalar path exactly (incoming-major over stored
+            // rows in arrival order).
+            let kern = self.query_kernels(id);
+            let post = kern
+                .as_deref()
+                .and_then(|c| c.stages.get(stage as usize))
+                .and_then(|s| s.post.as_ref());
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            let build = q.vec_join.entry((stage, epoch)).or_default();
+            let incoming = build.insert(side as usize, &key, &tuples);
+            probe_joined(
+                &incoming,
+                side,
+                build.matches(1 - side as usize, &key),
+                other_expect,
+                post,
+            )
+        } else {
+            // Scalar reference path: store the whole batch, then probe the
+            // other side once per arrival (matches already stored locally
+            // pair with every incoming tuple, exactly as a sequence of
+            // single-tuple deliveries would).
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            let matches: Vec<Tuple> = if side == 0 {
+                q.join_left
+                    .entry((stage, epoch, key.clone()))
+                    .or_default()
+                    .extend(tuples.iter().cloned());
+                q.join_right.get(&(stage, epoch, key)).cloned().unwrap_or_default()
+            } else {
+                q.join_right
+                    .entry((stage, epoch, key.clone()))
+                    .or_default()
+                    .extend(tuples.iter().cloned());
+                q.join_left.get(&(stage, epoch, key)).cloned().unwrap_or_default()
+            };
+
+            let filter_op = st.post_filter.clone().map(FilterOp::new);
+            let mut outputs = Vec::new();
+            for tuple in &tuples {
+                for m in matches.iter().filter(|m| m.arity() == other_expect) {
+                    let joined = if side == 0 { tuple.concat(m) } else { m.concat(tuple) };
+                    if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
+                        outputs.push(joined);
+                    }
                 }
             }
-        }
+            outputs
+        };
         self.emit_stage_rows(ctx, &spec, stage, epoch, outputs);
         self.process_upcalls(ctx);
     }
@@ -2258,10 +2628,14 @@ impl PierNode {
         self.process_upcalls(ctx);
     }
 
+    /// Origin side of both Bloom handshakes (stage 0 and inner stages):
+    /// union per-node summaries per (stage, epoch) and arm the combine
+    /// deadline on the first arrival.
     fn on_bloom_summary(
         &mut self,
         ctx: &mut Ctx<'_>,
         id: QueryId,
+        stage: u8,
         epoch: u64,
         bits: Vec<u64>,
         k: u8,
@@ -2269,21 +2643,274 @@ impl PierNode {
         let arm = {
             let Some(q) = self.queries.get_mut(&id) else { return };
             let incoming = BloomFilter::from_words(bits, k);
-            q.blooms.entry(epoch).and_modify(|b| b.union(&incoming)).or_insert(incoming);
-            q.bloom_armed.insert(epoch)
+            q.blooms.entry((stage, epoch)).and_modify(|b| b.union(&incoming)).or_insert(incoming);
+            q.bloom_armed.insert((stage, epoch))
         };
         if arm {
             let delay = self.config.bloom_collect_delay;
-            self.arm_timer(ctx, delay, TimerPurpose::BloomPhase2(id, epoch));
+            self.arm_timer(ctx, delay, TimerPurpose::BloomPhase2(id, stage, epoch));
         }
     }
 
-    fn broadcast_combined_bloom(&mut self, ctx: &mut Ctx<'_>, id: QueryId, epoch: u64) {
+    fn broadcast_combined_bloom(&mut self, ctx: &mut Ctx<'_>, id: QueryId, stage: u8, epoch: u64) {
         let Some(q) = self.queries.get_mut(&id) else { return };
-        q.bloom_armed.remove(&epoch);
-        let Some(filter) = q.blooms.remove(&epoch) else { return };
-        let (bits, k) = filter.to_words();
-        self.dht.broadcast(ctx, PierPayload::Bloom { query: id, epoch, bits, k, combined: true });
+        q.bloom_armed.remove(&(stage, epoch));
+        let (bits, k) = if stage == 0 {
+            // Stage 0 summarizes complete local scans, so one broadcast per
+            // epoch suffices; consume the collection.
+            let Some(filter) = q.blooms.remove(&(stage, epoch)) else { return };
+            filter.to_words()
+        } else {
+            // Inner stages summarize *streamed* intermediates: keep the
+            // collection accumulating so supplementary summaries (late keys
+            // reopen a join site's filter) re-broadcast a grown filter, and
+            // suppress re-broadcasts that add no new bits.
+            let Some(filter) = q.blooms.get(&(stage, epoch)) else { return };
+            let words = filter.to_words();
+            if q.bloom_sent.get(&(stage, epoch)) == Some(&words) {
+                return;
+            }
+            q.bloom_sent.insert((stage, epoch), words.clone());
+            words
+        };
+        self.dht.broadcast(
+            ctx,
+            PierPayload::Bloom { query: id, stage, epoch, bits, k, combined: true },
+        );
+        self.process_upcalls(ctx);
+    }
+
+    /// The per-stage Bloom geometry: a planner suggestion of 0 means "no
+    /// statistics", which falls back to the configured default; anything
+    /// else is clamped to the configured bounds.
+    fn clamped_bloom_bits(&self, suggested: u32) -> usize {
+        if suggested == 0 {
+            self.config.bloom_bits
+        } else {
+            (suggested as usize).clamp(self.config.bloom_bits_min, self.config.bloom_bits_max)
+        }
+    }
+
+    /// Fold one intermediate key into this join site's inner-stage Bloom
+    /// summary, creating it (and arming its quiescence timer) on first use.
+    fn note_inner_key(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: QueryId,
+        stage: u8,
+        epoch: u64,
+        suggested_bits: u32,
+        key: &Value,
+    ) {
+        if key.is_null() {
+            return;
+        }
+        let now = ctx.now();
+        let bits = self.clamped_bloom_bits(suggested_bits);
+        let mut arm = false;
+        {
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            let entry = q.inner_summaries.entry((stage, epoch)).or_insert_with(|| {
+                arm = true;
+                InnerSummary {
+                    filter: BloomFilter::new(bits, 4),
+                    last_update: now,
+                    extensions: 0,
+                    shipped: false,
+                }
+            });
+            if entry.shipped {
+                if entry.filter.may_contain(key) {
+                    // Already covered (or a false positive, which passes scan
+                    // sites anyway); nothing to refresh.
+                    return;
+                }
+                // A key the shipped summary missed: reopen the handshake.
+                // The cumulative filter re-ships after a fresh quiescence
+                // window, the origin re-broadcasts the grown combination,
+                // and scan sites re-test their held rows — so no match is
+                // ever lost to summary timing, only delayed.
+                entry.shipped = false;
+                entry.extensions = 0;
+                arm = true;
+            }
+            entry.filter.insert(key);
+            entry.last_update = now;
+        }
+        if arm {
+            let delay = self.config.holddown.saturating_mul(3);
+            self.arm_timer(ctx, delay, TimerPurpose::InnerBloomSummary(id, stage, epoch));
+        }
+    }
+
+    /// Quiescence-gated phase-1 ship of an inner-stage summary: postpone
+    /// while intermediates are still arriving, then send the filter to the
+    /// origin on the same counters as any query-path payload.
+    fn ship_inner_summary(&mut self, ctx: &mut Ctx<'_>, id: QueryId, stage: u8, epoch: u64) {
+        let quiet_after = self.config.holddown.saturating_mul(3);
+        let shipped = {
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            let Some(entry) = q.inner_summaries.get_mut(&(stage, epoch)) else { return };
+            if entry.shipped {
+                return;
+            }
+            let quiet = ctx.now().saturating_since(entry.last_update) >= quiet_after;
+            if !quiet && entry.extensions < 8 {
+                entry.extensions += 1;
+                None
+            } else {
+                entry.shipped = true;
+                Some(entry.filter.to_words())
+            }
+        };
+        match shipped {
+            None => {
+                self.arm_timer(ctx, quiet_after, TimerPurpose::InnerBloomSummary(id, stage, epoch));
+            }
+            Some((bits, k)) => {
+                let origin = id.origin();
+                let payload =
+                    PierPayload::Bloom { query: id, stage, epoch, bits, k, combined: false };
+                self.note_query_send(id, &payload);
+                self.dht.send_direct(ctx, origin, payload);
+                self.process_upcalls(ctx);
+            }
+        }
+    }
+
+    /// Phase 2 of an inner-stage Bloom semi-join at a right-relation scan
+    /// site: rehash the stage's right table, pruned through the combined
+    /// filter — or unfiltered when the hold-down deadline fired first
+    /// (`filter == None`).  Whichever trigger runs first wins; the other is
+    /// a no-op.
+    fn run_inner_phase2(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: QueryId,
+        stage: u8,
+        epoch: u64,
+        filter: Option<&BloomFilter>,
+    ) {
+        let first = {
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            q.bloom_phase2_done.insert((stage, epoch))
+        };
+        let spec = self.queries[&id].spec.clone();
+        let Some(st) = spec.kind.join_stages().and_then(|s| s.get(stage as usize)).cloned() else {
+            return;
+        };
+        // A mid-flight re-plan may have swapped strategies; only a
+        // symmetric-hash stage knows how to consume this rehash.
+        if st.strategy != JoinStrategy::SymmetricHash {
+            return;
+        }
+        if !first {
+            // Refresh: a re-broadcast combined filter (grown by late
+            // intermediate keys) re-tests only the rows the previous filter
+            // pruned.  A hold-down fallback firing after a completed phase 2
+            // is a no-op — held rows were pruned by a filter that only ever
+            // grows, so they are not owed to anyone until a refresh passes
+            // them.
+            let Some(f) = filter else { return };
+            let held =
+                match self.queries.get_mut(&id).and_then(|q| q.held_rows.remove(&(stage, epoch))) {
+                    Some(rows) if !rows.is_empty() => rows,
+                    _ => return,
+                };
+            let (pass, keep): (Vec<Tuple>, Vec<Tuple>) =
+                held.into_iter().partition(|r| f.may_contain(&st.right_key.eval(r)));
+            let tested = (pass.len() + keep.len()) as u64;
+            self.stats.bloom_tested += tested;
+            self.stats.bloom_passed += pass.len() as u64;
+            if let Some(q) = self.queries.get_mut(&id) {
+                *q.trace.stage_bloom_tested.entry(stage).or_insert(0) += tested;
+                *q.trace.stage_bloom_passed.entry(stage).or_insert(0) += pass.len() as u64;
+                if !keep.is_empty() {
+                    q.held_rows.insert((stage, epoch), keep);
+                }
+            }
+            if pass.is_empty() {
+                return;
+            }
+            self.rehash_stage(
+                ctx,
+                &spec,
+                stage,
+                epoch,
+                1,
+                &st.right_key,
+                Some(&st.right_ship_cols),
+                pass,
+            );
+            self.process_upcalls(ctx);
+            return;
+        }
+        let now = ctx.now();
+        let since = match spec.continuous {
+            Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
+            None => SimTime::ZERO,
+        };
+        let kern = self.query_kernels(id);
+        let rows = self.scan_filtered_traced(
+            id,
+            &st.right_table,
+            now,
+            since,
+            &st.right_filter,
+            kern.as_deref()
+                .and_then(|c| c.stages.get(stage as usize).and_then(|s| s.right_filter.as_ref())),
+        );
+        let survivors: Vec<Tuple> = match filter {
+            Some(f) => {
+                // Null keys cannot equi-join anywhere; drop them outright.
+                // Pruned (non-passing) rows are *held*, not discarded: a
+                // refreshed combined filter re-tests them.
+                let mut keep = Vec::new();
+                let mut held = Vec::new();
+                for r in rows {
+                    let k = st.right_key.eval(&r);
+                    if k.is_null() {
+                        continue;
+                    }
+                    if f.may_contain(&k) {
+                        keep.push(r);
+                    } else {
+                        held.push(r);
+                    }
+                }
+                let tested = (keep.len() + held.len()) as u64;
+                let passed = keep.len() as u64;
+                self.stats.bloom_tested += tested;
+                self.stats.bloom_passed += passed;
+                if let Some(q) = self.queries.get_mut(&id) {
+                    *q.trace.stage_bloom_tested.entry(stage).or_insert(0) += tested;
+                    *q.trace.stage_bloom_passed.entry(stage).or_insert(0) += passed;
+                    if !held.is_empty() {
+                        q.held_rows.insert((stage, epoch), held);
+                    }
+                }
+                keep
+            }
+            None => {
+                // Hold-down fallback: the combined filter never arrived in
+                // time.  Ship unfiltered — more traffic, identical results.
+                self.stats.bloom_fallbacks += 1;
+                if let Some(q) = self.queries.get_mut(&id) {
+                    q.trace.bloom_fallbacks += 1;
+                }
+                rows
+            }
+        };
+        self.rehash_stage(
+            ctx,
+            &spec,
+            stage,
+            epoch,
+            1,
+            &st.right_key,
+            Some(&st.right_ship_cols),
+            survivors,
+        );
         self.process_upcalls(ctx);
     }
 
@@ -2297,7 +2924,9 @@ impl PierNode {
         if st.strategy != JoinStrategy::BloomFilter {
             return;
         }
-        let Some(filter) = self.queries[&id].combined_bloom.get(&epoch).cloned() else { return };
+        let Some(filter) = self.queries[&id].combined_bloom.get(&(0, epoch)).cloned() else {
+            return;
+        };
         let now = ctx.now();
         let since = match spec.continuous {
             Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
@@ -2312,13 +2941,24 @@ impl PierNode {
             &st.right_filter,
             kern.as_deref().and_then(|c| c.stages.first().and_then(|s| s.right_filter.as_ref())),
         );
+        let mut tested = 0u64;
         let survivors: Vec<Tuple> = rows
             .into_iter()
             .filter(|r| {
                 let k = st.right_key.eval(r);
-                !k.is_null() && filter.may_contain(&k)
+                if k.is_null() {
+                    return false;
+                }
+                tested += 1;
+                filter.may_contain(&k)
             })
             .collect();
+        self.stats.bloom_tested += tested;
+        self.stats.bloom_passed += survivors.len() as u64;
+        if let Some(q) = self.queries.get_mut(&id) {
+            *q.trace.stage_bloom_tested.entry(0).or_insert(0) += tested;
+            *q.trace.stage_bloom_passed.entry(0).or_insert(0) += survivors.len() as u64;
+        }
         self.rehash_stage(
             ctx,
             &spec,
@@ -2328,7 +2968,6 @@ impl PierNode {
             &st.right_key,
             Some(&st.right_ship_cols),
             survivors,
-            false,
         );
         self.process_upcalls(ctx);
     }
@@ -2386,7 +3025,14 @@ impl PierNode {
         let entries = self.gossip.wire_entries();
         for peer in peers {
             self.stats.stats_gossip_sent += 1;
-            self.dht.send_direct(ctx, peer, PierPayload::StatsGossip { entries: entries.clone() });
+            let payload = PierPayload::StatsGossip { entries: entries.clone() };
+            if self.config.piggyback {
+                // Pending gossip rides whatever query frame shares the
+                // destination at the tick drain — near-zero marginal cost.
+                self.pending_direct.push((peer, DirectStream::Gossip, payload));
+            } else {
+                self.dht.send_direct(ctx, peer, payload);
+            }
         }
         self.process_upcalls(ctx);
     }
@@ -2617,7 +3263,15 @@ impl Node for PierNode {
                 self.process_upcalls(ctx);
             }
             TimerPurpose::RootFinalize(id, epoch) => self.finalize_epoch(ctx, id, epoch),
-            TimerPurpose::BloomPhase2(id, epoch) => self.broadcast_combined_bloom(ctx, id, epoch),
+            TimerPurpose::BloomPhase2(id, stage, epoch) => {
+                self.broadcast_combined_bloom(ctx, id, stage, epoch)
+            }
+            TimerPurpose::InnerBloomSummary(id, stage, epoch) => {
+                self.ship_inner_summary(ctx, id, stage, epoch)
+            }
+            TimerPurpose::BloomFallback(id, stage, epoch) => {
+                self.run_inner_phase2(ctx, id, stage, epoch, None)
+            }
             TimerPurpose::BatchFlush => {
                 self.flush_timer_armed = false;
                 self.force_flush(ctx);

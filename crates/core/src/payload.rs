@@ -105,11 +105,16 @@ pub enum PierPayload {
         /// encoding.
         rows: TupleBlock,
     },
-    /// A Bloom-filter summary of one node's left-relation join keys (phase 1,
-    /// sent to the origin) or the combined filter (phase 2, broadcast).
+    /// A Bloom-filter summary of one node's join keys (phase 1, sent to the
+    /// origin) or the combined filter (phase 2, broadcast).  Stage 0 runs the
+    /// classic Bloom semi-join over the driving relation's keys; stages ≥ 1
+    /// summarize the keys of intermediates that arrived at the stage's join
+    /// sites, so the next right-relation scan can prune its rehash.
     Bloom {
         /// Which query.
         query: QueryId,
+        /// Which join stage of the chain the summary belongs to.
+        stage: u8,
         /// Which epoch.
         epoch: u64,
         /// Filter bit words.
@@ -176,7 +181,7 @@ impl WireSize for PierPayload {
             PierPayload::JoinTuple { key, tuple, .. } => 19 + key.wire_size() + tuple.wire_size(),
             PierPayload::JoinBatch { key, tuples, .. } => 19 + key.wire_size() + tuples.wire_size(),
             PierPayload::ResultBatch { rows, .. } => 16 + rows.wire_size(),
-            PierPayload::Bloom { bits, .. } => 18 + bits.len() * 8,
+            PierPayload::Bloom { bits, .. } => 19 + bits.len() * 8,
             PierPayload::Expand { vertex, .. } => 20 + vertex.wire_size(),
             PierPayload::TraceRequest { .. } => 8,
             PierPayload::TraceReport { trace, .. } => 12 + trace.wire_size(),
@@ -228,6 +233,7 @@ mod tests {
         assert!(big.wire_size() > small.wire_size());
         let bloom = PierPayload::Bloom {
             query: QueryId::new(NodeAddr(0), 1),
+            stage: 0,
             epoch: 0,
             bits: vec![0; 64],
             k: 4,

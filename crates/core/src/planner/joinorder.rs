@@ -57,6 +57,14 @@ pub struct StageChoice {
     pub out_est: f64,
     /// The stage's join algorithm.
     pub strategy: JoinStrategy,
+    /// Whether an inner-stage Bloom semi-join should prune this stage's
+    /// right-relation rehash (symmetric-hash stages ≥ 1 only; stage 0 uses
+    /// the dedicated [`JoinStrategy::BloomFilter`] protocol instead).
+    pub inner_bloom: bool,
+    /// Suggested Bloom geometry (bits) for the inner filter, sized from the
+    /// estimated left-key population; 0 when `inner_bloom` is false.  The
+    /// engine clamps this to its configured bounds.
+    pub bloom_bits: u32,
     /// Human-readable rationale (surfaced by `EXPLAIN`).
     pub note: String,
 }
@@ -223,6 +231,34 @@ impl<'a> SearchContext<'a> {
                     }
                 }
             };
+
+            // Inner-stage Bloom semi-join: a symmetric-hash stage past the
+            // first can summarize the intermediate keys that reached its
+            // join sites and prune the right relation's rehash through the
+            // combined filter — worth the handshake under the same skew
+            // rule that picks the stage-0 Bloom protocol.
+            let inner_eligible = k != 1
+                && strategy == JoinStrategy::SymmetricHash
+                && right_est >= BLOOM_MIN_RIGHT
+                && right_est >= BLOOM_SKEW * left_est;
+            let (inner_bloom, bloom_bits, note) = if inner_eligible {
+                let (bits, fp) = inner_bloom_geometry(left_est);
+                let pass_est = ext.out_est.min(right_est);
+                let fp_extra = (right_est - pass_est).max(0.0) * fp;
+                (
+                    true,
+                    bits,
+                    format!(
+                        "{note}; inner Bloom semi-join: ~{left_est:.0} intermediate keys \
+                         summarized in {bits} bits (k=4, FP budget {:.2}%) prune the \
+                         right rehash to ~{:.0} of ~{right_est:.0} tuples",
+                        fp * 100.0,
+                        pass_est + fp_extra,
+                    ),
+                )
+            } else {
+                (false, 0, note)
+            };
             stages.push(StageChoice {
                 rel,
                 key_pred: ext.key_pred,
@@ -231,6 +267,8 @@ impl<'a> SearchContext<'a> {
                 right_est,
                 out_est: ext.out_est,
                 strategy,
+                inner_bloom,
+                bloom_bits,
                 note,
             });
             card = ext.out_est;
@@ -246,6 +284,19 @@ struct Extension {
     cost: f64,
     out_est: f64,
     right_est: f64,
+}
+
+/// Size an inner-stage Bloom filter from the estimated key population it
+/// must summarize: ~10 bits per expected key (a classic ≲1% false-positive
+/// budget at k=4), rounded up to a power of two, floored at 1024 bits.
+/// Returns `(bits, expected_false_positive_rate)`.  The engine clamps the
+/// suggestion to its configured `[bloom_bits_min, bloom_bits_max]` range.
+pub fn inner_bloom_geometry(left_est: f64) -> (u32, f64) {
+    let raw = (left_est * 10.0).max(1024.0).min(u32::MAX as f64 / 2.0) as u64;
+    let bits = raw.next_power_of_two() as u32;
+    let k = 4.0_f64;
+    let fp = (1.0 - (-k * left_est.max(1.0) / bits as f64).exp()).powf(k);
+    (bits, fp)
 }
 
 /// Choose the join order and per-stage strategies for a bound join.
@@ -433,6 +484,45 @@ mod tests {
             JoinStrategy::SymmetricHash,
             "Bloom needs two base-table sides, which only stage 0 has"
         );
+    }
+
+    #[test]
+    fn inner_bloom_requires_skew_and_size() {
+        // Stage 1 (b⋈c) with a huge filtered right side and a tiny
+        // intermediate: eligible.  With comparable sides: not.
+        let rels = [rel("a"), rel("b"), rel("c")];
+        let skewed = catalog(&[("a", 10), ("b", 20), ("c", 100_000)]);
+        let plan = choose_order(
+            &skewed,
+            &rels,
+            &chain_preds(),
+            &[None, None, None],
+            Some(JoinStrategy::SymmetricHash),
+        );
+        assert!(!plan.stages[0].inner_bloom, "stage 0 uses the BloomFilter strategy instead");
+        assert!(plan.stages[1].inner_bloom, "{}", plan.stages[1].note);
+        assert!(plan.stages[1].bloom_bits >= 1024);
+        assert!(plan.stages[1].note.contains("inner Bloom semi-join"));
+
+        let flat = catalog(&[("a", 100), ("b", 100), ("c", 100)]);
+        let plan = choose_order(
+            &flat,
+            &rels,
+            &chain_preds(),
+            &[None, None, None],
+            Some(JoinStrategy::SymmetricHash),
+        );
+        assert!(plan.stages.iter().all(|s| !s.inner_bloom && s.bloom_bits == 0));
+    }
+
+    #[test]
+    fn bloom_geometry_is_a_power_of_two_with_small_fp() {
+        let (bits, fp) = inner_bloom_geometry(50.0);
+        assert_eq!(bits, 1024);
+        assert!(fp < 0.02, "fp = {fp}");
+        let (bits, fp) = inner_bloom_geometry(10_000.0);
+        assert!(bits >= 100_000 && bits.is_power_of_two());
+        assert!(fp < 0.02, "fp = {fp}");
     }
 
     #[test]

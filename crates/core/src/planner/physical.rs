@@ -307,6 +307,8 @@ impl<'a> PhysicalPlanner<'a> {
                 right_ship_cols,
                 out_cols,
                 strategy: choice.strategy,
+                inner_bloom: choice.inner_bloom,
+                bloom_bits: choice.bloom_bits,
             });
         }
 

@@ -122,6 +122,19 @@ pub struct JoinStage {
     pub out_cols: Vec<usize>,
     /// Which join algorithm this stage runs.
     pub strategy: JoinStrategy,
+    /// Inner-stage Bloom semi-join (stages ≥ 1, `SymmetricHash` only): the
+    /// join sites accumulating this stage's left intermediates publish a
+    /// Bloom summary of the arrived keys, and `right_table`'s scan sites
+    /// filter their rehash shipments through the combined summary before
+    /// the wire.  A lost summary degrades to an unfiltered rehash after a
+    /// hold-down deadline — never wrong results, only more traffic.
+    pub inner_bloom: bool,
+    /// Planner-suggested Bloom filter size in bits for this stage's summary
+    /// (stage-0 `BloomFilter` strategy or `inner_bloom`), derived from the
+    /// catalog's distinct-key estimates.  `0` = use `PierConfig::bloom_bits`.
+    /// The engine clamps to its configured bounds; all nodes derive the same
+    /// geometry from this disseminated value, so summaries union cleanly.
+    pub bloom_bits: u32,
 }
 
 /// Grouped (or global) aggregation terminating a staged join: the final
@@ -376,6 +389,8 @@ impl WireSize for QuerySpec {
                                 + s.right_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
                                 + s.post_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
                                 + 1
+                                // strategy flag + inner_bloom + bloom_bits
+                                + 5
                         })
                         .sum::<usize>()
             }

@@ -74,6 +74,24 @@ pub struct OpTrace {
     /// Join output rows produced per stage (the last stage's rows are the
     /// query's result rows).  Sums to [`OpTrace::join_matches`].
     pub stage_matches: BTreeMap<u8, u64>,
+    /// Right-relation tuples tested against a Bloom summary per stage
+    /// (stage-0 semi-joins and inner-stage filters alike), counted at the
+    /// scan site that ran the filter.
+    pub stage_bloom_tested: BTreeMap<u8, u64>,
+    /// How many of the tested tuples passed the summary (and were rehashed).
+    /// `passed / tested` is the per-stage pass rate `EXPLAIN ANALYZE` shows.
+    pub stage_bloom_passed: BTreeMap<u8, u64>,
+    /// Rehash wire messages this node sent carrying *right-relation* tuples,
+    /// per stage — the traffic inner-stage Bloom filters prune.  Only
+    /// counted on per-query send paths (a cross-query piggybacked frame has
+    /// no single stage); single-query runs account exactly.
+    pub stage_rehash_msgs: BTreeMap<u8, u64>,
+    /// Inner-stage Bloom hold-down deadlines that expired before a combined
+    /// summary arrived, degrading this node to an unfiltered rehash.
+    pub bloom_fallbacks: u64,
+    /// Payloads of this query that rode in a cross-query shared frame whose
+    /// single wire message was charged to another query (the saved sends).
+    pub piggybacked_payloads: u64,
 }
 
 impl OpTrace {
@@ -110,6 +128,17 @@ impl OpTrace {
         for (&stage, &n) in &other.stage_matches {
             *self.stage_matches.entry(stage).or_insert(0) += n;
         }
+        for (&stage, &n) in &other.stage_bloom_tested {
+            *self.stage_bloom_tested.entry(stage).or_insert(0) += n;
+        }
+        for (&stage, &n) in &other.stage_bloom_passed {
+            *self.stage_bloom_passed.entry(stage).or_insert(0) += n;
+        }
+        for (&stage, &n) in &other.stage_rehash_msgs {
+            *self.stage_rehash_msgs.entry(stage).or_insert(0) += n;
+        }
+        self.bloom_fallbacks += other.bloom_fallbacks;
+        self.piggybacked_payloads += other.piggybacked_payloads;
     }
 
     /// Has this trace recorded any activity at all?
@@ -120,12 +149,18 @@ impl OpTrace {
 
 impl WireSize for OpTrace {
     fn wire_size(&self) -> usize {
-        // 13 fixed u64 counters + per-switch strings + per-epoch and
+        // 15 fixed u64 counters + per-switch strings + per-epoch and
         // per-stage pairs.
-        13 * 8
+        15 * 8
             + self.switches.iter().map(|s| s.len() + 2).sum::<usize>()
             + self.epoch_rows.len() * 16
-            + (self.stage_shipped.len() + self.stage_probes.len() + self.stage_matches.len()) * 9
+            + (self.stage_shipped.len()
+                + self.stage_probes.len()
+                + self.stage_matches.len()
+                + self.stage_bloom_tested.len()
+                + self.stage_bloom_passed.len()
+                + self.stage_rehash_msgs.len())
+                * 9
     }
 }
 
@@ -162,6 +197,15 @@ pub fn render_network_trace(reporters: u64, trace: &OpTrace, kind: &QueryKind) -
                          {matches} matches\n",
                         s.strategy, s.right_table
                     ));
+                    if let Some(&tested) = trace.stage_bloom_tested.get(&stage) {
+                        let passed = trace.stage_bloom_passed.get(&stage).copied().unwrap_or(0);
+                        let rate =
+                            if tested > 0 { 100.0 * passed as f64 / tested as f64 } else { 100.0 };
+                        out.push_str(&format!(
+                            "      bloom: {passed}/{tested} right tuples passed \
+                             ({rate:.1}% pass rate)\n"
+                        ));
+                    }
                 }
             }
             match aggregate {
@@ -192,6 +236,18 @@ pub fn render_network_trace(reporters: u64, trace: &OpTrace, kind: &QueryKind) -
         "  wire: {} messages, {} batches, {} payload bytes\n",
         trace.messages_sent, trace.batches_sent, trace.bytes_shipped
     ));
+    if trace.bloom_fallbacks > 0 {
+        out.push_str(&format!(
+            "  bloom hold-down fallbacks: {} unfiltered rehashes\n",
+            trace.bloom_fallbacks
+        ));
+    }
+    if trace.piggybacked_payloads > 0 {
+        out.push_str(&format!(
+            "  piggyback: {} payloads rode cross-query shared frames\n",
+            trace.piggybacked_payloads
+        ));
+    }
     if trace.replans > 0 {
         out.push_str(&format!(
             "  re-planning: {} node-switches at epoch boundaries\n",
@@ -263,6 +319,8 @@ mod tests {
             right_ship_cols: vec![0],
             out_cols: vec![],
             strategy: crate::query::JoinStrategy::SymmetricHash,
+            inner_bloom: false,
+            bloom_bits: 0,
         };
         let kind = QueryKind::Join {
             left_table: "l".into(),

@@ -37,6 +37,21 @@ impl fmt::Display for DataType {
     }
 }
 
+/// Canonical float representative shared by [`Value::total_cmp`], `Hash` and
+/// [`Value::partition_string`]: every NaN collapses to one bit pattern and
+/// `-0.0` folds into `0.0`.  Without this, `-0.0 == 0.0` under `Eq` but the two
+/// hash (and DHT-partition) differently, which makes hash-join key unification
+/// depend on bucket layout.
+fn canonical_f64(f: f64) -> f64 {
+    if f.is_nan() {
+        f64::NAN
+    } else if f == 0.0 {
+        0.0
+    } else {
+        f
+    }
+}
+
 /// A dynamically typed value.
 #[derive(Clone, Debug)]
 pub enum Value {
@@ -115,7 +130,7 @@ impl Value {
             Value::Null => "\u{0}null".to_string(),
             Value::Bool(b) => format!("b:{b}"),
             Value::Int(i) => format!("i:{i}"),
-            Value::Float(f) => format!("f:{}", f.to_bits()),
+            Value::Float(f) => format!("f:{}", canonical_f64(*f).to_bits()),
             Value::Str(s) => format!("s:{s}"),
         }
     }
@@ -157,9 +172,9 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (a, b) => {
-                let fa = a.as_f64().unwrap_or(f64::NEG_INFINITY);
-                let fb = b.as_f64().unwrap_or(f64::NEG_INFINITY);
-                fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+                let fa = canonical_f64(a.as_f64().unwrap_or(f64::NEG_INFINITY));
+                let fb = canonical_f64(b.as_f64().unwrap_or(f64::NEG_INFINITY));
+                fa.total_cmp(&fb)
             }
         }
     }
@@ -197,7 +212,7 @@ impl std::hash::Hash for Value {
             }
             Value::Float(f) => {
                 2u8.hash(state);
-                f.to_bits().hash(state);
+                canonical_f64(*f).to_bits().hash(state);
             }
             Value::Str(s) => {
                 3u8.hash(state);
@@ -339,6 +354,20 @@ mod tests {
         set.insert(Value::str("a"));
         set.insert(Value::Null);
         assert_eq!(set.len(), 3);
+
+        // Signed zero: one equivalence class, one hash bucket, one partition.
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(Value::Float(-0.0), Value::Int(0));
+        set.insert(Value::Float(0.0));
+        assert!(set.contains(&Value::Float(-0.0)));
+        assert_eq!(Value::Float(-0.0).partition_string(), Value::Float(0.0).partition_string());
+
+        // NaN equals itself (any payload) and nothing else.
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, Value::Float(-f64::NAN));
+        assert_ne!(nan, Value::Float(5.0));
+        set.insert(nan.clone());
+        assert!(set.contains(&Value::Float(-f64::NAN)));
     }
 
     #[test]

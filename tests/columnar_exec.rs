@@ -158,11 +158,8 @@ fn composed_kernel_pipeline_matches_scalar_pipeline() {
     let predicate = Expr::col(0)
         .gt(Expr::lit(Value::Int(0)))
         .and(Expr::Unary { op: UnaryOp::IsNotNull, expr: Box::new(Expr::col(1)) });
-    let projections = [
-        Expr::col(2),
-        Expr::col(0).binary(BinaryOp::Add, Expr::col(1)),
-        Expr::lit(Value::Int(9)),
-    ];
+    let projections =
+        [Expr::col(2), Expr::col(0).binary(BinaryOp::Add, Expr::col(1)), Expr::lit(Value::Int(9))];
 
     let batch = ColumnarBatch::from_rows(&rows);
     let sel = Kernel::compile(&predicate).filter(&batch, &batch.full_selection());
