@@ -26,20 +26,18 @@
 use pier_apps::netmon::netstats_table;
 use pier_apps::snort::intrusions_table;
 use pier_apps::topology::links_table;
-use pier_bench::{experiment_config, fmt_thousands};
+use pier_bench::{
+    env_parse, experiment_config, fmt_thousands, skewed_catalog, skewed_workload, SkewedWorkload,
+};
 use pier_core::dataflow::join::{probe_joined, JoinBuild};
 use pier_core::dataflow::ops::FilterOp;
 use pier_core::prelude::*;
 use pier_core::trace::OpTrace;
-use pier_core::{same_rows, Catalog, Expr, Kernel, Planner, QueryKind, TableStats};
+use pier_core::{same_rows, Catalog, Expr, Kernel, Planner, QueryKind};
 use std::collections::HashMap;
 
 const JOIN_SQL: &str = "SELECT i.host, i.rule_id, l.dst, n.out_rate FROM intrusions i \
      JOIN links l ON i.host = l.src JOIN netstats n ON l.dst = n.host";
-
-fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
-}
 
 // ---------------------------------------------------------------------
 // Phase 1: vectorized probe micro-benchmark
@@ -147,66 +145,17 @@ fn phase_probe() -> (f64, bool, usize) {
 // Phases 2 & 3: testbed workload
 // ---------------------------------------------------------------------
 
-fn host(nodes: usize, i: usize) -> String {
-    format!("host-{}", i % nodes)
-}
+/// The skew knobs of this benchmark's instance of the shared workload.
+const WORKLOAD: SkewedWorkload = SkewedWorkload { readings_per_host: 20, intrusion_every: 8 };
 
-/// The skewed workload: every host reports 20 traffic readings and two
-/// overlay links, but only one host in eight files intrusion reports — so
-/// the final `netstats` stage is large (≥ 512 rows network-wide) and mostly
-/// irrelevant to the join.
+/// The heavy-skew variant: 20 readings per host make the final `netstats`
+/// stage large (>= 512 rows network-wide) and mostly irrelevant to the join.
 fn workload(nodes: usize) -> (Vec<Tuple>, Vec<Tuple>, Vec<Tuple>) {
-    let mut netstats = Vec::new();
-    let mut links = Vec::new();
-    let mut intrusions = Vec::new();
-    for i in 0..nodes {
-        for r in 0..20 {
-            netstats.push(Tuple::new(vec![
-                Value::str(host(nodes, i)),
-                Value::Float(2.0 + (i % 7) as f64 + 0.1 * r as f64),
-                Value::Float(1.0),
-            ]));
-        }
-        links.push(Tuple::new(vec![
-            Value::str(host(nodes, i)),
-            Value::str(host(nodes, i + 1)),
-            Value::str("successor"),
-        ]));
-        links.push(Tuple::new(vec![
-            Value::str(host(nodes, i)),
-            Value::str(host(nodes, i + 5)),
-            Value::str("finger"),
-        ]));
-        if i % 8 == 0 {
-            for r in 0..2i64 {
-                intrusions.push(Tuple::new(vec![
-                    Value::str(host(nodes, i)),
-                    Value::Int(1400 + r),
-                    Value::str(format!("rule-{r}")),
-                    Value::Int(2 + r),
-                ]));
-            }
-        }
-    }
-    (netstats, links, intrusions)
+    skewed_workload(nodes, WORKLOAD)
 }
 
 fn catalog(nodes: usize) -> Catalog {
-    let (netstats, links, intrusions) = workload(nodes);
-    let mut cat = Catalog::new();
-    cat.register(netstats_table());
-    cat.register(links_table());
-    cat.register(intrusions_table());
-    cat.set_stats(
-        "netstats",
-        TableStats::with_rows(netstats.len() as u64).distinct_keys(nodes as u64),
-    );
-    cat.set_stats("links", TableStats::with_rows(links.len() as u64).distinct_keys(nodes as u64));
-    cat.set_stats(
-        "intrusions",
-        TableStats::with_rows(intrusions.len() as u64).distinct_keys((nodes / 8).max(1) as u64),
-    );
-    cat
+    skewed_catalog(nodes, WORKLOAD)
 }
 
 fn build_bed(nodes: usize, seed: u64, pier: PierConfig) -> PierTestbed {

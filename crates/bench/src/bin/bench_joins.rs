@@ -28,7 +28,9 @@
 use pier_apps::netmon::netstats_table;
 use pier_apps::snort::intrusions_table;
 use pier_apps::topology::links_table;
-use pier_bench::{experiment_config, fmt_thousands};
+use pier_bench::{
+    env_parse, experiment_config, fmt_thousands, skewed_catalog, skewed_workload, SkewedWorkload,
+};
 use pier_core::engine::EngineStats;
 use pier_core::prelude::*;
 use pier_core::{same_rows, Catalog, Planner, QueryKind, TableStats};
@@ -37,67 +39,28 @@ const JOIN_SQL: &str = "SELECT i.host, i.rule_id, l.dst, n.out_rate FROM netstat
      JOIN links l ON n.host = l.src JOIN intrusions i ON l.dst = i.host \
      WHERE n.out_rate > 1";
 
-fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
-    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
-}
+/// The skew knobs of this benchmark's instance of the shared workload.
+const WORKLOAD: SkewedWorkload = SkewedWorkload { readings_per_host: 6, intrusion_every: 8 };
 
-fn host(nodes: usize, i: usize) -> String {
-    format!("host-{}", i % nodes)
-}
-
-/// The skewed workload: (netstats, links, intrusions) rows.
 fn workload(nodes: usize) -> (Vec<Tuple>, Vec<Tuple>, Vec<Tuple>) {
-    let mut netstats = Vec::new();
-    let mut links = Vec::new();
-    let mut intrusions = Vec::new();
-    for i in 0..nodes {
-        for r in 0..6 {
-            netstats.push(Tuple::new(vec![
-                Value::str(host(nodes, i)),
-                Value::Float(2.0 + (i % 7) as f64 + 0.1 * r as f64),
-                Value::Float(1.0),
-            ]));
-        }
-        links.push(Tuple::new(vec![
-            Value::str(host(nodes, i)),
-            Value::str(host(nodes, i + 1)),
-            Value::str("successor"),
-        ]));
-        links.push(Tuple::new(vec![
-            Value::str(host(nodes, i)),
-            Value::str(host(nodes, i + 5)),
-            Value::str("finger"),
-        ]));
-        if i % 8 == 0 {
-            for r in 0..2i64 {
-                intrusions.push(Tuple::new(vec![
-                    Value::str(host(nodes, i)),
-                    Value::Int(1400 + r),
-                    Value::str(format!("rule-{r}")),
-                    Value::Int(2 + r),
-                ]));
-            }
-        }
-    }
-    (netstats, links, intrusions)
+    skewed_workload(nodes, WORKLOAD)
 }
 
 fn catalog(nodes: usize, inverted: bool) -> Catalog {
-    let (netstats, links, intrusions) = workload(nodes);
-    let mut cat = Catalog::new();
-    cat.register(netstats_table());
-    cat.register(links_table());
-    cat.register(intrusions_table());
-    let (n_rows, i_rows) = if inverted {
+    let mut cat = skewed_catalog(nodes, WORKLOAD);
+    if inverted {
         // The worst case: cardinalities of the big and the small relation
         // swapped, as if the statistics were badly stale.
-        (intrusions.len() as u64, netstats.len() as u64)
-    } else {
-        (netstats.len() as u64, intrusions.len() as u64)
-    };
-    cat.set_stats("netstats", TableStats::with_rows(n_rows).distinct_keys(nodes as u64));
-    cat.set_stats("links", TableStats::with_rows(links.len() as u64).distinct_keys(nodes as u64));
-    cat.set_stats("intrusions", TableStats::with_rows(i_rows).distinct_keys((nodes / 8) as u64));
+        let (netstats, _, intrusions) = workload(nodes);
+        cat.set_stats(
+            "netstats",
+            TableStats::with_rows(intrusions.len() as u64).distinct_keys(nodes as u64),
+        );
+        cat.set_stats(
+            "intrusions",
+            TableStats::with_rows(netstats.len() as u64).distinct_keys((nodes / 8) as u64),
+        );
+    }
     cat
 }
 

@@ -211,6 +211,23 @@ pub struct PierConfig {
     /// node swaps to it at its next epoch boundary, recording the switch in
     /// the query's execution trace.
     pub adaptive: bool,
+    /// Trace-fed costing: after a continuous multi-way join has run a few
+    /// epochs, its origin collects the network-wide execution trace
+    /// (per-stage input and match counters), folds it into per-query
+    /// [`ObservedStats`](crate::planner::ObservedStats) that override the
+    /// catalog estimates, and re-plans.  When the corrected costs change the
+    /// plan — a different join order, strategy mix, or a bushy shape — the
+    /// staged-spec swap path (`adaptive`) switches every node at its next
+    /// epoch boundary.  Off by default: plans then come from catalog
+    /// statistics only, exactly as before.
+    pub feedback: bool,
+    /// Batch-aware soft-state renewal: publishers log what
+    /// [`publish_batch`](PierNode::publish_batch) stored, and
+    /// [`renew_published`](PierNode::renew_published) re-publishes only the
+    /// tuples past half their table's TTL instead of the whole batch —
+    /// per-item renewal inside a stored batch.  Off by default (publishers
+    /// re-publish everything every TTL, as before).
+    pub renewal: bool,
     /// Vectorized execution: run local scans, filters, projections, and
     /// grouped aggregation over [`crate::column::ColumnarBatch`]es with
     /// compiled [`crate::kernel::Kernel`] pipelines instead of per-row
@@ -253,6 +270,8 @@ impl Default for PierConfig {
             stats_fanout: 3,
             stats_ttl_intervals: 8,
             adaptive: true,
+            feedback: false,
+            renewal: false,
             vectorized: true,
             columnar_wire: true,
         }
@@ -284,6 +303,8 @@ impl PierConfig {
             stats_fanout: 3,
             stats_ttl_intervals: 8,
             adaptive: true,
+            feedback: false,
+            renewal: false,
             vectorized: true,
             columnar_wire: true,
         }
@@ -313,6 +334,8 @@ impl PierConfig {
             stats_fanout: 3,
             stats_ttl_intervals: 8,
             adaptive: true,
+            feedback: false,
+            renewal: false,
             vectorized: true,
             columnar_wire: true,
         }
@@ -374,6 +397,18 @@ pub struct EngineStats {
     /// Wire frames that carried payloads from ≥ 2 distinct streams
     /// (different queries, or a query plus engine/gossip traffic).
     pub shared_frames: u64,
+    /// Times this node staged a trace-corrected plan for a live query
+    /// (trace-fed costing, a subset of `replans`).
+    pub feedback_replans: u64,
+    /// Statistics-gossip payloads held for a deferred flush window
+    /// (`batch_flush_ticks > 0`) so they could ride the next batch flush's
+    /// frames instead of shipping in their own tick.
+    pub gossip_deferred: u64,
+    /// Tuples re-published by per-item soft-state renewal (past half TTL).
+    pub renewals_published: u64,
+    /// Tuples a renewal sweep left in place because they were still fresh —
+    /// the traffic a whole-batch re-publish would have paid for.
+    pub renewal_tuples_skipped: u64,
 }
 
 impl EngineStats {
@@ -400,6 +435,10 @@ impl EngineStats {
         self.bloom_fallbacks += other.bloom_fallbacks;
         self.piggybacked_payloads += other.piggybacked_payloads;
         self.shared_frames += other.shared_frames;
+        self.feedback_replans += other.feedback_replans;
+        self.gossip_deferred += other.gossip_deferred;
+        self.renewals_published += other.renewals_published;
+        self.renewal_tuples_skipped += other.renewal_tuples_skipped;
     }
 }
 
@@ -490,6 +529,16 @@ struct RunningQuery {
     /// Kernels compiled once from the live spec and reused every epoch
     /// (vectorized path).  Cleared when a re-planned spec is applied.
     kernels: Option<Rc<CompiledKernels>>,
+    /// Origin-side trace-fed costing state: a network-wide trace collection
+    /// is outstanding for this query.
+    feedback_requested: bool,
+    /// Origin-side: the trace-fed correction has run (whether or not it
+    /// changed the plan); no further collections are issued.
+    feedback_settled: bool,
+    /// Origin-side: the observed statistics the query was last (re)planned
+    /// with, overlaid on the catalog by any later catalog-driven re-plan so
+    /// a statistics gossip round cannot silently undo the trace correction.
+    observed: Option<crate::planner::ObservedStats>,
 }
 
 /// The vectorized pipeline for one query: every `Expr` the per-epoch hot
@@ -593,6 +642,9 @@ impl RunningQuery {
             trace: OpTrace::default(),
             pending_spec: None,
             kernels: None,
+            feedback_requested: false,
+            feedback_settled: false,
+            observed: None,
         }
     }
 }
@@ -751,6 +803,11 @@ pub struct PierNode {
     /// `DirectBatch` frame (cross-query piggybacking).  Empty whenever
     /// `PierConfig::piggyback` is off.
     pending_direct: Vec<(NodeAddr, DirectStream, PierPayload)>,
+    /// Statistics-gossip payloads held for the deferred flush window
+    /// (`batch_flush_ticks > 0`): unlike `pending_direct` they may span
+    /// ticks, so a gossip round lands in the same flush as the query frames
+    /// it can ride.  Empty when the time-based flush is off.
+    pending_gossip: Vec<(NodeAddr, PierPayload)>,
     /// Upcall-processing drains since the deferred buffers last flushed.
     ticks_since_flush: u32,
     /// A `BatchFlush` deadline timer is in flight.
@@ -776,6 +833,10 @@ pub struct PierNode {
     /// scanning the same table window in the same quiescent store state
     /// share one row-to-column pivot instead of each paying for it.
     scan_batches: Vec<(ScanBatchKey, std::rc::Rc<ColumnarBatch>)>,
+    /// Per-table log of what this node's `publish_batch` calls stored, with
+    /// each tuple's last publish time (only kept when `PierConfig::renewal`
+    /// is on): the input of per-item soft-state renewal.
+    publish_log: HashMap<String, Vec<(Tuple, SimTime)>>,
     next_token: u64,
     next_query_seq: u32,
     publish_seq: u64,
@@ -800,6 +861,7 @@ impl PierNode {
             pending_results: Vec::new(),
             pending_rehash: Vec::new(),
             pending_direct: Vec::new(),
+            pending_gossip: Vec::new(),
             ticks_since_flush: 0,
             flush_timer_armed: false,
             plan_cache: PlanCache::new(),
@@ -810,6 +872,7 @@ impl PierNode {
             gossip: GossipView::new(),
             gossip_seq: 0,
             scan_batches: Vec::new(),
+            publish_log: HashMap::new(),
             next_token: 1_000,
             next_query_seq: 1,
             publish_seq: 0,
@@ -1017,6 +1080,11 @@ impl PierNode {
                 };
                 self.stats.tuples_published += chunk.len() as u64;
                 self.note_payload(&payload);
+                if self.config.renewal {
+                    let log = self.publish_log.entry(def.name.clone()).or_default();
+                    let now = ctx.now();
+                    log.extend(chunk.iter().map(|t| (t.clone(), now)));
+                }
                 items.push((key, payload, Some(def.ttl)));
             }
         }
@@ -1024,6 +1092,42 @@ impl PierNode {
         self.stats.messages_sent += sent as u64;
         self.process_upcalls(ctx);
         Ok(())
+    }
+
+    /// Soft-state renewal for a table this node publishes into: re-publish
+    /// only the logged tuples whose remaining lifetime has fallen below half
+    /// the table's TTL, and skip (but keep) the fresh ones.  The blanket
+    /// alternative — re-publishing the whole working set every period — pays
+    /// full wire cost for tuples nowhere near expiry; per-item ages make the
+    /// renewal traffic proportional to what is actually going stale.
+    /// Requires [`PierConfig::renewal`]; without it the publish log is empty
+    /// and this is a no-op.
+    pub fn renew_published(&mut self, ctx: &mut Ctx<'_>, table: &str) -> Result<(), PierError> {
+        let def = self
+            .catalog
+            .get(table)
+            .ok_or_else(|| PierError::new(format!("unknown table '{table}'")))?
+            .clone();
+        let Some(log) = self.publish_log.get_mut(table) else { return Ok(()) };
+        let now = ctx.now();
+        let half_ttl = def.ttl.as_micros() / 2;
+        let mut stale = Vec::new();
+        let mut fresh = Vec::new();
+        for (tuple, published_at) in log.drain(..) {
+            if now.as_micros().saturating_sub(published_at.as_micros()) >= half_ttl {
+                stale.push(tuple);
+            } else {
+                fresh.push((tuple, published_at));
+            }
+        }
+        *log = fresh;
+        self.stats.renewal_tuples_skipped += log.len() as u64;
+        if stale.is_empty() {
+            return Ok(());
+        }
+        self.stats.renewals_published += stale.len() as u64;
+        // Re-publishing re-logs the stale half at `now`, resetting its age.
+        self.publish_batch(ctx, table, stale)
     }
 
     /// Store a tuple locally (no routing).  Monitoring data *about this node*
@@ -1485,6 +1589,12 @@ impl PierNode {
                 let kern = self.query_kernels(id);
                 for (k, stage) in stages.iter().enumerate() {
                     if stage.strategy == JoinStrategy::SymmetricHash {
+                        if crate::query::join_side_fed(&stages, k as u8, 1) {
+                            // A merge stage: its side 1 is another stage's
+                            // streamed output, not a base relation — nothing
+                            // to scan here.
+                            continue;
+                        }
                         if k > 0 && stage.inner_bloom && self.config.inner_bloom {
                             // Inner-stage Bloom semi-join: the right relation
                             // waits for the stage's combined filter (or the
@@ -1517,6 +1627,45 @@ impl PierNode {
                             Some(&stage.right_ship_cols),
                             rows,
                         );
+                    }
+                }
+                // Bushy subchain roots: a stage whose left side is its own
+                // base-table scan (rather than the previous stage's output)
+                // starts a concurrent subchain — scan and feed it exactly
+                // like the stage-0 driving side.  The stage-0 Bloom protocol
+                // needs two base-table sides and its phase-2 machinery is
+                // keyed to stage 0, so the planner never roots a subchain on
+                // it; anything unexpected degrades to a symmetric rehash.
+                for (k, stage) in stages.iter().enumerate() {
+                    let Some(scan) = &stage.left_scan else { continue };
+                    let rows =
+                        self.scan_filtered_traced(id, &scan.table, now, since, &scan.filter, None);
+                    match stage.strategy {
+                        JoinStrategy::FetchMatches => {
+                            let left_key = stage.left_key.clone();
+                            let right_table = stage.right_table.clone();
+                            self.probe_stage(
+                                ctx,
+                                id,
+                                k as u8,
+                                epoch,
+                                &left_key,
+                                &right_table,
+                                rows,
+                            );
+                        }
+                        _ => {
+                            self.rehash_stage(
+                                ctx,
+                                &spec,
+                                k as u8,
+                                epoch,
+                                0,
+                                &stage.left_key,
+                                Some(&stage.left_ship_cols),
+                                rows,
+                            );
+                        }
                     }
                 }
                 // Driving side: the stage-0 left input is a base-table scan.
@@ -1771,6 +1920,11 @@ impl PierNode {
     /// deferred intermediate rehash buffer.
     fn force_flush(&mut self, ctx: &mut Ctx<'_>) {
         self.ticks_since_flush = 0;
+        // Gossip held over the deferral window ships with this flush, merging
+        // into the same destination frames as the query traffic below.
+        for (peer, payload) in std::mem::take(&mut self.pending_gossip) {
+            self.pending_direct.push((peer, DirectStream::Gossip, payload));
+        }
         let results = std::mem::take(&mut self.pending_results);
         let rehashes = std::mem::take(&mut self.pending_rehash);
         self.ship_deferred(ctx, results, rehashes);
@@ -2410,6 +2564,8 @@ impl PierNode {
         if let Some(q) = self.queries.get_mut(&id) {
             q.trace.probes_sent += probes;
             *q.trace.stage_probes.entry(stage).or_insert(0) += probes;
+            // Each probe carries one probing-side row into this stage.
+            *q.trace.stage_left_in.entry(stage).or_insert(0) += probes;
         }
         // A probe is a routed request plus its response: two wire messages
         // the engine initiates.  Counting them keeps Fetch-Matches honest in
@@ -2439,7 +2595,9 @@ impl PierNode {
             q.trace.join_matches += rows.len() as u64;
             *q.trace.stage_matches.entry(stage).or_insert(0) += rows.len() as u64;
         }
-        if stage as usize + 1 == stages.len() {
+        let terminal =
+            stages[stage as usize].out_to.is_none() && stage as usize + 1 == stages.len();
+        if terminal {
             // An aggregate terminating the chain: fold this node's matched
             // rows into a per-(query, epoch) partial state and hand it to
             // the hierarchical aggregation plane — partials climb toward the
@@ -2480,19 +2638,31 @@ impl PierNode {
             }
             return;
         }
+        // DAG routing: a stage's output goes where its `out_to` edge points
+        // (a bushy subchain tail feeds the merge stage's declared side); the
+        // chain default is the next stage's probing side.
         let st = &stages[stage as usize];
-        let next = &stages[stage as usize + 1];
+        let (tk, tside) = st.out_to.unwrap_or((stage + 1, 0));
+        let next = &stages[tk as usize];
         let outs: Vec<Tuple> = rows.iter().map(|r| r.project(&st.out_cols)).collect();
+        if tside == 1 {
+            // Feeding a merge stage's build side: rehash by the target's
+            // right key so both subchains' outputs meet at the same sites.
+            let right_key = next.right_key.clone();
+            let ship = next.right_ship_cols.clone();
+            self.rehash_stage(ctx, spec, tk, epoch, 1, &right_key, Some(&ship), outs);
+            return;
+        }
         match next.strategy {
             JoinStrategy::FetchMatches => {
                 let left_key = next.left_key.clone();
                 let right_table = next.right_table.clone();
-                self.probe_stage(ctx, spec.id, stage + 1, epoch, &left_key, &right_table, outs);
+                self.probe_stage(ctx, spec.id, tk, epoch, &left_key, &right_table, outs);
             }
             _ => {
                 let left_key = next.left_key.clone();
                 let ship = next.left_ship_cols.clone();
-                self.rehash_stage(ctx, spec, stage + 1, epoch, 0, &left_key, Some(&ship), outs);
+                self.rehash_stage(ctx, spec, tk, epoch, 0, &left_key, Some(&ship), outs);
             }
         }
     }
@@ -2524,6 +2694,14 @@ impl PierNode {
         let tuples: Vec<Tuple> = tuples.into_iter().filter(|t| t.arity() == expect).collect();
         if tuples.is_empty() {
             return;
+        }
+        // Receiver-side input cardinalities feed the trace-fed cost model:
+        // counting here (post arity filter) observes exactly the rows the
+        // join consumed, wherever in the DAG they came from.
+        if let Some(q) = self.queries.get_mut(&id) {
+            let per_side =
+                if side == 0 { &mut q.trace.stage_left_in } else { &mut q.trace.stage_right_in };
+            *per_side.entry(stage).or_insert(0) += tuples.len() as u64;
         }
 
         // Inner-stage Bloom phase 1: every intermediate key that reaches
@@ -2610,6 +2788,7 @@ impl PierNode {
         let right_filter_op = st.right_filter.clone().map(FilterOp::new);
         let filter_op = st.post_filter.clone().map(FilterOp::new);
         let mut outputs = Vec::new();
+        let mut right_in = 0u64;
         for (_, payload) in items {
             for right_tuple in payload.tuples() {
                 if !st.right_key.eval(right_tuple).sql_eq(&probe_key) {
@@ -2618,10 +2797,16 @@ impl PierNode {
                 if !right_filter_op.as_ref().map(|f| f.accepts(right_tuple)).unwrap_or(true) {
                     continue;
                 }
+                right_in += 1;
                 let joined = left_tuple.concat(right_tuple);
                 if filter_op.as_ref().map(|f| f.accepts(&joined)).unwrap_or(true) {
                     outputs.push(joined);
                 }
+            }
+        }
+        if right_in > 0 {
+            if let Some(q) = self.queries.get_mut(&id) {
+                *q.trace.stage_right_in.entry(stage).or_insert(0) += right_in;
             }
         }
         self.emit_stage_rows(ctx, &spec, stage, epoch, outputs);
@@ -3027,9 +3212,24 @@ impl PierNode {
             self.stats.stats_gossip_sent += 1;
             let payload = PierPayload::StatsGossip { entries: entries.clone() };
             if self.config.piggyback {
-                // Pending gossip rides whatever query frame shares the
-                // destination at the tick drain — near-zero marginal cost.
-                self.pending_direct.push((peer, DirectStream::Gossip, payload));
+                if self.config.batching && self.config.batch_flush_ticks > 0 {
+                    // Deferred-flush mode: hold the gossip across the same
+                    // window the RouteBatch/result buffers span, so it rides
+                    // the next forced flush's shared frames instead of
+                    // shipping in its own tick.  The deadline timer bounds
+                    // how stale a held view can get on a quiescent node.
+                    self.pending_gossip.push((peer, payload));
+                    self.stats.gossip_deferred += 1;
+                    if !self.flush_timer_armed {
+                        self.flush_timer_armed = true;
+                        let delay = self.config.holddown;
+                        self.arm_timer(ctx, delay, TimerPurpose::BatchFlush);
+                    }
+                } else {
+                    // Pending gossip rides whatever query frame shares the
+                    // destination at the tick drain — near-zero marginal cost.
+                    self.pending_direct.push((peer, DirectStream::Gossip, payload));
+                }
             } else {
                 self.dht.send_direct(ctx, peer, payload);
             }
@@ -3053,7 +3253,15 @@ impl PierNode {
             return;
         }
         let Ok(stmt) = parse_select(&sql) else { return };
-        let Ok(planned) = Planner::new(&self.catalog).plan_select(&stmt) else { return };
+        // Once the feedback loop has corrected this query, catalog-driven
+        // re-plans keep the observed overlay: gossip moving the catalog must
+        // not silently revert a trace-corrected order to catalog-only costs.
+        let observed = self.queries.get(&id).and_then(|q| q.observed.clone());
+        let mut planner = Planner::new(&self.catalog);
+        if let Some(obs) = observed.as_ref() {
+            planner = planner.observed(obs).allow_bushy();
+        }
+        let Ok(planned) = planner.plan_select(&stmt) else { return };
         self.origin_sql.insert(id, (sql, version));
         let changed = match self.queries.get_mut(&id) {
             Some(q) if q.spec.kind != planned.kind => {
@@ -3070,6 +3278,95 @@ impl PierNode {
         if changed {
             // The origin applies the staged spec in the epoch evaluation that
             // follows this call; other nodes apply it at their next epoch.
+            let spec = self.queries[&id].pending_spec.clone().expect("pending spec staged above");
+            self.dht.broadcast(ctx, PierPayload::Query(spec));
+            self.process_upcalls(ctx);
+        }
+    }
+
+    /// One step of the trace-fed feedback loop, run by the origin of a
+    /// continuous multi-way join at each epoch boundary (behind
+    /// [`PierConfig::feedback`]).  Two phases, one epoch apart: after the
+    /// query has run long enough to have meaningful counters, broadcast a
+    /// trace request; at the following boundary, fold the merged network-wide
+    /// trace into [`ObservedStats`](crate::planner::ObservedStats) and
+    /// re-plan with them overriding the catalog estimates.  One-shot per
+    /// query: the corrected plan sticks (and later catalog-driven re-plans
+    /// keep the overlay via [`PierNode::maybe_replan`]).
+    fn feedback_step(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
+        let Some(q) = self.queries.get(&id) else { return };
+        if q.feedback_settled || !self.origin_sql.contains_key(&id) {
+            return;
+        }
+        let stages = q.spec.kind.join_stages().map(|s| s.len()).unwrap_or(0);
+        if stages < 2 {
+            // Single-stage joins have no order to correct.
+            return;
+        }
+        if q.feedback_requested {
+            self.feedback_replan(ctx, id);
+        } else if q.epoch >= 2 {
+            if let Some(q) = self.queries.get_mut(&id) {
+                q.feedback_requested = true;
+            }
+            self.request_traces(ctx, id);
+        }
+    }
+
+    /// Phase 2 of the feedback loop: turn the collected trace into observed
+    /// statistics and re-plan the query with them.  If the corrected costs
+    /// change the physical plan, the new spec is staged exactly like a
+    /// catalog-driven re-plan (applied at each node's next epoch boundary)
+    /// and the plan cache entry for the SQL text is dropped so future
+    /// identical submissions re-cost from scratch.
+    fn feedback_replan(&mut self, ctx: &mut Ctx<'_>, id: QueryId) {
+        let Some((sql, _)) = self.origin_sql.get(&id).cloned() else { return };
+        let Some((_, trace)) = self.trace_acc.get(&id) else { return };
+        let trace = trace.clone();
+        let Some(q) = self.queries.get_mut(&id) else { return };
+        q.feedback_requested = false;
+        q.feedback_settled = true;
+        // The absolute epoch about to be evaluated — the one the corrected
+        // spec first applies in at the origin (results are keyed by it).
+        let epoch = match &q.spec.continuous {
+            Some(c) => continuous_epoch(ctx.now(), c),
+            None => 0,
+        };
+        let obs = fold_observed(&q.spec, q.epoch.max(1), &trace);
+        if obs.is_empty() {
+            return;
+        }
+        q.observed = Some(obs.clone());
+        let Ok(stmt) = parse_select(&sql) else { return };
+        let Ok(planned) =
+            Planner::new(&self.catalog).observed(&obs).allow_bushy().plan_select(&stmt)
+        else {
+            return;
+        };
+        let version = self.catalog.version();
+        self.origin_sql.insert(id, (sql.clone(), version));
+        let changed = match self.queries.get_mut(&id) {
+            Some(q) if q.spec.kind != planned.kind => {
+                let old = strategy_label(&q.spec.kind);
+                let new = strategy_label(&planned.kind);
+                q.trace
+                    .switches
+                    .push(format!("epoch {epoch}: feedback: trace-corrected {old} -> {new}"));
+                q.pending_spec = Some(QuerySpec {
+                    id,
+                    kind: planned.kind,
+                    output_names: planned.output_names,
+                    continuous: q.spec.continuous,
+                });
+                true
+            }
+            _ => false,
+        };
+        if changed {
+            // The cached plan was produced from catalog-only estimates the
+            // engine now knows to be wrong for this statement.
+            self.plan_cache.invalidate(&sql);
+            self.stats.feedback_replans += 1;
             let spec = self.queries[&id].pending_spec.clone().expect("pending spec staged above");
             self.dht.broadcast(ctx, PierPayload::Query(spec));
             self.process_upcalls(ctx);
@@ -3161,6 +3458,80 @@ fn strategy_label(kind: &QueryKind) -> String {
     }
 }
 
+/// Fold a network-wide merged execution trace into per-query observed
+/// statistics the planner can substitute for catalog estimates.
+///
+/// The per-stage input counters are totals over `epochs` epochs, so base
+/// cardinalities divide by the epoch count; a stage's join selectivity comes
+/// from the standard independence model `matches = sel * left * right`
+/// applied per epoch, i.e. `sel = matches_total * epochs / (left_total *
+/// right_total)`.  The walk follows the stage DAG (`left_scan` roots and
+/// `out_to` edges) so the left-side *placed set* of each stage — the key the
+/// planner looks selectivities up under — is correct for bushy shapes too.
+fn fold_observed(spec: &QuerySpec, epochs: u64, trace: &OpTrace) -> crate::planner::ObservedStats {
+    use crate::planner::ObservedStats;
+    let mut obs = ObservedStats::default();
+    let QueryKind::Join { left_table, stages, .. } = &spec.kind else { return obs };
+    let e = epochs.max(1) as f64;
+    // feeder[k][side]: which earlier stage's output streams into (k, side).
+    let mut feeder: Vec<[Option<usize>; 2]> = vec![[None, None]; stages.len()];
+    for (i, st) in stages.iter().enumerate() {
+        match st.out_to {
+            Some((tk, side)) => feeder[tk as usize][side as usize] = Some(i),
+            None if i + 1 < stages.len() => feeder[i + 1][0] = Some(i),
+            None => {}
+        }
+    }
+    // Tables joined by each stage's output, in DAG order (feeders always
+    // precede the stages they feed).
+    let mut acc: Vec<Vec<String>> = vec![Vec::new(); stages.len()];
+    for (k, st) in stages.iter().enumerate() {
+        let left_in = trace.stage_left_in.get(&(k as u8)).copied().unwrap_or(0) as f64;
+        let right_in = trace.stage_right_in.get(&(k as u8)).copied().unwrap_or(0) as f64;
+        let left_set: Vec<String> = if let Some(scan) = &st.left_scan {
+            if left_in > 0.0 {
+                obs.table_rows.insert(scan.table.clone(), left_in / e);
+            }
+            vec![scan.table.clone()]
+        } else if let Some(f) = feeder[k][0] {
+            acc[f].clone()
+        } else {
+            if left_in > 0.0 {
+                obs.table_rows.insert(left_table.clone(), left_in / e);
+            }
+            vec![left_table.clone()]
+        };
+        let mut placed = left_set;
+        if let Some(f) = feeder[k][1] {
+            // A merge stage: its build side is another subchain's output, not
+            // a base relation — no table cardinality or per-stage selectivity
+            // to learn here.
+            placed.extend(acc[f].iter().cloned());
+        } else {
+            // Only a plain symmetric-hash stage rehashes the right relation
+            // in full: a Bloom-filtered side (stage-0 or inner semi-join)
+            // arrives pre-filtered and a Fetch-Matches side is only ever the
+            // matching tuples, so their counts would bias the model.
+            let unbiased_right =
+                matches!(st.strategy, JoinStrategy::SymmetricHash) && !st.inner_bloom;
+            if unbiased_right {
+                if right_in > 0.0 {
+                    obs.table_rows.insert(st.right_table.clone(), right_in / e);
+                }
+                let matches = trace.stage_matches.get(&(k as u8)).copied().unwrap_or(0) as f64;
+                if left_in > 0.0 && right_in > 0.0 {
+                    let key = ObservedStats::placed_key(placed.iter().map(String::as_str));
+                    let sel = (matches * e) / (left_in * right_in);
+                    obs.stage_selectivity.insert((st.right_table.clone(), key), sel);
+                }
+            }
+            placed.push(st.right_table.clone());
+        }
+        acc[k] = placed;
+    }
+    obs
+}
+
 /// The query-and-stage-scoped DHT namespace a join stage's tuples rehash
 /// into.  Scoping by stage keeps the chain's intermediate shipments of one
 /// key value from colliding across stages.
@@ -3236,6 +3607,9 @@ impl Node for PierNode {
                     // boundary, before this epoch's evaluation.
                     if id.origin() == self.addr {
                         self.maybe_replan(ctx, id);
+                        if self.config.feedback {
+                            self.feedback_step(ctx, id);
+                        }
                     }
                     let (evaluations, spec) = {
                         let q = self.queries.get_mut(&id).expect("query exists");

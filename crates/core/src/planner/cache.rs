@@ -97,6 +97,16 @@ impl PlanCache {
         }
     }
 
+    /// Drop every cached plan for `sql`, across all catalog versions.  The
+    /// feedback re-planner calls this when a query's observed statistics
+    /// diverge from the catalog estimates: the cached (catalog-only) plan
+    /// would otherwise be served to identical future submissions even though
+    /// the engine has since learned a better order.
+    pub fn invalidate(&mut self, sql: &str) {
+        self.entries.retain(|(s, _), _| s != sql);
+        self.order.retain(|(s, _)| s != sql);
+    }
+
     /// Number of cached plans.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -181,6 +191,22 @@ mod tests {
         let mut cache = PlanCache::with_capacity(0);
         cache.plan_sql(&cat, "SELECT a FROM t").unwrap();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn invalidate_drops_all_versions_of_one_statement() {
+        let mut cat = catalog();
+        let mut cache = PlanCache::new();
+        let sql = "SELECT a FROM t";
+        cache.plan_sql(&cat, sql).unwrap();
+        cat.set_stats("t", TableStats::with_rows(10));
+        cache.plan_sql(&cat, sql).unwrap();
+        cache.plan_sql(&cat, "SELECT b FROM t").unwrap();
+        assert_eq!(cache.len(), 3);
+        cache.invalidate(sql);
+        assert_eq!(cache.len(), 1, "both versions of the invalidated text drop");
+        assert!(cache.lookup(sql, cat.version()).is_none());
+        assert!(cache.lookup("SELECT b FROM t", cat.version()).is_some());
     }
 
     #[test]

@@ -23,11 +23,61 @@
 use crate::catalog::Catalog;
 use crate::expr::Expr;
 use crate::query::JoinStrategy;
+use std::collections::HashMap;
 
 use super::binder::{BoundTable, EquiPred};
 use super::physical::{
     selectivity, DEFAULT_ROW_ESTIMATE, FETCH_PROBE_COST, {BLOOM_MIN_RIGHT, BLOOM_SKEW},
 };
+
+/// Trace-fed statistics observed while a query actually ran: per-table
+/// filtered cardinalities and per-stage join selectivities, folded from the
+/// network-wide merge of [`OpTrace`](crate::trace::OpTrace) counters
+/// (`stage_left_in` / `stage_right_in` / `stage_matches`, averaged per
+/// epoch).  When supplied to [`choose_order_with`], these **override** the
+/// catalog's static estimates — the feedback loop the paper's adaptivity
+/// discussion calls for: the engine measures exactly what the enumerator
+/// guessed, so the next plan is costed from ground truth.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObservedStats {
+    /// Observed post-filter rows per table, per epoch.  Replaces the
+    /// catalog-derived `base_est` (and the row basis of distinct-value
+    /// guesses) for tables present in the map.
+    pub table_rows: HashMap<String, f64>,
+    /// Observed whole-stage join selectivity, keyed by
+    /// `(right table, placed-set key)` where the placed-set key is the
+    /// sorted, comma-joined table names accumulated before the stage ran
+    /// (see [`ObservedStats::placed_key`]).  The value is
+    /// `matches / (left_in · right_in)` — the combined selectivity of every
+    /// predicate connecting the right table to the placed set, which is the
+    /// exact quantity [`choose_order`]'s `extend` otherwise estimates from
+    /// distinct-value counts.
+    pub stage_selectivity: HashMap<(String, String), f64>,
+}
+
+impl ObservedStats {
+    /// Canonical key for a set of placed table names: sorted and
+    /// comma-joined, so the engine (folding traces over the *executed*
+    /// order) and the enumerator (probing an arbitrary candidate order)
+    /// agree whenever the sets agree.
+    pub fn placed_key<'n>(names: impl IntoIterator<Item = &'n str>) -> String {
+        let mut v: Vec<&str> = names.into_iter().collect();
+        v.sort_unstable();
+        v.join(",")
+    }
+
+    /// No observations recorded at all?
+    pub fn is_empty(&self) -> bool {
+        self.table_rows.is_empty() && self.stage_selectivity.is_empty()
+    }
+
+    /// How far the observation diverges from an estimate, as a ≥ 1 factor
+    /// (`4.0` = off by 4× in either direction).
+    pub fn divergence(observed: f64, estimated: f64) -> f64 {
+        let (a, b) = (observed.max(1e-9), estimated.max(1e-9));
+        (a / b).max(b / a)
+    }
+}
 
 /// Exact (dynamic-programming) search is used up to this many relations;
 /// larger queries fall back to the greedy heuristic.
@@ -69,13 +119,42 @@ pub struct StageChoice {
     pub note: String,
 }
 
+/// The bushy half of an [`OrderPlan`]: the order is split into two
+/// independent left-deep subchains (`order[..split]` and `order[split..]`)
+/// whose outputs meet at a final rehash-merge stage.
+#[derive(Clone, Debug)]
+pub struct BushyChoice {
+    /// Number of relations in the first subchain (`order[..split]`).
+    pub split: usize,
+    /// Index (into the bound predicate list) of the predicate keying the
+    /// merge stage's rehash.
+    pub key_pred: usize,
+    /// Other predicates crossing the two subchains; they run as merge-stage
+    /// post-filters.
+    pub extra_preds: Vec<usize>,
+    /// Estimated output rows of the first subchain (the merge's side 0).
+    pub left_est: f64,
+    /// Estimated output rows of the second subchain (the merge's side 1).
+    pub right_est: f64,
+    /// Estimated rows of the merged output.
+    pub out_est: f64,
+    /// Human-readable rationale (surfaced by `EXPLAIN`).
+    pub note: String,
+}
+
 /// A complete join order: the relation permutation and per-stage choices.
 #[derive(Clone, Debug)]
 pub struct OrderPlan {
     /// Relation indexes in execution order (`order[0]` drives the chain).
+    /// For bushy plans this is the first subchain's order followed by the
+    /// second's.
     pub order: Vec<usize>,
-    /// One entry per stage (`order.len() - 1`).
+    /// One entry per chain stage: `order.len() - 1` for left-deep plans;
+    /// for bushy plans, the first subchain's stages followed by the
+    /// second's (the merge stage is described by `bushy` instead).
     pub stages: Vec<StageChoice>,
+    /// The merge-stage description when the enumerator chose a bushy shape.
+    pub bushy: Option<BushyChoice>,
 }
 
 /// Everything the enumerator knows about the query, precomputed.
@@ -88,6 +167,9 @@ struct SearchContext<'a> {
     /// Unfiltered base rows per relation (for EXPLAIN notes).
     base_rows: Vec<f64>,
     forced: Option<JoinStrategy>,
+    /// Trace-fed overrides of the catalog estimates, when feedback supplied
+    /// them.
+    observed: Option<&'a ObservedStats>,
 }
 
 impl<'a> SearchContext<'a> {
@@ -135,7 +217,19 @@ impl<'a> SearchContext<'a> {
             divisors.push((i, d));
             out_est /= d;
         }
-        let out_est = out_est.max(1.0);
+        let mut out_est = out_est.max(1.0);
+
+        // Trace-fed override: when the engine has *measured* this exact
+        // (placed set ⋈ rel) stage, its observed whole-stage selectivity
+        // replaces the distinct-count guesses wholesale.
+        if let Some(obs) = self.observed {
+            let key =
+                ObservedStats::placed_key(placed.iter().map(|&r| self.relations[r].name.as_str()));
+            if let Some(&sel) = obs.stage_selectivity.get(&(self.relations[rel].name.clone(), key))
+            {
+                out_est = (card * right_est * sel).max(1.0);
+            }
+        }
 
         // Key predicate: a probe-enabling predicate when probing is what
         // the executor would actually run (the gate is the *same* rule
@@ -311,11 +405,33 @@ pub fn choose_order(
     rel_filters: &[Option<Expr>],
     forced: Option<JoinStrategy>,
 ) -> OrderPlan {
+    choose_order_with(catalog, relations, preds, rel_filters, forced, None, false)
+}
+
+/// [`choose_order`] with the feedback-loop knobs: trace-fed
+/// [`ObservedStats`] overriding the catalog estimates, and permission to
+/// pick a **bushy** shape (two independent subchains meeting at a
+/// rehash-merge stage) when its shipped-tuple cost beats every left-deep
+/// order.  Bushy shapes are only considered for unforced joins of ≥ 4
+/// relations within the exact-search budget.
+pub fn choose_order_with(
+    catalog: &Catalog,
+    relations: &[BoundTable],
+    preds: &[EquiPred],
+    rel_filters: &[Option<Expr>],
+    forced: Option<JoinStrategy>,
+    observed: Option<&ObservedStats>,
+    bushy: bool,
+) -> OrderPlan {
     let n = relations.len();
     let mut base_rows = Vec::with_capacity(n);
     let mut base_est = Vec::with_capacity(n);
     for (i, rel) in relations.iter().enumerate() {
-        let rows = catalog.stats(&rel.name).map(|s| s.rows as f64).unwrap_or(DEFAULT_ROW_ESTIMATE);
+        let observed_rows = observed.and_then(|o| o.table_rows.get(&rel.name)).copied();
+        let rows = observed_rows
+            .or_else(|| catalog.stats(&rel.name).map(|s| s.rows as f64))
+            .unwrap_or(DEFAULT_ROW_ESTIMATE)
+            .max(1.0);
         let partition = catalog.get(&rel.name).map(|d| d.partition_column);
         let distinct = catalog.stats(&rel.name).and_then(|s| s.distinct_keys);
         let eq_sel = move |col: usize| match (partition, distinct) {
@@ -323,24 +439,44 @@ pub fn choose_order(
             _ => super::physical::DEFAULT_EQ_SELECTIVITY,
         };
         base_rows.push(rows);
-        base_est.push((rows * selectivity(&rel_filters[i], &eq_sel)).max(1.0));
+        // Observed rows are already post-filter (the trace measured what the
+        // scans actually shipped); catalog rows still need the filter's
+        // estimated selectivity applied.
+        base_est.push(match observed_rows {
+            Some(r) => r.max(1.0),
+            None => (rows * selectivity(&rel_filters[i], &eq_sel)).max(1.0),
+        });
     }
-    let ctx = SearchContext { relations, preds, catalog, base_est, base_rows, forced };
+    let ctx = SearchContext { relations, preds, catalog, base_est, base_rows, forced, observed };
 
-    let order = if n == 2 || forced.is_some() {
-        (0..n).collect()
-    } else if n <= DP_MAX_RELATIONS {
-        dp_order(&ctx, n)
-    } else {
-        greedy_order(&ctx, n)
-    };
-    let stages = ctx.assign_strategies(&order);
-    OrderPlan { order, stages }
+    if n == 2 || forced.is_some() {
+        let order = (0..n).collect::<Vec<_>>();
+        let stages = ctx.assign_strategies(&order);
+        return OrderPlan { order, stages, bushy: None };
+    }
+    if n > DP_MAX_RELATIONS {
+        let order = greedy_order(&ctx, n);
+        let stages = ctx.assign_strategies(&order);
+        return OrderPlan { order, stages, bushy: None };
+    }
+
+    let dp = dp_table(&ctx, n);
+    let full = (1usize << n) - 1;
+    let (left_deep_cost, _, left_deep_order) =
+        dp[full].clone().expect("the binder guarantees a connected predicate graph");
+
+    if bushy && n >= 4 {
+        if let Some(plan) = best_bushy(&ctx, &dp, n, left_deep_cost) {
+            return plan;
+        }
+    }
+    let stages = ctx.assign_strategies(&left_deep_order);
+    OrderPlan { order: left_deep_order, stages, bushy: None }
 }
 
 /// Exact left-deep search: dynamic programming over connected subsets.
-fn dp_order(ctx: &SearchContext<'_>, n: usize) -> Vec<usize> {
-    // dp[mask] = best (cost, card, order) reaching exactly `mask`.
+/// `dp[mask]` = best `(cost, card, order)` reaching exactly `mask`.
+fn dp_table(ctx: &SearchContext<'_>, n: usize) -> Vec<Option<(f64, f64, Vec<usize>)>> {
     let full = (1usize << n) - 1;
     let mut dp: Vec<Option<(f64, f64, Vec<usize>)>> = vec![None; full + 1];
     for r in 0..n {
@@ -366,7 +502,110 @@ fn dp_order(ctx: &SearchContext<'_>, n: usize) -> Vec<usize> {
             }
         }
     }
-    dp[full].clone().expect("the binder guarantees a connected predicate graph").2
+    dp
+}
+
+/// Search every 2-partition of the relations for a bushy shape cheaper than
+/// the best left-deep order.  A bushy plan runs each part as its own
+/// left-deep subchain and rehash-merges the two outputs, so its cost is the
+/// two subchain costs plus shipping both outputs to the merge sites.
+fn best_bushy(
+    ctx: &SearchContext<'_>,
+    dp: &[Option<(f64, f64, Vec<usize>)>],
+    n: usize,
+    left_deep_cost: f64,
+) -> Option<OrderPlan> {
+    let full = (1usize << n) - 1;
+    let mut best: Option<(f64, usize)> = None; // (cost, mask of chain A)
+                                               // Fixing relation 0 into chain A enumerates each unordered partition
+                                               // once.
+    for m1 in 1..=full {
+        if m1 & 1 == 0 || m1 == full {
+            continue;
+        }
+        let m2 = full ^ m1;
+        if m1.count_ones() < 2 || m2.count_ones() < 2 {
+            continue;
+        }
+        let (Some((c1, card1, _)), Some((c2, card2, _))) = (&dp[m1], &dp[m2]) else { continue };
+        if crossing_preds(ctx.preds, m1, m2).is_empty() {
+            continue;
+        }
+        let cost = c1 + c2 + card1 + card2;
+        if cost < left_deep_cost && best.as_ref().is_none_or(|(c, _)| cost < *c) {
+            best = Some((cost, m1));
+        }
+    }
+    let (_, m1) = best?;
+    let m2 = full ^ m1;
+    let (_, card1, order1) = dp[m1].clone().expect("chosen mask is reachable");
+    let (_, card2, order2) = dp[m2].clone().expect("chosen mask is reachable");
+
+    // Merge estimate: every crossing predicate divides by the larger
+    // distinct count of its endpoints, exactly like a chain extension.
+    let connecting = crossing_preds(ctx.preds, m1, m2);
+    let mut out_est = card1 * card2;
+    let mut divisors: Vec<(usize, f64)> = Vec::with_capacity(connecting.len());
+    for &i in &connecting {
+        let p = &ctx.preds[i];
+        let d = ctx.distinct(p.left_rel, p.left_col).max(ctx.distinct(p.right_rel, p.right_col));
+        divisors.push((i, d));
+        out_est /= d;
+    }
+    let out_est = out_est.max(1.0);
+    let key_pred =
+        divisors.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("connected partition").0;
+    let extra_preds: Vec<usize> = connecting.into_iter().filter(|&i| i != key_pred).collect();
+
+    let mut stages = ctx.assign_strategies(&order1);
+    let mut chain_b = ctx.assign_strategies(&order2);
+    // A subchain root past global stage 0 cannot run the stage-0 Bloom
+    // protocol (its phase-2 broadcast is keyed to stage 0); degrade to the
+    // symmetric rehash the merge DAG executes everywhere.
+    if let Some(first) = chain_b.first_mut() {
+        if first.strategy == JoinStrategy::BloomFilter {
+            first.strategy = JoinStrategy::SymmetricHash;
+            first.note = format!("{} (Bloom ineligible at a subchain root)", first.note);
+        }
+    }
+    stages.append(&mut chain_b);
+
+    let names = |order: &[usize]| {
+        order.iter().map(|&r| ctx.relations[r].name.as_str()).collect::<Vec<_>>().join(" ⋈ ")
+    };
+    let note = format!(
+        "bushy merge: subchains ({}) and ({}) run concurrently; \
+         ~{card1:.0} ⋈ ~{card2:.0} → ~{out_est:.0} rows rehash-merged",
+        names(&order1),
+        names(&order2),
+    );
+    let split = order1.len();
+    let mut order = order1;
+    order.extend(order2);
+    Some(OrderPlan {
+        order,
+        stages,
+        bushy: Some(BushyChoice {
+            split,
+            key_pred,
+            extra_preds,
+            left_est: card1,
+            right_est: card2,
+            out_est,
+            note,
+        }),
+    })
+}
+
+/// Predicates with one endpoint in each of the two disjoint relation masks.
+fn crossing_preds(preds: &[EquiPred], m1: usize, m2: usize) -> Vec<usize> {
+    (0..preds.len())
+        .filter(|&i| {
+            let p = &preds[i];
+            let (l, r) = (1usize << p.left_rel, 1usize << p.right_rel);
+            (m1 & l != 0 && m2 & r != 0) || (m2 & l != 0 && m1 & r != 0)
+        })
+        .collect()
 }
 
 /// Greedy fallback for wide joins: start from the smallest filtered

@@ -24,7 +24,7 @@ pub mod physical;
 
 pub use binder::{resolve_expr, Binder, BoundSelect, EquiPred};
 pub use cache::PlanCache;
-pub use joinorder::{OrderPlan, StageChoice};
+pub use joinorder::{BushyChoice, ObservedStats, OrderPlan, StageChoice};
 pub use optimizer::{Optimized, Optimizer, Rule};
 pub use physical::{PhysicalPlan, PhysicalPlanner};
 
@@ -82,19 +82,35 @@ pub struct PlannedQuery {
 pub struct Planner<'a> {
     catalog: &'a Catalog,
     forced_strategy: Option<JoinStrategy>,
+    observed: Option<&'a ObservedStats>,
+    allow_bushy: bool,
 }
 
 impl<'a> Planner<'a> {
     /// A planner over the given catalog; join strategies are chosen by cost
     /// from the catalog's cardinality hints.
     pub fn new(catalog: &'a Catalog) -> Self {
-        Planner { catalog, forced_strategy: None }
+        Planner { catalog, forced_strategy: None, observed: None, allow_bushy: false }
     }
 
     /// A planner that always uses a specific join strategy (bypassing the
     /// cost model — benchmarks compare strategies this way).
     pub fn with_join_strategy(catalog: &'a Catalog, strategy: JoinStrategy) -> Self {
-        Planner { catalog, forced_strategy: Some(strategy) }
+        Planner { catalog, forced_strategy: Some(strategy), observed: None, allow_bushy: false }
+    }
+
+    /// Overlay trace-observed per-query statistics on the catalog estimates
+    /// (the `feedback` re-planning path).
+    pub fn observed(mut self, stats: &'a ObservedStats) -> Self {
+        self.observed = Some(stats);
+        self
+    }
+
+    /// Let the join-order enumerator consider bushy shapes (two independent
+    /// subchains meeting at a rehash-merge stage) alongside left-deep chains.
+    pub fn allow_bushy(mut self) -> Self {
+        self.allow_bushy = true;
+        self
     }
 
     /// Run the full pipeline over a parsed `SELECT`.
@@ -111,10 +127,16 @@ impl<'a> Planner<'a> {
         // Stage 3: optimize.
         let optimized = Optimizer::new().optimize(initial.clone());
         // Stage 4: derive the distributed spec.
-        let physical_planner = match self.forced_strategy {
+        let mut physical_planner = match self.forced_strategy {
             Some(s) => PhysicalPlanner::with_forced_strategy(self.catalog, s),
             None => PhysicalPlanner::new(self.catalog),
         };
+        if let Some(stats) = self.observed {
+            physical_planner = physical_planner.observed(stats);
+        }
+        if self.allow_bushy {
+            physical_planner = physical_planner.allow_bushy();
+        }
         let physical = physical_planner.plan(&bound, &optimized.plan)?;
 
         Ok(PlannedQuery {
@@ -243,6 +265,16 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
                     "  stage {k}: ⋈ '{}' on {} = {}\n    strategy: {:?}\n",
                     s.right_table, s.left_key, s.right_key, s.strategy
                 ));
+                if let Some(scan) = &s.left_scan {
+                    out.push_str(&format!(
+                        "    subchain root: drives from scan of '{}'",
+                        scan.table
+                    ));
+                    if let Some(f) = &scan.filter {
+                        out.push_str(&format!(" where {f}"));
+                    }
+                    out.push('\n');
+                }
                 if let Some(f) = &s.right_filter {
                     out.push_str(&format!("    right-side filter (before shipping): {f}\n"));
                 }
@@ -258,6 +290,12 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
                     out.push_str(&format!(
                         "    rehash to next stage: [{}]\n",
                         fmt_cols(&s.out_cols)
+                    ));
+                }
+                if let Some((stage, side)) = s.out_to {
+                    out.push_str(&format!(
+                        "    output feeds stage {stage} side {side} ({})\n",
+                        if side == 0 { "as its probing input" } else { "as its inner input" }
                     ));
                 }
             }

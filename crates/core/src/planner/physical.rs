@@ -22,11 +22,11 @@
 use crate::catalog::Catalog;
 use crate::expr::Expr;
 use crate::plan::{AggExpr, LogicalPlan};
-use crate::query::{JoinAggregate, JoinStage, JoinStrategy, QueryKind};
+use crate::query::{BranchScan, JoinAggregate, JoinStage, JoinStrategy, QueryKind};
 use std::collections::BTreeSet;
 
 use super::binder::BoundSelect;
-use super::joinorder::{choose_order, OrderPlan};
+use super::joinorder::{choose_order_with, BushyChoice, ObservedStats, OrderPlan, StageChoice};
 use super::optimizer::{conjoin, fold_expr, split_conjuncts, split_group_having};
 use super::PlanError;
 
@@ -63,18 +63,41 @@ pub struct PhysicalPlan {
 pub struct PhysicalPlanner<'a> {
     catalog: &'a Catalog,
     forced_strategy: Option<JoinStrategy>,
+    observed: Option<&'a ObservedStats>,
+    allow_bushy: bool,
 }
 
 impl<'a> PhysicalPlanner<'a> {
     /// A planner that costs strategies from the catalog.
     pub fn new(catalog: &'a Catalog) -> Self {
-        PhysicalPlanner { catalog, forced_strategy: None }
+        PhysicalPlanner { catalog, forced_strategy: None, observed: None, allow_bushy: false }
     }
 
     /// A planner that always uses `strategy` for joins wherever it is
     /// executable (benchmarks and tests compare strategies this way).
     pub fn with_forced_strategy(catalog: &'a Catalog, strategy: JoinStrategy) -> Self {
-        PhysicalPlanner { catalog, forced_strategy: Some(strategy) }
+        PhysicalPlanner {
+            catalog,
+            forced_strategy: Some(strategy),
+            observed: None,
+            allow_bushy: false,
+        }
+    }
+
+    /// Overlay trace-fed [`ObservedStats`] on the catalog estimates: the
+    /// feedback loop's re-plan path costs orders, strategies, and aggregate
+    /// placement from what the query *actually* measured.
+    pub fn observed(mut self, stats: &'a ObservedStats) -> Self {
+        self.observed = Some(stats);
+        self
+    }
+
+    /// Let the join-order enumerator pick bushy shapes (two independent
+    /// subchains meeting at a rehash-merge stage) when they cost less than
+    /// every left-deep order.
+    pub fn allow_bushy(mut self) -> Self {
+        self.allow_bushy = true;
+        self
     }
 
     /// Derive the distributed spec for a bound statement whose optimized
@@ -140,14 +163,19 @@ impl<'a> PhysicalPlanner<'a> {
         let n = bound.relations.len();
         let offsets = bound.offsets();
         let pieces = extract_multijoin_pieces(optimized, n);
-        let order_plan = choose_order(
+        let order_plan = choose_order_with(
             self.catalog,
             &bound.relations,
             &bound.join_preds,
             &pieces.rel_filters,
             self.forced_strategy,
+            self.observed,
+            self.allow_bushy,
         );
-        let OrderPlan { order, stages: choices } = &order_plan;
+        if order_plan.bushy.is_some() {
+            return self.plan_join_bushy(bound, &pieces, &order_plan);
+        }
+        let OrderPlan { order, stages: choices, .. } = &order_plan;
         let num_stages = n - 1;
 
         // Position of each relation in the chosen order, and the relation a
@@ -309,6 +337,8 @@ impl<'a> PhysicalPlanner<'a> {
                 strategy: choice.strategy,
                 inner_bloom: choice.inner_bloom,
                 bloom_bits: choice.bloom_bits,
+                left_scan: None,
+                out_to: None,
             });
         }
 
@@ -378,27 +408,11 @@ impl<'a> PhysicalPlanner<'a> {
                 // group-per-row aggregate (distinct keys ≥ rows) would ship
                 // as many partial states as the raw rows, for no saving.
                 let est_matches = choices.last().map(|c| c.out_est).unwrap_or(DEFAULT_ROW_ESTIMATE);
-                let distinct_of = |g: usize| -> f64 {
-                    let rel = crate::plan::relation_of_column(&offsets[..n], g);
-                    let col = g - offsets[rel];
-                    let name = &bound.relations[rel].name;
-                    let partition = self.catalog.get(name).map(|d| d.partition_column);
-                    let keys = self.catalog.stats(name).and_then(|s| s.distinct_keys);
-                    let rows = self
-                        .catalog
-                        .stats(name)
-                        .map(|s| s.rows as f64)
-                        .unwrap_or(DEFAULT_ROW_ESTIMATE);
-                    match (partition, keys) {
-                        (Some(p), Some(k)) if p == col => (k as f64).max(1.0),
-                        _ => (rows * 0.1).max(1.0),
-                    }
-                };
                 let est_groups: f64 = agg
                     .group_exprs
                     .iter()
                     .map(|e| match e {
-                        Expr::Column(g) => distinct_of(*g),
+                        Expr::Column(g) => self.distinct_of(bound, &offsets, n, *g),
                         _ => 32.0,
                     })
                     .product::<f64>()
@@ -480,6 +494,421 @@ impl<'a> PhysicalPlanner<'a> {
             strategy_note: Some(note),
         })
     }
+
+    /// Distinct-value estimate for a global column: the gossiped
+    /// partition-key count when the column is the partitioning column,
+    /// otherwise a flat fraction of the (trace-observed, when available)
+    /// row estimate.
+    fn distinct_of(&self, bound: &BoundSelect, offsets: &[usize], n: usize, g: usize) -> f64 {
+        let rel = crate::plan::relation_of_column(&offsets[..n], g);
+        let col = g - offsets[rel];
+        let name = &bound.relations[rel].name;
+        let partition = self.catalog.get(name).map(|d| d.partition_column);
+        let keys = self.catalog.stats(name).and_then(|s| s.distinct_keys);
+        let rows = self
+            .observed
+            .and_then(|o| o.table_rows.get(name))
+            .copied()
+            .or_else(|| self.catalog.stats(name).map(|s| s.rows as f64))
+            .unwrap_or(DEFAULT_ROW_ESTIMATE);
+        match (partition, keys) {
+            (Some(p), Some(k)) if p == col => (k as f64).max(1.0),
+            _ => (rows * 0.1).max(1.0),
+        }
+    }
+
+    /// Lower a bushy order: two independent left-deep subchains, each run
+    /// through the same backward/forward column passes as a plain chain
+    /// ([`lower_chain`]), meeting at a final rehash-merge stage.  The DAG
+    /// edges — a [`BranchScan`] rooting the second subchain and `out_to`
+    /// routes on both subchain tails — encode the shape for the engine,
+    /// which then evaluates both subchains concurrently within an epoch.
+    fn plan_join_bushy(
+        &self,
+        bound: &BoundSelect,
+        pieces: &MultiJoinPieces,
+        order_plan: &OrderPlan,
+    ) -> Result<PhysicalPlan, PlanError> {
+        let n = bound.relations.len();
+        let offsets = bound.offsets();
+        let bushy: &BushyChoice = order_plan.bushy.as_ref().expect("bushy plan");
+        let split = bushy.split;
+        let chain_a = &order_plan.order[..split];
+        let chain_b = &order_plan.order[split..];
+        let choices_a = &order_plan.stages[..split - 1];
+        let choices_b = &order_plan.stages[split - 1..];
+        let merge_stage = (n - 2) as u8;
+
+        // Residual conjuncts: within one subchain they run at that chain's
+        // earliest able stage; conjuncts crossing the chains run at the
+        // merge.
+        let rel_of = |g: usize| crate::plan::relation_of_column(&offsets[..n], g);
+        let mut posts_a: Vec<Vec<Expr>> = vec![Vec::new(); split - 1];
+        let mut posts_b: Vec<Vec<Expr>> = vec![Vec::new(); n - split - 1];
+        let mut merge_posts: Vec<Expr> = Vec::new();
+        if let Some(residual) = &pieces.residual {
+            let mut conjuncts = Vec::new();
+            split_conjuncts(residual.clone(), &mut conjuncts);
+            for c in conjuncts {
+                let rels: BTreeSet<usize> =
+                    c.referenced_columns().iter().map(|&g| rel_of(g)).collect();
+                let chain_stage = |chain: &[usize]| -> usize {
+                    rels.iter()
+                        .map(|&r| chain.iter().position(|&x| x == r).expect("rel is in chain"))
+                        .max()
+                        .unwrap_or(1)
+                        .saturating_sub(1)
+                        .min(chain.len() - 2)
+                };
+                if rels.iter().all(|r| chain_a.contains(r)) {
+                    let k = chain_stage(chain_a);
+                    posts_a[k].push(c);
+                } else if rels.iter().all(|r| chain_b.contains(r)) {
+                    let k = chain_stage(chain_b);
+                    posts_b[k].push(c);
+                } else {
+                    merge_posts.push(c);
+                }
+            }
+        }
+        for (k, choice) in choices_a.iter().enumerate() {
+            for &pi in &choice.extra_preds {
+                let (gl, gr) = bound.join_preds[pi].global(&offsets);
+                posts_a[k].push(Expr::col(gl).eq(Expr::col(gr)));
+            }
+        }
+        for (k, choice) in choices_b.iter().enumerate() {
+            for &pi in &choice.extra_preds {
+                let (gl, gr) = bound.join_preds[pi].global(&offsets);
+                posts_b[k].push(Expr::col(gl).eq(Expr::col(gr)));
+            }
+        }
+        for &pi in &bushy.extra_preds {
+            let (gl, gr) = bound.join_preds[pi].global(&offsets);
+            merge_posts.push(Expr::col(gl).eq(Expr::col(gr)));
+        }
+
+        // The merge key's endpoints, one global column per subchain.
+        let kp = &bound.join_preds[bushy.key_pred];
+        let (kp_l, kp_r) = kp.global(&offsets);
+        let (ga, gb) = if chain_a.contains(&kp.left_rel) { (kp_l, kp_r) } else { (kp_r, kp_l) };
+
+        // Columns the merge and the final projection/aggregate consume.
+        let final_cols: BTreeSet<usize> = match &bound.aggregate {
+            Some(agg) => agg
+                .group_exprs
+                .iter()
+                .chain(agg.aggs.iter().filter_map(|a| a.arg.as_ref()))
+                .flat_map(|e| e.referenced_columns())
+                .collect(),
+            None => bound.projections.iter().flat_map(|e| e.referenced_columns()).collect(),
+        };
+        let mut tail_need = final_cols.clone();
+        for c in &merge_posts {
+            tail_need.extend(c.referenced_columns());
+        }
+        tail_need.insert(ga);
+        tail_need.insert(gb);
+
+        let plan_a =
+            lower_chain(bound, &pieces.rel_filters, chain_a, choices_a, &posts_a, &tail_need);
+        let plan_b =
+            lower_chain(bound, &pieces.rel_filters, chain_b, choices_b, &posts_b, &tail_need);
+        let mut stages = plan_a.stages;
+        stages.last_mut().expect("chain A has a stage").out_to = Some((merge_stage, 0));
+        let b_root = stages.len();
+        stages.extend(plan_b.stages);
+        stages[b_root].left_scan = Some(BranchScan {
+            table: bound.relations[chain_b[0]].name.clone(),
+            filter: pieces.rel_filters[chain_b[0]].clone(),
+        });
+        stages.last_mut().expect("chain B has a stage").out_to = Some((merge_stage, 1));
+
+        // The merge stage: chain A's output is its side 0, chain B's its
+        // side 1; both keys and ship columns index the chains' output
+        // schemas.
+        let mut want: BTreeSet<usize> = final_cols;
+        for c in &merge_posts {
+            want.extend(c.referenced_columns());
+        }
+        let left_ship_cols: Vec<usize> =
+            (0..plan_a.out_map.len()).filter(|&i| want.contains(&plan_a.out_map[i])).collect();
+        let right_ship_cols: Vec<usize> =
+            (0..plan_b.out_map.len()).filter(|&i| want.contains(&plan_b.out_map[i])).collect();
+        let concat_map: Vec<usize> = left_ship_cols
+            .iter()
+            .map(|&i| plan_a.out_map[i])
+            .chain(right_ship_cols.iter().map(|&i| plan_b.out_map[i]))
+            .collect();
+        let remap = |g: usize| -> Expr {
+            Expr::col(
+                concat_map.iter().position(|&x| x == g).expect("every needed column is shipped"),
+            )
+        };
+        let post_filter =
+            conjoin(merge_posts.iter().map(|c| fold_expr(c).substitute_columns(&remap)).collect());
+        let left_key = Expr::col(
+            plan_a.out_map.iter().position(|&g| g == ga).expect("merge key is in chain A output"),
+        );
+        let right_key = Expr::col(
+            plan_b.out_map.iter().position(|&g| g == gb).expect("merge key is in chain B output"),
+        );
+        stages.push(JoinStage {
+            right_table: bound.relations[chain_b[0]].name.clone(),
+            left_key,
+            right_key,
+            right_filter: None,
+            post_filter,
+            left_ship_cols,
+            right_ship_cols,
+            out_cols: Vec::new(),
+            strategy: JoinStrategy::SymmetricHash,
+            inner_bloom: false,
+            bloom_bits: 0,
+            left_scan: None,
+            out_to: None,
+        });
+        let last_concat_map = concat_map;
+        let final_remap = |g: usize| -> Expr {
+            Expr::col(
+                last_concat_map
+                    .iter()
+                    .position(|&x| x == g)
+                    .expect("projected columns reach the merge stage"),
+            )
+        };
+
+        // EXPLAIN note: the bushy shape, one line per chain stage, and the
+        // merge rationale.
+        let names = |chain: &[usize]| {
+            chain.iter().map(|&r| bound.relations[r].name.as_str()).collect::<Vec<_>>().join(" ⋈ ")
+        };
+        let mut note = format!("join order: ({}) ⋈ ({}) [bushy]\n", names(chain_a), names(chain_b));
+        for (k, choice) in order_plan.stages.iter().enumerate() {
+            note.push_str(&format!(
+                "stage {k} (⋈ '{}', ~{:.0} ⋈ ~{:.0} → ~{:.0} rows): {}\n",
+                bound.relations[choice.rel].name,
+                choice.left_est,
+                choice.right_est,
+                choice.out_est,
+                choice.note
+            ));
+        }
+        note.push_str(&format!("stage {merge_stage}: {}\n", bushy.note));
+
+        let (project, aggregate) = match &bound.aggregate {
+            Some(agg) => {
+                let group_exprs: Vec<Expr> = agg
+                    .group_exprs
+                    .iter()
+                    .map(|e| fold_expr(e).substitute_columns(&final_remap))
+                    .collect();
+                let aggs: Vec<AggExpr> = agg
+                    .aggs
+                    .iter()
+                    .map(|a| AggExpr {
+                        func: a.func,
+                        arg: a.arg.as_ref().map(|e| fold_expr(e).substitute_columns(&final_remap)),
+                        name: a.name.clone(),
+                    })
+                    .collect();
+                let having_above = match &agg.having {
+                    Some(h) => split_group_having(h, &agg.group_exprs).1,
+                    None => None,
+                };
+                let est_matches = bushy.out_est;
+                let est_groups: f64 = agg
+                    .group_exprs
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Column(g) => self.distinct_of(bound, &offsets, n, *g),
+                        _ => 32.0,
+                    })
+                    .product::<f64>()
+                    .clamp(1.0, est_matches.max(1.0));
+                let hierarchical = est_groups < est_matches.max(1.0);
+                note.push_str(&if hierarchical {
+                    format!(
+                        "aggregation: hierarchical in-network partials \
+                         (~{est_groups:.0} groups compress ~{est_matches:.0} matched rows)"
+                    )
+                } else {
+                    format!(
+                        "aggregation: at origin over raw rows \
+                         (~{est_groups:.0} groups ≈ ~{est_matches:.0} matched rows, \
+                         partials would not compress)"
+                    )
+                });
+                note.push('\n');
+                let last = stages.last().expect("merge stage");
+                let key_pos = |key: &Expr, ship: &[usize], base: usize| -> Option<usize> {
+                    match key {
+                        Expr::Column(i) => ship.iter().position(|c| c == i).map(|p| base + p),
+                        _ => None,
+                    }
+                };
+                let left_pos = key_pos(&last.left_key, &last.left_ship_cols, 0);
+                let right_pos =
+                    key_pos(&last.right_key, &last.right_ship_cols, last.left_ship_cols.len());
+                let colocated = hierarchical
+                    && matches!(group_exprs.as_slice(),
+                        [Expr::Column(g)] if Some(*g) == left_pos || Some(*g) == right_pos);
+                if colocated {
+                    note.push_str(
+                        "aggregation: colocated with the merge stage \
+                         (GROUP BY = stage key; groups finalize at their join sites, \
+                         no partial climb)\n",
+                    );
+                }
+                let project: Vec<Expr> = (0..last_concat_map.len()).map(Expr::col).collect();
+                let aggregate = JoinAggregate {
+                    group_exprs,
+                    aggs,
+                    having: having_above.as_ref().map(fold_expr),
+                    final_project: agg.final_project.clone(),
+                    hierarchical,
+                    colocated,
+                };
+                (project, Some(aggregate))
+            }
+            None => {
+                let project: Vec<Expr> = bound
+                    .projections
+                    .iter()
+                    .map(|e| fold_expr(e).substitute_columns(&final_remap))
+                    .collect();
+                (project, None)
+            }
+        };
+
+        Ok(PhysicalPlan {
+            kind: QueryKind::Join {
+                left_table: bound.relations[chain_a[0]].name.clone(),
+                left_filter: pieces.rel_filters[chain_a[0]].clone(),
+                stages,
+                project,
+                aggregate,
+                order_by: bound.order_by.clone(),
+                limit: bound.limit,
+            },
+            strategy_note: Some(note),
+        })
+    }
+}
+
+/// One lowered bushy subchain: its stage specs (chain-local order, DAG edges
+/// not yet stamped) and the global column ids of its output schema — the
+/// rows it rehashes to the merge stage.
+struct ChainPlan {
+    stages: Vec<JoinStage>,
+    out_map: Vec<usize>,
+}
+
+/// Lower one left-deep subchain of a bushy plan: the same backward
+/// needed-column and forward ship-column passes the chain planner runs,
+/// except the last stage also emits `out_cols` (its output feeds the merge
+/// stage rather than the query projection).  `tail_need` is the global
+/// column set consumed after the chain (merge keys, merge post-filters, and
+/// the final projection/aggregate).
+fn lower_chain(
+    bound: &BoundSelect,
+    rel_filters: &[Option<Expr>],
+    chain: &[usize],
+    choices: &[StageChoice],
+    posts: &[Vec<Expr>],
+    tail_need: &BTreeSet<usize>,
+) -> ChainPlan {
+    let offsets = bound.offsets();
+    let num = chain.len() - 1;
+    let mut key_left_global = Vec::with_capacity(num);
+    let mut key_right_local = Vec::with_capacity(num);
+    for choice in choices {
+        let p = &bound.join_preds[choice.key_pred];
+        if p.left_rel == choice.rel {
+            key_right_local.push(p.left_col);
+            key_left_global.push(offsets[p.right_rel] + p.right_col);
+        } else {
+            key_right_local.push(p.right_col);
+            key_left_global.push(offsets[p.left_rel] + p.left_col);
+        }
+    }
+    let span = |r: usize| offsets[r]..offsets[r] + bound.relations[r].schema.arity();
+    let chain_cols: BTreeSet<usize> = chain.iter().flat_map(|&r| span(r)).collect();
+    let available =
+        |k: usize| -> BTreeSet<usize> { chain[..=k + 1].iter().flat_map(|&r| span(r)).collect() };
+    let mut needed: BTreeSet<usize> = tail_need.intersection(&chain_cols).copied().collect();
+    let mut need_after: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); num];
+    for k in (0..num).rev() {
+        need_after[k] = needed.intersection(&available(k)).copied().collect();
+        for c in &posts[k] {
+            needed.extend(c.referenced_columns());
+        }
+        needed.insert(key_left_global[k]);
+    }
+    let drv = chain[0];
+    let mut left_map: Vec<usize> = span(drv).collect();
+    let mut stages = Vec::with_capacity(num);
+    for k in 0..num {
+        let choice = &choices[k];
+        let q = choice.rel;
+        let q_arity = bound.relations[q].schema.arity();
+        let is_fetch = choice.strategy == JoinStrategy::FetchMatches;
+        let mut want: BTreeSet<usize> = need_after[k].clone();
+        for c in &posts[k] {
+            want.extend(c.referenced_columns());
+        }
+        let (left_ship_cols, right_ship_cols): (Vec<usize>, Vec<usize>) = if is_fetch {
+            ((0..left_map.len()).collect(), (0..q_arity).collect())
+        } else {
+            (
+                (0..left_map.len()).filter(|&i| want.contains(&left_map[i])).collect(),
+                (0..q_arity).filter(|&c| want.contains(&(offsets[q] + c))).collect(),
+            )
+        };
+        let concat_map: Vec<usize> = left_ship_cols
+            .iter()
+            .map(|&i| left_map[i])
+            .chain(right_ship_cols.iter().map(|&c| offsets[q] + c))
+            .collect();
+        let remap = |g: usize| -> Expr {
+            Expr::col(
+                concat_map.iter().position(|&x| x == g).expect("every needed column is shipped"),
+            )
+        };
+        let post_filter =
+            conjoin(posts[k].iter().map(|c| fold_expr(c).substitute_columns(&remap)).collect());
+        let left_key = Expr::col(
+            left_map
+                .iter()
+                .position(|&g| g == key_left_global[k])
+                .expect("key column is part of the stage input"),
+        );
+        let right_key = Expr::col(key_right_local[k]);
+        let next_map: Vec<usize> = need_after[k].iter().copied().collect();
+        let out_cols: Vec<usize> = next_map
+            .iter()
+            .map(|&g| {
+                concat_map.iter().position(|&x| x == g).expect("stage output columns are shipped")
+            })
+            .collect();
+        left_map = next_map;
+        stages.push(JoinStage {
+            right_table: bound.relations[q].name.clone(),
+            left_key,
+            right_key,
+            right_filter: rel_filters[q].clone(),
+            post_filter,
+            left_ship_cols,
+            right_ship_cols,
+            out_cols,
+            strategy: choice.strategy,
+            inner_bloom: choice.inner_bloom,
+            bloom_bits: choice.bloom_bits,
+            left_scan: None,
+            out_to: None,
+        });
+    }
+    ChainPlan { stages, out_map: left_map }
 }
 
 /// Estimated fraction of rows surviving a predicate (System-R style guesses);

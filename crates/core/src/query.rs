@@ -81,11 +81,32 @@ pub enum JoinStrategy {
     BloomFilter,
 }
 
+/// A fresh base-table scan driving a join stage's left side (the root of a
+/// bushy subchain).  Stage 0's driving scan is described at the
+/// [`QueryKind::Join`] level; any later stage carrying a `BranchScan` starts
+/// a second, independent chain whose tuples flow through the stage DAG until
+/// an [`JoinStage::out_to`] edge merges them with the other chain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BranchScan {
+    /// The base table this subchain scans.
+    pub table: String,
+    /// Pushed-down predicate over the table's schema, applied before
+    /// shipping (the optimizer's predicate pushdown, same as `left_filter`).
+    pub filter: Option<Expr>,
+}
+
 /// One stage of a staged multi-way join: the accumulated intermediate
 /// relation (or, for stage 0, the driving base table) joined against
 /// `right_table`, producing either the next intermediate (rehashed by the
 /// next stage's key into that stage's DHT namespace — PIER's multihop joins
 /// composed) or, at the last stage, the query's projected output.
+///
+/// Stages form a **DAG**, not just a chain: a stage with a
+/// [`BranchScan`](JoinStage::left_scan) roots an independent subchain, and
+/// [`out_to`](JoinStage::out_to) routes a stage's output to an explicit
+/// (stage, side) instead of the implicit next stage's left side — which is
+/// how a bushy plan's two subchains run concurrently and meet at a
+/// rehash-merge stage.
 ///
 /// Column spaces: the stage's *left input schema* is the driving table's
 /// base schema for stage 0 and the previous stage's `out_cols` output
@@ -135,6 +156,46 @@ pub struct JoinStage {
     /// The engine clamps to its configured bounds; all nodes derive the same
     /// geometry from this disseminated value, so summaries union cleanly.
     pub bloom_bits: u32,
+    /// When set, this stage's left side is a fresh base-table scan (the root
+    /// of a bushy subchain) instead of the previous stage's output;
+    /// `left_key` and `left_ship_cols` are then over the scanned table's
+    /// base schema, exactly as stage 0's are over the driving table.
+    pub left_scan: Option<BranchScan>,
+    /// Explicit routing of this stage's `out_cols` output: `(stage, side)`
+    /// it is rehashed to.  `None` keeps the chain default — the next stage's
+    /// left side (side 0) — with the last stage producing the query output.
+    /// A bushy merge stage receives one subchain on side 0 and the other on
+    /// side 1; its `right_key` / `right_ship_cols` are then over the feeding
+    /// subchain's output schema rather than a base table.
+    pub out_to: Option<(u8, u8)>,
+}
+
+impl JoinStage {
+    /// A plain chain stage with no DAG edges (the pre-bushy constructor
+    /// shape; tests and manual specs build stages through this).
+    #[allow(clippy::too_many_arguments)]
+    pub fn chain(
+        right_table: impl Into<String>,
+        left_key: Expr,
+        right_key: Expr,
+        strategy: JoinStrategy,
+    ) -> Self {
+        JoinStage {
+            right_table: right_table.into(),
+            left_key,
+            right_key,
+            right_filter: None,
+            post_filter: None,
+            left_ship_cols: Vec::new(),
+            right_ship_cols: Vec::new(),
+            out_cols: Vec::new(),
+            strategy,
+            inner_bloom: false,
+            bloom_bits: 0,
+            left_scan: None,
+            out_to: None,
+        }
+    }
 }
 
 /// Grouped (or global) aggregation terminating a staged join: the final
@@ -304,17 +365,43 @@ impl QueryKind {
     }
 
     /// All tables this query reads, in join order (single-element for
-    /// non-join queries).
+    /// non-join queries).  Subchain roots contribute their scanned table; a
+    /// merge stage's `right_table` is skipped when another stage feeds its
+    /// right side (nothing scans it there).
     pub fn tables(&self) -> Vec<&str> {
         match self {
             QueryKind::Join { left_table, stages, .. } => {
                 let mut t = vec![left_table.as_str()];
-                t.extend(stages.iter().map(|s| s.right_table.as_str()));
+                for (k, s) in stages.iter().enumerate() {
+                    if let Some(b) = &s.left_scan {
+                        t.push(b.table.as_str());
+                    }
+                    if !join_side_fed(stages, k as u8, 1) {
+                        t.push(s.right_table.as_str());
+                    }
+                }
                 t
             }
             other => vec![other.primary_table()],
         }
     }
+}
+
+/// Does some stage's output feed `(stage, side)` of the join DAG?  Side 0 of
+/// stage `k > 0` is implicitly fed by stage `k - 1` unless that stage routes
+/// elsewhere or stage `k` roots a subchain; side 1 is fed only through an
+/// explicit [`JoinStage::out_to`] edge (it is a base-table scan otherwise).
+pub fn join_side_fed(stages: &[JoinStage], stage: u8, side: u8) -> bool {
+    stages.iter().enumerate().any(|(j, s)| {
+        let target = match s.out_to {
+            Some(t) => Some(t),
+            // Implicit chain edge: a non-final stage defaults to the next
+            // stage's left side.
+            None if j + 1 < stages.len() => Some((j as u8 + 1, 0)),
+            None => None,
+        };
+        target == Some((stage, side))
+    }) && !(side == 0 && stages[stage as usize].left_scan.is_some())
 }
 
 /// A complete distributed query: identity, work description, output naming,
@@ -391,6 +478,20 @@ impl WireSize for QuerySpec {
                                 + 1
                                 // strategy flag + inner_bloom + bloom_bits
                                 + 5
+                                // DAG edges: out_to tag + (stage, side), and
+                                // the subchain scan when present
+                                + 3
+                                + s.left_scan
+                                    .as_ref()
+                                    .map(|b| {
+                                        b.table.len()
+                                            + 1
+                                            + b.filter
+                                                .as_ref()
+                                                .map(|f| f.wire_size())
+                                                .unwrap_or(0)
+                                    })
+                                    .unwrap_or(1)
                         })
                         .sum::<usize>()
             }

@@ -86,6 +86,16 @@ pub struct OpTrace {
     /// counted on per-query send paths (a cross-query piggybacked frame has
     /// no single stage); single-query runs account exactly.
     pub stage_rehash_msgs: BTreeMap<u8, u64>,
+    /// Left-side (side-0) tuples that arrived at this node's join sites, per
+    /// stage — the *observed* left-input cardinality the planner estimated.
+    /// Receiver-side by design (it measures what the join actually saw, not
+    /// what was sent); the trace-fed cost model folds these into
+    /// [`ObservedStats`](crate::planner::ObservedStats).
+    pub stage_left_in: BTreeMap<u8, u64>,
+    /// Right-side (side-1) tuples that arrived at this node's join sites (or
+    /// matched a Fetch-Matches probe), per stage — the observed right-input
+    /// cardinality.
+    pub stage_right_in: BTreeMap<u8, u64>,
     /// Inner-stage Bloom hold-down deadlines that expired before a combined
     /// summary arrived, degrading this node to an unfiltered rehash.
     pub bloom_fallbacks: u64,
@@ -137,6 +147,12 @@ impl OpTrace {
         for (&stage, &n) in &other.stage_rehash_msgs {
             *self.stage_rehash_msgs.entry(stage).or_insert(0) += n;
         }
+        for (&stage, &n) in &other.stage_left_in {
+            *self.stage_left_in.entry(stage).or_insert(0) += n;
+        }
+        for (&stage, &n) in &other.stage_right_in {
+            *self.stage_right_in.entry(stage).or_insert(0) += n;
+        }
         self.bloom_fallbacks += other.bloom_fallbacks;
         self.piggybacked_payloads += other.piggybacked_payloads;
     }
@@ -159,7 +175,9 @@ impl WireSize for OpTrace {
                 + self.stage_matches.len()
                 + self.stage_bloom_tested.len()
                 + self.stage_bloom_passed.len()
-                + self.stage_rehash_msgs.len())
+                + self.stage_rehash_msgs.len()
+                + self.stage_left_in.len()
+                + self.stage_right_in.len())
                 * 9
     }
 }
@@ -321,6 +339,8 @@ mod tests {
             strategy: crate::query::JoinStrategy::SymmetricHash,
             inner_bloom: false,
             bloom_bits: 0,
+            left_scan: None,
+            out_to: None,
         };
         let kind = QueryKind::Join {
             left_table: "l".into(),
