@@ -13,16 +13,21 @@
 //! * [`filesharing`] — a synthetic file corpus plus an inverted keyword index
 //!   for distributed keyword-search joins;
 //! * [`topology`] — overlay link tables (extracted from the live DHT) queried
-//!   recursively for reachability, the paper's "network topology mapping".
+//!   recursively for reachability, the paper's "network topology mapping";
+//! * [`selfmon`] — PIER querying PIER: every node publishes its own engine
+//!   counters into a `node_stats` table, watched with continuous (and
+//!   windowed) queries — the self-monitoring plane.
 
 #![warn(missing_docs)]
 
 pub mod filesharing;
 pub mod netmon;
+pub mod selfmon;
 pub mod snort;
 pub mod topology;
 
 pub use filesharing::FileCorpus;
 pub use netmon::NetworkMonitor;
+pub use selfmon::SelfMonitor;
 pub use snort::{SnortSimulator, SNORT_RULES};
 pub use topology::TopologyMapper;

@@ -1,0 +1,236 @@
+//! Self-monitoring plane: PIER querying PIER.
+//!
+//! Every node periodically publishes its own engine counters
+//! ([`EngineStats`] *deltas* since the previous
+//! round) as a `node_stats` tuple stored locally — monitoring data about a
+//! node lives at that node, exactly like the `netstats` workload.  Operators
+//! then watch the deployment with ordinary continuous queries over
+//! `node_stats`; the windowed forms (`WINDOW TUMBLING / SLIDING … EPOCHS`)
+//! and the `HAVING` trigger turn the table into a self-contained alerting
+//! plane with no external monitoring system.
+//!
+//! The SQL helpers on [`SelfMonitor`] are the cookbook queries documented in
+//! `docs/OPERATIONS.md`.
+
+use pier_core::prelude::*;
+use pier_core::EngineStats;
+use std::collections::HashMap;
+
+/// The `node_stats` relation, one row per node per monitoring round:
+/// `(host STRING, epochs_run, tuples_published, tuples_scanned,
+/// results_sent, partials_sent, join_matches, messages_sent, bytes_shipped
+/// INT)`.  Counter columns are deltas over the round, not running totals,
+/// so `SUM(...)` over any time or epoch window is meaningful.
+pub fn node_stats_table() -> TableDef {
+    TableDef::new(
+        "node_stats",
+        Schema::of(&[
+            ("host", DataType::Str),
+            ("epochs_run", DataType::Int),
+            ("tuples_published", DataType::Int),
+            ("tuples_scanned", DataType::Int),
+            ("results_sent", DataType::Int),
+            ("partials_sent", DataType::Int),
+            ("join_matches", DataType::Int),
+            ("messages_sent", DataType::Int),
+            ("bytes_shipped", DataType::Int),
+        ]),
+        "host",
+        Duration::from_secs(30),
+    )
+}
+
+/// Cardinality hints for `node_stats` in a deployment of `nodes` hosts:
+/// a handful of live rounds per host within the soft-state TTL.
+pub fn node_stats_stats(nodes: usize) -> TableStats {
+    TableStats::with_rows(4 * nodes as u64).distinct_keys(nodes as u64)
+}
+
+/// Publishes every node's engine-counter deltas into `node_stats` each round.
+pub struct SelfMonitor {
+    /// Counter snapshot at the previous round, per node.
+    last: HashMap<NodeAddr, EngineStats>,
+}
+
+impl Default for SelfMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SelfMonitor {
+    /// A monitor with no history: the first round publishes each node's
+    /// counters since boot.
+    pub fn new() -> Self {
+        SelfMonitor { last: HashMap::new() }
+    }
+
+    /// The canonical `host` value of a node.
+    pub fn host_name(addr: NodeAddr) -> String {
+        format!("node-{:03}", addr.0)
+    }
+
+    /// Turn one node's counter delta into a `node_stats` tuple.
+    fn tuple_for(addr: NodeAddr, cur: &EngineStats, prev: &EngineStats) -> Tuple {
+        let d = |c: u64, p: u64| Value::Int(c.saturating_sub(p) as i64);
+        Tuple::new(vec![
+            Value::str(Self::host_name(addr)),
+            d(cur.epochs_run, prev.epochs_run),
+            d(cur.tuples_published, prev.tuples_published),
+            d(cur.tuples_scanned, prev.tuples_scanned),
+            d(cur.results_sent, prev.results_sent),
+            d(cur.partials_sent, prev.partials_sent),
+            d(cur.join_matches, prev.join_matches),
+            d(cur.messages_sent, prev.messages_sent),
+            d(cur.bytes_shipped, prev.bytes_shipped),
+        ])
+    }
+
+    /// Publish one monitoring round: every *alive* node stores the delta of
+    /// its own engine counters since the previous round as a local
+    /// `node_stats` tuple.  Returns how many rows were published.
+    pub fn publish_round(&mut self, bed: &mut PierTestbed) -> usize {
+        self.publish_round_logged(bed).len()
+    }
+
+    /// Like [`publish_round`](Self::publish_round), but returns the published
+    /// tuples themselves — benchmarks and tests log them per round to build
+    /// reference answers for the monitoring queries.
+    pub fn publish_round_logged(&mut self, bed: &mut PierTestbed) -> Vec<Tuple> {
+        let mut published = Vec::new();
+        for addr in bed.alive_nodes() {
+            let Some(node) = bed.node(addr) else { continue };
+            let cur = node.stats();
+            let prev = self.last.get(&addr).copied().unwrap_or_default();
+            let tuple = Self::tuple_for(addr, &cur, &prev);
+            self.last.insert(addr, cur);
+            bed.publish_local(addr, "node_stats", tuple.clone());
+            published.push(tuple);
+        }
+        published
+    }
+
+    // ------------------------------------------------------------------
+    // Cookbook queries (documented in docs/OPERATIONS.md)
+    // ------------------------------------------------------------------
+
+    /// Network-wide load per epoch: reporting nodes, wire messages, payload
+    /// bytes.  One row per epoch with three columns.
+    pub fn network_load_sql(period_secs: u64, window_secs: u64) -> String {
+        format!(
+            "SELECT COUNT(*) AS reporters, SUM(messages_sent) AS msgs, \
+             SUM(bytes_shipped) AS bytes FROM node_stats \
+             CONTINUOUS EVERY {period_secs} SECONDS WINDOW {window_secs} SECONDS"
+        )
+    }
+
+    /// The `k` busiest nodes by tuples scanned over the trailing window.
+    /// Up to `k` rows per epoch: `(host, scanned)` in descending order.
+    pub fn busiest_scanners_sql(k: usize, period_secs: u64, window_secs: u64) -> String {
+        format!(
+            "SELECT host, SUM(tuples_scanned) AS scanned FROM node_stats \
+             GROUP BY host ORDER BY scanned DESC LIMIT {k} \
+             CONTINUOUS EVERY {period_secs} SECONDS WINDOW {window_secs} SECONDS"
+        )
+    }
+
+    /// Tumbling-window publish throughput: one `(published)` row per window
+    /// of `size` epochs — each round of data counted exactly once.
+    pub fn windowed_throughput_sql(size: u32, period_secs: u64) -> String {
+        format!(
+            "SELECT SUM(tuples_published) AS published FROM node_stats \
+             WINDOW TUMBLING {size} EPOCHS \
+             CONTINUOUS EVERY {period_secs} SECONDS"
+        )
+    }
+
+    /// Sliding-window result volume: one `(rows_sent)` row per slide of
+    /// `slide` epochs, each covering the last `size` epochs.
+    pub fn sliding_result_volume_sql(size: u32, slide: u32, period_secs: u64) -> String {
+        format!(
+            "SELECT SUM(results_sent) AS rows_sent FROM node_stats \
+             WINDOW SLIDING {size} EPOCHS SLIDE {slide} EPOCHS \
+             CONTINUOUS EVERY {period_secs} SECONDS"
+        )
+    }
+
+    /// Hot-node trigger: per window of `size` epochs, the hosts whose wire
+    /// traffic exceeded `threshold` messages.  Besides the per-window result
+    /// rows, each firing publishes an alert tuple into the query's
+    /// `pier:alert:<id>` namespace (see
+    /// [`PierNode::alert_namespace`](pier_core::PierNode::alert_namespace)).
+    pub fn hot_node_alert_sql(threshold: u64, size: u32, period_secs: u64) -> String {
+        format!(
+            "SELECT host, SUM(messages_sent) AS msgs FROM node_stats \
+             GROUP BY host WINDOW TUMBLING {size} EPOCHS \
+             HAVING SUM(messages_sent) > {threshold} \
+             CONTINUOUS EVERY {period_secs} SECONDS"
+        )
+    }
+
+    /// Straggler check: the five nodes that evaluated the fewest epochs over
+    /// the trailing window (dead or overloaded nodes sink to the top).
+    pub fn quiet_nodes_sql(period_secs: u64, window_secs: u64) -> String {
+        format!(
+            "SELECT host, SUM(epochs_run) AS epochs FROM node_stats \
+             GROUP BY host ORDER BY epochs ASC LIMIT 5 \
+             CONTINUOUS EVERY {period_secs} SECONDS WINDOW {window_secs} SECONDS"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_definition() {
+        let def = node_stats_table();
+        assert_eq!(def.name, "node_stats");
+        assert_eq!(def.schema.arity(), 9);
+        assert_eq!(def.partition_column, 0);
+        let stats = node_stats_stats(50);
+        assert_eq!(stats.rows, 200);
+        assert_eq!(stats.distinct_keys, Some(50));
+    }
+
+    #[test]
+    fn deltas_not_totals() {
+        let mut prev = EngineStats::default();
+        let mut cur = EngineStats { tuples_published: 10, epochs_run: 3, ..EngineStats::default() };
+        let t1 = SelfMonitor::tuple_for(NodeAddr(7), &cur, &prev);
+        assert_eq!(t1.get(0), &Value::str("node-007"));
+        assert_eq!(t1.get(2), &Value::Int(10));
+        prev = cur;
+        cur.tuples_published = 25;
+        let t2 = SelfMonitor::tuple_for(NodeAddr(7), &cur, &prev);
+        assert_eq!(t2.get(2), &Value::Int(15), "second round publishes the delta");
+        assert_eq!(t2.get(1), &Value::Int(0));
+    }
+
+    #[test]
+    fn publish_round_stores_one_row_per_alive_node() {
+        let mut bed = PierTestbed::quick(8, 99);
+        bed.create_table_everywhere(&node_stats_table());
+        let mut mon = SelfMonitor::new();
+        assert_eq!(mon.publish_round(&mut bed), 8);
+        bed.run_for(Duration::from_secs(1));
+        let rows = bed.query_once("SELECT COUNT(*) FROM node_stats", Duration::from_secs(10));
+        assert_eq!(rows.unwrap()[0].get(0), &Value::Int(8));
+    }
+
+    #[test]
+    fn cookbook_queries_parse() {
+        for sql in [
+            SelfMonitor::network_load_sql(2, 10),
+            SelfMonitor::busiest_scanners_sql(5, 2, 10),
+            SelfMonitor::windowed_throughput_sql(4, 2),
+            SelfMonitor::sliding_result_volume_sql(8, 2, 2),
+            SelfMonitor::hot_node_alert_sql(100, 3, 2),
+            SelfMonitor::quiet_nodes_sql(2, 10),
+        ] {
+            pier_core::sql::parse_select(&sql)
+                .unwrap_or_else(|e| panic!("cookbook query failed to parse: {e}\n{sql}"));
+        }
+    }
+}

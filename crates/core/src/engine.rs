@@ -106,6 +106,28 @@ pub enum AggregationMode {
     Direct,
 }
 
+/// What the aggregation root of a windowed continuous query does with
+/// partials that arrive for an epoch whose window(s) it has already closed
+/// and reported (see [`crate::query::WindowSpec`]).
+///
+/// Windows close when the root's *watermark* — the highest epoch it has
+/// finalized — passes the window's last epoch.  A partial delayed past the
+/// root's collect-and-extend grace period is *late*; this policy decides
+/// whether its data is lost or folded in retroactively.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowLatePolicy {
+    /// Discard late partials (counted in
+    /// [`EngineStats::window_late_dropped`]).  Closed windows are immutable
+    /// and their state is freed at close — the cheap, at-most-once default.
+    Drop,
+    /// Merge late partials into the retained window state and re-emit the
+    /// corrected window: the origin receives a retraction for the window's
+    /// previous rows, then the updated rows.  Closed-window state is kept
+    /// for a bounded number of slides, so very late data (beyond the
+    /// retention horizon) is still dropped.
+    Patch,
+}
+
 /// Engine configuration.
 ///
 /// # Example: the batching and statistics knobs
@@ -241,6 +263,13 @@ pub struct PierConfig {
     /// block.  `false` reproduces the plain encoding's byte accounting
     /// exactly.
     pub columnar_wire: bool,
+    /// What the aggregation root does with partials that arrive after the
+    /// windows covering their epoch have closed (windowed continuous
+    /// aggregates only; see [`WindowLatePolicy`]).  Interacts with
+    /// `collect_delay` and `holddown`: the shorter those grace periods are
+    /// relative to network latency, the more data arrives late and the more
+    /// this policy matters.
+    pub window_late_policy: WindowLatePolicy,
 }
 
 impl Default for PierConfig {
@@ -274,6 +303,7 @@ impl Default for PierConfig {
             renewal: false,
             vectorized: true,
             columnar_wire: true,
+            window_late_policy: WindowLatePolicy::Drop,
         }
     }
 }
@@ -307,6 +337,7 @@ impl PierConfig {
             renewal: false,
             vectorized: true,
             columnar_wire: true,
+            window_late_policy: WindowLatePolicy::Drop,
         }
     }
 
@@ -338,6 +369,7 @@ impl PierConfig {
             renewal: false,
             vectorized: true,
             columnar_wire: true,
+            window_late_policy: WindowLatePolicy::Drop,
         }
     }
 }
@@ -409,6 +441,19 @@ pub struct EngineStats {
     /// Tuples a renewal sweep left in place because they were still fresh —
     /// the traffic a whole-batch re-publish would have paid for.
     pub renewal_tuples_skipped: u64,
+    /// Epoch-count windows this node closed and reported as an aggregation
+    /// root (windowed continuous aggregates).
+    pub windows_closed: u64,
+    /// Late partial-aggregate payloads discarded because the windows
+    /// covering their epoch had already closed
+    /// ([`WindowLatePolicy::Drop`], or `Patch` past its retention horizon).
+    pub window_late_dropped: u64,
+    /// Already-closed windows re-opened, corrected, and re-emitted because
+    /// a late partial arrived under [`WindowLatePolicy::Patch`].
+    pub window_late_patched: u64,
+    /// Alert tuples published into a query's `pier:alert:<id>` namespace
+    /// (windowed aggregates with a `HAVING` trigger).
+    pub alerts_emitted: u64,
 }
 
 impl EngineStats {
@@ -439,6 +484,10 @@ impl EngineStats {
         self.gossip_deferred += other.gossip_deferred;
         self.renewals_published += other.renewals_published;
         self.renewal_tuples_skipped += other.renewal_tuples_skipped;
+        self.windows_closed += other.windows_closed;
+        self.window_late_dropped += other.window_late_dropped;
+        self.window_late_patched += other.window_late_patched;
+        self.alerts_emitted += other.alerts_emitted;
     }
 }
 
@@ -482,6 +531,18 @@ struct RunningQuery {
     /// Epochs this node has already finalized as the aggregation root; late
     /// partials for them are discarded rather than double-reported.
     finalized: HashSet<u64>,
+    /// Windowed aggregates, root side: per-window merged group states (each
+    /// finalized epoch's accumulator folded into every window covering it).
+    window_acc: HashMap<u64, GroupAggregator>,
+    /// Max per-epoch contributor count folded into each window ("responding
+    /// nodes" over the window).
+    window_contrib: HashMap<u64, u64>,
+    /// Highest epoch this root has finalized — the window-close watermark.
+    window_watermark: Option<u64>,
+    /// Windows already closed and reported.  Under
+    /// [`WindowLatePolicy::Patch`] late data re-opens them transiently (the
+    /// corrected window is re-emitted); under `Drop` it is discarded.
+    windows_closed: HashSet<u64>,
     /// Last time a partial arrived at the root, per epoch (quiescence check).
     root_last_update: HashMap<u64, SimTime>,
     /// How many times finalization has been postponed, per epoch.
@@ -625,6 +686,10 @@ impl RunningQuery {
             root_contrib: HashMap::new(),
             finalize_armed: HashSet::new(),
             finalized: HashSet::new(),
+            window_acc: HashMap::new(),
+            window_contrib: HashMap::new(),
+            window_watermark: None,
+            windows_closed: HashSet::new(),
             root_last_update: HashMap::new(),
             root_extensions: HashMap::new(),
             join_left: HashMap::new(),
@@ -1408,6 +1473,14 @@ impl PierNode {
                     res.rows.entry(epoch).or_default();
                 }
             }
+            PierPayload::WindowRetract { query, window } => {
+                // A late-data patch is coming: forget the window's previous
+                // rows; the corrected rows and a fresh EpochDone follow.
+                if let Some(res) = self.results.get_mut(&query) {
+                    res.rows.insert(window, Vec::new());
+                    res.contributors.remove(&window);
+                }
+            }
             PierPayload::Bloom { query, stage, epoch, bits, k, combined: false } => {
                 self.on_bloom_summary(ctx, query, stage, epoch, bits, k);
             }
@@ -1521,10 +1594,7 @@ impl PierNode {
         }
         self.stats.epochs_run += 1;
 
-        let since = match spec.continuous {
-            Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
-            None => SimTime::ZERO,
-        };
+        let since = scan_since(&spec, now);
 
         match &spec.kind {
             QueryKind::Select { table, filter, project, .. } => {
@@ -2217,11 +2287,58 @@ impl PierNode {
         let mut arm_finalize = false;
         let mut arm_holddown = false;
         let mut forward_now = false;
+        let mut reemit: Vec<u64> = Vec::new();
         {
             let q = self.queries.get_mut(&id).expect("query checked above");
             if is_root && q.finalized.contains(&epoch) {
-                // The epoch was already finalized and reported; late partials
-                // are dropped (best-effort soft state, as in PIER).
+                // The epoch was already finalized and reported.  For plain
+                // continuous queries late partials are dropped (best-effort
+                // soft state, as in PIER); for windowed queries lateness is
+                // judged per covering window and the configured policy
+                // decides what happens to already-closed ones.
+                let Some(wspec) = q.spec.kind.window_spec() else { return };
+                let policy = self.config.window_late_policy;
+                let mut dropped = false;
+                for w in wspec.windows_of(epoch) {
+                    if q.windows_closed.contains(&w) {
+                        match (policy, q.window_acc.get_mut(&w)) {
+                            (WindowLatePolicy::Patch, Some(acc)) => {
+                                for (key, states) in &groups {
+                                    acc.merge_group(key.clone(), states);
+                                }
+                                // The late subtree never made it into the
+                                // epoch's contributor total, so add it here.
+                                *q.window_contrib.entry(w).or_insert(0) += contributors;
+                                reemit.push(w);
+                            }
+                            // Drop policy, or Patch past its retention
+                            // horizon: the window's state is gone.
+                            _ => dropped = true,
+                        }
+                    } else {
+                        // The window is still open — the data is not late
+                        // for *it*.  Fold it in; the window reports it when
+                        // the watermark closes it.
+                        let acc = q.window_acc.entry(w).or_insert_with(|| {
+                            GroupAggregator::new(group_exprs.clone(), aggs.clone())
+                        });
+                        for (key, states) in &groups {
+                            acc.merge_group(key.clone(), states);
+                        }
+                        *q.window_contrib.entry(w).or_insert(0) += contributors;
+                    }
+                }
+                if dropped {
+                    self.stats.window_late_dropped += 1;
+                    q.trace.window_late_dropped += 1;
+                }
+                for _ in &reemit {
+                    self.stats.window_late_patched += 1;
+                    q.trace.window_late_patched += 1;
+                }
+                for w in reemit {
+                    self.emit_window(ctx, id, w, true);
+                }
                 return;
             }
             if is_root {
@@ -2336,6 +2453,14 @@ impl PierNode {
         let contributors = q.root_contrib.remove(&epoch).unwrap_or(0);
         let spec = q.spec.clone();
 
+        if let Some(wspec) = spec.kind.window_spec() {
+            // Windowed aggregate: the epoch's merged state is not reported
+            // on its own — it is folded into every window covering it, and
+            // whole windows are reported when the watermark closes them.
+            self.fold_epoch_into_windows(ctx, id, epoch, acc, contributors, wspec);
+            return;
+        }
+
         // Both aggregation shapes finalize here: the classic single-table
         // aggregate, and the hierarchical aggregate terminating a join.
         let (having, order_by, limit) = match &spec.kind {
@@ -2366,6 +2491,198 @@ impl PierNode {
         self.note_query_send(id, &done);
         self.dht.send_direct(ctx, spec.origin(), done);
         self.process_upcalls(ctx);
+    }
+
+    /// Fold one finalized epoch's root accumulator into every window
+    /// covering it, advance the watermark, and close (report) every window
+    /// the watermark has passed.
+    fn fold_epoch_into_windows(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: QueryId,
+        epoch: u64,
+        acc: GroupAggregator,
+        contributors: u64,
+        wspec: crate::query::WindowSpec,
+    ) {
+        let to_close = {
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            for w in wspec.windows_of(epoch) {
+                if q.windows_closed.contains(&w) {
+                    // A straggler epoch whose windows all reported already;
+                    // the late-partial path owns that case.
+                    continue;
+                }
+                match q.window_acc.get_mut(&w) {
+                    Some(wa) => wa.merge(&acc),
+                    None => {
+                        q.window_acc.insert(w, acc.clone());
+                    }
+                }
+                // "Responding nodes" for a window: the best (largest)
+                // epoch-level turnout among the epochs it covers.
+                let c = q.window_contrib.entry(w).or_insert(0);
+                *c = (*c).max(contributors);
+            }
+            let watermark = q.window_watermark.map_or(epoch, |m| m.max(epoch));
+            q.window_watermark = Some(watermark);
+            let mut close: Vec<u64> = q
+                .window_acc
+                .keys()
+                .copied()
+                .filter(|&w| wspec.closing_epoch(w) <= watermark && !q.windows_closed.contains(&w))
+                .collect();
+            close.sort_unstable();
+            close
+        };
+        for w in to_close {
+            self.emit_window(ctx, id, w, false);
+        }
+    }
+
+    /// Close one window at the aggregation root: finalize its merged state,
+    /// apply HAVING / ORDER BY / LIMIT, ship the rows (tagged with the
+    /// window id in the `epoch` slot of every result payload) plus an
+    /// `EpochDone`, and publish alert tuples if the query has a `HAVING`
+    /// trigger.  `reemit` marks a late-data correction under
+    /// [`WindowLatePolicy::Patch`]: a [`PierPayload::WindowRetract`]
+    /// precedes the corrected rows so the origin replaces, not appends.
+    fn emit_window(&mut self, ctx: &mut Ctx<'_>, id: QueryId, window: u64, reemit: bool) {
+        let retain = self.config.window_late_policy == WindowLatePolicy::Patch;
+        let (spec, mut rows, contributors) = {
+            let Some(q) = self.queries.get_mut(&id) else { return };
+            let Some(acc) = q.window_acc.get(&window) else { return };
+            let rows = acc.finalize();
+            let contributors = q.window_contrib.get(&window).copied().unwrap_or(0);
+            q.windows_closed.insert(window);
+            if retain {
+                // Keep a bounded horizon of closed-window state so late
+                // partials can patch recent windows; anything older is
+                // freed (and further late data for it degrades to Drop).
+                let cutoff = window.saturating_sub(WINDOW_PATCH_RETAIN);
+                let stale: Vec<u64> = q
+                    .window_acc
+                    .keys()
+                    .copied()
+                    .filter(|w| *w < cutoff && q.windows_closed.contains(w))
+                    .collect();
+                for w in stale {
+                    q.window_acc.remove(&w);
+                    q.window_contrib.remove(&w);
+                }
+            } else {
+                q.window_acc.remove(&window);
+                q.window_contrib.remove(&window);
+            }
+            if !reemit {
+                q.trace.windows_closed += 1;
+            }
+            (q.spec.clone(), rows, contributors)
+        };
+        if !reemit {
+            self.stats.windows_closed += 1;
+        }
+
+        let (having, order_by, limit) = match &spec.kind {
+            QueryKind::Aggregate { having, order_by, limit, .. } => (having, order_by, limit),
+            QueryKind::Join { aggregate: Some(agg), order_by, limit, .. } => {
+                (&agg.having, order_by, limit)
+            }
+            _ => return,
+        };
+        if let Some(h) = having {
+            rows.retain(|r| h.matches(r));
+        }
+        // Trigger form: every row surviving HAVING is an alert for this
+        // window, captured before ORDER BY / LIMIT trim the report.
+        let alert_rows = if having.is_some() { rows.clone() } else { Vec::new() };
+        if !order_by.is_empty() || limit.is_some() {
+            let mut topk = TopK::new(order_by.clone(), limit.unwrap_or(usize::MAX));
+            for r in rows {
+                topk.push(r);
+            }
+            rows = topk.finish();
+        }
+
+        if reemit {
+            let retract = PierPayload::WindowRetract { query: id, window };
+            self.note_query_send(id, &retract);
+            self.dht.send_direct(ctx, spec.origin(), retract);
+        }
+        for row in rows {
+            self.send_result(ctx, &spec, window, row);
+        }
+        let done = PierPayload::EpochDone { query: id, epoch: window, contributors };
+        self.note_query_send(id, &done);
+        self.dht.send_direct(ctx, spec.origin(), done);
+        if !alert_rows.is_empty() {
+            self.publish_alerts(ctx, &spec, window, alert_rows);
+        }
+        self.process_upcalls(ctx);
+    }
+
+    /// Publish one closed window's qualifying rows as alert tuples into the
+    /// query's [`alert namespace`](PierNode::alert_namespace).  Keys are
+    /// deterministic per (window, group), so a patched re-emission
+    /// overwrites the stale alert instead of duplicating it.
+    fn publish_alerts(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        spec: &QuerySpec,
+        window: u64,
+        rows: Vec<Tuple>,
+    ) {
+        let (group_len, final_project) = match &spec.kind {
+            QueryKind::Aggregate { group_exprs, final_project, .. } => {
+                (group_exprs.len(), final_project.clone())
+            }
+            QueryKind::Join { aggregate: Some(agg), .. } => {
+                (agg.group_exprs.len(), agg.final_project.clone())
+            }
+            _ => return,
+        };
+        let namespace = Self::alert_namespace(spec.id);
+        // Alerts live several windows, then expire like any soft state.
+        let ttl = spec
+            .continuous
+            .map(|c| {
+                let wspec =
+                    spec.kind.window_spec().unwrap_or(crate::query::WindowSpec::tumbling(1));
+                let span = c.period.as_micros().saturating_mul(4 * wspec.size as u64);
+                Duration::from_micros(span.max(Duration::from_secs(60).as_micros()))
+            })
+            .unwrap_or(Duration::from_secs(60));
+        let project =
+            ProjectOp::new(final_project.iter().map(|&i| crate::expr::Expr::col(i)).collect());
+        for row in rows {
+            let group_tag: String = row.values()[..group_len.min(row.values().len())]
+                .iter()
+                .map(|v| v.partition_string())
+                .collect::<Vec<_>>()
+                .join("\u{1f}");
+            let resource = format!("{window}:{group_tag}");
+            let projected = project.apply_one(&row);
+            let mut values = Vec::with_capacity(projected.values().len() + 1);
+            values.push(Value::Int(window as i64));
+            values.extend(projected.values().iter().cloned());
+            let key = ResourceKey::new(namespace.clone(), resource.clone(), stable_hash(&resource));
+            let payload = PierPayload::Tuple(Tuple::new(values));
+            self.note_payload(&payload);
+            let sent = self.dht.put(ctx, key, payload, Some(ttl));
+            self.stats.messages_sent += sent as u64;
+            self.stats.alerts_emitted += 1;
+            if let Some(q) = self.queries.get_mut(&spec.id) {
+                q.trace.alerts_emitted += 1;
+            }
+        }
+    }
+
+    /// The DHT namespace a windowed query's `HAVING` trigger publishes
+    /// alert tuples into.  Any node can subscribe by submitting an
+    /// algebraic continuous [`QueryKind::Select`] over it; each alert row
+    /// is `(window, …the query's select list…)`.
+    pub fn alert_namespace(query: QueryId) -> String {
+        format!("pier:alert:{query}")
     }
 
     // ------------------------------------------------------------------
@@ -3031,10 +3348,7 @@ impl PierNode {
             return;
         }
         let now = ctx.now();
-        let since = match spec.continuous {
-            Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
-            None => SimTime::ZERO,
-        };
+        let since = scan_since(&spec, now);
         let kern = self.query_kernels(id);
         let rows = self.scan_filtered_traced(
             id,
@@ -3113,10 +3427,7 @@ impl PierNode {
             return;
         };
         let now = ctx.now();
-        let since = match spec.continuous {
-            Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
-            None => SimTime::ZERO,
-        };
+        let since = scan_since(&spec, now);
         let kern = self.query_kernels(id);
         let rows = self.scan_filtered_traced(
             id,
@@ -3437,6 +3748,37 @@ impl PierNode {
 
 /// Alias to keep `absorb_partials`'s signature readable.
 type AggStateVec = crate::aggregate::AggState;
+
+/// How many closed windows' worth of state the root retains for late-data
+/// patching under [`WindowLatePolicy::Patch`]; late partials for windows
+/// older than this many slides behind the newest close degrade to `Drop`.
+const WINDOW_PATCH_RETAIN: u64 = 4;
+
+/// Deterministic 64-bit string hash (FNV-1a), used for alert instance keys
+/// so a patched re-emission overwrites its predecessor.
+fn stable_hash(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How far back this epoch's local scans reach.  Windowed queries merge
+/// per-epoch deltas into window state at the aggregation root, so each epoch
+/// scans only what arrived since the previous one; plain continuous queries
+/// rescan the whole trailing time window every epoch; one-shot queries scan
+/// everything stored.
+fn scan_since(spec: &QuerySpec, now: SimTime) -> SimTime {
+    match spec.continuous {
+        Some(c) if spec.kind.window_spec().is_some() => {
+            SimTime::from_micros(now.as_micros().saturating_sub(c.period.as_micros()))
+        }
+        Some(c) => SimTime::from_micros(now.as_micros().saturating_sub(c.window.as_micros())),
+        None => SimTime::ZERO,
+    }
+}
 
 /// Short label of the part of a spec that re-planning can change, for the
 /// trace's switch records.

@@ -85,13 +85,16 @@ pub use column::{Column, ColumnData, ColumnarBatch};
 pub use encoding::{ColumnarWire, TupleBlock, WireColumn};
 pub use engine::{
     AggregationMode, EngineStats, PierConfig, PierError, PierMsg, PierNode, QueryResults,
+    WindowLatePolicy,
 };
 pub use expr::{BinaryOp, Expr, ScalarFunc, UnaryOp};
 pub use kernel::Kernel;
 pub use payload::PierPayload;
 pub use plan::{AggExpr, LogicalPlan, SortKey};
 pub use planner::{Explanation, PlanCache, PlanError, PlannedQuery, Planner};
-pub use query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind, QuerySpec, ResultRow};
+pub use query::{
+    ContinuousSpec, JoinStrategy, QueryId, QueryKind, QuerySpec, ResultRow, WindowSpec,
+};
 pub use reference::{same_rows, MemoryDb};
 pub use stats::{GossipView, NodeStatsEntry, TableSummary};
 pub use testbed::{PierTestbed, TestbedConfig};
@@ -102,8 +105,8 @@ pub use value::{DataType, Value};
 /// Commonly used items, for `use pier_core::prelude::*`.
 pub mod prelude {
     pub use crate::catalog::{TableDef, TableStats};
-    pub use crate::engine::{PierConfig, PierNode};
-    pub use crate::query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind};
+    pub use crate::engine::{PierConfig, PierNode, WindowLatePolicy};
+    pub use crate::query::{ContinuousSpec, JoinStrategy, QueryId, QueryKind, WindowSpec};
     pub use crate::testbed::{PierTestbed, TestbedConfig};
     pub use crate::tuple::{Schema, Tuple};
     pub use crate::value::{DataType, Value};

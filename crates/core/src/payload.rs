@@ -59,6 +59,16 @@ pub enum PierPayload {
         /// nodes", the lower series of the paper's Figure 1).
         contributors: u64,
     },
+    /// Sent by the aggregation root to the origin when late partials patched
+    /// an already-reported window (`WindowLatePolicy::Patch`): the origin
+    /// discards the window's previously received rows, then the corrected
+    /// rows and a fresh [`PierPayload::EpochDone`] follow.
+    WindowRetract {
+        /// Which query.
+        query: QueryId,
+        /// Which window (the `epoch` field of the re-sent result rows).
+        window: u64,
+    },
     /// A tuple rehashed to its join site (symmetric-hash and Bloom joins,
     /// plus intermediate tuples flowing between the stages of a multi-way
     /// join chain).
@@ -178,6 +188,7 @@ impl WireSize for PierPayload {
             }
             PierPayload::Result(r) => r.wire_size(),
             PierPayload::EpochDone { .. } => 24,
+            PierPayload::WindowRetract { .. } => 16,
             PierPayload::JoinTuple { key, tuple, .. } => 19 + key.wire_size() + tuple.wire_size(),
             PierPayload::JoinBatch { key, tuples, .. } => 19 + key.wire_size() + tuples.wire_size(),
             PierPayload::ResultBatch { rows, .. } => 16 + rows.wire_size(),

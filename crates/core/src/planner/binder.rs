@@ -13,7 +13,7 @@ use crate::aggregate::AggFunc;
 use crate::catalog::Catalog;
 use crate::expr::{Expr, ScalarFunc};
 use crate::plan::{AggExpr, SortKey};
-use crate::query::ContinuousSpec;
+use crate::query::{ContinuousSpec, WindowSpec};
 use crate::sql::{AstExpr, SelectItem, SelectStmt};
 use crate::tuple::{Field, Schema};
 use crate::value::DataType;
@@ -86,6 +86,9 @@ pub struct BoundAggregate {
     /// Final projection over the aggregate output mapping to the client's
     /// select-list order.
     pub final_project: Vec<usize>,
+    /// Epoch-count window (`WINDOW TUMBLING … / SLIDING …`) of a windowed
+    /// continuous aggregate.
+    pub window: Option<WindowSpec>,
 }
 
 /// A fully resolved `SELECT`: the binder's output and the input to the
@@ -195,6 +198,33 @@ impl<'a> Binder<'a> {
             let window = c.window_secs.map(Duration::from_secs_f64).unwrap_or(period);
             ContinuousSpec { period, window }
         });
+
+        // Epoch-count windows only make sense on a continuous aggregate: the
+        // window is counted in epochs (there are none without CONTINUOUS) and
+        // it is the aggregation root that retains per-epoch states (a plain
+        // streaming SELECT has no root to close windows at).
+        if let Some(w) = &stmt.window {
+            if continuous.is_none() {
+                return Err(PlanError::new(
+                    "WINDOW TUMBLING/SLIDING requires a CONTINUOUS query \
+                     (windows are counted in epochs)",
+                ));
+            }
+            if !stmt.is_aggregate() {
+                return Err(PlanError::new(
+                    "WINDOW TUMBLING/SLIDING requires aggregation \
+                     (GROUP BY or an aggregate select list)",
+                ));
+            }
+            if let Some(slide) = w.slide_epochs {
+                if slide > w.size_epochs {
+                    return Err(PlanError::new(format!(
+                        "window SLIDE ({slide}) must not exceed the window size ({})",
+                        w.size_epochs
+                    )));
+                }
+            }
+        }
 
         if stmt.relation_count() > 1 {
             self.bind_join(stmt, continuous)
@@ -582,8 +612,20 @@ fn resolve_aggregate_parts(
         })
         .collect();
 
+    let window = stmt.window.map(|w| match w.slide_epochs {
+        Some(slide) => WindowSpec::sliding(w.size_epochs, slide),
+        None => WindowSpec::tumbling(w.size_epochs),
+    });
+
     Ok(AggregateParts {
-        aggregate: BoundAggregate { group_exprs, aggs, having, schema: agg_schema, final_project },
+        aggregate: BoundAggregate {
+            group_exprs,
+            aggs,
+            having,
+            schema: agg_schema,
+            final_project,
+            window,
+        },
         output_names,
         project_schema: Schema::new(proj_fields),
         order_by,

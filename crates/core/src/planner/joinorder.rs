@@ -1,24 +1,31 @@
 //! Join-order enumeration for multi-way joins.
 //!
 //! Given the binder's relation list and equi-predicate graph plus per-scan
-//! pushed-down filters, this module picks the **left-deep join order** the
-//! staged distributed execution will run, costed from [`Catalog`]
+//! pushed-down filters, this module picks the join order the staged
+//! distributed execution will run, costed from [`Catalog`]
 //! [`TableStats`](crate::catalog::TableStats) — the very cardinalities the
 //! PR 3 statistics gossip keeps converged network-wide.  Up to
 //! [`DP_MAX_RELATIONS`] relations the search is exact (dynamic programming
 //! over connected subsets, the classic System-R construction restricted to
-//! left-deep trees, which is the shape the stage chain executes); above
-//! that, a greedy heuristic grows the chain by the cheapest connected
-//! extension.
+//! **left-deep** trees, the shape the stage chain executes); above that, a
+//! greedy heuristic grows the chain by the cheapest connected extension.
+//! For unforced joins of ≥ 4 relations the enumerator additionally
+//! considers **bushy** shapes — two independent subchains meeting at a
+//! rehash-merge stage ([`BushyChoice`]) — and takes one when its shipped
+//! cost beats the best left-deep order (see `choose_order`'s `bushy`
+//! parameter and the stage-DAG notes in `docs/ARCHITECTURE.md`).
 //!
 //! Each stage also gets its [`JoinStrategy`] — symmetric rehash,
-//! Fetch-Matches, or (for the first stage only, whose sides are both base
-//! tables) the Bloom-filter semi-join — using the same cost rules the
-//! two-way planner has always applied.
+//! Fetch-Matches, or (for a stage whose sides are both base tables) the
+//! Bloom-filter semi-join — using the same cost rules the two-way planner
+//! has always applied.
 //!
 //! Cost proxy: tuples shipped over the wire, the quantity PIER actually
 //! pays for.  A symmetric-rehash stage ships both sides; a Fetch-Matches
-//! stage pays `FETCH_PROBE_COST` routed messages per probing tuple.
+//! stage pays `FETCH_PROBE_COST` routed messages per probing tuple.  With
+//! `PierConfig::feedback`, per-query [`ObservedStats`] folded from
+//! collected execution traces override the catalog estimates the next time
+//! the origin re-plans — the trace-fed costing loop.
 
 use crate::catalog::Catalog;
 use crate::expr::Expr;

@@ -204,6 +204,15 @@ impl fmt::Display for Explanation {
     }
 }
 
+/// One-line `EXPLAIN` rendering of an epoch-count window.
+fn render_window(w: &crate::query::WindowSpec) -> String {
+    if w.is_tumbling() {
+        format!("window: tumbling {} epochs (results once per window)", w.size)
+    } else {
+        format!("window: sliding {} epochs, slide {} (results once per window)", w.size, w.slide)
+    }
+}
+
 /// Render the distributed spec for `EXPLAIN`.
 fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
     let mut out = String::new();
@@ -218,7 +227,15 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
             push_order_limit(&mut out, order_by, *limit);
         }
         QueryKind::Aggregate {
-            table, filter, group_exprs, aggs, having, order_by, limit, ..
+            table,
+            filter,
+            group_exprs,
+            aggs,
+            having,
+            order_by,
+            limit,
+            window,
+            ..
         } => {
             out.push_str(&format!(
                 "hierarchical aggregation on '{table}' ({} groups, {} aggregates)\n",
@@ -233,6 +250,9 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
                     Some(arg) => out.push_str(&format!("  agg {}({arg}) AS {}\n", a.func, a.name)),
                     None => out.push_str(&format!("  agg {}(*) AS {}\n", a.func, a.name)),
                 }
+            }
+            if let Some(w) = window {
+                out.push_str(&format!("  {}\n", render_window(w)));
             }
             if let Some(h) = having {
                 out.push_str(&format!("  having (at root): {h}\n"));
@@ -317,6 +337,9 @@ fn render_kind(kind: &QueryKind, strategy_note: Option<&str>) -> String {
                         }
                         None => out.push_str(&format!("    agg {}(*) AS {}\n", a.func, a.name)),
                     }
+                }
+                if let Some(w) = &agg.window {
+                    out.push_str(&format!("    {}\n", render_window(w)));
                 }
                 if let Some(h) = &agg.having {
                     out.push_str(&format!(

@@ -134,6 +134,7 @@ impl<'a> PhysicalPlanner<'a> {
                     order_by: bound.order_by.clone(),
                     limit: bound.limit,
                     final_project: agg.final_project.clone(),
+                    window: agg.window,
                 },
                 strategy_note: None,
             })
@@ -417,7 +418,10 @@ impl<'a> PhysicalPlanner<'a> {
                     })
                     .product::<f64>()
                     .clamp(1.0, est_matches.max(1.0));
-                let hierarchical = est_groups < est_matches.max(1.0);
+                // A windowed aggregate always runs hierarchically: the
+                // aggregation root is where per-epoch states are retained
+                // and merged into windows; raw-row streaming has no root.
+                let hierarchical = agg.window.is_some() || est_groups < est_matches.max(1.0);
                 note.push_str(&if hierarchical {
                     format!(
                         "aggregation: hierarchical in-network partials \
@@ -468,6 +472,7 @@ impl<'a> PhysicalPlanner<'a> {
                     final_project: agg.final_project.clone(),
                     hierarchical,
                     colocated,
+                    window: agg.window,
                 };
                 (project, Some(aggregate))
             }
@@ -726,7 +731,7 @@ impl<'a> PhysicalPlanner<'a> {
                     })
                     .product::<f64>()
                     .clamp(1.0, est_matches.max(1.0));
-                let hierarchical = est_groups < est_matches.max(1.0);
+                let hierarchical = agg.window.is_some() || est_groups < est_matches.max(1.0);
                 note.push_str(&if hierarchical {
                     format!(
                         "aggregation: hierarchical in-network partials \
@@ -768,6 +773,7 @@ impl<'a> PhysicalPlanner<'a> {
                     final_project: agg.final_project.clone(),
                     hierarchical,
                     colocated,
+                    window: agg.window,
                 };
                 (project, Some(aggregate))
             }

@@ -63,6 +63,71 @@ impl ContinuousSpec {
     }
 }
 
+/// An epoch-count window over a continuous aggregate (`WINDOW TUMBLING n
+/// EPOCHS` / `WINDOW SLIDING n SLIDE m`): results are emitted once per
+/// *window* of `size` consecutive epochs instead of once per epoch, and each
+/// epoch's data is scanned exactly once (the per-epoch delta) rather than
+/// rescanned for as long as it stays in a time window.
+///
+/// Window `w` covers the half-open epoch range `[w * slide, w * slide +
+/// size)`.  Window ids derive from the absolute epoch number (which itself
+/// derives from absolute virtual time), so every node — and a mid-flight
+/// re-planned spec — agrees on the boundaries without coordination.
+///
+/// ```
+/// use pier_core::query::WindowSpec;
+/// let w = WindowSpec::sliding(4, 2);
+/// assert_eq!(w.windows_of(5), vec![1, 2]);   // epochs 2..6 and 4..8
+/// assert_eq!(w.closing_epoch(2), 7);         // window 2 = epochs 4..8
+/// assert!(WindowSpec::tumbling(4).is_tumbling());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window width, in epochs (≥ 1).
+    pub size: u32,
+    /// Epochs between consecutive window starts (1 ≤ `slide` ≤ `size`;
+    /// `slide == size` is a tumbling window).
+    pub slide: u32,
+}
+
+impl WindowSpec {
+    /// A tumbling window: consecutive, non-overlapping spans of `size` epochs.
+    pub fn tumbling(size: u32) -> Self {
+        let size = size.max(1);
+        WindowSpec { size, slide: size }
+    }
+
+    /// A sliding window of `size` epochs advancing by `slide` epochs.
+    pub fn sliding(size: u32, slide: u32) -> Self {
+        let size = size.max(1);
+        WindowSpec { size, slide: slide.clamp(1, size) }
+    }
+
+    /// Tumbling ⇔ the slide equals the window size.
+    pub fn is_tumbling(&self) -> bool {
+        self.slide == self.size
+    }
+
+    /// First epoch covered by window `w`.
+    pub fn start_epoch(&self, w: u64) -> u64 {
+        w * self.slide as u64
+    }
+
+    /// The epoch whose completion closes window `w` (its last covered epoch).
+    pub fn closing_epoch(&self, w: u64) -> u64 {
+        self.start_epoch(w) + self.size as u64 - 1
+    }
+
+    /// All window ids covering `epoch`, ascending (one for tumbling, up to
+    /// `size / slide` for sliding windows).
+    pub fn windows_of(&self, epoch: u64) -> Vec<u64> {
+        let slide = self.slide as u64;
+        let last = epoch / slide;
+        let first = (epoch + 1).saturating_sub(self.size as u64).div_ceil(slide);
+        (first..=last).collect()
+    }
+}
+
 /// Distributed join strategies PIER implements (the paper's "multihop,
 /// in-network versions of joins").
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -228,6 +293,10 @@ pub struct JoinAggregate {
     /// rows to the origin, which performs the whole GROUP BY — the baseline
     /// the optimizer costs against (and benchmarks measure).
     pub hierarchical: bool,
+    /// Epoch-count window over a continuous query: groups finalize once per
+    /// window of epochs instead of once per epoch.  Forces `hierarchical`
+    /// (the root is where per-epoch states are retained and merged).
+    pub window: Option<WindowSpec>,
     /// Aggregate-aware stage keys: `true` when the grouping column *is* the
     /// final stage's join key, so every row of a group already lives at one
     /// join site (the DHT partitioned matches by that very value).  Join
@@ -272,6 +341,11 @@ pub enum QueryKind {
         /// Final projection over the aggregate output, mapping to the client's
         /// column order.
         final_project: Vec<usize>,
+        /// Epoch-count window over a continuous query: the aggregation root
+        /// retains each epoch's merged states and emits one result set per
+        /// *window* (keyed by window id in [`ResultRow::epoch`]) when the
+        /// watermark passes the window's closing epoch.
+        window: Option<WindowSpec>,
     },
     /// Distributed equi-join of two or more tables, executed as a chain of
     /// [`JoinStage`]s in the optimizer's chosen join order (one stage for a
@@ -345,6 +419,16 @@ impl QueryKind {
     pub fn join_aggregate(&self) -> Option<&JoinAggregate> {
         match self {
             QueryKind::Join { aggregate, .. } => aggregate.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The epoch-count window of a windowed continuous aggregate, for both
+    /// aggregation shapes.
+    pub fn window_spec(&self) -> Option<WindowSpec> {
+        match self {
+            QueryKind::Aggregate { window, .. } => *window,
+            QueryKind::Join { aggregate: Some(agg), .. } => agg.window,
             _ => None,
         }
     }
@@ -439,7 +523,7 @@ impl WireSize for QuerySpec {
                 filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
                     + project.iter().map(|e| e.wire_size()).sum::<usize>()
             }
-            QueryKind::Aggregate { filter, group_exprs, aggs, having, .. } => {
+            QueryKind::Aggregate { filter, group_exprs, aggs, having, window, .. } => {
                 filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
                     + group_exprs.iter().map(|e| e.wire_size()).sum::<usize>()
                     + aggs
@@ -447,6 +531,7 @@ impl WireSize for QuerySpec {
                         .map(|a| a.arg.as_ref().map(|e| e.wire_size()).unwrap_or(1) + 8)
                         .sum::<usize>()
                     + having.as_ref().map(|f| f.wire_size()).unwrap_or(0)
+                    + if window.is_some() { 8 } else { 1 }
             }
             QueryKind::Join { left_filter, stages, project, aggregate, .. } => {
                 left_filter.as_ref().map(|f| f.wire_size()).unwrap_or(0)
@@ -461,6 +546,7 @@ impl WireSize for QuerySpec {
                                     .sum::<usize>()
                                 + a.having.as_ref().map(|h| h.wire_size()).unwrap_or(0)
                                 + a.final_project.len()
+                                + if a.window.is_some() { 8 } else { 1 }
                                 + 2
                         })
                         .unwrap_or(0)
@@ -541,6 +627,47 @@ mod tests {
         let c = ContinuousSpec::every(Duration::from_secs(5));
         assert_eq!(c.period, Duration::from_secs(5));
         assert_eq!(c.window, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn window_spec_geometry() {
+        let t = WindowSpec::tumbling(4);
+        assert!(t.is_tumbling());
+        assert_eq!(t.windows_of(0), vec![0]);
+        assert_eq!(t.windows_of(3), vec![0]);
+        assert_eq!(t.windows_of(4), vec![1]);
+        assert_eq!(t.start_epoch(2), 8);
+        assert_eq!(t.closing_epoch(2), 11);
+
+        let s = WindowSpec::sliding(8, 2);
+        assert!(!s.is_tumbling());
+        // Epoch 9 is covered by windows starting at epochs 2, 4, 6, 8.
+        assert_eq!(s.windows_of(9), vec![1, 2, 3, 4]);
+        assert_eq!(s.closing_epoch(1), 9);
+        // Early epochs are covered by fewer windows (none start below 0).
+        assert_eq!(s.windows_of(1), vec![0]);
+
+        // Degenerate inputs are clamped to valid geometry.
+        assert_eq!(WindowSpec::tumbling(0).size, 1);
+        assert_eq!(WindowSpec::sliding(4, 0).slide, 1);
+        assert_eq!(WindowSpec::sliding(4, 9).slide, 4);
+    }
+
+    #[test]
+    fn window_spec_accessor() {
+        let kind = QueryKind::Aggregate {
+            table: "t".into(),
+            filter: None,
+            group_exprs: vec![Expr::col(0)],
+            aggs: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+            final_project: vec![0],
+            window: Some(WindowSpec::tumbling(4)),
+        };
+        assert_eq!(kind.window_spec(), Some(WindowSpec::tumbling(4)));
+        assert!(kind.is_aggregate());
     }
 
     #[test]

@@ -178,6 +178,22 @@ pub struct OrderItem {
     pub desc: bool,
 }
 
+/// Epoch-count window clause of a continuous aggregate, written after
+/// `GROUP BY`: `WINDOW TUMBLING n EPOCHS` or
+/// `WINDOW SLIDING n [EPOCHS] SLIDE m [EPOCHS]`.
+///
+/// Distinct from the time-based `CONTINUOUS … WINDOW m SECONDS` clause: that
+/// one sets how far back each per-epoch re-evaluation scans, while this one
+/// makes the aggregation plane emit one result set per *window of epochs*,
+/// scanning each epoch's data exactly once.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowClause {
+    /// Window width in epochs.
+    pub size_epochs: u32,
+    /// `SLIDE m` of a sliding window; `None` for `TUMBLING`.
+    pub slide_epochs: Option<u32>,
+}
+
 /// Continuous-query clause: `CONTINUOUS EVERY n SECONDS [WINDOW m SECONDS]`.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ContinuousClause {
@@ -204,6 +220,8 @@ pub struct SelectStmt {
     pub where_clause: Option<AstExpr>,
     /// `GROUP BY` column names.
     pub group_by: Vec<String>,
+    /// Epoch-count window clause (`WINDOW TUMBLING … / SLIDING …`).
+    pub window: Option<WindowClause>,
     /// `HAVING` predicate (over aggregate outputs).
     pub having: Option<AstExpr>,
     /// `ORDER BY` keys.
@@ -306,6 +324,7 @@ mod tests {
             joins: vec![],
             where_clause: None,
             group_by: vec![],
+            window: None,
             having: None,
             order_by: vec![],
             limit: None,

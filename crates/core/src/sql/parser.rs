@@ -192,6 +192,29 @@ impl Parser {
             }
         }
 
+        // Epoch-count window clause of a continuous aggregate.  `TUMBLING`,
+        // `SLIDING`, `SLIDE` and `EPOCHS` are contextual (only the reserved
+        // `WINDOW` introduces the clause), so they stay usable as column
+        // names elsewhere.
+        let window = if self.eat_kw("window") {
+            if self.eat_kw("tumbling") {
+                let size = self.window_epochs()?;
+                Some(WindowClause { size_epochs: size, slide_epochs: None })
+            } else if self.eat_kw("sliding") {
+                let size = self.window_epochs()?;
+                self.expect_kw("slide")?;
+                let slide = self.window_epochs()?;
+                Some(WindowClause { size_epochs: size, slide_epochs: Some(slide) })
+            } else {
+                return Err(ParseError::new(format!(
+                    "expected TUMBLING or SLIDING after WINDOW, found {}",
+                    self.peek()
+                )));
+            }
+        } else {
+            None
+        };
+
         let having = if self.eat_kw("having") { Some(self.expr()?) } else { None };
 
         let mut order_by = Vec::new();
@@ -238,11 +261,24 @@ impl Parser {
             joins,
             where_clause,
             group_by,
+            window,
             having,
             order_by,
             limit,
             continuous,
         })
+    }
+
+    /// A positive epoch count followed by an optional `EPOCHS` / `EPOCH`
+    /// noise word (`WINDOW TUMBLING 4 EPOCHS`, `SLIDE 2`).
+    fn window_epochs(&mut self) -> Result<u32, ParseError> {
+        let n = self.integer()?;
+        if n < 1 || n > u32::MAX as i64 {
+            return Err(ParseError::new(format!("window epoch count must be >= 1, got {n}")));
+        }
+        self.eat_kw("epochs");
+        self.eat_kw("epoch");
+        Ok(n as u32)
     }
 
     fn select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {

@@ -16,7 +16,13 @@
 //!
 //! The trace also records the **adaptivity plane**'s actions: every mid-flight
 //! re-plan (a join-strategy switch driven by gossiped statistics) is counted in
-//! [`OpTrace::replans`] and described in [`OpTrace::switches`].
+//! [`OpTrace::replans`] and described in [`OpTrace::switches`].  Windowed
+//! continuous aggregates add the **window plane**: windows closed at this
+//! node as aggregation root, late partials dropped or patched under the
+//! configured [`WindowLatePolicy`](crate::engine::WindowLatePolicy), and
+//! `HAVING`-trigger alert tuples published ([`OpTrace::windows_closed`] and
+//! friends); `render_network_trace` prints a `windows:` line whenever any of
+//! them fired.
 
 use crate::query::QueryKind;
 use pier_simnet::WireSize;
@@ -102,6 +108,19 @@ pub struct OpTrace {
     /// Payloads of this query that rode in a cross-query shared frame whose
     /// single wire message was charged to another query (the saved sends).
     pub piggybacked_payloads: u64,
+    /// Epoch-count windows this node closed and reported as the query's
+    /// aggregation root (windowed continuous aggregates).
+    pub windows_closed: u64,
+    /// Late partial payloads this root discarded because the windows
+    /// covering their epoch had already closed (drop policy, or patch past
+    /// its retention horizon).
+    pub window_late_dropped: u64,
+    /// Already-closed windows this root re-opened and re-emitted for late
+    /// data (patch policy).
+    pub window_late_patched: u64,
+    /// Alert tuples this root published into the query's alert namespace
+    /// (`HAVING` trigger on a windowed aggregate).
+    pub alerts_emitted: u64,
 }
 
 impl OpTrace {
@@ -155,6 +174,10 @@ impl OpTrace {
         }
         self.bloom_fallbacks += other.bloom_fallbacks;
         self.piggybacked_payloads += other.piggybacked_payloads;
+        self.windows_closed += other.windows_closed;
+        self.window_late_dropped += other.window_late_dropped;
+        self.window_late_patched += other.window_late_patched;
+        self.alerts_emitted += other.alerts_emitted;
     }
 
     /// Has this trace recorded any activity at all?
@@ -165,9 +188,9 @@ impl OpTrace {
 
 impl WireSize for OpTrace {
     fn wire_size(&self) -> usize {
-        // 15 fixed u64 counters + per-switch strings + per-epoch and
+        // 19 fixed u64 counters + per-switch strings + per-epoch and
         // per-stage pairs.
-        15 * 8
+        19 * 8
             + self.switches.iter().map(|s| s.len() + 2).sum::<usize>()
             + self.epoch_rows.len() * 16
             + (self.stage_shipped.len()
@@ -254,6 +277,15 @@ pub fn render_network_trace(reporters: u64, trace: &OpTrace, kind: &QueryKind) -
         "  wire: {} messages, {} batches, {} payload bytes\n",
         trace.messages_sent, trace.batches_sent, trace.bytes_shipped
     ));
+    if trace.windows_closed > 0 || trace.window_late_dropped > 0 || trace.window_late_patched > 0 {
+        out.push_str(&format!(
+            "  windows: {} closed, {} late drops, {} late patches, {} alerts\n",
+            trace.windows_closed,
+            trace.window_late_dropped,
+            trace.window_late_patched,
+            trace.alerts_emitted
+        ));
+    }
     if trace.bloom_fallbacks > 0 {
         out.push_str(&format!(
             "  bloom hold-down fallbacks: {} unfiltered rehashes\n",
